@@ -1,0 +1,124 @@
+//! Autoregressive estimation: sample autocovariances, Yule–Walker
+//! equations, and the Levinson–Durbin recursion.
+
+/// Sample autocovariance `γ(k)` for lags `0..=max_lag` (biased estimator,
+/// divides by `n`, which keeps the autocovariance sequence positive
+//  semi-definite).
+pub fn autocovariance(x: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = x.len();
+    assert!(n > max_lag, "series length {n} must exceed max lag {max_lag}");
+    let mean = x.iter().sum::<f64>() / n as f64;
+    (0..=max_lag)
+        .map(|k| (0..n - k).map(|t| (x[t] - mean) * (x[t + k] - mean)).sum::<f64>() / n as f64)
+        .collect()
+}
+
+/// Levinson–Durbin recursion: solves the Yule–Walker equations for an AR(p)
+/// model given autocovariances `γ(0..=p)`.
+///
+/// Returns `(phi, sigma2)` — the AR coefficients and innovation variance.
+pub fn levinson_durbin(gamma: &[f64], p: usize) -> (Vec<f64>, f64) {
+    assert!(gamma.len() > p, "need {p}+1 autocovariances");
+    if p == 0 {
+        return (vec![], gamma[0]);
+    }
+    let mut phi = vec![0.0f64; p];
+    let mut prev = vec![0.0f64; p];
+    let mut sigma2 = gamma[0].max(1e-12);
+    for k in 1..=p {
+        let mut acc = gamma[k];
+        for j in 1..k {
+            acc -= prev[j - 1] * gamma[k - j];
+        }
+        let reflection = acc / sigma2;
+        phi[k - 1] = reflection;
+        for j in 1..k {
+            phi[j - 1] = prev[j - 1] - reflection * prev[k - 1 - j];
+        }
+        sigma2 *= 1.0 - reflection * reflection;
+        sigma2 = sigma2.max(1e-12);
+        prev[..k].copy_from_slice(&phi[..k]);
+    }
+    (phi, sigma2)
+}
+
+/// Fits an AR(p) by Yule–Walker. Returns `(phi, sigma2)`.
+pub fn yule_walker(x: &[f64], p: usize) -> (Vec<f64>, f64) {
+    let gamma = autocovariance(x, p);
+    levinson_durbin(&gamma, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulates a stationary AR process with deterministic pseudo-noise.
+    fn simulate_ar(phi: &[f64], n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next_noise = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let u = (state.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f64 / (1u64 << 24) as f64;
+            (u - 0.5) * 2.0
+        };
+        let p = phi.len();
+        let mut x = vec![0.0f64; n + 200];
+        for t in p..x.len() {
+            let mut v = next_noise();
+            for (j, &c) in phi.iter().enumerate() {
+                v += c * x[t - 1 - j];
+            }
+            x[t] = v;
+        }
+        x.split_off(200)
+    }
+
+    #[test]
+    fn autocovariance_lag0_is_variance() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let g = autocovariance(&x, 1);
+        assert!((g[0] - 2.0).abs() < 1e-10); // biased variance of 1..5
+    }
+
+    #[test]
+    fn white_noise_has_near_zero_lag_covariance() {
+        let x = simulate_ar(&[], 5000, 1);
+        let g = autocovariance(&x, 3);
+        assert!(g[1].abs() < 0.05 * g[0]);
+        assert!(g[2].abs() < 0.05 * g[0]);
+    }
+
+    #[test]
+    fn recovers_ar1_coefficient() {
+        let x = simulate_ar(&[0.7], 8000, 2);
+        let (phi, sigma2) = yule_walker(&x, 1);
+        assert!((phi[0] - 0.7).abs() < 0.05, "phi = {:?}", phi);
+        assert!(sigma2 > 0.0);
+    }
+
+    #[test]
+    fn recovers_ar2_coefficients() {
+        let x = simulate_ar(&[0.5, -0.3], 10000, 3);
+        let (phi, _) = yule_walker(&x, 2);
+        assert!((phi[0] - 0.5).abs() < 0.07, "phi = {:?}", phi);
+        assert!((phi[1] + 0.3).abs() < 0.07, "phi = {:?}", phi);
+    }
+
+    #[test]
+    fn sigma2_decreases_with_model_order_on_ar2_data() {
+        let x = simulate_ar(&[0.5, -0.3], 6000, 4);
+        let (_, s1) = yule_walker(&x, 1);
+        let (_, s2) = yule_walker(&x, 2);
+        assert!(s2 <= s1 + 1e-9);
+    }
+
+    #[test]
+    fn order_zero_returns_variance() {
+        let x = vec![2.0, 4.0, 6.0, 8.0];
+        let (phi, s) = yule_walker(&x, 0);
+        assert!(phi.is_empty());
+        assert!((s - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,267 @@
+//! A generic Kalman filter for linear-Gaussian state-space models, plus the
+//! Harvey state-space form of an ARMA(p, q) process.
+//!
+//! Model:
+//! ```text
+//! α_{t+1} = T α_t + R η_t,   η_t ~ N(0, σ²)
+//! y_t     = Z α_t + ε_t,     ε_t ~ N(0, h)
+//! ```
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+
+use crate::solve::solve;
+
+/// A linear-Gaussian state-space model with scalar observations.
+#[derive(Debug, Clone)]
+pub struct KalmanFilter {
+    /// State dimension.
+    pub dim: usize,
+    /// Transition matrix `T`, row-major `[dim, dim]`.
+    pub transition: Vec<f64>,
+    /// State-noise loading `R`, `[dim]` (rank-1 process noise).
+    pub noise_loading: Vec<f64>,
+    /// Process-noise variance σ².
+    pub sigma2: f64,
+    /// Observation vector `Z`, `[dim]`.
+    pub observation: Vec<f64>,
+    /// Observation-noise variance `h`.
+    pub obs_noise: f64,
+    /// Filtered state mean `α̂`.
+    pub state: Vec<f64>,
+    /// Filtered state covariance `P`, row-major `[dim, dim]`.
+    pub cov: Vec<f64>,
+}
+
+impl KalmanFilter {
+    /// Builds a filter with a diffuse-ish initial covariance `kappa · I`.
+    pub fn new(
+        transition: Vec<f64>,
+        noise_loading: Vec<f64>,
+        sigma2: f64,
+        observation: Vec<f64>,
+        obs_noise: f64,
+        kappa: f64,
+    ) -> Self {
+        let dim = noise_loading.len();
+        assert_eq!(transition.len(), dim * dim, "transition must be dim x dim");
+        assert_eq!(observation.len(), dim, "observation must be dim");
+        let mut cov = vec![0.0; dim * dim];
+        for i in 0..dim {
+            cov[i * dim + i] = kappa;
+        }
+        Self {
+            dim,
+            transition,
+            noise_loading,
+            sigma2,
+            observation,
+            obs_noise,
+            state: vec![0.0; dim],
+            cov,
+        }
+    }
+
+    /// The Harvey representation of ARMA(p, q): state dimension
+    /// `r = max(p, q + 1)`, transition has φ down the first column and an
+    /// upper shift, `R = (1, θ₁, …, θ_q, 0, …)`, `Z = e₁`.
+    pub fn arma(phi: &[f64], theta: &[f64], sigma2: f64) -> Self {
+        let p = phi.len();
+        let q = theta.len();
+        let r = p.max(q + 1);
+        let mut transition = vec![0.0f64; r * r];
+        for (i, &c) in phi.iter().enumerate() {
+            transition[i * r] = c; // first column = phi
+        }
+        for i in 0..r - 1 {
+            transition[i * r + i + 1] = 1.0; // superdiagonal shift
+        }
+        let mut loading = vec![0.0f64; r];
+        loading[0] = 1.0;
+        for (i, &t) in theta.iter().enumerate() {
+            loading[i + 1] = t;
+        }
+        let mut observation = vec![0.0f64; r];
+        observation[0] = 1.0;
+        Self::new(transition, loading, sigma2, observation, 0.0, 1e4)
+    }
+
+    /// Time update: `α ← Tα`, `P ← TPTᵀ + σ²RRᵀ`.
+    pub fn predict(&mut self) {
+        let d = self.dim;
+        // α ← Tα
+        let mut new_state = vec![0.0f64; d];
+        for i in 0..d {
+            for j in 0..d {
+                new_state[i] += self.transition[i * d + j] * self.state[j];
+            }
+        }
+        self.state = new_state;
+        // P ← T P Tᵀ + σ² R Rᵀ
+        let mut tp = vec![0.0f64; d * d];
+        for i in 0..d {
+            for k in 0..d {
+                let t = self.transition[i * d + k];
+                if t == 0.0 {
+                    continue;
+                }
+                for j in 0..d {
+                    tp[i * d + j] += t * self.cov[k * d + j];
+                }
+            }
+        }
+        let mut new_cov = vec![0.0f64; d * d];
+        for i in 0..d {
+            for j in 0..d {
+                let mut s = 0.0;
+                for k in 0..d {
+                    s += tp[i * d + k] * self.transition[j * d + k];
+                }
+                new_cov[i * d + j] =
+                    s + self.sigma2 * self.noise_loading[i] * self.noise_loading[j];
+            }
+        }
+        self.cov = new_cov;
+    }
+
+    /// Measurement update with observation `y`. Returns the innovation.
+    pub fn update(&mut self, y: f64) -> f64 {
+        let d = self.dim;
+        // Innovation v = y − Zα ; S = ZPZᵀ + h ; K = PZᵀ/S.
+        let mut zp = vec![0.0f64; d];
+        for i in 0..d {
+            for j in 0..d {
+                zp[i] += self.cov[i * d + j] * self.observation[j];
+            }
+        }
+        let s: f64 =
+            self.observation.iter().zip(&zp).map(|(z, pz)| z * pz).sum::<f64>() + self.obs_noise;
+        let s = s.max(1e-12);
+        let pred: f64 = self.observation.iter().zip(&self.state).map(|(z, a)| z * a).sum();
+        let v = y - pred;
+        for i in 0..d {
+            self.state[i] += zp[i] / s * v;
+        }
+        // P ← P − K S Kᵀ = P − (PZᵀ)(PZᵀ)ᵀ / S
+        for i in 0..d {
+            for j in 0..d {
+                self.cov[i * d + j] -= zp[i] * zp[j] / s;
+            }
+        }
+        v
+    }
+
+    /// One filter step (predict then update). Returns the innovation.
+    pub fn step(&mut self, y: f64) -> f64 {
+        self.predict();
+        self.update(y)
+    }
+
+    /// Runs the filter over a window of observations.
+    pub fn filter(&mut self, ys: &[f64]) {
+        for &y in ys {
+            self.step(y);
+        }
+    }
+
+    /// Multi-step point forecasts from the current filtered state, without
+    /// mutating the filter.
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        let d = self.dim;
+        let mut alpha = self.state.clone();
+        let mut out = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let mut next = vec![0.0f64; d];
+            for i in 0..d {
+                for j in 0..d {
+                    next[i] += self.transition[i * d + j] * alpha[j];
+                }
+            }
+            alpha = next;
+            out.push(self.observation.iter().zip(&alpha).map(|(z, a)| z * a).sum());
+        }
+        out
+    }
+
+    /// Solves `(I − T) x = α` to obtain the long-run state (diagnostic for
+    /// stationary models); `None` when `I − T` is singular (unit roots).
+    pub fn steady_state(&self) -> Option<Vec<f64>> {
+        let d = self.dim;
+        let mut a = vec![0.0f64; d * d];
+        for i in 0..d {
+            for j in 0..d {
+                a[i * d + j] = -self.transition[i * d + j];
+            }
+            a[i * d + i] += 1.0;
+        }
+        solve(&a, &vec![0.0; d], d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arma_state_space_dimensions() {
+        let kf = KalmanFilter::arma(&[0.5, 0.2], &[0.3], 1.0);
+        assert_eq!(kf.dim, 2);
+        let kf2 = KalmanFilter::arma(&[0.5], &[0.3, 0.1], 1.0);
+        assert_eq!(kf2.dim, 3);
+    }
+
+    #[test]
+    fn filter_tracks_constant_signal() {
+        // Random-walk state observed with noise converges to the constant.
+        let mut kf = KalmanFilter::new(vec![1.0], vec![1.0], 1e-4, vec![1.0], 0.25, 100.0);
+        for _ in 0..200 {
+            kf.step(5.0);
+        }
+        assert!((kf.state[0] - 5.0).abs() < 0.05, "state = {}", kf.state[0]);
+    }
+
+    #[test]
+    fn innovations_shrink_as_filter_converges() {
+        let mut kf = KalmanFilter::new(vec![1.0], vec![1.0], 1e-6, vec![1.0], 1.0, 100.0);
+        let first = kf.step(3.0).abs();
+        let mut last = 0.0;
+        for _ in 0..50 {
+            last = kf.step(3.0).abs();
+        }
+        assert!(last < first * 0.1);
+    }
+
+    #[test]
+    fn ar1_forecast_decays_geometrically() {
+        let mut kf = KalmanFilter::arma(&[0.5], &[], 1.0);
+        // Feed a spike then forecast: AR(1) forecasts halve each step.
+        kf.filter(&[0.0, 0.0, 0.0, 4.0]);
+        let f = kf.forecast(3);
+        assert!((f[0] / kf.state[0] - 0.5).abs() < 1e-9);
+        assert!((f[1] / f[0] - 0.5).abs() < 1e-9);
+        assert!((f[2] / f[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filter_with_exact_ar1_observations_predicts_next() {
+        // With no observation noise, the filtered state equals the series
+        // and the 1-step forecast is φ·y_t.
+        let mut kf = KalmanFilter::arma(&[0.8], &[], 1.0);
+        let mut y = vec![1.0f64];
+        for _ in 0..30 {
+            let last = *y.last().unwrap();
+            y.push(0.8 * last);
+        }
+        kf.filter(&y);
+        let f = kf.forecast(1);
+        assert!((f[0] - 0.8 * y.last().unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forecast_does_not_mutate_filter() {
+        let mut kf = KalmanFilter::arma(&[0.6], &[0.2], 1.0);
+        kf.filter(&[1.0, -0.5, 0.7]);
+        let state_before = kf.state.clone();
+        let _ = kf.forecast(10);
+        assert_eq!(kf.state, state_before);
+    }
+}

@@ -1,0 +1,28 @@
+//! # enhancenet-arima
+//!
+//! ARIMA(p, d, q) forecasting with Kalman filtering — the paper's
+//! non-deep-learning baseline ("ARIMA: Auto-Regressive Integrated Moving
+//! Average model with Kalman filter", §VI-A).
+//!
+//! Pipeline:
+//!
+//! 1. difference the series `d` times;
+//! 2. estimate ARMA(p, q) coefficients with the Hannan–Rissanen two-stage
+//!    procedure (long-AR residual proxy, then least squares on lagged values
+//!    and lagged residuals);
+//! 3. put the fitted ARMA in Harvey state-space form and run a [`kalman`]
+//!    filter over the observed window to obtain the filtered state;
+//! 4. iterate the state transition for multi-step forecasts and invert the
+//!    differencing.
+//!
+//! Each entity's series is modelled independently, as is standard for the
+//! ARIMA baseline in this literature.
+
+pub mod ar;
+pub mod kalman;
+pub mod model;
+pub mod solve;
+
+pub use ar::{levinson_durbin, yule_walker};
+pub use kalman::KalmanFilter;
+pub use model::{Arima, ArimaConfig};

@@ -1,0 +1,362 @@
+//! ARIMA(p, d, q): differencing + Hannan–Rissanen ARMA estimation +
+//! Kalman-filter forecasting.
+
+use crate::ar::yule_walker;
+use crate::kalman::KalmanFilter;
+use crate::solve::least_squares;
+
+/// ARIMA orders.
+#[derive(Debug, Clone, Copy)]
+pub struct ArimaConfig {
+    /// Autoregressive order.
+    pub p: usize,
+    /// Differencing order.
+    pub d: usize,
+    /// Moving-average order.
+    pub q: usize,
+}
+
+impl ArimaConfig {
+    /// The traffic-forecasting literature's usual choice, ARIMA(3, 0, 1)
+    /// (DCRNN's baseline uses (3,0,1) with a Kalman filter).
+    pub fn paper_default() -> Self {
+        Self { p: 3, d: 0, q: 1 }
+    }
+}
+
+/// A fitted ARIMA model for one univariate series.
+#[derive(Debug, Clone)]
+pub struct Arima {
+    config: ArimaConfig,
+    phi: Vec<f64>,
+    theta: Vec<f64>,
+    sigma2: f64,
+    mean: f64,
+}
+
+impl Arima {
+    /// Fits ARIMA(p, d, q) to `series` with Hannan–Rissanen.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the series is too short for the requested orders.
+    pub fn fit(series: &[f32], config: ArimaConfig) -> Self {
+        let ArimaConfig { p, d, q } = config;
+        let x: Vec<f64> = series.iter().map(|&v| v as f64).collect();
+        let w = difference(&x, d);
+        assert!(
+            w.len() > (p + q + 1).max(20.min(w.len())),
+            "series too short ({}) for ARIMA({p},{d},{q})",
+            series.len()
+        );
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        let centered: Vec<f64> = w.iter().map(|v| v - mean).collect();
+
+        let (phi, theta, sigma2) = if q == 0 {
+            let (phi, sigma2) = yule_walker(&centered, p);
+            (phi, vec![], sigma2)
+        } else {
+            hannan_rissanen(&centered, p, q)
+        };
+        Self { config, phi, theta, sigma2, mean }
+    }
+
+    /// Automatic order selection: fits every `(p, q)` with `p ≤ max_p`,
+    /// `q ≤ max_q` (and the given `d`) and keeps the model minimizing the
+    /// Akaike information criterion `AIC = n·ln(σ̂²) + 2(p + q)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the series is too short for the largest candidate
+    /// orders, or when `max_p = max_q = 0`.
+    pub fn fit_auto(series: &[f32], d: usize, max_p: usize, max_q: usize) -> Self {
+        assert!(max_p + max_q > 0, "need at least one candidate order");
+        let n = (series.len() - d) as f64;
+        let mut best: Option<(f64, Arima)> = None;
+        for p in 0..=max_p {
+            for q in 0..=max_q {
+                if p + q == 0 {
+                    continue;
+                }
+                let model = Self::fit(series, ArimaConfig { p, d, q });
+                let aic = n * model.sigma2().max(1e-12).ln() + 2.0 * (p + q) as f64;
+                if best.as_ref().is_none_or(|(b, _)| aic < *b) {
+                    best = Some((aic, model));
+                }
+            }
+        }
+        best.expect("at least one candidate").1
+    }
+
+    /// AR coefficients of the fitted (differenced) process.
+    pub fn phi(&self) -> &[f64] {
+        &self.phi
+    }
+
+    /// MA coefficients.
+    pub fn theta(&self) -> &[f64] {
+        &self.theta
+    }
+
+    /// Innovation variance.
+    pub fn sigma2(&self) -> f64 {
+        self.sigma2
+    }
+
+    /// Forecasts `horizon` future values given the recent `history`
+    /// (in the original, un-differenced scale). Runs the Kalman filter over
+    /// the differenced, centered history, forecasts the state, and inverts
+    /// the differencing.
+    pub fn forecast(&self, history: &[f32], horizon: usize) -> Vec<f32> {
+        let d = self.config.d;
+        let x: Vec<f64> = history.iter().map(|&v| v as f64).collect();
+        assert!(x.len() > d, "history too short for differencing order {d}");
+        let w = difference(&x, d);
+        let centered: Vec<f64> = w.iter().map(|v| v - self.mean).collect();
+
+        let mut kf = KalmanFilter::arma(&self.phi, &self.theta, self.sigma2.max(1e-9));
+        kf.filter(&centered);
+        let fw: Vec<f64> = kf.forecast(horizon).iter().map(|v| v + self.mean).collect();
+
+        // Invert differencing: rebuild the level from the last d values.
+        undifference(&x, &fw, d).iter().map(|&v| v as f32).collect()
+    }
+}
+
+/// Applies `d`-th order differencing.
+fn difference(x: &[f64], d: usize) -> Vec<f64> {
+    let mut w = x.to_vec();
+    for _ in 0..d {
+        w = w.windows(2).map(|p| p[1] - p[0]).collect();
+    }
+    w
+}
+
+/// Integrates forecasts of the `d`-times differenced series back to levels.
+fn undifference(history: &[f64], fw: &[f64], d: usize) -> Vec<f64> {
+    if d == 0 {
+        return fw.to_vec();
+    }
+    // Track the last value of each differencing level.
+    let mut lasts = Vec::with_capacity(d + 1);
+    let mut cur = history.to_vec();
+    lasts.push(*cur.last().expect("non-empty history"));
+    for _ in 0..d {
+        cur = cur.windows(2).map(|p| p[1] - p[0]).collect();
+        lasts.push(*cur.last().expect("history longer than d"));
+    }
+    // lasts[k] = last value of k-th difference; integrate d times.
+    let mut out = Vec::with_capacity(fw.len());
+    let mut levels = lasts[..d].to_vec(); // running levels for orders 0..d-1
+    for &f in fw {
+        // Start from the innovation at order d and cascade down.
+        let mut value = f;
+        for k in (0..d).rev() {
+            value += levels[k];
+            levels[k] = value;
+        }
+        out.push(value);
+    }
+    out
+}
+
+/// Hannan–Rissanen: long-AR residual proxy, then LS on p lags of x and q
+/// lags of residuals. Returns `(phi, theta, sigma2)`.
+fn hannan_rissanen(x: &[f64], p: usize, q: usize) -> (Vec<f64>, Vec<f64>, f64) {
+    let n = x.len();
+    // Stage 1: long AR (order grows slowly with n).
+    let long_order = ((n as f64).ln().ceil() as usize * 2 + p + q).min(n / 4).max(p + q);
+    let (long_phi, _) = yule_walker(x, long_order);
+    let mut resid = vec![0.0f64; n];
+    for t in long_order..n {
+        let mut pred = 0.0;
+        for (j, &c) in long_phi.iter().enumerate() {
+            pred += c * x[t - 1 - j];
+        }
+        resid[t] = x[t] - pred;
+    }
+    // Stage 2: regress x_t on x_{t-1..t-p} and e_{t-1..t-q}.
+    let start = long_order + q.max(1);
+    let rows = n - start;
+    let cols = p + q;
+    if rows < cols + 2 {
+        // Not enough data — fall back to pure AR.
+        let (phi, sigma2) = yule_walker(x, p);
+        return (phi, vec![0.0; q], sigma2);
+    }
+    let mut design = Vec::with_capacity(rows * cols);
+    let mut target = Vec::with_capacity(rows);
+    for t in start..n {
+        for j in 0..p {
+            design.push(x[t - 1 - j]);
+        }
+        for j in 0..q {
+            design.push(resid[t - 1 - j]);
+        }
+        target.push(x[t]);
+    }
+    match least_squares(&design, &target, rows, cols, 1e-8) {
+        Some(beta) => {
+            let phi = beta[..p].to_vec();
+            let theta = beta[p..].to_vec();
+            // Innovation variance from the final residuals.
+            let mut ss = 0.0;
+            for (r, t) in (start..n).enumerate() {
+                let pred: f64 =
+                    design[r * cols..(r + 1) * cols].iter().zip(&beta).map(|(a, b)| a * b).sum();
+                ss += (x[t] - pred).powi(2);
+            }
+            (phi, theta, ss / rows as f64)
+        }
+        None => {
+            let (phi, sigma2) = yule_walker(x, p);
+            (phi, vec![0.0; q], sigma2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simulate_arma(phi: &[f64], theta: &[f64], n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut noise = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let u = (state.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f64 / (1u64 << 24) as f64;
+            (u - 0.5) * 2.0
+        };
+        let p = phi.len();
+        let q = theta.len();
+        let mut x = vec![0.0f64; n + 300];
+        let mut e = vec![0.0f64; n + 300];
+        for t in p.max(q)..x.len() {
+            e[t] = noise();
+            let mut v = e[t];
+            for (j, &c) in phi.iter().enumerate() {
+                v += c * x[t - 1 - j];
+            }
+            for (j, &c) in theta.iter().enumerate() {
+                v += c * e[t - 1 - j];
+            }
+            x[t] = v;
+        }
+        x.split_off(300).iter().map(|&v| v as f32).collect()
+    }
+
+    #[test]
+    fn difference_and_undifference_roundtrip() {
+        let x: Vec<f64> = (0..10).map(|i| (i * i) as f64).collect();
+        let w = difference(&x, 1);
+        assert_eq!(w.len(), 9);
+        assert_eq!(w[0], 1.0);
+        // Forecast the next true differences and integrate back.
+        let truth: Vec<f64> = (10..13).map(|i| (i * i) as f64).collect();
+        let fw: Vec<f64> = vec![19.0, 21.0, 23.0]; // x[10]-x[9] etc.
+        let rebuilt = undifference(&x, &fw, 1);
+        assert_eq!(rebuilt, truth);
+    }
+
+    #[test]
+    fn second_order_undifference() {
+        let x: Vec<f64> = (0..12).map(|i| (i * i) as f64).collect();
+        // Second difference of i² is constant 2.
+        let fw = vec![2.0, 2.0];
+        let rebuilt = undifference(&x, &fw, 2);
+        assert_eq!(rebuilt, vec![144.0, 169.0]);
+    }
+
+    #[test]
+    fn fits_ar1_and_forecasts_geometric_decay() {
+        let series = simulate_arma(&[0.8], &[], 4000, 1);
+        let model = Arima::fit(&series, ArimaConfig { p: 1, d: 0, q: 0 });
+        assert!((model.phi()[0] - 0.8).abs() < 0.06, "phi = {:?}", model.phi());
+        let f = model.forecast(&series[3950..], 5);
+        // Successive forecast ratios approach phi as the mean is ~0.
+        assert_eq!(f.len(), 5);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn hannan_rissanen_recovers_arma11_signs() {
+        let series = simulate_arma(&[0.6], &[0.4], 8000, 2);
+        let model = Arima::fit(&series, ArimaConfig { p: 1, d: 0, q: 1 });
+        assert!((model.phi()[0] - 0.6).abs() < 0.12, "phi = {:?}", model.phi());
+        assert!((model.theta()[0] - 0.4).abs() < 0.15, "theta = {:?}", model.theta());
+    }
+
+    #[test]
+    fn forecast_of_trending_series_continues_trend_with_d1() {
+        // Linear trend: first difference is constant, so an ARIMA(1,1,0)
+        // forecast should continue the line closely.
+        let series: Vec<f32> = (0..200).map(|i| 2.0 * i as f32 + 5.0).collect();
+        let model = Arima::fit(&series, ArimaConfig { p: 1, d: 1, q: 0 });
+        let f = model.forecast(&series, 4);
+        for (k, v) in f.iter().enumerate() {
+            let expected = 2.0 * (200 + k) as f32 + 5.0;
+            assert!((v - expected).abs() < 1.0, "step {k}: {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn forecast_mean_reverts_for_stationary_series() {
+        let series = simulate_arma(&[0.5], &[], 3000, 7);
+        let mean: f32 = series.iter().sum::<f32>() / series.len() as f32;
+        let model = Arima::fit(&series, ArimaConfig::paper_default());
+        let f = model.forecast(&series[2950..], 50);
+        // Far-horizon forecast approaches the series mean.
+        assert!((f[49] - mean).abs() < 0.3, "f = {}, mean = {mean}", f[49]);
+    }
+
+    #[test]
+    fn auto_order_selection_prefers_parsimonious_fit() {
+        // AR(1) data: AIC should not pick a large (p, q) over small ones by
+        // a wide margin, and the chosen model must forecast sanely.
+        let series = simulate_arma(&[0.7], &[], 4000, 11);
+        let model = Arima::fit_auto(&series, 0, 3, 2);
+        let complexity = model.phi().len() + model.theta().len();
+        assert!(complexity <= 4, "chose an overweight model: {complexity} coefficients");
+        // Leading AR coefficient should be near the true 0.7 regardless of
+        // the exact order picked.
+        assert!((model.phi()[0] - 0.7).abs() < 0.15, "phi = {:?}", model.phi());
+        let f = model.forecast(&series[3950..], 3);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn auto_order_beats_or_matches_white_noise_model() {
+        // On ARMA(1,1) data the selected model's innovation variance should
+        // be well below the raw series variance.
+        let series = simulate_arma(&[0.6], &[0.3], 5000, 12);
+        let model = Arima::fit_auto(&series, 0, 2, 2);
+        let mean: f32 = series.iter().sum::<f32>() / series.len() as f32;
+        let var: f64 =
+            series.iter().map(|v| ((v - mean) as f64).powi(2)).sum::<f64>() / series.len() as f64;
+        assert!(model.sigma2() < 0.8 * var, "sigma2 {} vs var {var}", model.sigma2());
+    }
+
+    #[test]
+    fn beats_naive_on_ar_process() {
+        // One-step ARIMA forecasts should beat last-value persistence on a
+        // strongly autocorrelated but mean-reverting process.
+        let series = simulate_arma(&[0.9], &[], 3000, 9);
+        let model = Arima::fit(&series[..2000], ArimaConfig { p: 2, d: 0, q: 0 });
+        let mut err_model = 0.0f32;
+        let mut err_naive = 0.0f32;
+        let mut count = 0;
+        for t in (2000..2900).step_by(10) {
+            let f = model.forecast(&series[t - 100..t], 5);
+            err_model += (f[4] - series[t + 4]).abs();
+            err_naive += (series[t - 1] - series[t + 4]).abs();
+            count += 1;
+        }
+        assert!(
+            err_model < err_naive,
+            "model {} vs naive {} over {count} forecasts",
+            err_model,
+            err_naive
+        );
+    }
+}

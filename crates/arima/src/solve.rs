@@ -1,0 +1,151 @@
+//! Small dense linear algebra: Gaussian elimination with partial pivoting
+//! and least squares via normal equations. System sizes here are tiny
+//! (p + q ≤ ~10), so simplicity beats sophistication.
+
+/// Solves `A x = b` for a square row-major `A` (`n × n`) in place.
+///
+/// Returns `None` when the matrix is numerically singular.
+pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix size mismatch");
+    assert_eq!(b.len(), n, "rhs size mismatch");
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row =
+            (col..n).max_by(|&r1, &r2| m[r1 * n + col].abs().total_cmp(&m[r2 * n + col].abs()))?;
+        if m[pivot_row * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot_row * n + k);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let pivot = m[col * n + col];
+        for row in (col + 1)..n {
+            let factor = m[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut s = rhs[row];
+        for k in (row + 1)..n {
+            s -= m[row * n + k] * x[k];
+        }
+        x[row] = s / m[row * n + row];
+    }
+    Some(x)
+}
+
+/// Least squares `min ‖X β − y‖²` via ridge-stabilized normal equations
+/// (`XᵀX + λI`). `x` is row-major `rows × cols`.
+pub fn least_squares(
+    x: &[f64],
+    y: &[f64],
+    rows: usize,
+    cols: usize,
+    ridge: f64,
+) -> Option<Vec<f64>> {
+    assert_eq!(x.len(), rows * cols);
+    assert_eq!(y.len(), rows);
+    let mut xtx = vec![0.0f64; cols * cols];
+    let mut xty = vec![0.0f64; cols];
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            xty[i] += row[i] * y[r];
+            for j in i..cols {
+                xtx[i * cols + j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..cols {
+        for j in 0..i {
+            xtx[i * cols + j] = xtx[j * cols + i];
+        }
+        xtx[i * cols + i] += ridge;
+    }
+    solve(&xtx, &xty, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, 4.0];
+        assert_eq!(solve(&a, &b, 2).unwrap(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let b = vec![5.0, 10.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let b = vec![7.0, 9.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-10);
+        assert!((x[1] - 7.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_detects_singularity() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(solve(&a, &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn least_squares_recovers_line() {
+        // y = 2x + 1 with exact data.
+        let rows = 5;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..rows {
+            x.push(i as f64);
+            x.push(1.0);
+            y.push(2.0 * i as f64 + 1.0);
+        }
+        let beta = least_squares(&x, &y, rows, 2, 0.0).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-8);
+        assert!((beta[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn least_squares_with_noise_is_close() {
+        let rows = 100;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..rows {
+            let xi = i as f64 * 0.1;
+            x.push(xi);
+            x.push(1.0);
+            // Deterministic pseudo-noise.
+            let noise = ((i * 37 % 11) as f64 - 5.0) * 0.01;
+            y.push(3.0 * xi - 0.5 + noise);
+        }
+        let beta = least_squares(&x, &y, rows, 2, 1e-9).unwrap();
+        assert!((beta[0] - 3.0).abs() < 0.05);
+        assert!((beta[1] + 0.5).abs() < 0.1);
+    }
+}

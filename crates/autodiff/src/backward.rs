@@ -1,0 +1,423 @@
+//! The backward (vector–Jacobian) rules for every [`Op`].
+
+#[cfg(test)]
+use crate::graph::Var;
+use crate::graph::{Graph, Op};
+use enhancenet_tensor::Tensor;
+
+impl Graph {
+    /// Propagates the output gradient `gy` of node `i` to its inputs.
+    pub(crate) fn propagate(&mut self, i: usize, gy: &Tensor) {
+        // Clone the small metadata up front so `self` can be reborrowed for
+        // accumulation afterwards.
+        let op = self.nodes[i].op.clone();
+        let inputs = self.nodes[i].inputs.clone();
+        match op {
+            Op::Leaf => {}
+
+            Op::Add => {
+                let (a, b) = (inputs[0], inputs[1]);
+                let ga = gy.reduce_to_shape(self.value(a).shape());
+                let gb = gy.reduce_to_shape(self.value(b).shape());
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::Sub => {
+                let (a, b) = (inputs[0], inputs[1]);
+                let ga = gy.reduce_to_shape(self.value(a).shape());
+                let gb = (-gy).reduce_to_shape(self.value(b).shape());
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::Mul => {
+                let (a, b) = (inputs[0], inputs[1]);
+                let ga = gy.mul_t(self.value(b)).reduce_to_shape(self.value(a).shape());
+                let gb = gy.mul_t(self.value(a)).reduce_to_shape(self.value(b).shape());
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::Div => {
+                let (a, b) = (inputs[0], inputs[1]);
+                let vb = self.value(b);
+                let va = self.value(a);
+                let ga = gy.div_t(vb).reduce_to_shape(va.shape());
+                // d/db (a/b) = -a / b^2
+                let gb = (-&gy.mul_t(va).div_t(&vb.mul_t(vb))).reduce_to_shape(vb.shape());
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::Neg => self.accumulate(inputs[0], -gy),
+            Op::AddScalar(_) => self.accumulate(inputs[0], gy.clone()),
+            Op::MulScalar(c) => self.accumulate(inputs[0], gy.mul_scalar(c)),
+
+            Op::MatMul => {
+                let (a, b) = (inputs[0], inputs[1]);
+                let ga = gy.matmul(&self.value(b).transpose());
+                let gb = self.value(a).transpose().matmul(gy);
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::Bmm => {
+                let (a, b) = (inputs[0], inputs[1]);
+                let ga = gy.bmm(&self.value(b).transpose_batched());
+                let gb = self.value(a).transpose_batched().bmm(gy);
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::MatMulBroadcastLeft => {
+                // y[b,m,n] = a[m,k] @ x[b,k,n]
+                let (a, x) = (inputs[0], inputs[1]);
+                let ga = gy.bmm(&self.value(x).transpose_batched()).sum_axis(0);
+                let gx = self.value(a).transpose().matmul_broadcast_left(gy);
+                self.accumulate(a, ga);
+                self.accumulate(x, gx);
+            }
+            Op::MatMulBroadcastRight => {
+                // y[b,m,n] = x[b,m,k] @ w[k,n]
+                let (x, w) = (inputs[0], inputs[1]);
+                let gx = gy.matmul_broadcast_right(&self.value(w).transpose());
+                let vx = self.value(x);
+                let (bsz, m, k) = (vx.shape()[0], vx.shape()[1], vx.shape()[2]);
+                let n = gy.shape()[2];
+                let x_flat = vx.reshape(&[bsz * m, k]);
+                let gy_flat = gy.reshape(&[bsz * m, n]);
+                let gw = x_flat.transpose().matmul(&gy_flat);
+                self.accumulate(x, gx);
+                self.accumulate(w, gw);
+            }
+
+            Op::Sigmoid => {
+                let y = &self.nodes[i].value;
+                let g = gy.zip_with(y, |g, y| g * y * (1.0 - y));
+                self.accumulate(inputs[0], g);
+            }
+            Op::Tanh => {
+                let y = &self.nodes[i].value;
+                let g = gy.zip_with(y, |g, y| g * (1.0 - y * y));
+                self.accumulate(inputs[0], g);
+            }
+            Op::Relu => {
+                let x = self.value(inputs[0]);
+                let g = gy.zip_with(x, |g, x| if x > 0.0 { g } else { 0.0 });
+                self.accumulate(inputs[0], g);
+            }
+            Op::Exp => {
+                let y = &self.nodes[i].value;
+                let g = gy.mul_t(y);
+                self.accumulate(inputs[0], g);
+            }
+            Op::Ln => {
+                let x = self.value(inputs[0]);
+                let g = gy.div_t(x);
+                self.accumulate(inputs[0], g);
+            }
+            Op::Sqrt => {
+                let y = &self.nodes[i].value;
+                let g = gy.zip_with(y, |g, y| 0.5 * g / y.max(1e-12));
+                self.accumulate(inputs[0], g);
+            }
+            Op::Abs => {
+                let x = self.value(inputs[0]);
+                let g = gy.zip_with(x, |g, x| g * x.signum() * (x != 0.0) as i32 as f32);
+                self.accumulate(inputs[0], g);
+            }
+            Op::Square => {
+                let x = self.value(inputs[0]);
+                let g = gy.zip_with(x, |g, x| 2.0 * g * x);
+                self.accumulate(inputs[0], g);
+            }
+
+            Op::Softmax { axis } => {
+                // dx = y ⊙ (gy − Σ_axis gy⊙y)
+                let y = self.nodes[i].value.clone();
+                let gy_y = gy.mul_t(&y);
+                let rank = y.rank() as isize;
+                let ax = if axis < 0 { axis + rank } else { axis };
+                let s = gy_y.sum_axis_keepdim(ax);
+                let g = y.mul_t(&gy.sub_t(&s));
+                self.accumulate(inputs[0], g);
+            }
+
+            Op::SumAll => {
+                let shape = self.value(inputs[0]).shape().to_vec();
+                self.accumulate(inputs[0], Tensor::full(&shape, gy.item()));
+            }
+            Op::MeanAll => {
+                let shape = self.value(inputs[0]).shape().to_vec();
+                let n = self.value(inputs[0]).numel() as f32;
+                self.accumulate(inputs[0], Tensor::full(&shape, gy.item() / n));
+            }
+            Op::SumAxis { axis } => {
+                let shape = self.value(inputs[0]).shape().to_vec();
+                let g = gy.unsqueeze(axis as isize).add_t(&Tensor::zeros(&shape));
+                self.accumulate(inputs[0], g);
+            }
+            Op::MeanAxis { axis } => {
+                let shape = self.value(inputs[0]).shape().to_vec();
+                let len = shape[axis] as f32;
+                let g =
+                    gy.unsqueeze(axis as isize).mul_scalar(1.0 / len).add_t(&Tensor::zeros(&shape));
+                self.accumulate(inputs[0], g);
+            }
+
+            Op::Reshape { from } => self.accumulate(inputs[0], gy.reshape(&from)),
+            Op::Permute { perm } => {
+                let mut inv = vec![0usize; perm.len()];
+                for (j, &p) in perm.iter().enumerate() {
+                    inv[p] = j;
+                }
+                self.accumulate(inputs[0], gy.permute(&inv));
+            }
+            Op::Concat { axis, sizes } => {
+                let mut start = 0;
+                for (part, &len) in inputs.iter().zip(&sizes) {
+                    let g = gy.slice_axis(axis as isize, start, start + len);
+                    self.accumulate(*part, g);
+                    start += len;
+                }
+            }
+            Op::Slice { axis, start, input_len } => {
+                let g = scatter_slice(gy, axis, start, input_len);
+                self.accumulate(inputs[0], g);
+            }
+            Op::PadFront { axis, count } => {
+                let padded_len = self.nodes[i].value.shape()[axis];
+                let g = gy.slice_axis(axis as isize, count, padded_len);
+                self.accumulate(inputs[0], g);
+            }
+            Op::BroadcastTo { from } => {
+                self.accumulate(inputs[0], gy.reduce_to_shape(&from));
+            }
+        }
+    }
+}
+
+/// Embeds `gy` (a gradient of a slice) back into a zero tensor whose `axis`
+/// has length `input_len`, at offset `start` — the adjoint of slicing.
+fn scatter_slice(gy: &Tensor, axis: usize, start: usize, input_len: usize) -> Tensor {
+    let mut out_shape = gy.shape().to_vec();
+    let slice_len = out_shape[axis];
+    out_shape[axis] = input_len;
+    let outer: usize = out_shape[..axis].iter().product();
+    let inner: usize = out_shape[axis + 1..].iter().product();
+    let mut out = Tensor::zeros(&out_shape);
+    let dst = out.data_mut();
+    let src = gy.data();
+    for o in 0..outer {
+        let src_base = o * slice_len * inner;
+        let dst_base = (o * input_len + start) * inner;
+        dst[dst_base..dst_base + slice_len * inner]
+            .copy_from_slice(&src[src_base..src_base + slice_len * inner]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad_of<F>(build: F, input: Tensor) -> (Tensor, Tensor)
+    where
+        F: Fn(&mut Graph, Var) -> Var,
+    {
+        let mut g = Graph::new();
+        let x = g.constant(input);
+        let y = build(&mut g, x);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        (g.value(y).clone(), g.grad(x).unwrap().clone())
+    }
+
+    #[test]
+    fn add_backward_broadcast_row() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::ones(&[2, 3]));
+        let b = g.constant(Tensor::ones(&[3]));
+        let y = g.add(a, b);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().shape(), &[2, 3]);
+        // b was broadcast over 2 rows, so its grad sums them.
+        assert_eq!(g.grad(b).unwrap().data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn mul_backward_is_other_operand() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_vec(vec![2.0, 3.0], &[2]));
+        let b = g.constant(Tensor::from_vec(vec![5.0, 7.0], &[2]));
+        let y = g.mul(a, b);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[5.0, 7.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn div_backward() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_vec(vec![6.0], &[1]));
+        let b = g.constant(Tensor::from_vec(vec![3.0], &[1]));
+        let y = g.div(a, b);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert!((g.grad(a).unwrap().data()[0] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((g.grad(b).unwrap().data()[0] + 6.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_backward_shapes_and_values() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let b = g.constant(Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]));
+        let y = g.matmul(a, b);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        // d/dA sum(A@I) = ones @ I^T = ones
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0, 1.0, 1.0, 1.0]);
+        // d/dB sum(A@B) = A^T @ ones: column sums of A replicated
+        assert_eq!(g.grad(b).unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn sigmoid_backward_peak_at_zero() {
+        let (_, grad) = grad_of(|g, x| g.sigmoid(x), Tensor::from_vec(vec![0.0], &[1]));
+        assert!((grad.data()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_backward_at_zero_is_one() {
+        let (_, grad) = grad_of(|g, x| g.tanh(x), Tensor::from_vec(vec![0.0], &[1]));
+        assert!((grad.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_backward_gates() {
+        let (_, grad) = grad_of(|g, x| g.relu(x), Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+        assert_eq!(grad.data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn abs_backward_sign() {
+        let (_, grad) = grad_of(|g, x| g.abs(x), Tensor::from_vec(vec![-2.0, 3.0, 0.0], &[3]));
+        assert_eq!(grad.data(), &[-1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn exp_ln_chain_rule() {
+        // d/dx ln(exp(x)) = 1
+        let (_, grad) = grad_of(
+            |g, x| {
+                let e = g.exp(x);
+                g.ln(e)
+            },
+            Tensor::from_vec(vec![0.7], &[1]),
+        );
+        assert!((grad.data()[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_backward_sums_to_zero() {
+        // Softmax grad rows are orthogonal to the ones vector when the
+        // upstream grad is uniform — here sum over a row must vanish.
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]));
+        let s = g.softmax(x, -1);
+        let pick = g.slice_axis(s, 1, 0, 1); // d(first prob)/dx
+        let loss = g.sum_all(pick);
+        g.backward(loss);
+        let gx = g.grad(x).unwrap();
+        assert!(gx.sum_all().abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_axis_backward_divides() {
+        let (_, grad) = grad_of(|g, x| g.mean_axis(x, 1), Tensor::ones(&[2, 4]));
+        assert!(grad.allclose(&Tensor::full(&[2, 4], 0.25), 1e-6));
+    }
+
+    #[test]
+    fn slice_backward_scatters() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]));
+        let s = g.slice_axis(x, 0, 1, 3);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_backward_splits() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::ones(&[2]));
+        let b = g.constant(Tensor::ones(&[3]));
+        let cat = g.concat(&[a, b], 0);
+        let doubled = g.mul_scalar(cat, 2.0);
+        let loss = g.sum_all(doubled);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[2.0, 2.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pad_front_backward_drops_padding() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let p = g.pad_front(x, 0, 3);
+        let loss = g.sum_all(p);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn permute_backward_inverts() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]));
+        let p = g.permute(x, &[1, 0]);
+        let w = g.constant(Tensor::from_vec((0..6).map(|v| (v * v) as f32).collect(), &[3, 2]));
+        let y = g.mul(p, w);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        // grad of x must be w transposed back
+        let gx = g.grad(x).unwrap();
+        assert_eq!(gx.shape(), &[2, 3]);
+        assert_eq!(gx.at(&[0, 1]), 4.0); // w[1,0] = (1*2)^2 = 4
+    }
+
+    #[test]
+    fn bmm_backward_shapes() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::ones(&[2, 3, 4]));
+        let b = g.constant(Tensor::ones(&[2, 4, 5]));
+        let y = g.bmm(a, b);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().shape(), &[2, 3, 4]);
+        assert_eq!(g.grad(b).unwrap().shape(), &[2, 4, 5]);
+        // Every grad element of a is n=5 (sum over the 5 output cols).
+        assert!(g.grad(a).unwrap().allclose(&Tensor::full(&[2, 3, 4], 5.0), 1e-5));
+    }
+
+    #[test]
+    fn broadcast_matmul_backward_shapes() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::ones(&[3, 3]));
+        let x = g.constant(Tensor::ones(&[2, 3, 4]));
+        let y = g.matmul_broadcast_left(a, x);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().shape(), &[3, 3]);
+        assert_eq!(g.grad(x).unwrap().shape(), &[2, 3, 4]);
+
+        let mut g2 = Graph::new();
+        let x2 = g2.constant(Tensor::ones(&[2, 3, 4]));
+        let w = g2.constant(Tensor::ones(&[4, 5]));
+        let y2 = g2.matmul_broadcast_right(x2, w);
+        let loss2 = g2.sum_all(y2);
+        g2.backward(loss2);
+        assert_eq!(g2.grad(x2).unwrap().shape(), &[2, 3, 4]);
+        assert_eq!(g2.grad(w).unwrap().shape(), &[4, 5]);
+        // grad of w sums over batch*rows = 6
+        assert!(g2.grad(w).unwrap().allclose(&Tensor::full(&[4, 5], 6.0), 1e-5));
+    }
+}

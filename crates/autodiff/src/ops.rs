@@ -1,0 +1,372 @@
+//! Forward definitions of every differentiable operation.
+//!
+//! Each method computes the forward value eagerly with `enhancenet-tensor`
+//! and records an [`Op`](crate::Op) tag for the backward sweep.
+
+use crate::graph::{Graph, Op, Var};
+use enhancenet_tensor::{broadcast_shapes, Tensor};
+
+impl Graph {
+    // ------------------------------------------------------------- binary
+
+    /// Broadcast addition.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add_t(self.value(b));
+        self.push(v, Op::Add, vec![a, b])
+    }
+
+    /// Broadcast subtraction.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub_t(self.value(b));
+        self.push(v, Op::Sub, vec![a, b])
+    }
+
+    /// Broadcast elementwise multiplication (⊙ in the paper).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul_t(self.value(b));
+        self.push(v, Op::Mul, vec![a, b])
+    }
+
+    /// Broadcast elementwise division.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).div_t(self.value(b));
+        self.push(v, Op::Div, vec![a, b])
+    }
+
+    // -------------------------------------------------------------- unary
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = -self.value(a);
+        self.push(v, Op::Neg, vec![a])
+    }
+
+    /// Adds a constant scalar.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).add_scalar(c);
+        self.push(v, Op::AddScalar(c), vec![a])
+    }
+
+    /// Multiplies by a constant scalar.
+    pub fn mul_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).mul_scalar(c);
+        self.push(v, Op::MulScalar(c), vec![a])
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).sigmoid();
+        self.push(v, Op::Sigmoid, vec![a])
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).tanh_t();
+        self.push(v, Op::Tanh, vec![a])
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).relu();
+        self.push(v, Op::Relu, vec![a])
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).exp_t();
+        self.push(v, Op::Exp, vec![a])
+    }
+
+    /// Elementwise natural log. The input must be strictly positive.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.value(a).ln_t();
+        self.push(v, Op::Ln, vec![a])
+    }
+
+    /// Elementwise square root. The input must be non-negative.
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let v = self.value(a).sqrt_t();
+        self.push(v, Op::Sqrt, vec![a])
+    }
+
+    /// Elementwise absolute value (subgradient 0 at the kink).
+    pub fn abs(&mut self, a: Var) -> Var {
+        let v = self.value(a).abs_t();
+        self.push(v, Op::Abs, vec![a])
+    }
+
+    /// Elementwise square (cheaper than `mul(a, a)` — one node).
+    pub fn square(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x * x);
+        self.push(v, Op::Square, vec![a])
+    }
+
+    // ------------------------------------------------------------- matmul
+
+    /// 2-D matrix multiply.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul, vec![a, b])
+    }
+
+    /// Batched 3-D matrix multiply `[b,m,k] x [b,k,n]`.
+    pub fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).bmm(self.value(b));
+        self.push(v, Op::Bmm, vec![a, b])
+    }
+
+    /// `[m,k] x [b,k,n] -> [b,m,n]` (shared adjacency × batched signal).
+    pub fn matmul_broadcast_left(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul_broadcast_left(self.value(b));
+        self.push(v, Op::MatMulBroadcastLeft, vec![a, b])
+    }
+
+    /// `[b,m,k] x [k,n] -> [b,m,n]` (batched signal × shared filter).
+    pub fn matmul_broadcast_right(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul_broadcast_right(self.value(b));
+        self.push(v, Op::MatMulBroadcastRight, vec![a, b])
+    }
+
+    // ------------------------------------------------------------ softmax
+
+    /// Softmax along `axis`.
+    pub fn softmax(&mut self, a: Var, axis: isize) -> Var {
+        let v = self.value(a).softmax(axis);
+        self.push(v, Op::Softmax { axis }, vec![a])
+    }
+
+    // --------------------------------------------------------- reductions
+
+    /// Sum of all elements to a rank-0 scalar.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum_all());
+        self.push(v, Op::SumAll, vec![a])
+    }
+
+    /// Mean of all elements to a rank-0 scalar.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean_all());
+        self.push(v, Op::MeanAll, vec![a])
+    }
+
+    /// Sum along one axis (negative axes allowed), removing it.
+    pub fn sum_axis(&mut self, a: Var, axis: isize) -> Var {
+        let rank = self.value(a).rank() as isize;
+        let ax = if axis < 0 { (axis + rank) as usize } else { axis as usize };
+        let v = self.value(a).sum_axis(axis);
+        self.push(v, Op::SumAxis { axis: ax }, vec![a])
+    }
+
+    /// Mean along one axis, removing it.
+    pub fn mean_axis(&mut self, a: Var, axis: isize) -> Var {
+        let rank = self.value(a).rank() as isize;
+        let ax = if axis < 0 { (axis + rank) as usize } else { axis as usize };
+        let v = self.value(a).mean_axis(axis);
+        self.push(v, Op::MeanAxis { axis: ax }, vec![a])
+    }
+
+    // -------------------------------------------------------------- shape
+
+    /// Reshape (element count preserved; `usize::MAX` infers one axis).
+    pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
+        let from = self.value(a).shape().to_vec();
+        let v = self.value(a).reshape(shape);
+        self.push(v, Op::Reshape { from }, vec![a])
+    }
+
+    /// Axis permutation.
+    pub fn permute(&mut self, a: Var, perm: &[usize]) -> Var {
+        let v = self.value(a).permute(perm);
+        self.push(v, Op::Permute { perm: perm.to_vec() }, vec![a])
+    }
+
+    /// 2-D transpose (sugar over permute).
+    pub fn transpose(&mut self, a: Var) -> Var {
+        self.permute(a, &[1, 0])
+    }
+
+    /// Batched transpose of the last two axes of a rank-3 value.
+    pub fn transpose_batched(&mut self, a: Var) -> Var {
+        self.permute(a, &[0, 2, 1])
+    }
+
+    /// Concatenates along `axis` (negative allowed).
+    pub fn concat(&mut self, parts: &[Var], axis: isize) -> Var {
+        assert!(!parts.is_empty(), "concat of zero vars");
+        let rank = self.value(parts[0]).rank() as isize;
+        let ax = if axis < 0 { (axis + rank) as usize } else { axis as usize };
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let sizes: Vec<usize> = tensors.iter().map(|t| t.shape()[ax]).collect();
+        let v = Tensor::concat(&tensors, axis);
+        self.push(v, Op::Concat { axis: ax, sizes }, parts.to_vec())
+    }
+
+    /// Stacks same-shaped values along a new leading axis.
+    pub fn stack(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "stack of zero vars");
+        let unsqueezed: Vec<Var> = parts
+            .iter()
+            .map(|&p| {
+                let mut shape = vec![1];
+                shape.extend_from_slice(self.value(p).shape());
+                self.reshape(p, &shape)
+            })
+            .collect();
+        self.concat(&unsqueezed, 0)
+    }
+
+    /// Contiguous slice `[start, stop)` along `axis` (negative allowed).
+    pub fn slice_axis(&mut self, a: Var, axis: isize, start: usize, stop: usize) -> Var {
+        let rank = self.value(a).rank() as isize;
+        let ax = if axis < 0 { (axis + rank) as usize } else { axis as usize };
+        let input_len = self.value(a).shape()[ax];
+        let v = self.value(a).slice_axis(axis, start, stop);
+        self.push(v, Op::Slice { axis: ax, start, input_len }, vec![a])
+    }
+
+    /// Selects one index along `axis`, removing the axis.
+    pub fn index_axis(&mut self, a: Var, axis: isize, index: usize) -> Var {
+        let sliced = self.slice_axis(a, axis, index, index + 1);
+        let mut shape = self.value(sliced).shape().to_vec();
+        let rank = shape.len() as isize;
+        let ax = if axis < 0 { (axis + rank) as usize } else { axis as usize };
+        shape.remove(ax);
+        self.reshape(sliced, &shape)
+    }
+
+    /// Front zero-padding along `axis` (causal padding).
+    pub fn pad_front(&mut self, a: Var, axis: isize, count: usize) -> Var {
+        let rank = self.value(a).rank() as isize;
+        let ax = if axis < 0 { (axis + rank) as usize } else { axis as usize };
+        let v = self.value(a).pad_axis_front(axis, count, 0.0);
+        self.push(v, Op::PadFront { axis: ax, count }, vec![a])
+    }
+
+    /// Broadcasts `a` up to `shape` (which must be broadcast-compatible).
+    pub fn broadcast_to(&mut self, a: Var, shape: &[usize]) -> Var {
+        let from = self.value(a).shape().to_vec();
+        let target = broadcast_shapes(&from, shape);
+        assert_eq!(target, shape, "cannot broadcast {from:?} to {shape:?}");
+        let v = self.value(a).add_t(&Tensor::zeros(shape));
+        self.push(v, Op::BroadcastTo { from }, vec![a])
+    }
+
+    // ----------------------------------------------------------- composed
+
+    /// `a + b * c` (fused convenience used by gates).
+    pub fn add_mul(&mut self, a: Var, b: Var, c: Var) -> Var {
+        let bc = self.mul(b, c);
+        self.add(a, bc)
+    }
+
+    /// Mean absolute error between `pred` and constant `target`, masked.
+    ///
+    /// `mask` must broadcast against `pred`; the loss is
+    /// `Σ|pred-target|·mask / Σmask`. With an all-ones mask this is plain
+    /// MAE. This is the training loss used throughout the paper's
+    /// experimental setting (masked MAE, as in DCRNN / Graph WaveNet).
+    pub fn masked_mae(&mut self, pred: Var, target: &Tensor, mask: &Tensor) -> Var {
+        let mask_sum = mask.sum_all().max(1e-6);
+        let t = self.constant(target.clone());
+        let m = self.constant(mask.clone());
+        let diff = self.sub(pred, t);
+        let a = self.abs(diff);
+        let masked = self.mul(a, m);
+        let s = self.sum_all(masked);
+        self.mul_scalar(s, 1.0 / mask_sum)
+    }
+
+    /// Masked mean squared error (same masking semantics as
+    /// [`Graph::masked_mae`]).
+    pub fn masked_mse(&mut self, pred: Var, target: &Tensor, mask: &Tensor) -> Var {
+        let mask_sum = mask.sum_all().max(1e-6);
+        let t = self.constant(target.clone());
+        let m = self.constant(mask.clone());
+        let diff = self.sub(pred, t);
+        let sq = self.square(diff);
+        let masked = self.mul(sq, m);
+        let s = self.sum_all(masked);
+        self.mul_scalar(s, 1.0 / mask_sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(g: &mut Graph, data: &[f32], shape: &[usize]) -> Var {
+        g.constant(Tensor::from_vec(data.to_vec(), shape))
+    }
+
+    #[test]
+    fn forward_values_match_tensor_ops() {
+        let mut g = Graph::new();
+        let a = c(&mut g, &[1.0, 2.0], &[2]);
+        let b = c(&mut g, &[3.0, 4.0], &[2]);
+        let sum = g.add(a, b);
+        let diff = g.sub(a, b);
+        let prod = g.mul(a, b);
+        let quot = g.div(b, a);
+        assert_eq!(g.value(sum).data(), &[4.0, 6.0]);
+        assert_eq!(g.value(diff).data(), &[-2.0, -2.0]);
+        assert_eq!(g.value(prod).data(), &[3.0, 8.0]);
+        assert_eq!(g.value(quot).data(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn stack_builds_leading_axis() {
+        let mut g = Graph::new();
+        let a = c(&mut g, &[1.0, 2.0], &[2]);
+        let b = c(&mut g, &[3.0, 4.0], &[2]);
+        let s = g.stack(&[a, b]);
+        assert_eq!(g.value(s).shape(), &[2, 2]);
+        assert_eq!(g.value(s).data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn index_axis_removes_axis() {
+        let mut g = Graph::new();
+        let a = c(&mut g, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let row = g.index_axis(a, 0, 1);
+        assert_eq!(g.value(row).shape(), &[3]);
+        assert_eq!(g.value(row).data(), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn broadcast_to_expands() {
+        let mut g = Graph::new();
+        let a = c(&mut g, &[1.0, 2.0], &[2]);
+        let b = g.broadcast_to(a, &[3, 2]);
+        assert_eq!(g.value(b).shape(), &[3, 2]);
+        assert_eq!(g.value(b).data(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn masked_mae_value() {
+        let mut g = Graph::new();
+        let pred = c(&mut g, &[1.0, 2.0, 3.0, 4.0], &[4]);
+        let target = Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0], &[4]);
+        let mask = Tensor::from_vec(vec![1.0, 1.0, 0.0, 1.0], &[4]);
+        let loss = g.masked_mae(pred, &target, &mask);
+        // (1 + 2 + 4) / 3
+        assert!((g.value(loss).item() - 7.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn masked_mse_value() {
+        let mut g = Graph::new();
+        let pred = c(&mut g, &[1.0, 3.0], &[2]);
+        let target = Tensor::zeros(&[2]);
+        let mask = Tensor::ones(&[2]);
+        let loss = g.masked_mse(pred, &target, &mask);
+        assert!((g.value(loss).item() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transpose_sugar() {
+        let mut g = Graph::new();
+        let a = c(&mut g, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let t = g.transpose(a);
+        assert_eq!(g.value(t).shape(), &[3, 2]);
+    }
+}

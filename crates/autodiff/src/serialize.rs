@@ -1,0 +1,224 @@
+//! Checkpointing: a compact binary format for [`ParamStore`] values.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "ENPS" | u32 version | u32 param-count
+//! per param: u32 name-len | name bytes | u32 rank | u32 dims… | f32 data…
+//! ```
+//!
+//! Loading validates the layout against the live store (names, shapes and
+//! order must match), so a checkpoint can only be restored into the model
+//! architecture that produced it.
+
+use crate::params::ParamStore;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use enhancenet_tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"ENPS";
+const FORMAT_VERSION: u32 = 1;
+
+/// Errors from checkpoint loading.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Not an ENPS blob or truncated header.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Parameter count does not match the store.
+    CountMismatch { expected: usize, found: usize },
+    /// A parameter's name differs from the store's.
+    NameMismatch { index: usize },
+    /// A parameter's shape differs from the store's.
+    ShapeMismatch { index: usize },
+    /// Blob ended early.
+    Truncated,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not an ENPS checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::CountMismatch { expected, found } => {
+                write!(f, "checkpoint has {found} params, store has {expected}")
+            }
+            CheckpointError::NameMismatch { index } => {
+                write!(f, "parameter {index} name mismatch")
+            }
+            CheckpointError::ShapeMismatch { index } => {
+                write!(f, "parameter {index} shape mismatch")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl ParamStore {
+    /// Serializes all parameter values into a checkpoint blob.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.num_scalars() * 4);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(FORMAT_VERSION);
+        buf.put_u32_le(self.len() as u32);
+        for id in self.ids() {
+            let name = self.name(id).as_bytes();
+            buf.put_u32_le(name.len() as u32);
+            buf.put_slice(name);
+            let value = self.value(id);
+            buf.put_u32_le(value.rank() as u32);
+            for &d in value.shape() {
+                buf.put_u32_le(d as u32);
+            }
+            for &v in value.data() {
+                buf.put_f32_le(v);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Restores parameter values from a checkpoint produced by
+    /// [`ParamStore::to_bytes`] on an identically-built store.
+    pub fn load_bytes(&mut self, blob: &[u8]) -> Result<(), CheckpointError> {
+        let mut buf = blob;
+        if buf.remaining() < 12 || &buf.copy_to_bytes(4)[..] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = buf.get_u32_le();
+        if version != FORMAT_VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let count = buf.get_u32_le() as usize;
+        if count != self.len() {
+            return Err(CheckpointError::CountMismatch { expected: self.len(), found: count });
+        }
+        let ids: Vec<_> = self.ids().collect();
+        let mut staged: Vec<Tensor> = Vec::with_capacity(count);
+        for (index, &id) in ids.iter().enumerate() {
+            if buf.remaining() < 4 {
+                return Err(CheckpointError::Truncated);
+            }
+            let name_len = buf.get_u32_le() as usize;
+            if buf.remaining() < name_len {
+                return Err(CheckpointError::Truncated);
+            }
+            let name = buf.copy_to_bytes(name_len);
+            if name != self.name(id).as_bytes() {
+                return Err(CheckpointError::NameMismatch { index });
+            }
+            if buf.remaining() < 4 {
+                return Err(CheckpointError::Truncated);
+            }
+            let rank = buf.get_u32_le() as usize;
+            if buf.remaining() < rank * 4 {
+                return Err(CheckpointError::Truncated);
+            }
+            let shape: Vec<usize> = (0..rank).map(|_| buf.get_u32_le() as usize).collect();
+            if shape != self.value(id).shape() {
+                return Err(CheckpointError::ShapeMismatch { index });
+            }
+            let numel: usize = shape.iter().product();
+            if buf.remaining() < numel * 4 {
+                return Err(CheckpointError::Truncated);
+            }
+            let data: Vec<f32> = (0..numel).map(|_| buf.get_f32_le()).collect();
+            staged.push(Tensor::from_vec(data, &shape));
+        }
+        // All validated — commit.
+        for (id, value) in ids.into_iter().zip(staged) {
+            *self.value_mut(id) = value;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enhancenet_tensor::TensorRng;
+
+    fn store() -> ParamStore {
+        let mut s = ParamStore::new();
+        let mut rng = TensorRng::seed(1);
+        s.add("layer.w", rng.normal(&[3, 4], 0.0, 1.0));
+        s.add("layer.b", rng.normal(&[4], 0.0, 1.0));
+        s.add("memory", rng.normal(&[5, 2], 0.0, 1.0));
+        s
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_values() {
+        let original = store();
+        let blob = original.to_bytes();
+        let mut fresh = store();
+        // Perturb so restore must actually do something.
+        fresh.for_each_mut(|_, v, _| v.map_inplace(|x| x + 7.0));
+        fresh.load_bytes(&blob).unwrap();
+        for (a, b) in original.ids().zip(fresh.ids()) {
+            assert!(original.value(a).allclose(fresh.value(b), 0.0));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut s = store();
+        assert_eq!(s.load_bytes(b"not a checkpoint"), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_wrong_architecture() {
+        let blob = store().to_bytes();
+        let mut other = ParamStore::new();
+        other.add("layer.w", Tensor::zeros(&[3, 4]));
+        assert!(matches!(other.load_bytes(&blob), Err(CheckpointError::CountMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_renamed_parameter() {
+        let blob = store().to_bytes();
+        let mut other = ParamStore::new();
+        let mut rng = TensorRng::seed(1);
+        other.add("layer.w", rng.normal(&[3, 4], 0.0, 1.0));
+        other.add("layer.bias", rng.normal(&[4], 0.0, 1.0)); // renamed
+        other.add("memory", rng.normal(&[5, 2], 0.0, 1.0));
+        assert_eq!(other.load_bytes(&blob), Err(CheckpointError::NameMismatch { index: 1 }));
+    }
+
+    #[test]
+    fn rejects_reshaped_parameter() {
+        let blob = store().to_bytes();
+        let mut other = ParamStore::new();
+        let mut rng = TensorRng::seed(1);
+        other.add("layer.w", rng.normal(&[4, 3], 0.0, 1.0)); // transposed shape
+        other.add("layer.b", rng.normal(&[4], 0.0, 1.0));
+        other.add("memory", rng.normal(&[5, 2], 0.0, 1.0));
+        assert_eq!(other.load_bytes(&blob), Err(CheckpointError::ShapeMismatch { index: 0 }));
+    }
+
+    #[test]
+    fn rejects_truncated_blob() {
+        let blob = store().to_bytes();
+        let mut s = store();
+        assert_eq!(s.load_bytes(&blob[..blob.len() - 3]), Err(CheckpointError::Truncated));
+        // And the store is untouched by the failed load.
+        let pristine = store();
+        for (a, b) in pristine.ids().zip(s.ids()) {
+            assert!(pristine.value(a).allclose(s.value(b), 0.0));
+        }
+    }
+
+    #[test]
+    fn failed_load_is_atomic() {
+        let mut target = store();
+        let before = target.snapshot();
+        // Corrupt the last parameter's payload length by cutting mid-data.
+        let blob = store().to_bytes();
+        let _ = target.load_bytes(&blob[..blob.len() / 2]);
+        let after = target.snapshot();
+        for (a, b) in before.iter().zip(&after) {
+            assert!(a.allclose(b, 0.0), "partial load mutated the store");
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Property-based gradient verification: every differentiable op is checked
+//! against central finite differences on random inputs.
+
+use enhancenet_autodiff::check::{check_gradient, check_gradient2};
+use enhancenet_autodiff::Graph;
+use enhancenet_tensor::Tensor;
+use proptest::prelude::*;
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 5e-2;
+
+fn tensor(shape: &'static [usize], lo: f32, hi: f32) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    prop::collection::vec(lo..hi, n).prop_map(move |data| Tensor::from_vec(data, shape))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grad_add_broadcast(x in tensor(&[2, 3], -2.0, 2.0), y in tensor(&[3], -2.0, 2.0)) {
+        let r = check_gradient2(|g, a, b| { let s = g.add(a, b); g.sum_all(s) }, &x, &y, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_sub(x in tensor(&[4], -2.0, 2.0), y in tensor(&[4], -2.0, 2.0)) {
+        let r = check_gradient2(|g, a, b| { let s = g.sub(a, b); g.sum_all(s) }, &x, &y, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_mul_broadcast(x in tensor(&[2, 3], -2.0, 2.0), y in tensor(&[2, 1], -2.0, 2.0)) {
+        let r = check_gradient2(|g, a, b| { let s = g.mul(a, b); g.sum_all(s) }, &x, &y, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_div(x in tensor(&[4], -2.0, 2.0), y in tensor(&[4], 0.5, 2.0)) {
+        let r = check_gradient2(|g, a, b| { let s = g.div(a, b); g.sum_all(s) }, &x, &y, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_matmul(x in tensor(&[3, 2], -2.0, 2.0), y in tensor(&[2, 4], -2.0, 2.0)) {
+        let r = check_gradient2(|g, a, b| { let m = g.matmul(a, b); g.sum_all(m) }, &x, &y, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_bmm(x in tensor(&[2, 2, 3], -1.5, 1.5), y in tensor(&[2, 3, 2], -1.5, 1.5)) {
+        let r = check_gradient2(|g, a, b| { let m = g.bmm(a, b); g.sum_all(m) }, &x, &y, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_matmul_broadcast_left(a in tensor(&[3, 3], -1.5, 1.5), x in tensor(&[2, 3, 2], -1.5, 1.5)) {
+        let r = check_gradient2(
+            |g, a, x| { let m = g.matmul_broadcast_left(a, x); g.sum_all(m) }, &a, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_matmul_broadcast_right(x in tensor(&[2, 3, 2], -1.5, 1.5), w in tensor(&[2, 4], -1.5, 1.5)) {
+        let r = check_gradient2(
+            |g, x, w| { let m = g.matmul_broadcast_right(x, w); g.sum_all(m) }, &x, &w, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_sigmoid(x in tensor(&[5], -3.0, 3.0)) {
+        let r = check_gradient(|g, v| { let s = g.sigmoid(v); g.sum_all(s) }, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_tanh(x in tensor(&[5], -3.0, 3.0)) {
+        let r = check_gradient(|g, v| { let s = g.tanh(v); g.sum_all(s) }, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_relu_away_from_kink(x in tensor(&[5], 0.2, 3.0)) {
+        let r = check_gradient(|g, v| { let s = g.relu(v); g.sum_all(s) }, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_exp(x in tensor(&[5], -1.5, 1.5)) {
+        let r = check_gradient(|g, v| { let s = g.exp(v); g.sum_all(s) }, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_ln(x in tensor(&[5], 0.5, 3.0)) {
+        let r = check_gradient(|g, v| { let s = g.ln(v); g.sum_all(s) }, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_sqrt(x in tensor(&[5], 0.5, 3.0)) {
+        let r = check_gradient(|g, v| { let s = g.sqrt(v); g.sum_all(s) }, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_square(x in tensor(&[5], -2.0, 2.0)) {
+        let r = check_gradient(|g, v| { let s = g.square(v); g.sum_all(s) }, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_abs_away_from_kink(x in tensor(&[5], 0.3, 3.0)) {
+        let r = check_gradient(|g, v| { let s = g.abs(v); g.sum_all(s) }, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_softmax(x in tensor(&[2, 4], -2.0, 2.0)) {
+        // Weighted sum of softmax outputs so the gradient is non-trivial.
+        let r = check_gradient(|g, v| {
+            let s = g.softmax(v, -1);
+            let w = g.constant(Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5, 1.0, -2.0, 3.0, 0.5], &[2, 4]));
+            let ws = g.mul(s, w);
+            g.sum_all(ws)
+        }, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_mean_all(x in tensor(&[2, 3], -2.0, 2.0)) {
+        let r = check_gradient(|g, v| g.mean_all(v), &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_sum_axis(x in tensor(&[2, 3], -2.0, 2.0)) {
+        let r = check_gradient(|g, v| {
+            let s = g.sum_axis(v, 1);
+            let sq = g.square(s);
+            g.sum_all(sq)
+        }, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_mean_axis(x in tensor(&[2, 3], -2.0, 2.0)) {
+        let r = check_gradient(|g, v| {
+            let s = g.mean_axis(v, 0);
+            let sq = g.square(s);
+            g.sum_all(sq)
+        }, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_reshape_permute(x in tensor(&[2, 3], -2.0, 2.0)) {
+        let r = check_gradient(|g, v| {
+            let rs = g.reshape(v, &[3, 2]);
+            let p = g.permute(rs, &[1, 0]);
+            let sq = g.square(p);
+            g.sum_all(sq)
+        }, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_concat_slice(x in tensor(&[2, 2], -2.0, 2.0), y in tensor(&[2, 2], -2.0, 2.0)) {
+        let r = check_gradient2(|g, a, b| {
+            let cat = g.concat(&[a, b], 1);
+            let s = g.slice_axis(cat, 1, 1, 3);
+            let sq = g.square(s);
+            g.sum_all(sq)
+        }, &x, &y, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_pad_front(x in tensor(&[2, 3], -2.0, 2.0)) {
+        let r = check_gradient(|g, v| {
+            let p = g.pad_front(v, 1, 2);
+            let sq = g.square(p);
+            g.sum_all(sq)
+        }, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_broadcast_to(x in tensor(&[3], -2.0, 2.0)) {
+        let r = check_gradient(|g, v| {
+            let b = g.broadcast_to(v, &[4, 3]);
+            let sq = g.square(b);
+            g.sum_all(sq)
+        }, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_gru_like_composite(x in tensor(&[2, 3], -1.0, 1.0), h in tensor(&[2, 4], -1.0, 1.0)) {
+        // A miniature GRU-style cell exercises many ops chained together.
+        let r = check_gradient2(|g, x, h| {
+            let wx = g.constant(Tensor::from_vec((0..12).map(|i| (i as f32 * 0.13).sin()).collect(), &[3, 4]));
+            let uh = g.constant(Tensor::from_vec((0..16).map(|i| (i as f32 * 0.29).cos()).collect(), &[4, 4]));
+            let xa = g.matmul(x, wx);
+            let hb = g.matmul(h, uh);
+            let pre = g.add(xa, hb);
+            let rgate = g.sigmoid(pre);
+            let rh = g.mul(rgate, h);
+            let cand = g.tanh(rh);
+            let one = g.constant(Tensor::ones(&[2, 4]));
+            let inv = g.sub(one, rgate);
+            let blend = g.mul(inv, cand);
+            let keep = g.mul(rgate, h);
+            let out = g.add(blend, keep);
+            g.sum_all(out)
+        }, &x, &h, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+}
+
+#[test]
+fn masked_mae_gradient_checks() {
+    let pred = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], &[4]);
+    let target = Tensor::from_vec(vec![0.5, 0.5, 0.5, 0.5], &[4]);
+    let mask = Tensor::from_vec(vec![1.0, 0.0, 1.0, 1.0], &[4]);
+    let r = check_gradient(|g: &mut Graph, v| g.masked_mae(v, &target, &mask), &pred, 1e-3);
+    assert!(r.passes(1e-2), "{r:?}");
+}
+
+#[test]
+fn masked_mse_gradient_checks() {
+    let pred = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], &[4]);
+    let target = Tensor::from_vec(vec![0.5, 0.5, 0.5, 0.5], &[4]);
+    let mask = Tensor::from_vec(vec![1.0, 0.0, 1.0, 1.0], &[4]);
+    let r = check_gradient(|g: &mut Graph, v| g.masked_mse(v, &target, &mask), &pred, 1e-3);
+    assert!(r.passes(1e-2), "{r:?}");
+}

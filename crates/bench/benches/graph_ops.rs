@@ -1,0 +1,95 @@
+//! Benchmarks of the graph substrate: adjacency construction,
+//! normalization, support building, and tape-level graph convolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enhancenet::gconv::gc_input_dim;
+use enhancenet::{graph_conv, GcSupport};
+use enhancenet_autodiff::Graph;
+use enhancenet_graph::{
+    build_supports, gaussian_kernel_adjacency, normalize_rows, pairwise_euclidean, AdjacencyConfig,
+    SupportKind,
+};
+use enhancenet_tensor::TensorRng;
+use std::hint::black_box;
+
+fn bench_adjacency_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adjacency_from_coords");
+    for &n in &[50usize, 207] {
+        let coords = TensorRng::seed(1).uniform(&[n, 2], 0.0, 50.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let d = pairwise_euclidean(&coords);
+                black_box(gaussian_kernel_adjacency(&d, AdjacencyConfig::default()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let a = TensorRng::seed(2).uniform(&[207, 207], 0.0, 1.0);
+    c.bench_function("normalize_rows_207", |b| b.iter(|| black_box(normalize_rows(&a))));
+    c.bench_function("double_transition_supports_207", |b| {
+        b.iter(|| black_box(build_supports(&a, SupportKind::DoubleTransition)));
+    });
+}
+
+fn bench_graph_conv(c: &mut Criterion) {
+    // Static vs dynamic supports at the paper's LA size (207 entities).
+    let n = 207;
+    let (bsz, cin, cout, hops) = (4usize, 16usize, 16usize, 2usize);
+    let mut rng = TensorRng::seed(3);
+    let a_t = rng.uniform(&[n, n], 0.0, 0.1);
+    let x_t = rng.normal(&[bsz, n, cin], 0.0, 1.0);
+    let w_t = rng.normal(&[gc_input_dim(cin, 1, hops), cout], 0.0, 0.3);
+    let a_dyn_t = rng.uniform(&[bsz, n, n], 0.0, 0.1);
+
+    c.bench_function("graph_conv_static_207", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let a = g.constant(a_t.clone());
+            let x = g.constant(x_t.clone());
+            let w = g.constant(w_t.clone());
+            black_box(graph_conv(&mut g, &[GcSupport::Static(a)], x, w, None, hops))
+        });
+    });
+    c.bench_function("graph_conv_dynamic_207", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let a = g.constant(a_dyn_t.clone());
+            let x = g.constant(x_t.clone());
+            let w = g.constant(w_t.clone());
+            black_box(graph_conv(&mut g, &[GcSupport::Dynamic(a)], x, w, None, hops))
+        });
+    });
+}
+
+fn bench_graph_conv_backward(c: &mut Criterion) {
+    let n = 100;
+    let (bsz, cin, cout, hops) = (4usize, 16usize, 16usize, 2usize);
+    let mut rng = TensorRng::seed(4);
+    let a_t = rng.uniform(&[n, n], 0.0, 0.1);
+    let x_t = rng.normal(&[bsz, n, cin], 0.0, 1.0);
+    let w_t = rng.normal(&[gc_input_dim(cin, 1, hops), cout], 0.0, 0.3);
+    c.bench_function("graph_conv_fwd_bwd_100", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let a = g.constant(a_t.clone());
+            let x = g.constant(x_t.clone());
+            let w = g.constant(w_t.clone());
+            let y = graph_conv(&mut g, &[GcSupport::Static(a)], x, w, None, hops);
+            let loss = g.sum_all(y);
+            g.backward(loss);
+            black_box(g.grad(w).is_some())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_adjacency_construction,
+    bench_normalization,
+    bench_graph_conv,
+    bench_graph_conv_backward,
+);
+criterion_main!(benches);

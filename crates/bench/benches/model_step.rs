@@ -1,0 +1,102 @@
+//! One full training step (forward + backward + Adam update) per model
+//! family — the per-batch unit behind Table V's "T (s)" column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enhancenet::{Forecaster, ForwardCtx};
+use enhancenet_autodiff::Graph;
+use enhancenet_bench::{bench_dataset, bench_dims, bench_wavenet_config};
+use enhancenet_data::BatchIterator;
+use enhancenet_models::{GraphMode, GruSeq2Seq, LstmSeq2Seq, Stgcn, TemporalMode, WaveNet};
+use enhancenet_nn::optim::{Adam, Optimizer};
+use enhancenet_tensor::TensorRng;
+use std::hint::black_box;
+
+fn train_step_bench(c: &mut Criterion, name: &str, mut model: Box<dyn Forecaster>) {
+    let (data, _) = bench_dataset();
+    let batch = BatchIterator::sequential(&data, 0..4, 4).next().expect("one batch");
+    let mut adam = Adam::new();
+    let mut rng = TensorRng::seed(1);
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let pred = {
+                let mut ctx = ForwardCtx::train(&mut rng, &batch.y_scaled, 0.5);
+                model.forward(&mut g, &batch.x, &mut ctx)
+            };
+            let mask = batch.y_raw.map(|v| if v != 0.0 { 1.0 } else { 0.0 });
+            let loss = g.masked_mae(pred, &batch.y_scaled, &mask);
+            g.backward(loss);
+            model.store_mut().zero_grad();
+            g.write_grads(model.store_mut());
+            adam.step(model.store_mut(), 1e-3);
+            black_box(g.value(loss).item())
+        });
+    });
+}
+
+fn bench_model_steps(c: &mut Criterion) {
+    let (_, adjacency) = bench_dataset();
+    let dfgn = enhancenet::DfgnConfig::default();
+    let wn = bench_wavenet_config();
+
+    train_step_bench(
+        c,
+        "train_step/RNN",
+        Box::new(GruSeq2Seq::rnn(bench_dims(16), 2, TemporalMode::Shared, 1)),
+    );
+    train_step_bench(
+        c,
+        "train_step/D-RNN",
+        Box::new(GruSeq2Seq::rnn(bench_dims(12), 2, TemporalMode::Distinct(dfgn), 1)),
+    );
+    train_step_bench(
+        c,
+        "train_step/GRNN",
+        Box::new(GruSeq2Seq::grnn(
+            bench_dims(16),
+            2,
+            TemporalMode::Shared,
+            GraphMode::paper_static(),
+            &adjacency,
+            1,
+        )),
+    );
+    train_step_bench(
+        c,
+        "train_step/D-DA-GRNN",
+        Box::new(GruSeq2Seq::grnn(
+            bench_dims(12),
+            2,
+            TemporalMode::Distinct(dfgn),
+            GraphMode::paper_dynamic(),
+            &adjacency,
+            1,
+        )),
+    );
+    train_step_bench(
+        c,
+        "train_step/TCN",
+        Box::new(WaveNet::tcn(bench_dims(16), wn.clone(), TemporalMode::Shared, 1)),
+    );
+    train_step_bench(
+        c,
+        "train_step/D-DA-GTCN",
+        Box::new(WaveNet::gtcn(
+            bench_dims(12),
+            wn.clone(),
+            TemporalMode::Distinct(dfgn),
+            GraphMode::paper_dynamic(),
+            &adjacency,
+            1,
+        )),
+    );
+    train_step_bench(c, "train_step/LSTM", Box::new(LstmSeq2Seq::new(bench_dims(16), 2, 1)));
+    train_step_bench(c, "train_step/STGCN", Box::new(Stgcn::new(bench_dims(16), 2, &adjacency, 1)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_model_steps
+}
+criterion_main!(benches);

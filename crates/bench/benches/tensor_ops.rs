@@ -1,0 +1,85 @@
+//! Microbenchmarks of the tensor substrate primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enhancenet_tensor::{Tensor, TensorRng};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let a = TensorRng::seed(1).normal(&[n, n], 0.0, 1.0);
+        let b = TensorRng::seed(2).normal(&[n, n], 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bmm(c: &mut Criterion) {
+    // The per-entity filter pattern: [N, B, C] x [N, C, C'].
+    let x = TensorRng::seed(3).normal(&[200, 8, 16], 0.0, 1.0);
+    let w = TensorRng::seed(4).normal(&[200, 16, 16], 0.0, 1.0);
+    c.bench_function("bmm_per_entity_200x8x16", |b| {
+        b.iter(|| black_box(x.bmm(&w)));
+    });
+}
+
+fn bench_broadcast_left(c: &mut Criterion) {
+    // The graph-convolution pattern: [N, N] x [B, N, C].
+    let a = TensorRng::seed(5).normal(&[200, 200], 0.0, 1.0);
+    let x = TensorRng::seed(6).normal(&[8, 200, 16], 0.0, 1.0);
+    c.bench_function("gc_diffusion_200n_8b_16c", |b| {
+        b.iter(|| black_box(a.matmul_broadcast_left(&x)));
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let x = TensorRng::seed(7).normal(&[8, 200, 200], 0.0, 1.0);
+    c.bench_function("softmax_rows_8x200x200", |b| {
+        b.iter(|| black_box(x.softmax(-1)));
+    });
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let x = TensorRng::seed(8).normal(&[64, 1024], 0.0, 1.0);
+    let row = TensorRng::seed(9).normal(&[1024], 0.0, 1.0);
+    c.bench_function("sigmoid_64x1024", |b| b.iter(|| black_box(x.sigmoid())));
+    c.bench_function("broadcast_add_row_64x1024", |b| {
+        b.iter(|| black_box(x.add_t(&row)));
+    });
+    c.bench_function("same_shape_mul_64x1024", |b| {
+        let y = x.map(|v| v * 0.5);
+        b.iter(|| black_box(x.mul_t(&y)));
+    });
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let x = TensorRng::seed(10).normal(&[64, 1024], 0.0, 1.0);
+    c.bench_function("sum_axis0_64x1024", |b| b.iter(|| black_box(x.sum_axis(0))));
+    c.bench_function("reduce_to_shape_64x1024_to_row", |b| {
+        b.iter(|| black_box(x.reduce_to_shape(&[1024])));
+    });
+}
+
+fn bench_shape_ops(c: &mut Criterion) {
+    let x = TensorRng::seed(11).normal(&[8, 20, 12, 32], 0.0, 1.0);
+    c.bench_function("permute_4d_8x20x12x32", |b| {
+        b.iter(|| black_box(x.permute(&[1, 0, 2, 3])));
+    });
+    c.bench_function("concat_feature_axis", |b| {
+        b.iter(|| black_box(Tensor::concat(&[&x, &x, &x], -1)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_bmm,
+    bench_broadcast_left,
+    bench_softmax,
+    bench_elementwise,
+    bench_reductions,
+    bench_shape_ops,
+);
+criterion_main!(benches);

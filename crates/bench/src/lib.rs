@@ -1,0 +1,53 @@
+//! # enhancenet-bench
+//!
+//! Shared fixtures for the Criterion benchmarks. The benches mirror the
+//! paper's runtime study (Table V) at micro scale:
+//!
+//! * `tensor_ops` — the substrate primitives (matmul, bmm, softmax,
+//!   broadcasting) the models are built from,
+//! * `graph_ops` — adjacency construction, normalization and graph
+//!   convolution,
+//! * `model_step` — one training step (forward + backward + update) per
+//!   model family, the per-batch unit of Table V's "T (s)" column,
+//! * `plugin_overhead` — forward-only cost of the plugins: base vs `D-` vs
+//!   `DA-` vs `D-DA-` variants, and the DFGN prediction-phase cache
+//!   (Table V's "P (ms)" column).
+
+use enhancenet_data::traffic::{generate_traffic, TrafficConfig};
+use enhancenet_data::WindowDataset;
+use enhancenet_graph::{gaussian_kernel_adjacency, AdjacencyConfig};
+use enhancenet_tensor::Tensor;
+
+/// Benchmark problem size: entities.
+pub const BENCH_N: usize = 20;
+/// Benchmark problem size: batch.
+pub const BENCH_B: usize = 4;
+
+/// A small windowed traffic dataset plus its adjacency, shared by the
+/// model-level benches.
+pub fn bench_dataset() -> (WindowDataset, Tensor) {
+    let series = generate_traffic(&TrafficConfig::tiny(BENCH_N, 2));
+    let adjacency = gaussian_kernel_adjacency(&series.distances, AdjacencyConfig::default());
+    (WindowDataset::from_series(&series, 12, 12), adjacency)
+}
+
+/// Standard model dims for the benches.
+pub fn bench_dims(hidden: usize) -> enhancenet_models::ModelDims {
+    enhancenet_models::ModelDims {
+        num_entities: BENCH_N,
+        in_features: 1,
+        hidden,
+        input_len: 12,
+        output_len: 12,
+    }
+}
+
+/// A compact WaveNet config that still covers the 12-step window.
+pub fn bench_wavenet_config() -> enhancenet_models::WaveNetConfig {
+    enhancenet_models::WaveNetConfig {
+        dilations: vec![1, 2, 1, 2, 1, 2, 1, 2],
+        kernel: 2,
+        end_hidden: 32,
+        dropout: 0.3,
+    }
+}

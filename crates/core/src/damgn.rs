@@ -1,0 +1,329 @@
+//! The Dynamic Adjacency Matrix Generation Network (DAMGN, §V-B).
+//!
+//! Produces the enhanced adjacency of Eq. 13:
+//!
+//! ```text
+//! A' = λ_A·A + λ_B·B + λ_C·C_t
+//! ```
+//!
+//! * `A` — the distance-derived static adjacency (an input, not learned).
+//! * `B = softmax(relu(B₁B₂ᵀ))` (Eq. 15) — a *global adaptive* adjacency
+//!   from two `N×M` memory matrices (`M ≪ N`, paper default 10), capturing
+//!   static correlations that distances miss, at `2·N·M` parameters instead
+//!   of `N²`.
+//! * `C_t` (Eq. 16) — a *time-specific* adjacency from the normalized
+//!   embedded Gaussian of the current signal:
+//!   `C[i,j] = softmax_j(θ(x_t⁽ⁱ⁾)ᵀ φ(x_t⁽ʲ⁾))`, with two distinct linear
+//!   embeddings so asymmetric (source vs target) correlations are
+//!   representable.
+//! * The λ's are **learnable scalars** — "instead of manually tuning them we
+//!   decide to let the network learn them"; with `λ_B = λ_C = 0` the module
+//!   reduces to ordinary graph convolution over `A`.
+
+use enhancenet_autodiff::{Graph, ParamId, ParamStore, Var};
+use enhancenet_tensor::{Tensor, TensorRng};
+
+/// DAMGN hyper-parameters. Paper default: `M = 10` for the `B₁`, `B₂`
+/// memories; the embedding width of θ/φ defaults to the input feature
+/// count.
+#[derive(Debug, Clone, Copy)]
+pub struct DamgnConfig {
+    /// Memory width `M` of `B₁, B₂ ∈ R^{N×M}`.
+    pub b_memory_dim: usize,
+    /// Embedding dimension of the θ/φ transforms in Eq. 16.
+    pub embed_dim: usize,
+}
+
+impl Default for DamgnConfig {
+    fn default() -> Self {
+        Self { b_memory_dim: 10, embed_dim: 8 }
+    }
+}
+
+/// Per-tape cache produced by [`Damgn::bind`]: the static mix
+/// `λ_A·A_s + λ_B·B` per support plus the bound λ_C and θ/φ embeddings.
+pub struct DamgnBinding {
+    static_parts: Vec<Var>,
+    lambda_c: Var,
+    theta: Var,
+    phi: Var,
+}
+
+/// One DAMGN instance: memories for `B`, embeddings for `C_t`, and the
+/// mixing weights.
+pub struct Damgn {
+    b1: ParamId,
+    b2: ParamId,
+    theta: ParamId,
+    phi: ParamId,
+    lambda_a: ParamId,
+    lambda_b: ParamId,
+    lambda_c: ParamId,
+    num_entities: usize,
+}
+
+impl Damgn {
+    /// Creates a DAMGN for `num_entities` entities with `in_features`
+    /// attributes per timestamp. λ_A starts at 1 and λ_B, λ_C at small
+    /// positive values, so training starts from (approximately) ordinary
+    /// graph convolution.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut TensorRng,
+        name: &str,
+        num_entities: usize,
+        in_features: usize,
+        config: DamgnConfig,
+    ) -> Self {
+        let m = config.b_memory_dim;
+        let e = config.embed_dim;
+        let bound = 1.0 / (m as f32).sqrt();
+        Self {
+            b1: store.add(format!("{name}.b1"), rng.uniform(&[num_entities, m], -bound, bound)),
+            b2: store.add(format!("{name}.b2"), rng.uniform(&[num_entities, m], -bound, bound)),
+            theta: store
+                .add(format!("{name}.theta"), rng.xavier(&[in_features, e], in_features, e)),
+            phi: store.add(format!("{name}.phi"), rng.xavier(&[in_features, e], in_features, e)),
+            lambda_a: store.add(format!("{name}.lambda_a"), Tensor::scalar(1.0)),
+            lambda_b: store.add(format!("{name}.lambda_b"), Tensor::scalar(0.1)),
+            lambda_c: store.add(format!("{name}.lambda_c"), Tensor::scalar(0.1)),
+            num_entities,
+        }
+    }
+
+    /// Eq. 15: the global adaptive adjacency
+    /// `B = Softmax(ReLU(B₁ B₂ᵀ)) ∈ [N, N]` (row softmax; ReLU prunes weak
+    /// correlations before normalization).
+    pub fn static_b(&self, g: &mut Graph, store: &ParamStore) -> Var {
+        let b1 = g.param(store, self.b1);
+        let b2 = g.param(store, self.b2);
+        let b2t = g.transpose(b2);
+        let raw = g.matmul(b1, b2t);
+        let act = g.relu(raw);
+        g.softmax(act, -1)
+    }
+
+    /// Eq. 16: the time-specific adjacency for a batched signal
+    /// `x_t ∈ [B, N, C]`:
+    /// `C[i,j] = softmax_j(θ(x⁽ⁱ⁾)ᵀ φ(x⁽ʲ⁾))`, returned as `[B, N, N]`.
+    pub fn dynamic_c(&self, g: &mut Graph, store: &ParamStore, x_t: Var) -> Var {
+        assert_eq!(g.value(x_t).rank(), 3, "dynamic_c expects [B, N, C]");
+        let th = g.param(store, self.theta);
+        let ph = g.param(store, self.phi);
+        let q = g.matmul_broadcast_right(x_t, th); // [B, N, E]
+        let k = g.matmul_broadcast_right(x_t, ph); // [B, N, E]
+        let kt = g.transpose_batched(k); // [B, E, N]
+        let logits = g.bmm(q, kt); // [B, N, N]
+        g.softmax(logits, -1)
+    }
+
+    /// Eq. 13/14: the combined adjacency
+    /// `A' = λ_A·A + λ_B·B + λ_C·C_t` as a batched `[B, N, N]` tensor
+    /// (the static terms broadcast over the batch).
+    ///
+    /// `a` is the distance-based adjacency bound as a constant/leaf; pass
+    /// the *normalized* support the host model would otherwise convolve
+    /// with.
+    pub fn combined(&self, g: &mut Graph, store: &ParamStore, a: Var, x_t: Var) -> Var {
+        let la = g.param(store, self.lambda_a);
+        let lb = g.param(store, self.lambda_b);
+        let lc = g.param(store, self.lambda_c);
+        let b = self.static_b(g, store);
+        let c = self.dynamic_c(g, store, x_t);
+        let wa = g.mul(la, a); // [N,N] broadcast with scalar
+        let wb = g.mul(lb, b);
+        let static_part = g.add(wa, wb); // [N, N]
+        let wc = g.mul(lc, c); // [B, N, N]
+        g.add(wc, static_part) // broadcast to [B, N, N]
+    }
+
+    /// Binds the DAMGN once per tape for reuse across timesteps: computes
+    /// `λ_A·A_s + λ_B·B` for each base support and binds the θ/φ
+    /// embeddings and λ_C, so each timestep only pays for `C_t` (Eq. 16)
+    /// and one add.
+    pub fn bind(&self, g: &mut Graph, store: &ParamStore, base_supports: &[Var]) -> DamgnBinding {
+        let la = g.param(store, self.lambda_a);
+        let lb = g.param(store, self.lambda_b);
+        let lc = g.param(store, self.lambda_c);
+        let b = self.static_b(g, store);
+        let wb = g.mul(lb, b);
+        let static_parts = base_supports
+            .iter()
+            .map(|&a| {
+                let wa = g.mul(la, a);
+                g.add(wa, wb)
+            })
+            .collect();
+        DamgnBinding {
+            static_parts,
+            lambda_c: lc,
+            theta: g.param(store, self.theta),
+            phi: g.param(store, self.phi),
+        }
+    }
+
+    /// The per-timestep adjacencies `A'_s = λ_A·A_s + λ_B·B + λ_C·C_t`
+    /// (one `[B, N, N]` var per base support), computing `C_t` once from
+    /// the signal `x_t ∈ [B, N, C]`.
+    pub fn dynamic_supports_at(&self, g: &mut Graph, binding: &DamgnBinding, x_t: Var) -> Vec<Var> {
+        let q = g.matmul_broadcast_right(x_t, binding.theta);
+        let k = g.matmul_broadcast_right(x_t, binding.phi);
+        let kt = g.transpose_batched(k);
+        let logits = g.bmm(q, kt);
+        let c = g.softmax(logits, -1);
+        let wc = g.mul(binding.lambda_c, c); // [B, N, N]
+        binding.static_parts.iter().map(|&sp| g.add(wc, sp)).collect()
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.num_entities
+    }
+
+    /// Parameter ids of (λ_A, λ_B, λ_C), exposed for ablations and reports.
+    pub fn lambda_ids(&self) -> (ParamId, ParamId, ParamId) {
+        (self.lambda_a, self.lambda_b, self.lambda_c)
+    }
+
+    /// Parameter ids of the `B₁`/`B₂` memories (Figure 12 inspection).
+    pub fn b_memory_ids(&self) -> (ParamId, ParamId) {
+        (self.b1, self.b2)
+    }
+
+    /// Additional parameters DAMGN introduces: `2·N·M` memories, `2·C·E`
+    /// embeddings, 3 lambdas (§V-B's scalability argument).
+    pub fn parameter_formula(n: usize, c: usize, cfg: DamgnConfig) -> usize {
+        2 * n * cfg.b_memory_dim + 2 * c * cfg.embed_dim + 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(n: usize, c: usize) -> (ParamStore, Damgn) {
+        let mut store = ParamStore::new();
+        let mut rng = TensorRng::seed(3);
+        let d = Damgn::new(&mut store, &mut rng, "damgn", n, c, DamgnConfig::default());
+        (store, d)
+    }
+
+    #[test]
+    fn static_b_rows_are_distributions() {
+        let (store, d) = make(6, 2);
+        let mut g = Graph::new();
+        let b = d.static_b(&mut g, &store);
+        assert_eq!(g.value(b).shape(), &[6, 6]);
+        let sums = g.value(b).sum_axis(-1);
+        assert!(sums.data().iter().all(|&s| (s - 1.0).abs() < 1e-5));
+        assert!(g.value(b).data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn dynamic_c_shape_and_rows() {
+        let (store, d) = make(4, 3);
+        let mut g = Graph::new();
+        let mut rng = TensorRng::seed(9);
+        let x = g.constant(rng.normal(&[2, 4, 3], 0.0, 1.0));
+        let c = d.dynamic_c(&mut g, &store, x);
+        assert_eq!(g.value(c).shape(), &[2, 4, 4]);
+        let sums = g.value(c).sum_axis(-1);
+        assert!(sums.data().iter().all(|&s| (s - 1.0).abs() < 1e-5));
+    }
+
+    #[test]
+    fn dynamic_c_changes_with_input() {
+        // The defining property: the adjacency is time-specific.
+        let (store, d) = make(4, 2);
+        let mut g = Graph::new();
+        let mut rng = TensorRng::seed(1);
+        let x1 = g.constant(rng.normal(&[1, 4, 2], 0.0, 1.0));
+        let x2 = g.constant(rng.normal(&[1, 4, 2], 0.0, 1.0));
+        let c1 = d.dynamic_c(&mut g, &store, x1);
+        let c2 = d.dynamic_c(&mut g, &store, x2);
+        assert!(!g.value(c1).allclose(g.value(c2), 1e-4));
+    }
+
+    #[test]
+    fn dynamic_c_can_be_asymmetric() {
+        // θ ≠ φ means C[i,j] ≠ C[j,i] in general — the paper's motivation
+        // for two embedding functions.
+        let (store, d) = make(3, 2);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.5, -0.5], &[1, 3, 2]));
+        let c = d.dynamic_c(&mut g, &store, x);
+        let v = g.value(c);
+        let asym = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .any(|(i, j)| i < j && (v.at(&[0, i, j]) - v.at(&[0, j, i])).abs() > 1e-6);
+        assert!(asym, "C was exactly symmetric");
+    }
+
+    #[test]
+    fn combined_reduces_to_a_when_lambdas_zero() {
+        // "when λ_B and λ_C are 0, it reduces to a normal graph
+        // convolution" — the paper's sanity property.
+        let (mut store, d) = make(4, 2);
+        *store.value_mut(d.lambda_ids().1) = Tensor::scalar(0.0);
+        *store.value_mut(d.lambda_ids().2) = Tensor::scalar(0.0);
+        let mut g = Graph::new();
+        let a_t = Tensor::from_vec((0..16).map(|v| (v % 5) as f32 * 0.1).collect(), &[4, 4]);
+        let a = g.constant(a_t.clone());
+        let mut rng = TensorRng::seed(4);
+        let x = g.constant(rng.normal(&[2, 4, 2], 0.0, 1.0));
+        let combined = d.combined(&mut g, &store, a, x);
+        assert_eq!(g.value(combined).shape(), &[2, 4, 4]);
+        for b in 0..2 {
+            assert!(g.value(combined).index_axis(0, b).allclose(&a_t, 1e-5));
+        }
+    }
+
+    #[test]
+    fn gradients_reach_all_damgn_parameters() {
+        let (mut store, d) = make(5, 3);
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::eye(5));
+        let mut rng = TensorRng::seed(8);
+        let x = g.constant(rng.normal(&[2, 5, 3], 0.0, 1.0));
+        let combined = d.combined(&mut g, &store, a, x);
+        let sq = g.square(combined);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        g.write_grads(&mut store);
+        for id in store.ids() {
+            assert!(store.grad(id).norm() > 0.0, "no grad for {}", store.name(id));
+        }
+    }
+
+    #[test]
+    fn bound_dynamic_supports_match_combined() {
+        let (store, d) = make(4, 2);
+        let mut g = Graph::new();
+        let a_t = Tensor::from_vec((0..16).map(|v| v as f32 * 0.05).collect(), &[4, 4]);
+        let a = g.constant(a_t);
+        let mut rng = TensorRng::seed(6);
+        let x = g.constant(rng.normal(&[3, 4, 2], 0.0, 1.0));
+        let direct = d.combined(&mut g, &store, a, x);
+        let binding = d.bind(&mut g, &store, &[a]);
+        let via_binding = d.dynamic_supports_at(&mut g, &binding, x);
+        assert_eq!(via_binding.len(), 1);
+        assert!(g.value(via_binding[0]).allclose(g.value(direct), 1e-5));
+    }
+
+    #[test]
+    fn parameter_formula_matches_store() {
+        let (store, _) = make(20, 4);
+        assert_eq!(store.num_scalars(), Damgn::parameter_formula(20, 4, DamgnConfig::default()));
+    }
+
+    #[test]
+    fn parameter_count_scales_linearly_not_quadratically() {
+        let cfg = DamgnConfig::default();
+        let p100 = Damgn::parameter_formula(100, 2, cfg);
+        let p200 = Damgn::parameter_formula(200, 2, cfg);
+        // Doubling N adds 2·100·M, far below the N² = 30000 a dense B would
+        // have added.
+        assert_eq!(p200 - p100, 2 * 100 * cfg.b_memory_dim);
+        assert!(p200 < 200 * 200);
+    }
+}

@@ -1,0 +1,154 @@
+//! The [`Forecaster`] trait every host model and baseline implements, and
+//! the per-forward context (training flag, teacher signals for scheduled
+//! sampling).
+
+use enhancenet_autodiff::{Graph, ParamStore, Var};
+use enhancenet_tensor::{Tensor, TensorRng};
+
+/// Context threaded through one forward pass.
+pub struct ForwardCtx<'a> {
+    /// True during training (enables dropout and teacher forcing).
+    pub training: bool,
+    /// Scaled ground-truth decoder targets `[B, F, N]`, available during
+    /// training for scheduled sampling.
+    pub teacher: Option<&'a Tensor>,
+    /// Probability of feeding ground truth at each decode step (scheduled
+    /// sampling, §VI-A). Ignored when `teacher` is `None`.
+    pub teacher_forcing_prob: f32,
+    /// RNG for dropout masks and sampling decisions.
+    pub rng: &'a mut TensorRng,
+}
+
+impl<'a> ForwardCtx<'a> {
+    /// An inference-mode context (no teacher, no dropout).
+    pub fn eval(rng: &'a mut TensorRng) -> Self {
+        Self { training: false, teacher: None, teacher_forcing_prob: 0.0, rng }
+    }
+
+    /// A training-mode context with teacher signals.
+    pub fn train(rng: &'a mut TensorRng, teacher: &'a Tensor, tf_prob: f32) -> Self {
+        Self { training: true, teacher: Some(teacher), teacher_forcing_prob: tf_prob, rng }
+    }
+
+    /// Decides whether this decode step feeds ground truth.
+    pub fn use_teacher(&mut self) -> bool {
+        self.training && self.teacher.is_some() && self.rng.bernoulli(self.teacher_forcing_prob)
+    }
+}
+
+/// A correlated-time-series forecaster: maps a scaled input window
+/// `[B, H, N, C]` to scaled predictions `[B, F, N]` of the target feature.
+pub trait Forecaster {
+    /// Human-readable model tag as it appears in the paper's tables
+    /// (e.g. `"D-RNN"`, `"DA-GTCN"`).
+    fn name(&self) -> &str;
+
+    /// The model's parameters.
+    fn store(&self) -> &ParamStore;
+
+    /// Mutable access for the optimizer.
+    fn store_mut(&mut self) -> &mut ParamStore;
+
+    /// Forecast horizon `F`.
+    fn horizon(&self) -> usize;
+
+    /// Builds the forward computation on `g` and returns the prediction
+    /// node (`[B, F, N]`, scaled space).
+    fn forward(&self, g: &mut Graph, x: &Tensor, ctx: &mut ForwardCtx) -> Var;
+
+    /// Total trainable scalars — the "# Para" column of Tables I/II.
+    fn num_parameters(&self) -> usize {
+        self.store().num_scalars()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_model {
+    //! A deliberately simple forecaster used by the trainer tests: predicts
+    //! every future step as a learnable affine function of the last input.
+
+    use super::*;
+    use enhancenet_autodiff::ParamId;
+
+    pub struct AffinePersistence {
+        store: ParamStore,
+        scale: ParamId,
+        bias: ParamId,
+        f: usize,
+    }
+
+    impl AffinePersistence {
+        pub fn new(f: usize) -> Self {
+            let mut store = ParamStore::new();
+            let scale = store.add("scale", Tensor::scalar(0.5));
+            let bias = store.add("bias", Tensor::scalar(0.0));
+            Self { store, scale, bias, f }
+        }
+    }
+
+    impl Forecaster for AffinePersistence {
+        fn name(&self) -> &str {
+            "affine-persistence"
+        }
+        fn store(&self) -> &ParamStore {
+            &self.store
+        }
+        fn store_mut(&mut self) -> &mut ParamStore {
+            &mut self.store
+        }
+        fn horizon(&self) -> usize {
+            self.f
+        }
+        fn forward(&self, g: &mut Graph, x: &Tensor, _ctx: &mut ForwardCtx) -> Var {
+            let (b, h, n, _c) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+            // Last timestamp, target feature -> [B, N].
+            let last = x.slice_axis(1, h - 1, h).slice_axis(3, 0, 1).reshape(&[b, n]);
+            let lv = g.constant(last);
+            let s = g.param(&self.store, self.scale);
+            let bias = g.param(&self.store, self.bias);
+            let scaled = g.mul(lv, s);
+            let affine = g.add(scaled, bias);
+            // Repeat across the horizon: [B, F, N].
+            let un = g.reshape(affine, &[b, 1, n]);
+            let copies: Vec<Var> = (0..self.f).map(|_| un).collect();
+            g.concat(&copies, 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_ctx_never_uses_teacher() {
+        let mut rng = TensorRng::seed(1);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        assert!(!ctx.use_teacher());
+        assert!(!ctx.training);
+    }
+
+    #[test]
+    fn train_ctx_respects_probability() {
+        let mut rng = TensorRng::seed(2);
+        let teacher = Tensor::zeros(&[1, 2, 3]);
+        let mut always = ForwardCtx::train(&mut rng, &teacher, 1.0);
+        assert!((0..20).all(|_| always.use_teacher()));
+        let mut rng2 = TensorRng::seed(2);
+        let mut never = ForwardCtx::train(&mut rng2, &teacher, 0.0);
+        assert!((0..20).all(|_| !never.use_teacher()));
+    }
+
+    #[test]
+    fn test_model_shapes() {
+        use super::test_model::AffinePersistence;
+        let m = AffinePersistence::new(4);
+        let mut g = Graph::new();
+        let x = Tensor::ones(&[2, 5, 3, 1]);
+        let mut rng = TensorRng::seed(3);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let y = m.forward(&mut g, &x, &mut ctx);
+        assert_eq!(g.value(y).shape(), &[2, 4, 3]);
+        assert_eq!(m.num_parameters(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Graph convolution on the autodiff tape (Eq. 12 / Eq. 14):
+//! `Z = S ⋆_G x_t = A' x_t S`, with k-hop diffusion and support for both
+//! static (`[N, N]`) and per-timestamp batched (`[B, N, N]`) adjacencies —
+//! the latter is what DAMGN produces.
+
+use enhancenet_autodiff::{Graph, Var};
+
+/// An adjacency bound into the current graph.
+#[derive(Debug, Clone, Copy)]
+pub enum GcSupport {
+    /// Time-invariant adjacency `[N, N]`, shared across the batch.
+    Static(Var),
+    /// Per-sample adjacency `[B, N, N]` (e.g. DAMGN's `A'` which includes
+    /// the time-specific `C_t`).
+    Dynamic(Var),
+}
+
+impl GcSupport {
+    /// One diffusion step `A · x` for `x ∈ [B, N, C]`.
+    pub fn apply(&self, g: &mut Graph, x: Var) -> Var {
+        match *self {
+            GcSupport::Static(a) => g.matmul_broadcast_left(a, x),
+            GcSupport::Dynamic(a) => g.bmm(a, x),
+        }
+    }
+}
+
+/// Graph convolution in the DCRNN formulation: concatenate
+/// `[x, S₁x, S₁²x, …, S₂x, …]` along the feature axis (identity hop plus
+/// `k` hops per support) and apply one linear map `w` of shape
+/// `[(1 + |S|·k)·C, C']` (optionally per-entity `[N, (1+|S|·k)·C, C']`).
+///
+/// `x` is `[B, N, C]`; the result is `[B, N, C']`.
+pub fn graph_conv(
+    g: &mut Graph,
+    supports: &[GcSupport],
+    x: Var,
+    w: Var,
+    bias: Option<Var>,
+    k_hops: usize,
+) -> Var {
+    assert!(k_hops >= 1, "graph_conv needs at least 1 hop");
+    assert_eq!(g.value(x).rank(), 3, "graph_conv expects x of rank 3 [B,N,C]");
+    let mut feats = vec![x];
+    for s in supports {
+        let mut cur = x;
+        for _ in 0..k_hops {
+            cur = s.apply(g, cur);
+            feats.push(cur);
+        }
+    }
+    let cat = g.concat(&feats, -1); // [B, N, (1+S·k)·C]
+    let y = enhancenet_nn::apply_entity_filter(g, cat, w);
+    match bias {
+        Some(b) => g.add(y, b),
+        None => y,
+    }
+}
+
+/// Feature width entering the linear map of [`graph_conv`]:
+/// `(1 + num_supports · k_hops) · c_in`.
+pub fn gc_input_dim(c_in: usize, num_supports: usize, k_hops: usize) -> usize {
+    (1 + num_supports * k_hops) * c_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enhancenet_tensor::{Tensor, TensorRng};
+
+    #[test]
+    fn identity_support_with_identity_weight_is_duplication() {
+        // With A = I and w stacking [x, Ax] -> x via [[I],[0]], the output
+        // equals x.
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[1, 3, 2]));
+        let a = g.constant(Tensor::eye(3));
+        // w: [(1+1)*2, 2] selecting the first copy.
+        let w = g.constant(Tensor::from_vec(
+            vec![
+                1.0, 0.0, //
+                0.0, 1.0, //
+                0.0, 0.0, //
+                0.0, 0.0,
+            ],
+            &[4, 2],
+        ));
+        let y = graph_conv(&mut g, &[GcSupport::Static(a)], x, w, None, 1);
+        assert!(g.value(y).allclose(g.value(x), 1e-5));
+    }
+
+    #[test]
+    fn neighbor_aggregation_with_chain_graph() {
+        // Chain 0 -> 1 -> 2 (row-normalized already). Select the "one hop"
+        // block so output(i) = x(neighbor of i).
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![10.0, 20.0, 30.0], &[1, 3, 1]));
+        let a = g.constant(Tensor::from_rows(&[
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 0.0],
+        ]));
+        let w = g.constant(Tensor::from_vec(vec![0.0, 1.0], &[2, 1]));
+        let y = graph_conv(&mut g, &[GcSupport::Static(a)], x, w, None, 1);
+        assert_eq!(g.value(y).data(), &[20.0, 30.0, 0.0]);
+    }
+
+    #[test]
+    fn two_hops_reach_further() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![10.0, 20.0, 30.0], &[1, 3, 1]));
+        let a = g.constant(Tensor::from_rows(&[
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 0.0],
+        ]));
+        // Select the 2-hop block (features ordering: [x, Ax, A²x]).
+        let w = g.constant(Tensor::from_vec(vec![0.0, 0.0, 1.0], &[3, 1]));
+        let y = graph_conv(&mut g, &[GcSupport::Static(a)], x, w, None, 2);
+        // A²x: node 0 sees node 2.
+        assert_eq!(g.value(y).data(), &[30.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dynamic_support_differs_per_batch_element() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 1.0, 2.0], &[2, 2, 1]));
+        // Batch 0: swap nodes; batch 1: identity.
+        let a =
+            g.constant(Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0], &[2, 2, 2]));
+        let w = g.constant(Tensor::from_vec(vec![0.0, 1.0], &[2, 1]));
+        let y = graph_conv(&mut g, &[GcSupport::Dynamic(a)], x, w, None, 1);
+        assert_eq!(g.value(y).data(), &[2.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn multiple_supports_concatenate() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[1, 2, 1]));
+        let a1 = g.constant(Tensor::eye(2));
+        let a2 = g.constant((&Tensor::eye(2) * 2.0).clone());
+        // Width = (1 + 2 supports * 1 hop) * 1 = 3; sum all blocks.
+        let w = g.constant(Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3, 1]));
+        let y = graph_conv(&mut g, &[GcSupport::Static(a1), GcSupport::Static(a2)], x, w, None, 1);
+        // x + Ix + 2Ix = 4.
+        assert!(g.value(y).allclose(&Tensor::full(&[1, 2, 1], 4.0), 1e-5));
+    }
+
+    #[test]
+    fn per_entity_gc_weight_is_accepted() {
+        // Rank-3 weight [N, gc_in, C'] routes through the per-entity path.
+        let mut g = Graph::new();
+        let mut rng = TensorRng::seed(2);
+        let x = g.constant(rng.normal(&[2, 3, 2], 0.0, 1.0));
+        let a = g.constant(Tensor::eye(3));
+        let w = g.constant(rng.normal(&[3, gc_input_dim(2, 1, 2), 4], 0.0, 0.5));
+        let y = graph_conv(&mut g, &[GcSupport::Static(a)], x, w, None, 2);
+        assert_eq!(g.value(y).shape(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::zeros(&[1, 2, 1]));
+        let a = g.constant(Tensor::eye(2));
+        let w = g.constant(Tensor::zeros(&[2, 3]));
+        let b = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+        let y = graph_conv(&mut g, &[GcSupport::Static(a)], x, w, Some(b), 1);
+        assert_eq!(g.value(y).data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn gc_input_dim_formula() {
+        assert_eq!(gc_input_dim(2, 2, 2), 10);
+        assert_eq!(gc_input_dim(1, 1, 1), 2);
+        assert_eq!(gc_input_dim(64, 2, 2), 320);
+    }
+
+    #[test]
+    fn gradients_flow_through_dynamic_adjacency() {
+        let mut g = Graph::new();
+        let mut rng = TensorRng::seed(5);
+        let x = g.constant(rng.normal(&[1, 3, 2], 0.0, 1.0));
+        let a_t = rng.normal(&[1, 3, 3], 0.0, 1.0);
+        let a = g.constant(a_t);
+        let w = g.constant(rng.normal(&[4, 2], 0.0, 0.5));
+        let y = graph_conv(&mut g, &[GcSupport::Dynamic(a)], x, w, None, 1);
+        let sq = g.square(y);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        assert!(g.grad(a).unwrap().norm() > 0.0, "no grad into the adjacency");
+    }
+}

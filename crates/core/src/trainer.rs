@@ -1,0 +1,408 @@
+//! The shared training and evaluation harness.
+//!
+//! Implements the paper's training setup (§VI-A "Model Configurations"):
+//! Adam, the RNN/TCN learning-rate schedules, gradient clipping, scheduled
+//! sampling for encoder–decoder models, masked-MAE loss, best-on-validation
+//! checkpointing, and the runtime accounting of Table V (seconds per
+//! training epoch, milliseconds per 12-step prediction).
+
+use crate::forecaster::{Forecaster, ForwardCtx};
+use enhancenet_autodiff::Graph;
+use enhancenet_data::{BatchIterator, WindowDataset};
+use enhancenet_nn::optim::{clip_grad_norm, Adam, LrSchedule, Optimizer};
+use enhancenet_nn::sched::ScheduledSampler;
+use enhancenet_stats::metrics::{metrics_at_horizon, HorizonMetrics};
+use enhancenet_tensor::{Tensor, TensorRng};
+use std::ops::Range;
+use std::time::Instant;
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Maximum epochs (paper: 100).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning-rate schedule (paper: step decay for RNNs, constant for
+    /// TCNs).
+    pub schedule: LrSchedule,
+    /// Global gradient-norm clip (traffic models commonly use 5.0).
+    pub clip_norm: f32,
+    /// Scheduled-sampling τ (inverse-sigmoid decay).
+    pub sampler_tau: f32,
+    /// Cap on train batches per epoch (scaled-down experiments); `None`
+    /// consumes the whole split.
+    pub max_batches_per_epoch: Option<usize>,
+    /// Cap on evaluation batches; `None` evaluates the whole split.
+    pub max_eval_batches: Option<usize>,
+    /// Early-stopping patience in epochs (`None` disables).
+    pub patience: Option<usize>,
+    /// Seed for shuffling, dropout and sampling.
+    pub seed: u64,
+    /// Print one line per epoch.
+    pub verbose: bool,
+}
+
+impl TrainConfig {
+    /// A small default suitable for scaled-down experiments and tests.
+    pub fn quick(epochs: usize, batch_size: usize) -> Self {
+        Self {
+            epochs,
+            batch_size,
+            schedule: LrSchedule::Constant(0.01),
+            clip_norm: 5.0,
+            sampler_tau: 40.0,
+            max_batches_per_epoch: Some(20),
+            max_eval_batches: Some(10),
+            patience: None,
+            seed: 1,
+            verbose: false,
+        }
+    }
+}
+
+/// Per-epoch and summary results of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub train_loss: Vec<f32>,
+    /// Validation MAE (raw scale) per epoch.
+    pub val_mae: Vec<f32>,
+    /// Epoch whose weights were kept (best validation MAE).
+    pub best_epoch: usize,
+    /// Mean wall-clock seconds per training epoch — Table V's "T (s)".
+    pub secs_per_epoch: f32,
+    /// Total trainable parameters — Tables I/II's "# Para".
+    pub num_parameters: usize,
+}
+
+/// Evaluation results on one split.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Metrics at each requested (1-indexed) horizon.
+    pub horizons: Vec<(usize, HorizonMetrics)>,
+    /// Metrics averaged over every horizon step.
+    pub overall: HorizonMetrics,
+    /// Mean milliseconds to forecast F steps for a single window — Table
+    /// V's "P (ms)".
+    pub pred_ms: f32,
+    /// Per-window MAE samples (raw scale), kept for the t-tests of §VI-B3.
+    pub window_mae: Vec<f32>,
+}
+
+/// Drives training and evaluation of any [`Forecaster`].
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(config: TrainConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `model` on the dataset's training split, checkpointing on
+    /// validation MAE and restoring the best weights before returning.
+    pub fn train(&self, model: &mut dyn Forecaster, data: &WindowDataset) -> TrainReport {
+        let cfg = &self.config;
+        let mut rng = TensorRng::seed(cfg.seed);
+        let mut optimizer = Adam::new();
+        let mut sampler = ScheduledSampler::new(cfg.sampler_tau);
+
+        let mut train_loss = Vec::with_capacity(cfg.epochs);
+        let mut val_mae = Vec::with_capacity(cfg.epochs);
+        let mut best = (f32::INFINITY, 0usize, model.store().snapshot());
+        let mut epoch_secs = 0.0f64;
+
+        for epoch in 0..cfg.epochs {
+            let lr = cfg.schedule.lr_at(epoch);
+            let started = Instant::now();
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
+            let iter =
+                BatchIterator::shuffled(data, data.split.train.clone(), cfg.batch_size, &mut rng);
+            for batch in iter {
+                if let Some(cap) = cfg.max_batches_per_epoch {
+                    if batches >= cap {
+                        break;
+                    }
+                }
+                let tf_prob = sampler.teacher_forcing_prob();
+                let mut g = Graph::new();
+                let pred = {
+                    let mut ctx = ForwardCtx::train(&mut rng, &batch.y_scaled, tf_prob);
+                    model.forward(&mut g, &batch.x, &mut ctx)
+                };
+                // Mask from the raw targets (zero = missing reading).
+                let mask = batch.y_raw.map(|v| if v != 0.0 { 1.0 } else { 0.0 });
+                let loss = g.masked_mae(pred, &batch.y_scaled, &mask);
+                let loss_val = g.value(loss).item();
+                if !loss_val.is_finite() {
+                    // Divergence guard: skip the update, keep training.
+                    sampler.advance();
+                    batches += 1;
+                    continue;
+                }
+                g.backward(loss);
+                model.store_mut().zero_grad();
+                g.write_grads(model.store_mut());
+                clip_grad_norm(model.store_mut(), cfg.clip_norm);
+                optimizer.step(model.store_mut(), lr);
+                sampler.advance();
+                loss_sum += loss_val as f64;
+                batches += 1;
+            }
+            epoch_secs += started.elapsed().as_secs_f64();
+            let mean_loss = if batches > 0 { (loss_sum / batches as f64) as f32 } else { f32::NAN };
+            train_loss.push(mean_loss);
+
+            // Validation MAE in the raw scale.
+            let val = self.quick_mae(model, data, data.split.val.clone(), &mut rng);
+            val_mae.push(val);
+            if cfg.verbose {
+                eprintln!(
+                    "[{}] epoch {epoch}: loss {mean_loss:.4}, val MAE {val:.4}, lr {lr:.5}",
+                    model.name()
+                );
+            }
+            if val < best.0 {
+                best = (val, epoch, model.store().snapshot());
+            } else if let Some(p) = cfg.patience {
+                if epoch >= best.1 + p {
+                    break;
+                }
+            }
+        }
+        model.store_mut().restore(&best.2);
+        let completed = train_loss.len().max(1);
+        TrainReport {
+            train_loss,
+            val_mae,
+            best_epoch: best.1,
+            secs_per_epoch: (epoch_secs / completed as f64) as f32,
+            num_parameters: model.num_parameters(),
+        }
+    }
+
+    /// Mean raw-scale MAE over (a capped number of) batches from `range`.
+    fn quick_mae(
+        &self,
+        model: &dyn Forecaster,
+        data: &WindowDataset,
+        range: Range<usize>,
+        rng: &mut TensorRng,
+    ) -> f32 {
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for (i, batch) in BatchIterator::sequential(data, range, self.config.batch_size).enumerate()
+        {
+            if let Some(cap) = self.config.max_eval_batches {
+                if i >= cap {
+                    break;
+                }
+            }
+            let mut g = Graph::new();
+            let pred = {
+                let mut ctx = ForwardCtx::eval(rng);
+                model.forward(&mut g, &batch.x, &mut ctx)
+            };
+            let pred_raw = data.scaler.inverse_feature(g.value(pred), data.target_feature);
+            sum += enhancenet_stats::metrics::mae(&pred_raw, &batch.y_raw) as f64;
+            count += 1;
+        }
+        if count == 0 {
+            f32::INFINITY
+        } else {
+            (sum / count as f64) as f32
+        }
+    }
+
+    /// Raw-scale forecast for a single window: returns `[F, N]` in the
+    /// original units (inverse-scaled). Convenience for examples, figures
+    /// and downstream consumers.
+    pub fn predict_window(
+        &self,
+        model: &dyn Forecaster,
+        data: &WindowDataset,
+        start: usize,
+    ) -> Tensor {
+        let mut rng = TensorRng::seed(self.config.seed ^ 0xFEED);
+        let x = data.input_window(start).unsqueeze(0);
+        let mut g = Graph::new();
+        let pred = {
+            let mut ctx = ForwardCtx::eval(&mut rng);
+            model.forward(&mut g, &x, &mut ctx)
+        };
+        let f = model.horizon();
+        let n = data.num_entities();
+        data.scaler.inverse_feature(g.value(pred), data.target_feature).reshape(&[f, n])
+    }
+
+    /// Full evaluation on `range` (typically the test split): metrics at
+    /// `horizons` (1-indexed, paper uses 3/6/12), the overall average, the
+    /// per-window MAE samples for significance testing, and single-window
+    /// prediction latency.
+    pub fn evaluate(
+        &self,
+        model: &dyn Forecaster,
+        data: &WindowDataset,
+        range: Range<usize>,
+        horizons: &[usize],
+    ) -> EvalReport {
+        let mut rng = TensorRng::seed(self.config.seed ^ 0x5EED);
+        let mut preds: Vec<Tensor> = Vec::new();
+        let mut truths: Vec<Tensor> = Vec::new();
+        let mut window_mae = Vec::new();
+        for (i, batch) in
+            BatchIterator::sequential(data, range.clone(), self.config.batch_size).enumerate()
+        {
+            if let Some(cap) = self.config.max_eval_batches {
+                if i >= cap {
+                    break;
+                }
+            }
+            let mut g = Graph::new();
+            let pred = {
+                let mut ctx = ForwardCtx::eval(&mut rng);
+                model.forward(&mut g, &batch.x, &mut ctx)
+            };
+            let pred_raw = data.scaler.inverse_feature(g.value(pred), data.target_feature);
+            for bi in 0..batch.starts.len() {
+                let p = pred_raw.index_axis(0, bi);
+                let t = batch.y_raw.index_axis(0, bi);
+                window_mae.push(enhancenet_stats::metrics::mae(&p, &t));
+            }
+            preds.push(pred_raw);
+            truths.push(batch.y_raw.clone());
+        }
+        let pred_all = Tensor::concat(&preds.iter().collect::<Vec<_>>(), 0);
+        let truth_all = Tensor::concat(&truths.iter().collect::<Vec<_>>(), 0);
+        let horizon_metrics: Vec<(usize, HorizonMetrics)> =
+            horizons.iter().map(|&h| (h, metrics_at_horizon(&pred_all, &truth_all, h))).collect();
+        let overall = HorizonMetrics::compute(&pred_all, &truth_all);
+
+        // Prediction latency: single-window forwards (Table V's protocol —
+        // "making a prediction for the next 12 timestamps").
+        let timing_windows: Vec<usize> = range.take(5).collect();
+        let mut total = 0.0f64;
+        let mut timed = 0usize;
+        for &start in &timing_windows {
+            let x = data.input_window(start).unsqueeze(0);
+            let t0 = Instant::now();
+            let mut g = Graph::new();
+            let mut ctx = ForwardCtx::eval(&mut rng);
+            let _ = model.forward(&mut g, &x, &mut ctx);
+            total += t0.elapsed().as_secs_f64();
+            timed += 1;
+        }
+        EvalReport {
+            horizons: horizon_metrics,
+            overall,
+            pred_ms: if timed > 0 { (total * 1000.0 / timed as f64) as f32 } else { 0.0 },
+            window_mae,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecaster::test_model::AffinePersistence;
+    use enhancenet_data::traffic::{generate_traffic, TrafficConfig};
+
+    fn dataset() -> WindowDataset {
+        let ds = generate_traffic(&TrafficConfig::tiny(4, 2));
+        WindowDataset::from_series(&ds, 12, 12)
+    }
+
+    #[test]
+    fn training_reduces_loss_on_persistence_model() {
+        let data = dataset();
+        let mut model = AffinePersistence::new(12);
+        let trainer = Trainer::new(TrainConfig::quick(8, 8));
+        let report = trainer.train(&mut model, &data);
+        assert_eq!(report.train_loss.len(), 8);
+        let first = report.train_loss[0];
+        let last = *report.train_loss.last().unwrap();
+        assert!(
+            last < first,
+            "loss should fall: first {first}, last {last} ({:?})",
+            report.train_loss
+        );
+        assert_eq!(report.num_parameters, 2);
+    }
+
+    #[test]
+    fn best_weights_are_restored() {
+        let data = dataset();
+        let mut model = AffinePersistence::new(12);
+        let trainer = Trainer::new(TrainConfig::quick(5, 8));
+        let report = trainer.train(&mut model, &data);
+        // Validation MAE at the best epoch is the minimum recorded.
+        let min = report.val_mae.iter().copied().fold(f32::INFINITY, f32::min);
+        assert!((report.val_mae[report.best_epoch] - min).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaluation_reports_requested_horizons() {
+        let data = dataset();
+        let mut model = AffinePersistence::new(12);
+        let trainer = Trainer::new(TrainConfig::quick(3, 8));
+        trainer.train(&mut model, &data);
+        let eval = trainer.evaluate(&model, &data, data.split.test.clone(), &[3, 6, 12]);
+        assert_eq!(eval.horizons.len(), 3);
+        assert_eq!(eval.horizons[0].0, 3);
+        assert!(eval.overall.mae > 0.0);
+        assert!(eval.overall.rmse >= eval.overall.mae);
+        assert!(eval.pred_ms >= 0.0);
+        assert!(!eval.window_mae.is_empty());
+    }
+
+    #[test]
+    fn trained_model_beats_untrained() {
+        let data = dataset();
+        let trainer = Trainer::new(TrainConfig::quick(10, 8));
+        let mut trained = AffinePersistence::new(12);
+        trainer.train(&mut trained, &data);
+        let untrained = AffinePersistence::new(12);
+        let e_trained = trainer.evaluate(&trained, &data, data.split.test.clone(), &[3]);
+        let e_untrained = trainer.evaluate(&untrained, &data, data.split.test.clone(), &[3]);
+        assert!(
+            e_trained.overall.mae < e_untrained.overall.mae,
+            "trained {} vs untrained {}",
+            e_trained.overall.mae,
+            e_untrained.overall.mae
+        );
+    }
+
+    #[test]
+    fn predict_window_returns_raw_scale() {
+        let data = dataset();
+        let mut model = AffinePersistence::new(12);
+        let trainer = Trainer::new(TrainConfig::quick(5, 8));
+        trainer.train(&mut model, &data);
+        let start = data.split.test.start;
+        let pred = trainer.predict_window(&model, &data, start);
+        assert_eq!(pred.shape(), &[12, 4]);
+        // Raw-scale speeds, not z-scores.
+        assert!(pred.mean_all() > 20.0, "predictions look scaled: {:?}", pred);
+    }
+
+    #[test]
+    fn early_stopping_respects_patience() {
+        let data = dataset();
+        let mut model = AffinePersistence::new(12);
+        let mut cfg = TrainConfig::quick(50, 8);
+        cfg.patience = Some(2);
+        let trainer = Trainer::new(cfg);
+        let report = trainer.train(&mut model, &data);
+        // The affine model converges almost immediately, so patience should
+        // cut the run well short of 50 epochs.
+        assert!(report.train_loss.len() < 50, "ran {} epochs", report.train_loss.len());
+    }
+}

@@ -1,0 +1,144 @@
+//! Mini-batch assembly over window datasets.
+
+use crate::window::WindowDataset;
+use enhancenet_tensor::{Tensor, TensorRng};
+
+/// One training/evaluation batch.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Scaled inputs `[B, H, N, C]`.
+    pub x: Tensor,
+    /// Raw-scale targets `[B, F, N]`.
+    pub y_raw: Tensor,
+    /// Scaled targets `[B, F, N]` (decoder teacher forcing).
+    pub y_scaled: Tensor,
+    /// Window start indices included in this batch.
+    pub starts: Vec<usize>,
+}
+
+/// Iterates over a set of window starts in mini-batches, optionally
+/// shuffling each epoch.
+pub struct BatchIterator<'a> {
+    data: &'a WindowDataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> BatchIterator<'a> {
+    /// Sequential iteration over `starts` (evaluation).
+    pub fn sequential(
+        data: &'a WindowDataset,
+        starts: impl Iterator<Item = usize>,
+        batch_size: usize,
+    ) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self { data, order: starts.collect(), batch_size, cursor: 0 }
+    }
+
+    /// Shuffled iteration (training); the permutation is drawn from `rng`.
+    pub fn shuffled(
+        data: &'a WindowDataset,
+        starts: impl Iterator<Item = usize>,
+        batch_size: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        let mut it = Self::sequential(data, starts, batch_size);
+        let perm = rng.permutation(it.order.len());
+        it.order = perm.into_iter().map(|i| it.order[i]).collect();
+        it
+    }
+
+    /// Number of batches this iterator will yield.
+    pub fn num_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+
+    fn assemble(&self, starts: &[usize]) -> Batch {
+        let xs: Vec<Tensor> = starts.iter().map(|&s| self.data.input_window(s)).collect();
+        let ys: Vec<Tensor> = starts.iter().map(|&s| self.data.target_window(s)).collect();
+        let yss: Vec<Tensor> = starts.iter().map(|&s| self.data.scaled_target_window(s)).collect();
+        Batch {
+            x: Tensor::stack(&xs.iter().collect::<Vec<_>>()),
+            y_raw: Tensor::stack(&ys.iter().collect::<Vec<_>>()),
+            y_scaled: Tensor::stack(&yss.iter().collect::<Vec<_>>()),
+            starts: starts.to_vec(),
+        }
+    }
+}
+
+impl Iterator for BatchIterator<'_> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = self.assemble(&self.order[self.cursor..end]);
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{generate_traffic, TrafficConfig};
+    use crate::window::WindowDataset;
+
+    fn dataset() -> WindowDataset {
+        let ds = generate_traffic(&TrafficConfig::tiny(4, 1));
+        WindowDataset::from_series(&ds, 12, 12)
+    }
+
+    #[test]
+    fn batch_shapes() {
+        let w = dataset();
+        let mut it = BatchIterator::sequential(&w, 0..10, 4);
+        let b = it.next().unwrap();
+        assert_eq!(b.x.shape(), &[4, 12, 4, 1]);
+        assert_eq!(b.y_raw.shape(), &[4, 12, 4]);
+        assert_eq!(b.y_scaled.shape(), &[4, 12, 4]);
+        assert_eq!(b.starts, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn last_batch_may_be_smaller() {
+        let w = dataset();
+        let it = BatchIterator::sequential(&w, 0..10, 4);
+        assert_eq!(it.num_batches(), 3);
+        let sizes: Vec<usize> =
+            BatchIterator::sequential(&w, 0..10, 4).map(|b| b.starts.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn shuffled_covers_all_starts_once() {
+        let w = dataset();
+        let mut rng = TensorRng::seed(1);
+        let mut seen: Vec<usize> =
+            BatchIterator::shuffled(&w, 0..25, 4, &mut rng).flat_map(|b| b.starts).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffling_changes_order_but_not_content() {
+        let w = dataset();
+        let mut rng = TensorRng::seed(2);
+        let shuffled: Vec<usize> =
+            BatchIterator::shuffled(&w, 0..50, 50, &mut rng).flat_map(|b| b.starts).collect();
+        assert_ne!(shuffled, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_content_matches_windows() {
+        let w = dataset();
+        let b = BatchIterator::sequential(&w, 5..7, 2).next().unwrap();
+        let w5 = w.input_window(5);
+        assert_eq!(b.x.index_axis(0, 0).data(), w5.data());
+        let t6 = w.target_window(6);
+        assert_eq!(b.y_raw.index_axis(0, 1).data(), t6.data());
+    }
+}

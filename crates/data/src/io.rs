@@ -1,0 +1,239 @@
+//! CSV interchange for correlated time series, so the library can be used
+//! on real feeds (PEMS exports, METR-LA dumps, weather station logs) and
+//! not just the built-in generators.
+//!
+//! Two files describe a dataset:
+//!
+//! * **values** — wide CSV: one row per timestamp, columns
+//!   `e{i}_f{j}` for entity `i`, feature `j` (feature 0 is the forecast
+//!   target), e.g. `e0_f0,e0_f1,e1_f0,e1_f1,…`.
+//! * **coords** — one row per entity: `entity,x,y`.
+//!
+//! Distances are recomputed from the coordinates with the Euclidean metric
+//! (use [`CorrelatedTimeSeries`] directly when you have road-network
+//! distances).
+
+use crate::CorrelatedTimeSeries;
+use enhancenet_graph::pairwise_euclidean;
+use enhancenet_tensor::Tensor;
+
+/// Errors from CSV parsing.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CsvError {
+    /// The values file had no header row.
+    MissingHeader,
+    /// A header column was not of the form `e{i}_f{j}`.
+    BadColumn(String),
+    /// Header columns do not form a dense `N × C` grid in row-major order.
+    BadColumnLayout,
+    /// A data row had the wrong number of fields.
+    BadRow { line: usize, expected: usize, found: usize },
+    /// A value failed to parse as a float.
+    BadNumber { line: usize, column: usize },
+    /// The coords file disagrees with the values header about N.
+    CoordsMismatch { expected: usize, found: usize },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "values CSV is empty"),
+            CsvError::BadColumn(c) => write!(f, "column {c:?} is not of the form e<i>_f<j>"),
+            CsvError::BadColumnLayout => {
+                write!(f, "columns must enumerate e0_f0..e{{N-1}}_f{{C-1}} densely")
+            }
+            CsvError::BadRow { line, expected, found } => {
+                write!(f, "line {line}: expected {expected} fields, found {found}")
+            }
+            CsvError::BadNumber { line, column } => {
+                write!(f, "line {line}, column {column}: not a number")
+            }
+            CsvError::CoordsMismatch { expected, found } => {
+                write!(f, "coords file has {found} entities, values header implies {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Serializes the values of a series as a wide CSV (with header).
+pub fn values_to_csv(ds: &CorrelatedTimeSeries) -> String {
+    let (t, n, c) = (ds.num_steps(), ds.num_entities(), ds.num_features());
+    let mut out = String::new();
+    let header: Vec<String> =
+        (0..n).flat_map(|e| (0..c).map(move |f| format!("e{e}_f{f}"))).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for step in 0..t {
+        let row: Vec<String> = (0..n)
+            .flat_map(|e| (0..c).map(move |f| format!("{}", ds.values.at(&[step, e, f]))))
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes entity coordinates as `entity,x,y` CSV.
+pub fn coords_to_csv(ds: &CorrelatedTimeSeries) -> String {
+    let mut out = String::from("entity,x,y\n");
+    for e in 0..ds.num_entities() {
+        out.push_str(&format!("{e},{},{}\n", ds.coords.at(&[e, 0]), ds.coords.at(&[e, 1])));
+    }
+    out
+}
+
+fn parse_column(name: &str) -> Option<(usize, usize)> {
+    let rest = name.strip_prefix('e')?;
+    let (e, f) = rest.split_once("_f")?;
+    Some((e.parse().ok()?, f.parse().ok()?))
+}
+
+/// Parses a wide values CSV and a coords CSV back into a series.
+pub fn from_csv(
+    name: impl Into<String>,
+    values_csv: &str,
+    coords_csv: &str,
+    interval_minutes: u32,
+) -> Result<CorrelatedTimeSeries, CsvError> {
+    let mut lines = values_csv.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or(CsvError::MissingHeader)?;
+    let cols: Vec<(usize, usize)> = header
+        .split(',')
+        .map(|c| parse_column(c.trim()).ok_or_else(|| CsvError::BadColumn(c.to_string())))
+        .collect::<Result<_, _>>()?;
+    let n = cols.iter().map(|&(e, _)| e + 1).max().unwrap_or(0);
+    let c = cols.iter().map(|&(_, f)| f + 1).max().unwrap_or(0);
+    // Row-major dense layout check.
+    let expected: Vec<(usize, usize)> = (0..n).flat_map(|e| (0..c).map(move |f| (e, f))).collect();
+    if cols != expected {
+        return Err(CsvError::BadColumnLayout);
+    }
+
+    let mut data: Vec<f32> = Vec::new();
+    let mut t = 0usize;
+    for (line_idx, line) in lines.enumerate() {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != n * c {
+            return Err(CsvError::BadRow {
+                line: line_idx + 2,
+                expected: n * c,
+                found: fields.len(),
+            });
+        }
+        for (col_idx, field) in fields.iter().enumerate() {
+            let v: f32 = field
+                .trim()
+                .parse()
+                .map_err(|_| CsvError::BadNumber { line: line_idx + 2, column: col_idx + 1 })?;
+            data.push(v);
+        }
+        t += 1;
+    }
+
+    // Coords.
+    let mut coords = vec![0.0f32; n * 2];
+    let mut found = 0usize;
+    for (line_idx, line) in coords_csv.lines().enumerate() {
+        if line_idx == 0 || line.trim().is_empty() {
+            continue; // header
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 3 {
+            return Err(CsvError::BadRow { line: line_idx + 1, expected: 3, found: fields.len() });
+        }
+        let e: usize = fields[0]
+            .trim()
+            .parse()
+            .map_err(|_| CsvError::BadNumber { line: line_idx + 1, column: 1 })?;
+        if e >= n {
+            return Err(CsvError::CoordsMismatch { expected: n, found: e + 1 });
+        }
+        for (k, field) in fields[1..].iter().enumerate() {
+            coords[e * 2 + k] = field
+                .trim()
+                .parse()
+                .map_err(|_| CsvError::BadNumber { line: line_idx + 1, column: k + 2 })?;
+        }
+        found += 1;
+    }
+    if found != n {
+        return Err(CsvError::CoordsMismatch { expected: n, found });
+    }
+
+    let coords = Tensor::from_vec(coords, &[n, 2]);
+    let distances = pairwise_euclidean(&coords);
+    let ds = CorrelatedTimeSeries {
+        name: name.into(),
+        values: Tensor::from_vec(data, &[t, n, c]),
+        coords,
+        distances,
+        interval_minutes,
+    };
+    ds.validate();
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{generate_traffic, TrafficConfig};
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = generate_traffic(&TrafficConfig::tiny(4, 1));
+        let values_csv = values_to_csv(&ds);
+        let coords_csv = coords_to_csv(&ds);
+        let back = from_csv("roundtrip", &values_csv, &coords_csv, 5).unwrap();
+        assert_eq!(back.num_steps(), ds.num_steps());
+        assert_eq!(back.num_entities(), 4);
+        assert!(back.values.allclose(&ds.values, 1e-3));
+        assert!(back.coords.allclose(&ds.coords, 1e-3));
+    }
+
+    #[test]
+    fn parses_hand_written_csv() {
+        let values = "e0_f0,e0_f1,e1_f0,e1_f1\n1,2,3,4\n5,6,7,8\n";
+        let coords = "entity,x,y\n0,0.0,0.0\n1,3.0,4.0\n";
+        let ds = from_csv("hand", values, coords, 60).unwrap();
+        assert_eq!(ds.num_steps(), 2);
+        assert_eq!(ds.num_entities(), 2);
+        assert_eq!(ds.num_features(), 2);
+        assert_eq!(ds.values.at(&[1, 1, 0]), 7.0);
+        assert!((ds.distances.at(&[0, 1]) - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = from_csv("x", "speed,flow\n1,2\n", "entity,x,y\n0,0,0\n", 5).unwrap_err();
+        assert!(matches!(err, CsvError::BadColumn(_)));
+    }
+
+    #[test]
+    fn rejects_sparse_column_layout() {
+        // Missing e0_f1 given e1 has two features.
+        let err = from_csv("x", "e0_f0,e1_f0,e1_f1\n1,2,3\n", "entity,x,y\n0,0,0\n1,1,1\n", 5)
+            .unwrap_err();
+        assert_eq!(err, CsvError::BadColumnLayout);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err =
+            from_csv("x", "e0_f0,e1_f0\n1,2\n3\n", "entity,x,y\n0,0,0\n1,1,1\n", 5).unwrap_err();
+        assert!(matches!(err, CsvError::BadRow { line: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_non_numeric_values() {
+        let err = from_csv("x", "e0_f0\n1\nnope\n", "entity,x,y\n0,0,0\n", 5).unwrap_err();
+        assert!(matches!(err, CsvError::BadNumber { line: 3, column: 1 }));
+    }
+
+    #[test]
+    fn rejects_missing_coords() {
+        let err = from_csv("x", "e0_f0,e1_f0\n1,2\n", "entity,x,y\n0,0,0\n", 5).unwrap_err();
+        assert!(matches!(err, CsvError::CoordsMismatch { expected: 2, found: 1 }));
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-feature z-score scaling, fit on the training portion only (the
+//! standard DCRNN / Graph WaveNet preprocessing).
+
+use enhancenet_tensor::Tensor;
+
+/// Standard scaler over the feature axis of a `[T, N, C]` series.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Fits per-feature mean and standard deviation over the first
+    /// `fit_steps` timestamps (the training split) of `values` `[T, N, C]`.
+    pub fn fit(values: &Tensor, fit_steps: usize) -> Self {
+        assert_eq!(values.rank(), 3, "scaler expects [T, N, C]");
+        let (t, n, c) = (values.shape()[0], values.shape()[1], values.shape()[2]);
+        let fit = fit_steps.min(t);
+        assert!(fit > 0, "scaler needs at least one fit step");
+        let count = (fit * n) as f32;
+        let mut mean = vec![0.0f32; c];
+        let data = values.data();
+        for step in 0..fit {
+            for e in 0..n {
+                let base = (step * n + e) * c;
+                for (f, m) in mean.iter_mut().enumerate() {
+                    *m += data[base + f];
+                }
+            }
+        }
+        for m in &mut mean {
+            *m /= count;
+        }
+        let mut var = vec![0.0f32; c];
+        for step in 0..fit {
+            for e in 0..n {
+                let base = (step * n + e) * c;
+                for (f, v) in var.iter_mut().enumerate() {
+                    let d = data[base + f] - mean[f];
+                    *v += d * d;
+                }
+            }
+        }
+        let std = var.iter().map(|v| (v / count).sqrt().max(1e-6)).collect();
+        Self { mean, std }
+    }
+
+    /// Scales a tensor whose **last axis** is the feature axis.
+    pub fn transform(&self, values: &Tensor) -> Tensor {
+        let c = *values.shape().last().expect("transform needs rank >= 1");
+        assert_eq!(c, self.mean.len(), "feature count mismatch");
+        let mut out = values.clone();
+        for (i, v) in out.data_mut().iter_mut().enumerate() {
+            let f = i % c;
+            *v = (*v - self.mean[f]) / self.std[f];
+        }
+        out
+    }
+
+    /// Inverse-scales values of **feature `f` only** (predictions carry just
+    /// the target feature).
+    pub fn inverse_feature(&self, values: &Tensor, f: usize) -> Tensor {
+        values.map(|v| v * self.std[f] + self.mean[f])
+    }
+
+    /// Mean of feature `f`.
+    pub fn mean(&self, f: usize) -> f32 {
+        self.mean[f]
+    }
+
+    /// Standard deviation of feature `f`.
+    pub fn std(&self, f: usize) -> f32 {
+        self.std[f]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        // [T=4, N=1, C=2]: feature 0 = 0,2,4,6 ; feature 1 = 10,10,10,10
+        Tensor::from_vec(vec![0.0, 10.0, 2.0, 10.0, 4.0, 10.0, 6.0, 10.0], &[4, 1, 2])
+    }
+
+    #[test]
+    fn fit_computes_feature_stats() {
+        let s = StandardScaler::fit(&sample(), 4);
+        assert!((s.mean(0) - 3.0).abs() < 1e-6);
+        assert!((s.mean(1) - 10.0).abs() < 1e-6);
+        let expected_std = (5.0f32).sqrt(); // var of 0,2,4,6 = 5
+        assert!((s.std(0) - expected_std).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constant_feature_keeps_min_std() {
+        let s = StandardScaler::fit(&sample(), 4);
+        assert!(s.std(1) >= 1e-6);
+        let t = s.transform(&sample());
+        assert!(!t.has_non_finite());
+    }
+
+    #[test]
+    fn fit_uses_only_train_steps() {
+        let s_all = StandardScaler::fit(&sample(), 4);
+        let s_half = StandardScaler::fit(&sample(), 2);
+        assert!((s_half.mean(0) - 1.0).abs() < 1e-6);
+        assert!(s_half.mean(0) != s_all.mean(0));
+    }
+
+    #[test]
+    fn transform_then_inverse_roundtrips() {
+        let s = StandardScaler::fit(&sample(), 4);
+        let t = s.transform(&sample());
+        // Check the target feature roundtrip.
+        let f0: Vec<f32> = (0..4).map(|i| t.at(&[i, 0, 0])).collect();
+        let f0_tensor = Tensor::from_vec(f0, &[4]);
+        let back = s.inverse_feature(&f0_tensor, 0);
+        assert!(back.allclose(&Tensor::from_vec(vec![0.0, 2.0, 4.0, 6.0], &[4]), 1e-4));
+    }
+
+    #[test]
+    fn transformed_train_data_is_standardized() {
+        let s = StandardScaler::fit(&sample(), 4);
+        let t = s.transform(&sample());
+        let f0: Vec<f32> = (0..4).map(|i| t.at(&[i, 0, 0])).collect();
+        let mean: f32 = f0.iter().sum::<f32>() / 4.0;
+        let var: f32 = f0.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+}

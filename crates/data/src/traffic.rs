@@ -1,0 +1,432 @@
+//! Synthetic traffic-speed generator: the *EB* / *LA* analogues.
+//!
+//! ## Road model
+//!
+//! Sensors sit along `num_corridors` straight highway corridors radiating
+//! from a city centre. Each corridor has an **inbound** carriageway (towards
+//! the centre, morning-peaked) and an **outbound** one (evening-peaked), so
+//! adjacent sensors can have *opposite* daily profiles — the paper's §I
+//! example of roads "going from rural areas downtown" vs the reverse, and
+//! the reason red/black sensor clusters in Fig. 11 separate in memory space
+//! despite being geographically close.
+//!
+//! ## Speed model (per sensor, per 5-min step)
+//!
+//! ```text
+//! speed = free_flow · (1 − rush(t) − incidents(t)) · coupling(t) + noise
+//! ```
+//!
+//! * `rush(t)` — a per-sensor Gaussian bump around that sensor's peak hour
+//!   (direction decides morning vs evening; amplitude/width/phase jitter per
+//!   sensor gives distinct dynamics).
+//! * `incidents(t)` — random incidents seed congestion at a sensor and
+//!   diffuse **upstream** along the corridor with a travel delay, decaying
+//!   in space and time: spatially correlated and causally directed.
+//! * `coupling(t)` — during the morning regime, congestion on a corridor's
+//!   inbound side spills onto the *next* corridor's inbound side at the
+//!   interchange; in the evening the direction of spilling reverses. The
+//!   influence topology therefore changes with time of day, which is
+//!   exactly the dynamic-correlation effect DAMGN models.
+//!
+//! Road-network distances (along corridors through the centre) feed the
+//! Gaussian-kernel adjacency, matching the paper's traffic setup.
+
+use crate::CorrelatedTimeSeries;
+use enhancenet_tensor::{Tensor, TensorRng};
+
+/// Steps per day at 5-minute sampling.
+const STEPS_PER_DAY: usize = 288;
+
+/// Configuration for the synthetic traffic network.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Number of sensors (paper: EB 182, LA 207).
+    pub num_sensors: usize,
+    /// Number of days of 5-minute data.
+    pub num_days: usize,
+    /// Highway corridors radiating from the centre.
+    pub num_corridors: usize,
+    /// Include a time-of-day attribute as feature 1 (the *LA* dataset's
+    /// second attribute).
+    pub time_feature: bool,
+    /// Expected incidents per sensor per day.
+    pub incident_rate: f32,
+    /// Observation noise standard deviation (mph).
+    pub noise_std: f32,
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl TrafficConfig {
+    /// Full-scale *EB* analogue: 182 sensors, 90 days, speed only.
+    pub fn eb() -> Self {
+        Self {
+            num_sensors: 182,
+            num_days: 90,
+            num_corridors: 4,
+            time_feature: false,
+            incident_rate: 0.6,
+            noise_std: 1.5,
+            seed: 0xEB,
+        }
+    }
+
+    /// Full-scale *LA* analogue: 207 sensors, 120 days, speed + time of day.
+    pub fn la() -> Self {
+        Self {
+            num_sensors: 207,
+            num_days: 120,
+            num_corridors: 5,
+            time_feature: true,
+            incident_rate: 0.8,
+            noise_std: 1.5,
+            seed: 0x1A,
+        }
+    }
+
+    /// A small configuration for unit tests and quick experiments.
+    pub fn tiny(num_sensors: usize, num_days: usize) -> Self {
+        Self {
+            num_sensors,
+            num_days,
+            num_corridors: 2,
+            time_feature: false,
+            incident_rate: 0.8,
+            noise_std: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Static description of one sensor.
+#[derive(Debug, Clone)]
+struct Sensor {
+    corridor: usize,
+    /// Position along the corridor, km from the centre (0 = downtown).
+    km: f32,
+    /// True = towards the centre (morning peak), false = away (evening).
+    inbound: bool,
+    free_flow: f32,
+    peak_amplitude: f32,
+    /// Peak centre in hours (jittered around 8.0 or 17.0).
+    peak_hour: f32,
+    /// Peak width in hours.
+    peak_width: f32,
+    /// Weekend rush attenuation in [0, 0.4].
+    weekend_factor: f32,
+}
+
+fn layout_sensors(cfg: &TrafficConfig, rng: &mut TensorRng) -> Vec<Sensor> {
+    let mut sensors = Vec::with_capacity(cfg.num_sensors);
+    for i in 0..cfg.num_sensors {
+        let corridor = i % cfg.num_corridors;
+        let slot = i / cfg.num_corridors;
+        // Alternate carriageways; distance grows outwards along the slot.
+        let inbound = slot.is_multiple_of(2);
+        let km = 2.0 + (slot as f32 / 2.0).floor() * 1.7 + rng.scalar(-0.3, 0.3);
+        let peak_hour = if inbound { 8.0 } else { 17.0 } + rng.scalar(-1.0, 1.0);
+        sensors.push(Sensor {
+            corridor,
+            km,
+            inbound,
+            free_flow: rng.scalar(58.0, 70.0),
+            peak_amplitude: rng.scalar(0.35, 0.65),
+            peak_hour,
+            peak_width: rng.scalar(1.0, 2.0),
+            weekend_factor: rng.scalar(0.05, 0.35),
+        });
+    }
+    sensors
+}
+
+/// Coordinates of a sensor in a local km frame: corridors radiate at equal
+/// angles, carriageways are offset ±80 m.
+fn sensor_coords(s: &Sensor, num_corridors: usize) -> (f32, f32) {
+    let angle = 2.0 * std::f32::consts::PI * s.corridor as f32 / num_corridors as f32;
+    let offset = if s.inbound { 0.08 } else { -0.08 };
+    let (sin, cos) = angle.sin_cos();
+    (s.km * cos - offset * sin, s.km * sin + offset * cos)
+}
+
+/// Road-network distance between two sensors: along the corridor if they
+/// share one, else through the centre interchange.
+fn road_distance(a: &Sensor, b: &Sensor) -> f32 {
+    if a.corridor == b.corridor {
+        (a.km - b.km).abs() + if a.inbound == b.inbound { 0.0 } else { 0.5 }
+    } else {
+        a.km + b.km
+    }
+}
+
+/// One active incident: congestion seeded at `sensor` that diffuses
+/// upstream with a decaying profile.
+struct Incident {
+    sensor: usize,
+    start_step: usize,
+    duration: usize,
+    severity: f32,
+}
+
+/// Generates the synthetic traffic dataset.
+pub fn generate_traffic(cfg: &TrafficConfig) -> CorrelatedTimeSeries {
+    assert!(cfg.num_sensors >= cfg.num_corridors, "need at least one sensor per corridor");
+    let mut rng = TensorRng::seed(cfg.seed);
+    let sensors = layout_sensors(cfg, &mut rng);
+    let n = cfg.num_sensors;
+    let t_total = cfg.num_days * STEPS_PER_DAY;
+    let c = if cfg.time_feature { 2 } else { 1 };
+
+    // Pre-sample incidents for the whole horizon.
+    let expected = cfg.incident_rate * n as f32 * cfg.num_days as f32;
+    let num_incidents = expected.round() as usize;
+    let incidents: Vec<Incident> = (0..num_incidents)
+        .map(|_| Incident {
+            sensor: rng.index(n),
+            start_step: rng.index(t_total.max(1)),
+            duration: 3 + rng.index(18), // 15 min – 1.75 h
+            severity: rng.scalar(0.15, 0.5),
+        })
+        .collect();
+
+    // Congestion level per (step, sensor) accumulated from rush + incidents
+    // + cross-corridor coupling.
+    let mut congestion = vec![0.0f32; t_total * n];
+
+    // Rush-hour component.
+    for (j, s) in sensors.iter().enumerate() {
+        for step in 0..t_total {
+            let day = step / STEPS_PER_DAY;
+            let hour = (step % STEPS_PER_DAY) as f32 * 24.0 / STEPS_PER_DAY as f32;
+            let weekend = day % 7 >= 5;
+            let amp = if weekend { s.peak_amplitude * s.weekend_factor } else { s.peak_amplitude };
+            let z = (hour - s.peak_hour) / s.peak_width;
+            congestion[step * n + j] += amp * (-0.5 * z * z).exp();
+        }
+    }
+
+    // Incident diffusion: upstream sensors (same corridor+direction, larger
+    // km for inbound / smaller for outbound) congest with travel-time lag.
+    for inc in &incidents {
+        let src = &sensors[inc.sensor];
+        for (j, s) in sensors.iter().enumerate() {
+            if s.corridor != src.corridor || s.inbound != src.inbound {
+                continue;
+            }
+            let upstream_km = if src.inbound { s.km - src.km } else { src.km - s.km };
+            if !(0.0..=8.0).contains(&upstream_km) {
+                continue;
+            }
+            // Queue propagates upstream at ~12 km/h => 1 step per km.
+            let lag = upstream_km.round() as usize;
+            let spatial_decay = (-upstream_km / 4.0).exp();
+            for dt in 0..inc.duration {
+                let step = inc.start_step + lag + dt;
+                if step >= t_total {
+                    break;
+                }
+                // Triangular temporal profile.
+                let frac = dt as f32 / inc.duration as f32;
+                let temporal = if frac < 0.3 { frac / 0.3 } else { (1.0 - frac) / 0.7 };
+                congestion[step * n + j] += inc.severity * spatial_decay * temporal.max(0.0);
+            }
+        }
+    }
+
+    // Time-of-day regime coupling: morning (6–11) congestion on corridor k's
+    // inbound side spills onto corridor (k+1)'s inbound side; evening
+    // (15–20) the coupling reverses direction. 15-minute lag.
+    let corridor_mean_inbound = |cong: &[f32], step: usize, corridor: usize, inbound: bool| {
+        let mut sum = 0.0f32;
+        let mut count = 0usize;
+        for (j, s) in sensors.iter().enumerate() {
+            if s.corridor == corridor && s.inbound == inbound {
+                sum += cong[step * n + j];
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f32
+        }
+    };
+    let base = congestion.clone();
+    let lag_steps = 3;
+    for step in lag_steps..t_total {
+        let hour = (step % STEPS_PER_DAY) as f32 * 24.0 / STEPS_PER_DAY as f32;
+        let morning = (6.0..11.0).contains(&hour);
+        let evening = (15.0..20.0).contains(&hour);
+        if !(morning || evening) {
+            continue;
+        }
+        for (j, s) in sensors.iter().enumerate() {
+            let source_corridor = if morning {
+                (s.corridor + cfg.num_corridors - 1) % cfg.num_corridors
+            } else {
+                (s.corridor + 1) % cfg.num_corridors
+            };
+            let inbound_side = morning;
+            if s.inbound != inbound_side {
+                continue;
+            }
+            let spill =
+                corridor_mean_inbound(&base, step - lag_steps, source_corridor, inbound_side);
+            congestion[step * n + j] += 0.35 * spill;
+        }
+    }
+
+    // Convert to speeds.
+    let mut values = Vec::with_capacity(t_total * n * c);
+    for step in 0..t_total {
+        let tod = (step % STEPS_PER_DAY) as f32 / STEPS_PER_DAY as f32;
+        for (j, s) in sensors.iter().enumerate() {
+            let cong = congestion[step * n + j].min(0.92);
+            let noise = rng.scalar(-cfg.noise_std, cfg.noise_std);
+            let speed = (s.free_flow * (1.0 - cong) + noise).clamp(3.0, 75.0);
+            values.push(speed);
+            if cfg.time_feature {
+                values.push(tod);
+            }
+        }
+    }
+
+    let coords_flat: Vec<f32> = sensors
+        .iter()
+        .flat_map(|s| {
+            let (x, y) = sensor_coords(s, cfg.num_corridors);
+            [x, y]
+        })
+        .collect();
+
+    let mut distances = Tensor::zeros(&[n, n]);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                distances.set(&[i, j], road_distance(&sensors[i], &sensors[j]));
+            }
+        }
+    }
+
+    let ds = CorrelatedTimeSeries {
+        name: if cfg.time_feature { "la".into() } else { "eb".into() },
+        values: Tensor::from_vec(values, &[t_total, n, c]),
+        coords: Tensor::from_vec(coords_flat, &[n, 2]),
+        distances,
+        interval_minutes: 5,
+    };
+    ds.validate();
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CorrelatedTimeSeries {
+        generate_traffic(&TrafficConfig::tiny(12, 3))
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let ds = small();
+        assert_eq!(ds.num_steps(), 3 * 288);
+        assert_eq!(ds.num_entities(), 12);
+        assert_eq!(ds.num_features(), 1);
+        assert_eq!(ds.interval_minutes, 5);
+    }
+
+    #[test]
+    fn la_has_time_feature_in_unit_range() {
+        let mut cfg = TrafficConfig::tiny(8, 1);
+        cfg.time_feature = true;
+        let ds = generate_traffic(&cfg);
+        assert_eq!(ds.num_features(), 2);
+        for step in 0..ds.num_steps() {
+            let tod = ds.values.at(&[step, 0, 1]);
+            assert!((0.0..1.0).contains(&tod));
+        }
+        // Time feature increases within a day.
+        assert!(ds.values.at(&[100, 0, 1]) > ds.values.at(&[10, 0, 1]));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_traffic(&TrafficConfig::tiny(10, 1));
+        let b = generate_traffic(&TrafficConfig::tiny(10, 1));
+        assert!(a.values.allclose(&b.values, 0.0));
+    }
+
+    #[test]
+    fn speeds_are_physical() {
+        let ds = small();
+        assert!(ds.values.min_all() >= 3.0);
+        assert!(ds.values.max_all() <= 75.0);
+    }
+
+    #[test]
+    fn inbound_sensors_slower_in_morning_than_midnight() {
+        // Sensor 0 is inbound by construction (slot 0). Average morning-peak
+        // speed over days must be clearly below the free-flow night speed.
+        let ds = generate_traffic(&TrafficConfig::tiny(12, 7));
+        let day_avg = |hour: usize| -> f32 {
+            let mut s = 0.0;
+            let mut c = 0;
+            for day in 0..7 {
+                let step = day * 288 + hour * 12;
+                s += ds.values.at(&[step, 0, 0]);
+                c += 1;
+            }
+            s / c as f32
+        };
+        assert!(day_avg(8) < day_avg(2) - 5.0, "morning {} night {}", day_avg(8), day_avg(2));
+    }
+
+    #[test]
+    fn inbound_and_outbound_have_opposite_peaks() {
+        // Entities 0 (inbound) and 2 (outbound, slot 1) on the same corridor
+        // layout: morning dip for inbound, evening dip for outbound.
+        let ds = generate_traffic(&TrafficConfig::tiny(12, 7));
+        let avg_at = |entity: usize, hour: usize| -> f32 {
+            (0..7).map(|d| ds.values.at(&[d * 288 + hour * 12, entity, 0])).sum::<f32>() / 7.0
+        };
+        // inbound: 8am slower than 5pm; outbound: reverse.
+        assert!(avg_at(0, 8) < avg_at(0, 17));
+        assert!(avg_at(2, 17) < avg_at(2, 8));
+    }
+
+    #[test]
+    fn distances_are_road_metric() {
+        let ds = small();
+        // Symmetric and zero on the diagonal.
+        for i in 0..4 {
+            assert_eq!(ds.distances.at(&[i, i]), 0.0);
+            for j in 0..4 {
+                assert!((ds.distances.at(&[i, j]) - ds.distances.at(&[j, i])).abs() < 1e-5);
+            }
+        }
+        // Cross-corridor distances go through the centre, so they exceed
+        // both sensors' distance from the centre.
+        assert!(ds.distances.at(&[0, 1]) >= 2.0);
+    }
+
+    #[test]
+    fn weekends_are_less_congested() {
+        let ds = generate_traffic(&TrafficConfig::tiny(16, 14));
+        // Compare average 8am inbound speed weekdays (day 0-4) vs weekend
+        // (day 5,6) over two weeks.
+        let avg = |days: &[usize]| -> f32 {
+            let mut s = 0.0;
+            let mut c = 0;
+            for &d in days {
+                for e in 0..4 {
+                    s += ds.values.at(&[d * 288 + 8 * 12, e, 0]);
+                    c += 1;
+                }
+            }
+            s / c as f32
+        };
+        let weekday = avg(&[0, 1, 2, 3, 4, 7, 8, 9, 10, 11]);
+        let weekend = avg(&[5, 6, 12, 13]);
+        assert!(weekend > weekday, "weekend {weekend} <= weekday {weekday}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Sliding-window forecasting views and the 70/10/20 chronological split
+//! (§VI-A "The three datasets are split chronologically into 3 partitions").
+
+use crate::scaler::StandardScaler;
+use crate::CorrelatedTimeSeries;
+use enhancenet_tensor::Tensor;
+use std::ops::Range;
+
+/// Window-start index ranges for the chronological train/val/test split.
+#[derive(Debug, Clone)]
+pub struct ChronoSplit {
+    /// Training window starts.
+    pub train: Range<usize>,
+    /// Validation window starts.
+    pub val: Range<usize>,
+    /// Test window starts.
+    pub test: Range<usize>,
+}
+
+impl ChronoSplit {
+    /// Splits `num_windows` chronologically with the paper's 70/10/20
+    /// proportions.
+    pub fn paper(num_windows: usize) -> Self {
+        Self::new(num_windows, 0.7, 0.1)
+    }
+
+    /// Splits with explicit train and validation fractions (the rest is
+    /// test).
+    pub fn new(num_windows: usize, train_frac: f32, val_frac: f32) -> Self {
+        assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0);
+        let train_end = (num_windows as f32 * train_frac) as usize;
+        let val_end = (num_windows as f32 * (train_frac + val_frac)) as usize;
+        Self { train: 0..train_end, val: train_end..val_end, test: val_end..num_windows }
+    }
+}
+
+/// A sliding-window forecasting dataset over a scaled series: inputs of `H`
+/// timestamps predict the next `F` timestamps of the target feature
+/// (`X_H → X_F`, §III-A).
+pub struct WindowDataset {
+    /// Scaled values `[T, N, C]` (model inputs).
+    pub scaled: Tensor,
+    /// Raw values `[T, N, C]` (targets and metric ground truth).
+    pub raw: Tensor,
+    /// The scaler fit on the training portion.
+    pub scaler: StandardScaler,
+    /// Input horizon H.
+    pub h: usize,
+    /// Forecast horizon F.
+    pub f: usize,
+    /// Target feature index (0 = speed / temperature).
+    pub target_feature: usize,
+    /// Chronological split over window starts.
+    pub split: ChronoSplit,
+}
+
+impl WindowDataset {
+    /// Builds a windowed dataset from a generated series with the paper's
+    /// split fractions. The scaler is fit only on timestamps that belong to
+    /// training windows.
+    pub fn from_series(ds: &CorrelatedTimeSeries, h: usize, f: usize) -> Self {
+        let t_total = ds.num_steps();
+        assert!(t_total > h + f, "series too short for H={h}, F={f}");
+        let num_windows = t_total - h - f + 1;
+        let split = ChronoSplit::paper(num_windows);
+        // Training windows cover timestamps [0, train_end + h); fit there.
+        let fit_steps = split.train.end + h;
+        let scaler = StandardScaler::fit(&ds.values, fit_steps);
+        Self {
+            scaled: scaler.transform(&ds.values),
+            raw: ds.values.clone(),
+            scaler,
+            h,
+            f,
+            target_feature: 0,
+            split,
+        }
+    }
+
+    /// Number of windows in total.
+    pub fn num_windows(&self) -> usize {
+        self.raw.shape()[0] - self.h - self.f + 1
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.raw.shape()[1]
+    }
+
+    /// Number of input features.
+    pub fn num_features(&self) -> usize {
+        self.raw.shape()[2]
+    }
+
+    /// The scaled input window starting at `start`: `[H, N, C]`.
+    pub fn input_window(&self, start: usize) -> Tensor {
+        self.scaled.slice_axis(0, start, start + self.h)
+    }
+
+    /// The **raw** target window following `start`: `[F, N]` of the target
+    /// feature (metrics are computed in the original scale, §VI-A).
+    pub fn target_window(&self, start: usize) -> Tensor {
+        let y = self.raw.slice_axis(0, start + self.h, start + self.h + self.f);
+        y.slice_axis(2, self.target_feature, self.target_feature + 1)
+            .reshape(&[self.f, self.num_entities()])
+    }
+
+    /// The **scaled** target window `[F, N]` (for scheduled sampling, where
+    /// ground truth is fed back into the decoder in model space).
+    pub fn scaled_target_window(&self, start: usize) -> Tensor {
+        let y = self.scaled.slice_axis(0, start + self.h, start + self.h + self.f);
+        y.slice_axis(2, self.target_feature, self.target_feature + 1)
+            .reshape(&[self.f, self.num_entities()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{generate_traffic, TrafficConfig};
+
+    fn tiny_windows() -> WindowDataset {
+        let ds = generate_traffic(&TrafficConfig::tiny(6, 2));
+        WindowDataset::from_series(&ds, 12, 12)
+    }
+
+    #[test]
+    fn split_proportions() {
+        let s = ChronoSplit::paper(100);
+        assert_eq!(s.train, 0..70);
+        assert_eq!(s.val, 70..80);
+        assert_eq!(s.test, 80..100);
+    }
+
+    #[test]
+    fn split_is_chronological_and_disjoint() {
+        let s = ChronoSplit::paper(57);
+        assert!(s.train.end <= s.val.start);
+        assert!(s.val.end <= s.test.start);
+        assert_eq!(s.test.end, 57);
+    }
+
+    #[test]
+    fn window_count_matches_formula() {
+        let w = tiny_windows();
+        assert_eq!(w.num_windows(), 2 * 288 - 12 - 12 + 1);
+    }
+
+    #[test]
+    fn window_shapes() {
+        let w = tiny_windows();
+        assert_eq!(w.input_window(0).shape(), &[12, 6, 1]);
+        assert_eq!(w.target_window(0).shape(), &[12, 6]);
+        assert_eq!(w.scaled_target_window(5).shape(), &[12, 6]);
+    }
+
+    #[test]
+    fn target_follows_input_in_time() {
+        let w = tiny_windows();
+        // Raw target at offset 0 equals raw series at timestamp H.
+        let target = w.target_window(0);
+        assert_eq!(target.at(&[0, 3]), w.raw.at(&[12, 3, 0]));
+        assert_eq!(target.at(&[11, 0]), w.raw.at(&[23, 0, 0]));
+    }
+
+    #[test]
+    fn scaled_and_raw_targets_are_consistent() {
+        let w = tiny_windows();
+        let raw = w.target_window(3);
+        let scaled = w.scaled_target_window(3);
+        let back = w.scaler.inverse_feature(&scaled, 0);
+        assert!(back.allclose(&raw, 1e-3));
+    }
+
+    #[test]
+    fn scaler_sees_only_training_steps() {
+        // Values in the test region should not influence the mean: verify by
+        // constructing a series whose test tail is shifted by +1000.
+        let ds = generate_traffic(&TrafficConfig::tiny(4, 2));
+        let mut values = ds.values.clone();
+        let t = values.shape()[0];
+        let boost_from = (t as f32 * 0.9) as usize;
+        for step in boost_from..t {
+            for e in 0..4 {
+                let v = values.at(&[step, e, 0]);
+                values.set(&[step, e, 0], v + 1000.0);
+            }
+        }
+        let shifted = CorrelatedTimeSeries { values, ..ds.clone() };
+        let w_orig = WindowDataset::from_series(&ds, 12, 12);
+        let w_shift = WindowDataset::from_series(&shifted, 12, 12);
+        assert!((w_orig.scaler.mean(0) - w_shift.scaler.mean(0)).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the data substrate: windowing arithmetic, scaler
+//! round-trips and generator invariants under arbitrary configurations.
+
+use enhancenet_data::traffic::{generate_traffic, TrafficConfig};
+use enhancenet_data::weather::{generate_weather, WeatherConfig};
+use enhancenet_data::{ChronoSplit, StandardScaler, WindowDataset};
+use enhancenet_tensor::{Tensor, TensorRng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn chrono_split_partitions_everything(n in 10usize..5000) {
+        let s = ChronoSplit::paper(n);
+        prop_assert_eq!(s.train.start, 0);
+        prop_assert_eq!(s.train.end, s.val.start);
+        prop_assert_eq!(s.val.end, s.test.start);
+        prop_assert_eq!(s.test.end, n);
+        // Proportions approximately 70/10/20.
+        prop_assert!((s.train.len() as f32 / n as f32 - 0.7).abs() < 0.02);
+        prop_assert!((s.test.len() as f32 / n as f32 - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn scaler_roundtrip_arbitrary_data(
+        t in 4usize..20,
+        n in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let values = TensorRng::seed(seed).normal(&[t, n, 2], 5.0, 3.0);
+        let scaler = StandardScaler::fit(&values, t);
+        let scaled = scaler.transform(&values);
+        prop_assert!(!scaled.has_non_finite());
+        // Inverse of feature 0 recovers the original column.
+        let f0_scaled: Vec<f32> = (0..t).map(|i| scaled.at(&[i, 0, 0])).collect();
+        let back = scaler.inverse_feature(&Tensor::from_vec(f0_scaled, &[t]), 0);
+        for i in 0..t {
+            prop_assert!((back.at(&[i]) - values.at(&[i, 0, 0])).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn traffic_generator_invariants(sensors in 4usize..16, days in 1usize..4) {
+        let ds = generate_traffic(&TrafficConfig::tiny(sensors, days));
+        prop_assert_eq!(ds.num_entities(), sensors);
+        prop_assert_eq!(ds.num_steps(), days * 288);
+        prop_assert!(ds.values.min_all() >= 3.0);
+        prop_assert!(ds.values.max_all() <= 75.0);
+        ds.validate();
+    }
+
+    #[test]
+    fn weather_generator_invariants(stations in 2usize..10, days in 2usize..8) {
+        let ds = generate_weather(&WeatherConfig::tiny(stations, days));
+        prop_assert_eq!(ds.num_entities(), stations);
+        prop_assert_eq!(ds.num_steps(), days * 24);
+        prop_assert_eq!(ds.num_features(), 6);
+        // Kelvin temperatures stay physical.
+        for step in (0..ds.num_steps()).step_by(7) {
+            for e in 0..stations {
+                let k = ds.values.at(&[step, e, 0]);
+                prop_assert!((200.0..340.0).contains(&k), "temperature {k} K");
+            }
+        }
+        ds.validate();
+    }
+
+    #[test]
+    fn windows_tile_the_series(sensors in 3usize..8) {
+        let ds = generate_traffic(&TrafficConfig::tiny(sensors, 1));
+        let w = WindowDataset::from_series(&ds, 12, 12);
+        prop_assert_eq!(w.num_windows(), 288 - 23);
+        // Consecutive windows shift by exactly one step.
+        let w0 = w.input_window(0);
+        let w1 = w.input_window(1);
+        for t in 0..11 {
+            for e in 0..sensors {
+                prop_assert_eq!(w0.at(&[t + 1, e, 0]), w1.at(&[t, e, 0]));
+            }
+        }
+    }
+
+    #[test]
+    fn window_target_alignment(sensors in 3usize..6, start in 0usize..100) {
+        let ds = generate_traffic(&TrafficConfig::tiny(sensors, 1));
+        let w = WindowDataset::from_series(&ds, 12, 12);
+        let target = w.target_window(start);
+        for f in 0..12 {
+            for e in 0..sensors {
+                prop_assert_eq!(target.at(&[f, e]), ds.values.at(&[start + 12 + f, e, 0]));
+            }
+        }
+    }
+}

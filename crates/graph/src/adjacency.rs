@@ -1,0 +1,154 @@
+//! Distance-based adjacency construction (§VI-A):
+//!
+//! `A_ij = exp(−dist(v_i, v_j)² / σ²)` where σ is the standard deviation of
+//! all pairwise distances, thresholded to zero below `threshold` (0.1 in the
+//! paper's experiments).
+
+use enhancenet_tensor::Tensor;
+
+/// Configuration for Gaussian-kernel adjacency construction.
+#[derive(Debug, Clone, Copy)]
+pub struct AdjacencyConfig {
+    /// Weights below this value are zeroed (paper: 0.1).
+    pub threshold: f32,
+    /// Whether the diagonal (self-loops) is kept at 1.0 or zeroed.
+    pub self_loops: bool,
+}
+
+impl Default for AdjacencyConfig {
+    fn default() -> Self {
+        Self { threshold: 0.1, self_loops: false }
+    }
+}
+
+/// Pairwise Euclidean distances between rows of `coords` (`[N, D]`),
+/// returned as `[N, N]`.
+pub fn pairwise_euclidean(coords: &Tensor) -> Tensor {
+    assert_eq!(coords.rank(), 2, "coords must be [N, D], got {:?}", coords.shape());
+    let (n, d) = (coords.shape()[0], coords.shape()[1]);
+    let mut out = Tensor::zeros(&[n, n]);
+    let data = coords.data();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut s = 0.0f32;
+            for k in 0..d {
+                let diff = data[i * d + k] - data[j * d + k];
+                s += diff * diff;
+            }
+            let dist = s.sqrt();
+            out.set(&[i, j], dist);
+            out.set(&[j, i], dist);
+        }
+    }
+    out
+}
+
+/// Builds the Gaussian-kernel adjacency from a `[N, N]` distance matrix.
+///
+/// σ² is the variance of the **off-diagonal** distances (the paper's "σ is
+/// the standard deviation of distances"). Entries below
+/// `config.threshold` are zeroed; the diagonal follows
+/// `config.self_loops`.
+pub fn gaussian_kernel_adjacency(distances: &Tensor, config: AdjacencyConfig) -> Tensor {
+    assert_eq!(distances.rank(), 2, "distances must be [N, N]");
+    let n = distances.shape()[0];
+    assert_eq!(distances.shape()[1], n, "distances must be square");
+
+    // Standard deviation over off-diagonal entries.
+    let mut vals: Vec<f32> = Vec::with_capacity(n * n - n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                vals.push(distances.at(&[i, j]));
+            }
+        }
+    }
+    let mean = vals.iter().sum::<f32>() / vals.len().max(1) as f32;
+    let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len().max(1) as f32;
+    let sigma2 = var.max(1e-8);
+
+    let mut a = Tensor::zeros(&[n, n]);
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                if config.self_loops {
+                    a.set(&[i, j], 1.0);
+                }
+                continue;
+            }
+            let d = distances.at(&[i, j]);
+            let w = (-d * d / sigma2).exp();
+            if w >= config.threshold {
+                a.set(&[i, j], w);
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_euclidean_known_points() {
+        let coords = Tensor::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![0.0, 1.0]]);
+        let d = pairwise_euclidean(&coords);
+        assert_eq!(d.at(&[0, 1]), 5.0);
+        assert_eq!(d.at(&[0, 2]), 1.0);
+        assert_eq!(d.at(&[1, 0]), 5.0);
+        assert_eq!(d.at(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn kernel_is_symmetric_for_symmetric_distances() {
+        let coords = Tensor::from_rows(&[vec![0.0], vec![1.0], vec![5.0]]);
+        let d = pairwise_euclidean(&coords);
+        let a = gaussian_kernel_adjacency(&d, AdjacencyConfig::default());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(a.at(&[i, j]), a.at(&[j, i]));
+            }
+        }
+    }
+
+    #[test]
+    fn closer_pairs_get_larger_weights() {
+        let coords = Tensor::from_rows(&[vec![0.0], vec![1.0], vec![3.0]]);
+        let d = pairwise_euclidean(&coords);
+        let a =
+            gaussian_kernel_adjacency(&d, AdjacencyConfig { threshold: 0.0, self_loops: false });
+        assert!(a.at(&[0, 1]) > a.at(&[0, 2]));
+    }
+
+    #[test]
+    fn threshold_sparsifies() {
+        let coords = Tensor::from_rows(&[vec![0.0], vec![0.1], vec![100.0]]);
+        let d = pairwise_euclidean(&coords);
+        let a =
+            gaussian_kernel_adjacency(&d, AdjacencyConfig { threshold: 0.1, self_loops: false });
+        assert!(a.at(&[0, 1]) > 0.0, "near pair kept");
+        assert_eq!(a.at(&[0, 2]), 0.0, "far pair pruned");
+    }
+
+    #[test]
+    fn self_loops_flag_controls_diagonal() {
+        let coords = Tensor::from_rows(&[vec![0.0], vec![1.0]]);
+        let d = pairwise_euclidean(&coords);
+        let no_loops =
+            gaussian_kernel_adjacency(&d, AdjacencyConfig { threshold: 0.0, self_loops: false });
+        assert_eq!(no_loops.at(&[0, 0]), 0.0);
+        let loops =
+            gaussian_kernel_adjacency(&d, AdjacencyConfig { threshold: 0.0, self_loops: true });
+        assert_eq!(loops.at(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn weights_bounded_by_one() {
+        let coords =
+            Tensor::from_rows(&[vec![0.0, 0.0], vec![2.0, 1.0], vec![4.0, 4.0], vec![1.0, 3.0]]);
+        let d = pairwise_euclidean(&coords);
+        let a = gaussian_kernel_adjacency(&d, AdjacencyConfig { threshold: 0.0, self_loops: true });
+        assert!(a.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

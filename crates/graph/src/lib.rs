@@ -1,0 +1,62 @@
+//! # enhancenet-graph
+//!
+//! Graph substrate for correlated time series forecasting:
+//!
+//! * distance-based adjacency construction with a Gaussian kernel and
+//!   sparsity threshold (the paper's §VI-A recipe, following DCRNN),
+//! * normalizations (row-stochastic "random walk", symmetric),
+//! * forward/backward transition matrices for directed diffusion
+//!   (incoming vs outgoing neighbours, §V-A),
+//! * k-hop support stacks for graph convolution `Z = A X S` (Eq. 12).
+
+mod adjacency;
+mod supports;
+
+pub use adjacency::{gaussian_kernel_adjacency, pairwise_euclidean, AdjacencyConfig};
+pub use supports::{
+    build_supports, khop_supports, normalize_rows, normalize_symmetric, SupportKind,
+};
+
+use enhancenet_tensor::Tensor;
+
+/// A static graph over `N` entities: the raw adjacency plus the support
+/// matrices graph convolution consumes.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Raw (weighted, possibly asymmetric) adjacency, `[N, N]`.
+    pub adjacency: Tensor,
+    /// Normalized support matrices (e.g. forward + backward transitions).
+    pub supports: Vec<Tensor>,
+}
+
+impl Graph {
+    /// Builds a graph from a raw adjacency with the requested support kind.
+    pub fn from_adjacency(adjacency: Tensor, kind: SupportKind) -> Self {
+        let supports = build_supports(&adjacency, kind);
+        Self { adjacency, supports }
+    }
+
+    /// Number of entities.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.shape()[0]
+    }
+
+    /// Number of (directed) edges with non-zero weight.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.data().iter().filter(|&&v| v != 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_from_adjacency_counts() {
+        let a = Tensor::from_rows(&[vec![0.0, 1.0, 0.0], vec![1.0, 0.0, 0.5], vec![0.0, 0.5, 0.0]]);
+        let g = Graph::from_adjacency(a, SupportKind::DoubleTransition);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.supports.len(), 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Support-matrix construction for graph convolution.
+//!
+//! Following DCRNN (the paper's GRNN base, [21]) we use random-walk
+//! transition matrices: the forward transition `D_o⁻¹ A` models *outgoing*
+//! influence, the backward transition `D_i⁻¹ Aᵀ` models *incoming* influence
+//! (§V-A: "We can also use different adjacency matrices to represent
+//! incoming neighbors and outgoing neighbors"). K-hop neighbourhoods come
+//! from matrix powers of the supports (the "replace A with A^k" remark after
+//! Eq. 12).
+
+use enhancenet_tensor::Tensor;
+
+/// Which set of supports to derive from an adjacency matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupportKind {
+    /// A single row-normalized transition matrix `D⁻¹A`.
+    SingleTransition,
+    /// Forward and backward transitions (`D_o⁻¹A`, `D_i⁻¹Aᵀ`) — the paper's
+    /// in/out-neighbour pair used by GRNN and GTCN.
+    DoubleTransition,
+    /// Symmetric normalization `D^{-1/2} (A + I) D^{-1/2}` (Kipf–Welling).
+    SymmetricWithSelfLoops,
+}
+
+/// Row-normalizes a square matrix: each row sums to 1 (rows that are all
+/// zero stay zero).
+pub fn normalize_rows(a: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "normalize_rows expects a matrix");
+    let (n, m) = (a.shape()[0], a.shape()[1]);
+    let mut out = a.clone();
+    for i in 0..n {
+        let row_sum: f32 = (0..m).map(|j| a.at(&[i, j])).sum();
+        if row_sum.abs() > 1e-12 {
+            for j in 0..m {
+                out.set(&[i, j], a.at(&[i, j]) / row_sum);
+            }
+        }
+    }
+    out
+}
+
+/// Symmetric normalization `D^{-1/2} A D^{-1/2}` of a square matrix
+/// (degrees from row sums; zero-degree nodes stay zero).
+pub fn normalize_symmetric(a: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "normalize_symmetric expects a matrix");
+    let n = a.shape()[0];
+    let inv_sqrt_deg: Vec<f32> = (0..n)
+        .map(|i| {
+            let d: f32 = (0..n).map(|j| a.at(&[i, j])).sum();
+            if d > 1e-12 {
+                1.0 / d.sqrt()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut out = Tensor::zeros(&[n, n]);
+    for i in 0..n {
+        for j in 0..n {
+            out.set(&[i, j], inv_sqrt_deg[i] * a.at(&[i, j]) * inv_sqrt_deg[j]);
+        }
+    }
+    out
+}
+
+/// Derives the support matrices for `kind` from a raw adjacency.
+pub fn build_supports(adjacency: &Tensor, kind: SupportKind) -> Vec<Tensor> {
+    match kind {
+        SupportKind::SingleTransition => vec![normalize_rows(adjacency)],
+        SupportKind::DoubleTransition => {
+            vec![normalize_rows(adjacency), normalize_rows(&adjacency.transpose())]
+        }
+        SupportKind::SymmetricWithSelfLoops => {
+            let n = adjacency.shape()[0];
+            let with_loops = adjacency.add_t(&Tensor::eye(n));
+            vec![normalize_symmetric(&with_loops)]
+        }
+    }
+}
+
+/// Expands supports to `max_hop` hops: for each support `S`, returns
+/// `S¹, S², …, S^max_hop` (the identity hop is handled by the conv layer
+/// concatenating the raw signal).
+pub fn khop_supports(supports: &[Tensor], max_hop: usize) -> Vec<Tensor> {
+    assert!(max_hop >= 1, "max_hop must be >= 1");
+    let mut out = Vec::with_capacity(supports.len() * max_hop);
+    for s in supports {
+        let mut power = s.clone();
+        out.push(power.clone());
+        for _ in 1..max_hop {
+            power = power.matmul(s);
+            out.push(power.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asym() -> Tensor {
+        Tensor::from_rows(&[vec![0.0, 2.0, 0.0], vec![1.0, 0.0, 1.0], vec![0.0, 0.0, 0.0]])
+    }
+
+    #[test]
+    fn normalize_rows_sums_to_one() {
+        let t = normalize_rows(&asym());
+        assert!((t.at(&[0, 1]) - 1.0).abs() < 1e-6);
+        assert!(((0..3).map(|j| t.at(&[1, j])).sum::<f32>() - 1.0).abs() < 1e-6);
+        // Zero row stays zero.
+        assert_eq!((0..3).map(|j| t.at(&[2, j])).sum::<f32>(), 0.0);
+    }
+
+    #[test]
+    fn double_transition_uses_transpose() {
+        let sup = build_supports(&asym(), SupportKind::DoubleTransition);
+        assert_eq!(sup.len(), 2);
+        // Backward support row 2 should be non-zero: node 2 has an incoming
+        // edge from node 1 (A[1,2] = 1 -> Aᵀ[2,1] = 1).
+        assert!(sup[1].at(&[2, 1]) > 0.0);
+    }
+
+    #[test]
+    fn symmetric_normalization_is_symmetric() {
+        let a = Tensor::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let s = normalize_symmetric(&a.add_t(&Tensor::eye(2)));
+        assert!((s.at(&[0, 1]) - s.at(&[1, 0])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn symmetric_with_self_loops_has_diagonal() {
+        let a = Tensor::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let sup = build_supports(&a, SupportKind::SymmetricWithSelfLoops);
+        assert_eq!(sup.len(), 1);
+        assert!(sup[0].at(&[0, 0]) > 0.0);
+    }
+
+    #[test]
+    fn row_normalized_is_stochastic_under_powers() {
+        // Powers of a row-stochastic matrix remain row-stochastic — the
+        // property k-hop diffusion relies on.
+        let p = normalize_rows(&Tensor::from_rows(&[
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ]));
+        let p2 = p.matmul(&p);
+        for i in 0..3 {
+            let s: f32 = (0..3).map(|j| p2.at(&[i, j])).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn khop_supports_count_and_first_power() {
+        let sup = build_supports(&asym(), SupportKind::DoubleTransition);
+        let hops = khop_supports(&sup, 2);
+        assert_eq!(hops.len(), 4);
+        assert!(hops[0].allclose(&sup[0], 0.0));
+        assert!(hops[1].allclose(&sup[0].matmul(&sup[0]), 1e-6));
+    }
+
+    #[test]
+    fn two_hop_reaches_neighbors_of_neighbors() {
+        // 0 -> 1 -> 2 with no direct 0 -> 2 edge.
+        let a = Tensor::from_rows(&[vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0], vec![0.0, 0.0, 0.0]]);
+        let sup = build_supports(&a, SupportKind::SingleTransition);
+        let hops = khop_supports(&sup, 2);
+        assert_eq!(hops[0].at(&[0, 2]), 0.0);
+        assert!(hops[1].at(&[0, 2]) > 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the graph substrate: invariants that must hold for
+//! arbitrary entity layouts.
+
+use enhancenet_graph::{
+    build_supports, gaussian_kernel_adjacency, khop_supports, normalize_rows, normalize_symmetric,
+    pairwise_euclidean, AdjacencyConfig, SupportKind,
+};
+use enhancenet_tensor::Tensor;
+use proptest::prelude::*;
+
+fn coords(n: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-50.0f32..50.0, n * 2)
+        .prop_map(move |data| Tensor::from_vec(data, &[n, 2]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn distances_form_a_metric(c in coords(6)) {
+        let d = pairwise_euclidean(&c);
+        for i in 0..6 {
+            prop_assert_eq!(d.at(&[i, i]), 0.0);
+            for j in 0..6 {
+                // Symmetry and non-negativity.
+                prop_assert!(d.at(&[i, j]) >= 0.0);
+                prop_assert!((d.at(&[i, j]) - d.at(&[j, i])).abs() < 1e-4);
+                // Triangle inequality through any k.
+                for k in 0..6 {
+                    prop_assert!(d.at(&[i, j]) <= d.at(&[i, k]) + d.at(&[k, j]) + 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_weights_bounded_and_monotone(c in coords(5)) {
+        let d = pairwise_euclidean(&c);
+        let a = gaussian_kernel_adjacency(&d, AdjacencyConfig { threshold: 0.0, self_loops: false });
+        for i in 0..5 {
+            for j in 0..5 {
+                prop_assert!((0.0..=1.0).contains(&a.at(&[i, j])));
+            }
+        }
+        // Monotonicity: if dist(i,j) < dist(i,k) then weight(i,j) >= weight(i,k).
+        for i in 0..5 {
+            for j in 0..5 {
+                for k in 0..5 {
+                    if i != j && i != k && d.at(&[i, j]) < d.at(&[i, k]) {
+                        prop_assert!(a.at(&[i, j]) >= a.at(&[i, k]) - 1e-5);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thresholding_only_removes_edges(c in coords(5)) {
+        let d = pairwise_euclidean(&c);
+        let dense = gaussian_kernel_adjacency(&d, AdjacencyConfig { threshold: 0.0, self_loops: false });
+        let sparse = gaussian_kernel_adjacency(&d, AdjacencyConfig { threshold: 0.3, self_loops: false });
+        for i in 0..5 {
+            for j in 0..5 {
+                let s = sparse.at(&[i, j]);
+                prop_assert!(s == 0.0 || (s - dense.at(&[i, j])).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn row_normalization_is_stochastic_or_zero(c in coords(6)) {
+        let d = pairwise_euclidean(&c);
+        let a = gaussian_kernel_adjacency(&d, AdjacencyConfig::default());
+        let p = normalize_rows(&a);
+        for i in 0..6 {
+            let row_sum: f32 = (0..6).map(|j| p.at(&[i, j])).sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-4 || row_sum.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn symmetric_normalization_preserves_symmetry(c in coords(6)) {
+        let d = pairwise_euclidean(&c);
+        let a = gaussian_kernel_adjacency(&d, AdjacencyConfig { threshold: 0.0, self_loops: true });
+        let s = normalize_symmetric(&a);
+        for i in 0..6 {
+            for j in 0..6 {
+                prop_assert!((s.at(&[i, j]) - s.at(&[j, i])).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn double_transition_supports_are_row_stochastic(c in coords(6)) {
+        let d = pairwise_euclidean(&c);
+        let a = gaussian_kernel_adjacency(&d, AdjacencyConfig::default());
+        for s in build_supports(&a, SupportKind::DoubleTransition) {
+            for i in 0..6 {
+                let sum: f32 = (0..6).map(|j| s.at(&[i, j])).sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4 || sum.abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn khop_powers_stay_row_stochastic(c in coords(5)) {
+        let d = pairwise_euclidean(&c);
+        let a = gaussian_kernel_adjacency(&d, AdjacencyConfig { threshold: 0.0, self_loops: true });
+        let sup = build_supports(&a, SupportKind::SingleTransition);
+        for hop in khop_supports(&sup, 3) {
+            for i in 0..5 {
+                let sum: f32 = (0..5).map(|j| hop.at(&[i, j])).sum();
+                prop_assert!((sum - 1.0).abs() < 1e-3, "row {i} sums to {sum}");
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # enhancenet-models
+//!
+//! The host forecasting models the paper evaluates (§VI-A "Experiment
+//! Design") and the deep baselines it compares against, all built on the
+//! `enhancenet` plugin crate:
+//!
+//! | Paper name | Constructor |
+//! |---|---|
+//! | RNN / D-RNN | [`GruSeq2Seq`] with `GraphMode::None` |
+//! | GRNN / D-GRNN / DA-GRNN / D-DA-GRNN | [`GruSeq2Seq`] with static / dynamic graph modes |
+//! | TCN (WaveNet) / D-TCN | [`WaveNet`] with `GraphMode::None` |
+//! | GTCN / D-GTCN / DA-GTCN / D-DA-GTCN | [`WaveNet`] with graph modes |
+//! | LSTM | [`LstmSeq2Seq`] |
+//! | DCRNN | [`GruSeq2Seq::grnn`] (diffusion-convolutional GRU seq2seq — the GRNN base *is* the DCRNN architecture [21]) |
+//! | STGCN | [`Stgcn`] |
+//! | Graph WaveNet | [`WaveNet`] with `GraphMode::AdaptiveStatic` |
+//! | ARIMA | [`ArimaBaseline`] |
+//!
+//! Every model implements [`enhancenet::Forecaster`], so the shared
+//! [`enhancenet::Trainer`] trains and evaluates them uniformly.
+
+pub mod arima_baseline;
+pub mod config;
+pub mod lstm;
+pub mod seq2seq;
+pub mod stgcn;
+pub mod wavenet;
+
+pub use arima_baseline::ArimaBaseline;
+pub use config::{GraphMode, ModelDims, TemporalMode};
+pub use lstm::LstmSeq2Seq;
+pub use seq2seq::GruSeq2Seq;
+pub use stgcn::Stgcn;
+pub use wavenet::{WaveNet, WaveNetConfig};

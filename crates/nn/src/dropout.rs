@@ -1,0 +1,100 @@
+//! Inverted dropout.
+//!
+//! During training each element is zeroed with probability `p` and the
+//! survivors are scaled by `1/(1−p)`, so the expected activation is
+//! unchanged and evaluation needs no rescaling.
+
+use enhancenet_autodiff::{Graph, Var};
+use enhancenet_tensor::{Tensor, TensorRng};
+
+/// Dropout layer. Stateless apart from the rate; the mask is sampled from
+/// the RNG passed at application time so training remains reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// A dropout layer with drop probability `p ∈ [0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout rate must be in [0,1), got {p}");
+        Self { p }
+    }
+
+    /// Applies dropout. When `training` is false (or `p == 0`) this is the
+    /// identity and records no extra nodes beyond the input.
+    pub fn apply(&self, g: &mut Graph, rng: &mut TensorRng, x: Var, training: bool) -> Var {
+        if !training || self.p == 0.0 {
+            return x;
+        }
+        let shape = g.value(x).shape().to_vec();
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_t = rng.uniform(&shape, 0.0, 1.0).map(|v| if v < keep { scale } else { 0.0 });
+        let mask = g.constant(mask_t);
+        g.mul(x, mask)
+    }
+
+    /// The drop probability.
+    pub fn rate(&self) -> f32 {
+        self.p
+    }
+}
+
+/// Samples a raw dropout mask tensor (used by tests and by layers that need
+/// the same mask at several points, e.g. variational RNN dropout).
+pub fn dropout_mask(rng: &mut TensorRng, shape: &[usize], p: f32) -> Tensor {
+    let keep = 1.0 - p;
+    rng.uniform(shape, 0.0, 1.0).map(|v| if v < keep { 1.0 / keep } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut g = Graph::new();
+        let mut rng = TensorRng::seed(1);
+        let x = g.constant(Tensor::ones(&[8]));
+        let y = Dropout::new(0.5).apply(&mut g, &mut rng, x, false);
+        assert_eq!(g.value(y).data(), g.value(x).data());
+    }
+
+    #[test]
+    fn zero_rate_is_identity_in_training() {
+        let mut g = Graph::new();
+        let mut rng = TensorRng::seed(1);
+        let x = g.constant(Tensor::ones(&[8]));
+        let y = Dropout::new(0.0).apply(&mut g, &mut rng, x, true);
+        assert_eq!(g.value(y).data(), g.value(x).data());
+    }
+
+    #[test]
+    fn training_mode_zeroes_and_rescales() {
+        let mut g = Graph::new();
+        let mut rng = TensorRng::seed(2);
+        let x = g.constant(Tensor::ones(&[10000]));
+        let y = Dropout::new(0.3).apply(&mut g, &mut rng, x, true);
+        let data = g.value(y).data();
+        let zeros = data.iter().filter(|&&v| v == 0.0).count();
+        let scaled = data.iter().filter(|&&v| (v - 1.0 / 0.7).abs() < 1e-5).count();
+        assert_eq!(zeros + scaled, 10000);
+        assert!((zeros as f32 / 10000.0 - 0.3).abs() < 0.03);
+        // Expectation approximately preserved.
+        assert!((g.value(y).mean_all() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn rejects_rate_one() {
+        Dropout::new(1.0);
+    }
+
+    #[test]
+    fn mask_values_are_zero_or_scale() {
+        let mut rng = TensorRng::seed(3);
+        let m = dropout_mask(&mut rng, &[100], 0.5);
+        assert!(m.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,151 @@
+//! Fully-connected layer with optional bias.
+
+use enhancenet_autodiff::{Graph, ParamId, ParamStore, Var};
+use enhancenet_tensor::TensorRng;
+
+/// A linear map `y = x · W + b` for 2-D or batched 3-D inputs.
+///
+/// Weights are Xavier-initialized at construction; parameters are owned by
+/// the caller's [`ParamStore`].
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a `[in_dim, out_dim]` weight (and a zero bias unless
+    /// `bias` is false) under `name.{w,b}`.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut TensorRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), rng.xavier(&[in_dim, out_dim], in_dim, out_dim));
+        let b = bias
+            .then(|| store.add(format!("{name}.b"), enhancenet_tensor::Tensor::zeros(&[out_dim])));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Applies the layer. `x` may be `[M, in]` or `[B, M, in]`; the output
+    /// keeps the leading shape with the trailing axis mapped to `out`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.param(store, self.w);
+        let shape = g.value(x).shape().to_vec();
+        assert_eq!(
+            *shape.last().expect("linear input must have rank >= 1"),
+            self.in_dim,
+            "linear expects trailing dim {}, got {:?}",
+            self.in_dim,
+            shape
+        );
+        let y = match shape.len() {
+            2 => g.matmul(x, w),
+            3 => g.matmul_broadcast_right(x, w),
+            r => {
+                // Flatten all leading axes, apply, restore.
+                let lead: usize = shape[..r - 1].iter().product();
+                let flat = g.reshape(x, &[lead, self.in_dim]);
+                let y = g.matmul(flat, w);
+                let mut out_shape = shape[..r - 1].to_vec();
+                out_shape.push(self.out_dim);
+                g.reshape(y, &out_shape)
+            }
+        };
+        match self.b {
+            Some(b) => {
+                let bv = g.param(store, b);
+                g.add(y, bv)
+            }
+            None => y,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The weight parameter id (exposed for regularizers / reporting).
+    pub fn weight_id(&self) -> ParamId {
+        self.w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enhancenet_tensor::Tensor;
+
+    #[test]
+    fn forward_2d_shape_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = TensorRng::seed(1);
+        let lin = Linear::new(&mut store, &mut rng, "l", 3, 2, true);
+        // Overwrite with known values.
+        *store.value_mut(lin.w) =
+            Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        *store.value_mut(lin.b.unwrap()) = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]));
+        let y = lin.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).data(), &[14.0, 25.0]);
+    }
+
+    #[test]
+    fn forward_3d_batches() {
+        let mut store = ParamStore::new();
+        let mut rng = TensorRng::seed(2);
+        let lin = Linear::new(&mut store, &mut rng, "l", 2, 4, false);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[3, 5, 2]));
+        let y = lin.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), &[3, 5, 4]);
+    }
+
+    #[test]
+    fn forward_4d_flattens_leading() {
+        let mut store = ParamStore::new();
+        let mut rng = TensorRng::seed(3);
+        let lin = Linear::new(&mut store, &mut rng, "l", 2, 3, true);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[2, 3, 4, 2]));
+        let y = lin.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), &[2, 3, 4, 3]);
+    }
+
+    #[test]
+    fn gradients_flow_to_weight_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = TensorRng::seed(4);
+        let lin = Linear::new(&mut store, &mut rng, "l", 2, 2, true);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[3, 2]));
+        let y = lin.forward(&mut g, &store, x);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        g.write_grads(&mut store);
+        assert!(store.grad(lin.w).norm() > 0.0);
+        assert!(store.grad(lin.b.unwrap()).norm() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing dim")]
+    fn rejects_wrong_input_width() {
+        let mut store = ParamStore::new();
+        let mut rng = TensorRng::seed(5);
+        let lin = Linear::new(&mut store, &mut rng, "l", 3, 2, false);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[1, 4]));
+        lin.forward(&mut g, &store, x);
+    }
+}

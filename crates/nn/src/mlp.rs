@@ -1,0 +1,146 @@
+//! Multi-layer perceptron — the architecture used for the DFGN itself
+//! ("a simple feed-forward neural network with two hidden layers", §IV-C).
+
+use crate::linear::Linear;
+use enhancenet_autodiff::{Graph, ParamStore, Var};
+use enhancenet_tensor::TensorRng;
+
+/// Activation applied between MLP layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    fn apply(self, g: &mut Graph, x: Var) -> Var {
+        match self {
+            Activation::Relu => g.relu(x),
+            Activation::Tanh => g.tanh(x),
+            Activation::Sigmoid => g.sigmoid(x),
+        }
+    }
+}
+
+/// A feed-forward network: `dims[0] → dims[1] → … → dims.last()`, with the
+/// chosen activation between layers and a linear final layer.
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP through the widths in `dims` (at least input and
+    /// output). Layer `i` is named `name.fc{i}`.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut TensorRng,
+        name: &str,
+        dims: &[usize],
+        activation: Activation,
+    ) -> Self {
+        assert!(dims.len() >= 2, "MLP needs at least input and output widths, got {dims:?}");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, rng, &format!("{name}.fc{i}"), w[0], w[1], true))
+            .collect();
+        Self { layers, activation }
+    }
+
+    /// Forward pass; activation after every layer except the last.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let last = self.layers.len() - 1;
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(g, store, h);
+            if i != last {
+                h = self.activation.apply(g, h);
+            }
+        }
+        h
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Output width of the final layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("MLP has at least one layer").out_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enhancenet_tensor::Tensor;
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut store = ParamStore::new();
+        let mut rng = TensorRng::seed(1);
+        let mlp = Mlp::new(&mut store, &mut rng, "m", &[16, 16, 4, 32], Activation::Relu);
+        assert_eq!(mlp.depth(), 3);
+        assert_eq!(mlp.out_dim(), 32);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[5, 16]));
+        let y = mlp.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), &[5, 32]);
+    }
+
+    #[test]
+    fn parameter_count_matches_formula() {
+        // The paper's DFGN parameter analysis (§IV-C): m·n1 + n1·n2 + n2·o
+        // weights plus n1 + n2 + o biases.
+        let (m, n1, n2, o) = (16, 16, 4, 24);
+        let mut store = ParamStore::new();
+        let mut rng = TensorRng::seed(2);
+        let _ = Mlp::new(&mut store, &mut rng, "dfgn", &[m, n1, n2, o], Activation::Relu);
+        let expected = m * n1 + n1 * n2 + n2 * o + n1 + n2 + o;
+        assert_eq!(store.num_scalars(), expected);
+    }
+
+    #[test]
+    fn gradients_reach_all_layers() {
+        let mut store = ParamStore::new();
+        let mut rng = TensorRng::seed(3);
+        let mlp = Mlp::new(&mut store, &mut rng, "m", &[4, 8, 2], Activation::Tanh);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[3, 4]));
+        let y = mlp.forward(&mut g, &store, x);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        g.write_grads(&mut store);
+        for id in store.ids() {
+            // Biases of the last layer always receive gradient; weights do
+            // unless an activation zeroed everything — tanh won't.
+            assert!(
+                store.grad(id).norm() > 0.0 || store.name(id).contains("fc1.b"),
+                "no grad for {}",
+                store.name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn deep_relu_mlp_is_nonlinear() {
+        let mut store = ParamStore::new();
+        let mut rng = TensorRng::seed(4);
+        let mlp = Mlp::new(&mut store, &mut rng, "m", &[1, 8, 1], Activation::Relu);
+        let eval = |store: &ParamStore, v: f32| {
+            let mut g = Graph::new();
+            let x = g.constant(Tensor::from_vec(vec![v], &[1, 1]));
+            let y = mlp.forward(&mut g, store, x);
+            g.value(y).item()
+        };
+        let (a, b, c) = (eval(&store, -1.0), eval(&store, 0.0), eval(&store, 1.0));
+        // Nonlinearity: midpoint differs from average of endpoints.
+        assert!((b - 0.5 * (a + c)).abs() > 1e-6);
+    }
+}

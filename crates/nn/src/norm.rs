@@ -1,0 +1,167 @@
+//! Layer normalization over the trailing feature axis, with learnable gain
+//! and bias — used by STGCN's ST-Conv blocks and available to any host.
+
+use enhancenet_autodiff::{Graph, ParamId, ParamStore, Var};
+use enhancenet_tensor::Tensor;
+
+/// LayerNorm: `y = γ ⊙ (x − μ) / sqrt(σ² + ε) + β`, statistics computed
+/// along the last axis of the input.
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    dim: usize,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// A layer norm over a trailing axis of width `dim`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        Self {
+            gamma: store.add(format!("{name}.gamma"), Tensor::ones(&[dim])),
+            beta: store.add(format!("{name}.beta"), Tensor::zeros(&[dim])),
+            dim,
+            eps: 1e-5,
+        }
+    }
+
+    /// Applies the normalization. The input's last axis must equal `dim`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let shape = g.value(x).shape().to_vec();
+        assert_eq!(
+            *shape.last().expect("layernorm input must have rank >= 1"),
+            self.dim,
+            "layernorm expects trailing dim {}, got {:?}",
+            self.dim,
+            shape
+        );
+        let rank = shape.len() as isize;
+        let mean = g.mean_axis(x, rank - 1);
+        let mean_keep = g.reshape(mean, &keepdim(&shape));
+        let centered = g.sub(x, mean_keep);
+        let sq = g.square(centered);
+        let var = g.mean_axis(sq, rank - 1);
+        let var_keep = g.reshape(var, &keepdim(&shape));
+        let var_eps = g.add_scalar(var_keep, self.eps);
+        let std = g.sqrt(var_eps);
+        let normed = g.div(centered, std);
+        let gamma = g.param(store, self.gamma);
+        let beta = g.param(store, self.beta);
+        let scaled = g.mul(normed, gamma);
+        g.add(scaled, beta)
+    }
+
+    /// Feature width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+fn keepdim(shape: &[usize]) -> Vec<usize> {
+    let mut s = shape.to_vec();
+    *s.last_mut().expect("rank >= 1") = 1;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enhancenet_tensor::TensorRng;
+
+    #[test]
+    fn output_rows_are_standardized_at_identity_params() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 8);
+        let mut g = Graph::new();
+        let x = g.constant(TensorRng::seed(1).normal(&[4, 8], 3.0, 2.0));
+        let y = ln.forward(&mut g, &store, x);
+        let out = g.value(y);
+        for r in 0..4 {
+            let row: Vec<f32> = (0..8).map(|c| out.at(&[r, c])).collect();
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_shift_and_scale() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        *store.value_mut(ln.gamma) = Tensor::full(&[4], 2.0);
+        *store.value_mut(ln.beta) = Tensor::full(&[4], 10.0);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]));
+        let y = ln.forward(&mut g, &store, x);
+        let out = g.value(y);
+        let mean: f32 = (0..4).map(|c| out.at(&[0, c])).sum::<f32>() / 4.0;
+        assert!((mean - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn works_on_higher_rank_inputs() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 6);
+        let mut g = Graph::new();
+        let x = g.constant(TensorRng::seed(2).normal(&[2, 3, 4, 6], -1.0, 5.0));
+        let y = ln.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), &[2, 3, 4, 6]);
+        assert!(!g.value(y).has_non_finite());
+    }
+
+    #[test]
+    fn constant_rows_map_to_beta() {
+        // Zero variance must not blow up thanks to ε.
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 3);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::full(&[2, 3], 7.0));
+        let y = ln.forward(&mut g, &store, x);
+        assert!(g.value(y).allclose(&Tensor::zeros(&[2, 3]), 1e-3));
+    }
+
+    #[test]
+    fn gradients_flow_to_gain_bias_and_input() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let mut g = Graph::new();
+        let x = g.constant(TensorRng::seed(3).normal(&[3, 4], 0.0, 1.0));
+        let y = ln.forward(&mut g, &store, x);
+        let sq = g.square(y);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        g.write_grads(&mut store);
+        assert!(store.grad(ln.gamma).norm() > 0.0);
+        assert!(g.grad(x).unwrap().norm() > 0.0);
+        // Beta's gradient for sum(y²) is 2Σy = 0 for standardized rows with
+        // γ=1, β=0 — perturb beta so it becomes nonzero.
+        *store.value_mut(ln.beta) = Tensor::full(&[4], 0.5);
+        let mut g2 = Graph::new();
+        let x2 = g2.constant(TensorRng::seed(3).normal(&[3, 4], 0.0, 1.0));
+        let y2 = ln.forward(&mut g2, &store, x2);
+        let sq2 = g2.square(y2);
+        let loss2 = g2.sum_all(sq2);
+        g2.backward(loss2);
+        store.zero_grad();
+        g2.write_grads(&mut store);
+        assert!(store.grad(ln.beta).norm() > 0.0);
+    }
+
+    #[test]
+    fn numeric_gradient_check() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 3);
+        let x = TensorRng::seed(4).normal(&[2, 3], 0.0, 1.0);
+        let r = enhancenet_autodiff::check::check_gradient(
+            |g, v| {
+                let y = ln.forward(g, &store, v);
+                let w = g.constant(Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, 1.0, -1.0], &[2, 3]));
+                let wy = g.mul(y, w);
+                g.sum_all(wy)
+            },
+            &x,
+            1e-3,
+        );
+        assert!(r.passes(5e-2), "{r:?}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Optimizers (SGD with momentum, Adam), global-norm gradient clipping, and
+//! the learning-rate schedules the paper trains with (§VI-A "Model
+//! Configurations": RNNs start at 0.01 and decay ×0.1 every 10 epochs from
+//! epoch 20; TCNs train at a fixed 0.001).
+
+use enhancenet_autodiff::ParamStore;
+use enhancenet_tensor::Tensor;
+
+/// Common optimizer interface: one `step` consumes the accumulated
+/// gradients in the store and updates values in place.
+pub trait Optimizer {
+    /// Applies one update with the given learning rate.
+    fn step(&mut self, store: &mut ParamStore, lr: f32);
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+pub struct Sgd {
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD (`momentum = 0`) or SGD with momentum.
+    pub fn new(momentum: f32) -> Self {
+        Self { momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, lr: f32) {
+        let momentum = self.momentum;
+        let velocity = &mut self.velocity;
+        store.for_each_mut(|i, value, grad| {
+            if momentum == 0.0 {
+                value.axpy(-lr, grad);
+            } else {
+                if velocity.len() <= i {
+                    velocity.resize_with(i + 1, || Tensor::zeros(grad.shape()));
+                }
+                if velocity[i].shape() != grad.shape() {
+                    velocity[i] = Tensor::zeros(grad.shape());
+                }
+                let v = &mut velocity[i];
+                v.map_inplace(|x| x * momentum);
+                v.add_assign_t(grad);
+                value.axpy(-lr, v);
+            }
+        });
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction — the optimizer used by DCRNN /
+/// Graph WaveNet reference implementations and by our trainer.
+pub struct Adam {
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the standard defaults (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new() -> Self {
+        Self::with_betas(0.9, 0.999, 1e-8)
+    }
+
+    /// Adam with explicit hyper-parameters.
+    pub fn with_betas(beta1: f32, beta2: f32, eps: f32) -> Self {
+        Self { beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore, lr: f32) {
+        self.t += 1;
+        let (b1, b2, eps, t) = (self.beta1, self.beta2, self.eps, self.t);
+        let bc1 = 1.0 - b1.powi(t);
+        let bc2 = 1.0 - b2.powi(t);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        store.for_each_mut(|i, value, grad| {
+            if ms.len() <= i {
+                ms.resize_with(i + 1, || Tensor::zeros(grad.shape()));
+                vs.resize_with(i + 1, || Tensor::zeros(grad.shape()));
+            }
+            if ms[i].shape() != grad.shape() {
+                ms[i] = Tensor::zeros(grad.shape());
+                vs[i] = Tensor::zeros(grad.shape());
+            }
+            let m = &mut ms[i];
+            let v = &mut vs[i];
+            for ((mv, vv), (g, x)) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut())
+                .zip(grad.data().iter().zip(value.data_mut()))
+            {
+                *mv = b1 * *mv + (1.0 - b1) * g;
+                *vv = b2 * *vv + (1.0 - b2) * g * g;
+                let mhat = *mv / bc1;
+                let vhat = *vv / bc2;
+                *x -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        });
+    }
+}
+
+/// Clips the global gradient norm to `max_norm`; returns the pre-clip norm.
+/// No-op when the norm is already within bounds.
+pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> f32 {
+    let norm = store.grad_norm();
+    if norm > max_norm && norm > 0.0 {
+        store.scale_grads(max_norm / norm);
+    }
+    norm
+}
+
+/// Learning-rate schedules used in the paper's training setups.
+#[derive(Debug, Clone)]
+pub enum LrSchedule {
+    /// Fixed rate (TCN models: 0.001).
+    Constant(f32),
+    /// `base` until `start_epoch`, then ×`gamma` every `every` epochs
+    /// (RNN models: base 0.01, gamma 0.1, start 20, every 10).
+    StepDecay {
+        /// Initial learning rate.
+        base: f32,
+        /// Multiplicative decay factor.
+        gamma: f32,
+        /// First epoch (0-indexed) at which decay applies.
+        start_epoch: usize,
+        /// Decay period in epochs.
+        every: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The paper's RNN schedule: 0.01, ×0.1 every 10 epochs from epoch 20.
+    pub fn paper_rnn() -> Self {
+        LrSchedule::StepDecay { base: 0.01, gamma: 0.1, start_epoch: 20, every: 10 }
+    }
+
+    /// The paper's TCN schedule: fixed 0.001.
+    pub fn paper_tcn() -> Self {
+        LrSchedule::Constant(0.001)
+    }
+
+    /// Learning rate at a (0-indexed) epoch.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::StepDecay { base, gamma, start_epoch, every } => {
+                if epoch < start_epoch {
+                    base
+                } else {
+                    let steps = (epoch - start_epoch) / every + 1;
+                    base * gamma.powi(steps as i32)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enhancenet_autodiff::Graph;
+
+    /// Minimizes (w - 3)^2 and returns the final w.
+    fn optimize(opt: &mut dyn Optimizer, lr: f32, steps: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![0.0], &[1]));
+        for _ in 0..steps {
+            store.zero_grad();
+            let mut g = Graph::new();
+            let wv = g.param(&store, w);
+            let c = g.constant(Tensor::from_vec(vec![3.0], &[1]));
+            let d = g.sub(wv, c);
+            let sq = g.square(d);
+            let loss = g.sum_all(sq);
+            g.backward(loss);
+            g.write_grads(&mut store);
+            opt.step(&mut store, lr);
+        }
+        store.value(w).data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = optimize(&mut Sgd::new(0.0), 0.1, 100);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let w = optimize(&mut Sgd::new(0.9), 0.02, 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = optimize(&mut Adam::new(), 0.1, 300);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction the first Adam step ≈ lr regardless of grad
+        // magnitude.
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(vec![0.0], &[1]));
+        store.accumulate_grad(w, &Tensor::from_vec(vec![123.0], &[1]));
+        let mut adam = Adam::new();
+        adam.step(&mut store, 0.5);
+        assert!((store.value(w).data()[0] + 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(&[2]));
+        store.accumulate_grad(w, &Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let pre = clip_grad_norm(&mut store, 1.0);
+        assert!((pre - 5.0).abs() < 1e-5);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_noop_when_small() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(&[2]));
+        store.accumulate_grad(w, &Tensor::from_vec(vec![0.3, 0.4], &[2]));
+        clip_grad_norm(&mut store, 1.0);
+        assert!((store.grad_norm() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_rnn_schedule_decays() {
+        let s = LrSchedule::paper_rnn();
+        assert!((s.lr_at(0) - 0.01).abs() < 1e-9);
+        assert!((s.lr_at(19) - 0.01).abs() < 1e-9);
+        assert!((s.lr_at(20) - 0.001).abs() < 1e-9);
+        assert!((s.lr_at(29) - 0.001).abs() < 1e-9);
+        assert!((s.lr_at(30) - 0.0001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_tcn_schedule_constant() {
+        let s = LrSchedule::paper_tcn();
+        assert_eq!(s.lr_at(0), s.lr_at(99));
+        assert!((s.lr_at(0) - 0.001).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,89 @@
+//! Scheduled sampling (Bengio et al.), used by the paper's encoder–decoder
+//! RNN training ("In addition, scheduled sampling is used", §VI-A).
+//!
+//! During decoding, the probability of feeding the *ground truth* (rather
+//! than the model's own previous prediction) decays over training with an
+//! inverse-sigmoid curve, exactly as in the DCRNN reference implementation:
+//! `p(i) = τ / (τ + exp(i / τ))` where `i` counts global batches.
+
+use enhancenet_tensor::TensorRng;
+
+/// Inverse-sigmoid scheduled sampler.
+#[derive(Debug, Clone)]
+pub struct ScheduledSampler {
+    tau: f32,
+    step: u64,
+}
+
+impl ScheduledSampler {
+    /// `tau` controls how slowly teacher forcing decays (DCRNN uses 2000
+    /// for full-scale training; small values suit scaled-down runs).
+    pub fn new(tau: f32) -> Self {
+        assert!(tau > 0.0, "tau must be positive");
+        Self { tau, step: 0 }
+    }
+
+    /// Probability of teacher forcing at the current step.
+    pub fn teacher_forcing_prob(&self) -> f32 {
+        self.tau / (self.tau + (self.step as f32 / self.tau).exp())
+    }
+
+    /// Advances the global batch counter.
+    pub fn advance(&mut self) {
+        self.step += 1;
+    }
+
+    /// Samples whether to use the ground truth this decode step.
+    pub fn use_ground_truth(&self, rng: &mut TensorRng) -> bool {
+        rng.bernoulli(self.teacher_forcing_prob())
+    }
+
+    /// Current global step.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_near_certain_teacher_forcing() {
+        let s = ScheduledSampler::new(2000.0);
+        assert!(s.teacher_forcing_prob() > 0.99);
+    }
+
+    #[test]
+    fn decays_monotonically() {
+        let mut s = ScheduledSampler::new(10.0);
+        let mut prev = s.teacher_forcing_prob();
+        for _ in 0..100 {
+            s.advance();
+            let p = s.teacher_forcing_prob();
+            assert!(p <= prev + 1e-9);
+            prev = p;
+        }
+        assert!(prev < 0.01, "after many steps prob should be near 0, got {prev}");
+    }
+
+    #[test]
+    fn half_probability_at_tau_ln_tau() {
+        // p = 0.5 when exp(i/τ) = τ, i.e. i = τ·ln(τ).
+        let tau = 50.0f32;
+        let mut s = ScheduledSampler::new(tau);
+        let target = (tau * tau.ln()) as u64;
+        for _ in 0..target {
+            s.advance();
+        }
+        assert!((s.teacher_forcing_prob() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn sampling_rate_tracks_probability() {
+        let s = ScheduledSampler::new(2000.0);
+        let mut rng = TensorRng::seed(1);
+        let hits = (0..1000).filter(|_| s.use_ground_truth(&mut rng)).count();
+        assert!(hits > 950);
+    }
+}

@@ -1,0 +1,148 @@
+//! Lloyd's k-means with k-means++ seeding — used to colour the memory
+//! clusters in Figures 10 and 11.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+
+use enhancenet_tensor::{Tensor, TensorRng};
+
+/// Clusters the rows of `points` (`[N, D]`) into `k` groups.
+///
+/// Returns `(assignments, centroids)` where `assignments[i] ∈ 0..k` and
+/// `centroids` is `[k, D]`. Deterministic given the seed.
+pub fn kmeans(points: &Tensor, k: usize, seed: u64, max_iter: usize) -> (Vec<usize>, Tensor) {
+    assert_eq!(points.rank(), 2, "kmeans expects [N, D]");
+    let (n, d) = (points.shape()[0], points.shape()[1]);
+    assert!(k >= 1 && k <= n, "k = {k} must be in 1..={n}");
+    let mut rng = TensorRng::seed(seed);
+    let row = |i: usize| &points.data()[i * d..(i + 1) * d];
+    let dist2 =
+        |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f32>> = vec![row(rng.index(n)).to_vec()];
+    while centroids.len() < k {
+        let weights: Vec<f32> = (0..n)
+            .map(|i| centroids.iter().map(|c| dist2(row(i), c)).fold(f32::INFINITY, f32::min))
+            .collect();
+        let total: f32 = weights.iter().sum();
+        let next = if total <= 0.0 {
+            rng.index(n)
+        } else {
+            let mut target = rng.scalar(0.0, total);
+            let mut pick = n - 1;
+            for (i, &w) in weights.iter().enumerate() {
+                if target <= w {
+                    pick = i;
+                    break;
+                }
+                target -= w;
+            }
+            pick
+        };
+        centroids.push(row(next).to_vec());
+    }
+
+    let mut assignments = vec![0usize; n];
+    for _ in 0..max_iter {
+        // Assign.
+        let mut changed = false;
+        for i in 0..n {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(row(i), &centroids[a]).total_cmp(&dist2(row(i), &centroids[b]))
+                })
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f32; d]; k];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[assignments[i]] += 1;
+            for (s, v) in sums[assignments[i]].iter_mut().zip(row(i)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f32;
+                }
+                centroids[c] = sums[c].clone();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let flat: Vec<f32> = centroids.into_iter().flatten().collect();
+    (assignments, Tensor::from_vec(flat, &[k, d]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Tensor {
+        let mut rng = TensorRng::seed(42);
+        let mut data = Vec::new();
+        for _ in 0..20 {
+            data.push(0.0 + rng.scalar(-0.2, 0.2));
+            data.push(0.0 + rng.scalar(-0.2, 0.2));
+        }
+        for _ in 0..20 {
+            data.push(10.0 + rng.scalar(-0.2, 0.2));
+            data.push(10.0 + rng.scalar(-0.2, 0.2));
+        }
+        Tensor::from_vec(data, &[40, 2])
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let (assign, centroids) = kmeans(&pts, 2, 1, 50);
+        // All of the first 20 share a label, all of the last 20 the other.
+        assert!(assign[..20].iter().all(|&a| a == assign[0]));
+        assert!(assign[20..].iter().all(|&a| a == assign[20]));
+        assert_ne!(assign[0], assign[20]);
+        // Centroids near (0,0) and (10,10) in some order.
+        let c0 = (centroids.at(&[0, 0]), centroids.at(&[0, 1]));
+        let c1 = (centroids.at(&[1, 0]), centroids.at(&[1, 1]));
+        let near =
+            |c: (f32, f32), t: (f32, f32)| (c.0 - t.0).abs() < 1.0 && (c.1 - t.1).abs() < 1.0;
+        assert!(
+            (near(c0, (0.0, 0.0)) && near(c1, (10.0, 10.0)))
+                || (near(c1, (0.0, 0.0)) && near(c0, (10.0, 10.0)))
+        );
+    }
+
+    #[test]
+    fn k_equals_n_assigns_each_point_its_own_cluster() {
+        let pts = Tensor::from_rows(&[vec![0.0, 0.0], vec![5.0, 0.0], vec![0.0, 5.0]]);
+        let (assign, _) = kmeans(&pts, 3, 2, 20);
+        let mut sorted = assign.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = two_blobs();
+        let (a1, _) = kmeans(&pts, 2, 9, 50);
+        let (a2, _) = kmeans(&pts, 2, 9, 50);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let pts = Tensor::from_rows(&[vec![1.0], vec![3.0], vec![5.0]]);
+        let (assign, centroids) = kmeans(&pts, 1, 3, 10);
+        assert!(assign.iter().all(|&a| a == 0));
+        assert!((centroids.at(&[0, 0]) - 3.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,25 @@
+//! # enhancenet-stats
+//!
+//! Evaluation statistics for the reproduction:
+//!
+//! * forecasting metrics — masked MAE / RMSE / MAPE exactly as the paper's
+//!   evaluation protocol reports them (§VI-A "Evaluation Metrics"),
+//! * Welch's t-test with exact Student-t p-values (the significance test of
+//!   §VI-B3),
+//! * exact t-SNE (van der Maaten & Hinton [23]) for Figure 10's
+//!   entity-memory embedding,
+//! * PCA (power iteration) as a fast linear alternative / t-SNE init,
+//! * k-means for the cluster colouring of Figures 10–11.
+
+pub mod kmeans;
+pub mod metrics;
+pub mod pca;
+pub mod special;
+pub mod tsne;
+pub mod ttest;
+
+pub use kmeans::kmeans;
+pub use metrics::{mae, mape, metrics_at_horizon, rmse, HorizonMetrics};
+pub use pca::pca_2d;
+pub use tsne::{tsne, TsneConfig};
+pub use ttest::{welch_t_test, TTestResult};

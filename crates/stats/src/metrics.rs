@@ -1,0 +1,140 @@
+//! Forecast accuracy metrics: MAE, RMSE, MAPE — masked against missing /
+//! zero readings, following the DCRNN evaluation protocol the paper adopts.
+
+use enhancenet_tensor::Tensor;
+
+/// Mean absolute error over entries where `truth != 0` (the standard
+/// traffic-forecasting mask: a zero speed encodes a missing reading).
+pub fn mae(pred: &Tensor, truth: &Tensor) -> f32 {
+    masked_reduce(pred, truth, |d, _| d.abs())
+}
+
+/// Root mean squared error over non-missing entries.
+pub fn rmse(pred: &Tensor, truth: &Tensor) -> f32 {
+    masked_reduce(pred, truth, |d, _| d * d).sqrt()
+}
+
+/// Mean absolute percentage error (in percent) over non-missing entries.
+pub fn mape(pred: &Tensor, truth: &Tensor) -> f32 {
+    100.0 * masked_reduce(pred, truth, |d, t| (d / t).abs())
+}
+
+fn masked_reduce(pred: &Tensor, truth: &Tensor, f: impl Fn(f32, f32) -> f32) -> f32 {
+    assert_eq!(
+        pred.shape(),
+        truth.shape(),
+        "metric shape mismatch: {:?} vs {:?}",
+        pred.shape(),
+        truth.shape()
+    );
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for (&p, &t) in pred.data().iter().zip(truth.data()) {
+        if t != 0.0 {
+            sum += f(p - t, t) as f64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (sum / count as f64) as f32
+    }
+}
+
+/// The three errors at one forecast horizon — one cell group of Tables
+/// I–III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HorizonMetrics {
+    /// Mean absolute error.
+    pub mae: f32,
+    /// Root mean squared error.
+    pub rmse: f32,
+    /// Mean absolute percentage error (percent).
+    pub mape: f32,
+}
+
+impl HorizonMetrics {
+    /// Computes all three metrics.
+    pub fn compute(pred: &Tensor, truth: &Tensor) -> Self {
+        Self { mae: mae(pred, truth), rmse: rmse(pred, truth), mape: mape(pred, truth) }
+    }
+}
+
+/// Metrics at a single horizon step of batched predictions.
+///
+/// `pred` and `truth` are `[B, F, N]`; `horizon` is 1-indexed as in the
+/// paper (3rd, 6th, 12th timestamp).
+pub fn metrics_at_horizon(pred: &Tensor, truth: &Tensor, horizon: usize) -> HorizonMetrics {
+    assert!(horizon >= 1, "horizons are 1-indexed");
+    let p = pred.index_axis(1, horizon - 1);
+    let t = truth.index_axis(1, horizon - 1);
+    HorizonMetrics::compute(&p, &t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_known_value() {
+        let p = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let t = Tensor::from_vec(vec![2.0, 2.0, 5.0], &[3]);
+        assert!((mae(&p, &t) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let p = Tensor::from_vec(vec![1.0, 5.0], &[2]);
+        let t = Tensor::from_vec(vec![2.0, 2.0], &[2]);
+        assert!((rmse(&p, &t) - (5.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mape_known_value() {
+        let p = Tensor::from_vec(vec![90.0, 110.0], &[2]);
+        let t = Tensor::from_vec(vec![100.0, 100.0], &[2]);
+        assert!((mape(&p, &t) - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_truth_entries_are_masked() {
+        let p = Tensor::from_vec(vec![1.0, 999.0], &[2]);
+        let t = Tensor::from_vec(vec![2.0, 0.0], &[2]);
+        assert!((mae(&p, &t) - 1.0).abs() < 1e-6);
+        assert!((mape(&p, &t) - 50.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn all_masked_returns_zero() {
+        let p = Tensor::ones(&[3]);
+        let t = Tensor::zeros(&[3]);
+        assert_eq!(mae(&p, &t), 0.0);
+        assert_eq!(rmse(&p, &t), 0.0);
+    }
+
+    #[test]
+    fn perfect_prediction_scores_zero() {
+        let t = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]);
+        let m = HorizonMetrics::compute(&t, &t);
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.rmse, 0.0);
+        assert_eq!(m.mape, 0.0);
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        let p = Tensor::from_vec(vec![1.0, 2.0, 10.0, 4.0], &[4]);
+        let t = Tensor::from_vec(vec![2.0, 2.5, 4.0, 4.5], &[4]);
+        assert!(rmse(&p, &t) >= mae(&p, &t));
+    }
+
+    #[test]
+    fn horizon_selection_is_one_indexed() {
+        // [B=1, F=2, N=1]: horizon 1 error 1, horizon 2 error 3.
+        let p = Tensor::from_vec(vec![11.0, 13.0], &[1, 2, 1]);
+        let t = Tensor::from_vec(vec![10.0, 10.0], &[1, 2, 1]);
+        assert!((metrics_at_horizon(&p, &t, 1).mae - 1.0).abs() < 1e-6);
+        assert!((metrics_at_horizon(&p, &t, 2).mae - 3.0).abs() < 1e-6);
+    }
+}

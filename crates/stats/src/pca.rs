@@ -1,0 +1,121 @@
+//! 2-D principal component analysis via power iteration with deflation.
+//! Used to initialize t-SNE and as a cheap linear embedding.
+
+use enhancenet_tensor::Tensor;
+
+/// Projects the rows of `points` (`[N, D]`) onto their first two principal
+/// components, returning `[N, 2]`.
+pub fn pca_2d(points: &Tensor) -> Tensor {
+    assert_eq!(points.rank(), 2, "pca expects [N, D]");
+    let (n, d) = (points.shape()[0], points.shape()[1]);
+    assert!(d >= 1, "pca needs at least one feature");
+
+    // Center.
+    let mean = points.mean_axis(0);
+    let centered = points.sub_t(&mean);
+
+    // Covariance [D, D].
+    let cov = centered.transpose().matmul(&centered).mul_scalar(1.0 / n.max(1) as f32);
+
+    let pc1 = power_iteration(&cov, 0xFACE);
+    // Deflate and repeat.
+    let lambda1 = rayleigh(&cov, &pc1);
+    let deflated = deflate(&cov, &pc1, lambda1);
+    let pc2 = if d >= 2 { power_iteration(&deflated, 0xBEEF) } else { pc1.clone() };
+
+    let mut out = Vec::with_capacity(n * 2);
+    for i in 0..n {
+        let row = &centered.data()[i * d..(i + 1) * d];
+        let p1: f32 = row.iter().zip(pc1.data()).map(|(a, b)| a * b).sum();
+        let p2: f32 = row.iter().zip(pc2.data()).map(|(a, b)| a * b).sum();
+        out.push(p1);
+        out.push(p2);
+    }
+    Tensor::from_vec(out, &[n, 2])
+}
+
+fn power_iteration(m: &Tensor, seed: u64) -> Tensor {
+    let d = m.shape()[0];
+    let mut v = enhancenet_tensor::TensorRng::seed(seed).normal(&[d], 0.0, 1.0);
+    let norm = v.norm().max(1e-12);
+    v.map_inplace(|x| x / norm);
+    for _ in 0..200 {
+        let mv = m.matmul(&v.reshape(&[d, 1])).reshape(&[d]);
+        let norm = mv.norm();
+        if norm < 1e-12 {
+            break;
+        }
+        let next = mv.mul_scalar(1.0 / norm);
+        let delta = next.sub_t(&v).norm().min(next.add_t(&v).norm());
+        v = next;
+        if delta < 1e-7 {
+            break;
+        }
+    }
+    v
+}
+
+fn rayleigh(m: &Tensor, v: &Tensor) -> f32 {
+    let d = v.numel();
+    let mv = m.matmul(&v.reshape(&[d, 1])).reshape(&[d]);
+    v.dot(&mv)
+}
+
+fn deflate(m: &Tensor, v: &Tensor, lambda: f32) -> Tensor {
+    let d = v.numel();
+    let vv = v.reshape(&[d, 1]).matmul(&v.reshape(&[1, d]));
+    m.sub_t(&vv.mul_scalar(lambda))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape() {
+        let pts = Tensor::from_vec((0..30).map(|v| v as f32).collect(), &[10, 3]);
+        assert_eq!(pca_2d(&pts).shape(), &[10, 2]);
+    }
+
+    #[test]
+    fn first_component_captures_dominant_axis() {
+        // Points spread along (1, 1, 0) with small noise elsewhere.
+        let mut data = Vec::new();
+        for i in 0..40 {
+            let t = i as f32 - 20.0;
+            data.extend_from_slice(&[t, t, (i % 3) as f32 * 0.01]);
+        }
+        let pts = Tensor::from_vec(data, &[40, 3]);
+        let proj = pca_2d(&pts);
+        // Variance along PC1 far exceeds PC2.
+        let var = |axis: usize| -> f32 {
+            let vals: Vec<f32> = (0..40).map(|i| proj.at(&[i, axis])).collect();
+            let m = vals.iter().sum::<f32>() / 40.0;
+            vals.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / 40.0
+        };
+        assert!(var(0) > 100.0 * var(1).max(1e-9), "var0 {} var1 {}", var(0), var(1));
+    }
+
+    #[test]
+    fn preserves_separation_of_clusters() {
+        let mut data = Vec::new();
+        for i in 0..10 {
+            data.extend_from_slice(&[0.0, i as f32 * 0.01, 0.0, 0.0]);
+        }
+        for i in 0..10 {
+            data.extend_from_slice(&[50.0, i as f32 * 0.01, 0.0, 0.0]);
+        }
+        let pts = Tensor::from_vec(data, &[20, 4]);
+        let proj = pca_2d(&pts);
+        let a = proj.at(&[0, 0]);
+        let b = proj.at(&[10, 0]);
+        assert!((a - b).abs() > 10.0, "clusters collapsed: {a} vs {b}");
+    }
+
+    #[test]
+    fn centered_projection_has_zero_mean() {
+        let pts = Tensor::from_vec((0..24).map(|v| (v as f32).sin() * 3.0).collect(), &[8, 3]);
+        let proj = pca_2d(&pts);
+        assert!(proj.mean_axis(0).norm() < 1e-4);
+    }
+}

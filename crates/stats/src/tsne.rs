@@ -1,0 +1,268 @@
+//! Exact t-SNE (van der Maaten & Hinton, JMLR 2008) — reference O(n²)
+//! implementation, more than fast enough for the paper's N ≤ 207 entity
+//! memories (Figure 10).
+
+use crate::pca::pca_2d;
+use enhancenet_tensor::Tensor;
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions (typical 5–50).
+    pub perplexity: f32,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate (η).
+    pub learning_rate: f32,
+    /// Iterations of early exaggeration (P × 4).
+    pub exaggeration_iters: usize,
+    /// RNG seed for the PCA fallback jitter.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 15.0,
+            iterations: 400,
+            learning_rate: 100.0,
+            exaggeration_iters: 80,
+            seed: 0x75E,
+        }
+    }
+}
+
+/// Embeds the rows of `points` (`[N, D]`) into 2-D. Returns `[N, 2]`.
+pub fn tsne(points: &Tensor, config: TsneConfig) -> Tensor {
+    assert_eq!(points.rank(), 2, "tsne expects [N, D]");
+    let n = points.shape()[0];
+    if n <= 2 {
+        return pca_2d(points);
+    }
+    let p = joint_probabilities(points, config.perplexity);
+
+    // PCA init, scaled to small magnitude (vdM's recommendation).
+    let mut y = pca_2d(points);
+    let norm = y.norm().max(1e-6);
+    y = y.mul_scalar(1e-2 / (norm / (n as f32).sqrt()));
+    let mut velocity = vec![0.0f32; n * 2];
+    let mut gains = vec![1.0f32; n * 2];
+
+    for iter in 0..config.iterations {
+        let exaggeration = if iter < config.exaggeration_iters { 4.0 } else { 1.0 };
+        let momentum = if iter < 100 { 0.5 } else { 0.8 };
+
+        // Student-t affinities in the embedding.
+        let mut num = vec![0.0f32; n * n];
+        let mut q_sum = 0.0f32;
+        let yd = y.data();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = yd[i * 2] - yd[j * 2];
+                let dy = yd[i * 2 + 1] - yd[j * 2 + 1];
+                let v = 1.0 / (1.0 + dx * dx + dy * dy);
+                num[i * n + j] = v;
+                num[j * n + i] = v;
+                q_sum += 2.0 * v;
+            }
+        }
+        let q_sum = q_sum.max(1e-12);
+
+        // Gradient: 4 Σ_j (p_ij·ex − q_ij) num_ij (y_i − y_j).
+        let mut grad = vec![0.0f32; n * 2];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let pij = p.data()[i * n + j] * exaggeration;
+                let qij = num[i * n + j] / q_sum;
+                let mult = 4.0 * (pij - qij) * num[i * n + j];
+                grad[i * 2] += mult * (yd[i * 2] - yd[j * 2]);
+                grad[i * 2 + 1] += mult * (yd[i * 2 + 1] - yd[j * 2 + 1]);
+            }
+        }
+
+        // Adaptive gains + momentum update.
+        let yd = y.data_mut();
+        for k in 0..n * 2 {
+            gains[k] = if (grad[k] > 0.0) == (velocity[k] > 0.0) {
+                (gains[k] * 0.8).max(0.01)
+            } else {
+                gains[k] + 0.2
+            };
+            velocity[k] = momentum * velocity[k] - config.learning_rate * gains[k] * grad[k];
+            yd[k] += velocity[k];
+        }
+
+        // Recenter to keep the solution bounded.
+        let (mut mx, mut my) = (0.0f32, 0.0f32);
+        for i in 0..n {
+            mx += yd[i * 2];
+            my += yd[i * 2 + 1];
+        }
+        mx /= n as f32;
+        my /= n as f32;
+        for i in 0..n {
+            yd[i * 2] -= mx;
+            yd[i * 2 + 1] -= my;
+        }
+    }
+    y
+}
+
+/// Symmetrized joint probabilities `P` with per-point bandwidths calibrated
+/// to the target perplexity by binary search.
+fn joint_probabilities(points: &Tensor, perplexity: f32) -> Tensor {
+    let (n, d) = (points.shape()[0], points.shape()[1]);
+    let data = points.data();
+    let dist2 = |i: usize, j: usize| -> f32 {
+        let (a, b) = (&data[i * d..(i + 1) * d], &data[j * d..(j + 1) * d]);
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    };
+    let target_entropy = perplexity.max(1.0).ln();
+
+    let mut p = vec![0.0f32; n * n];
+    for i in 0..n {
+        // Binary search beta = 1/(2σ²).
+        let mut beta = 1.0f32;
+        let (mut lo, mut hi) = (0.0f32, f32::INFINITY);
+        for _ in 0..60 {
+            // Conditional distribution and its entropy for this beta.
+            let mut sum = 0.0f32;
+            let mut weighted = 0.0f32;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let w = (-beta * dist2(i, j)).exp();
+                sum += w;
+                weighted += w * dist2(i, j);
+            }
+            let sum = sum.max(1e-30);
+            let entropy = beta * weighted / sum + sum.ln();
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-4 {
+                break;
+            }
+            if diff > 0.0 {
+                lo = beta;
+                beta = if hi.is_finite() { 0.5 * (beta + hi) } else { beta * 2.0 };
+            } else {
+                hi = beta;
+                beta = 0.5 * (beta + lo);
+            }
+        }
+        let mut sum = 0.0f32;
+        for j in 0..n {
+            if j != i {
+                let w = (-beta * dist2(i, j)).exp();
+                p[i * n + j] = w;
+                sum += w;
+            }
+        }
+        let sum = sum.max(1e-30);
+        for j in 0..n {
+            p[i * n + j] /= sum;
+        }
+    }
+
+    // Symmetrize and normalize, with the usual floor.
+    let mut out = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            out[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f32)).max(1e-12);
+        }
+    }
+    for i in 0..n {
+        out[i * n + i] = 0.0;
+    }
+    Tensor::from_vec(out, &[n, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enhancenet_tensor::TensorRng;
+
+    fn blobs(k: usize, per: usize, spread: f32, sep: f32) -> (Tensor, Vec<usize>) {
+        let mut rng = TensorRng::seed(5);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..k {
+            let cx = sep * (c as f32);
+            for _ in 0..per {
+                data.push(cx + rng.scalar(-spread, spread));
+                data.push(rng.scalar(-spread, spread));
+                data.push(rng.scalar(-spread, spread));
+                labels.push(c);
+            }
+        }
+        (Tensor::from_vec(data, &[k * per, 3]), labels)
+    }
+
+    #[test]
+    fn output_shape_and_finite() {
+        let (pts, _) = blobs(2, 10, 0.3, 8.0);
+        let y = tsne(&pts, TsneConfig { iterations: 150, ..Default::default() });
+        assert_eq!(y.shape(), &[20, 2]);
+        assert!(!y.has_non_finite());
+    }
+
+    #[test]
+    fn joint_probabilities_are_a_distribution() {
+        let (pts, _) = blobs(2, 8, 0.3, 5.0);
+        let p = joint_probabilities(&pts, 5.0);
+        let total = p.sum_all();
+        assert!((total - 1.0).abs() < 1e-3, "sum = {total}");
+        // Symmetric.
+        for i in 0..16 {
+            for j in 0..16 {
+                assert!((p.at(&[i, j]) - p.at(&[j, i])).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn nearby_points_have_higher_affinity() {
+        let pts = Tensor::from_rows(&[vec![0.0, 0.0], vec![0.1, 0.0], vec![10.0, 0.0]]);
+        let p = joint_probabilities(&pts, 2.0);
+        assert!(p.at(&[0, 1]) > p.at(&[0, 2]));
+    }
+
+    #[test]
+    fn well_separated_clusters_stay_separated() {
+        let (pts, labels) = blobs(2, 12, 0.2, 20.0);
+        let y = tsne(&pts, TsneConfig { iterations: 250, perplexity: 5.0, ..Default::default() });
+        // Mean embedding distance within clusters << between clusters.
+        let dist = |a: usize, b: usize| -> f32 {
+            let dx = y.at(&[a, 0]) - y.at(&[b, 0]);
+            let dy = y.at(&[a, 1]) - y.at(&[b, 1]);
+            (dx * dx + dy * dy).sqrt()
+        };
+        let mut within = 0.0;
+        let mut wc = 0;
+        let mut between = 0.0;
+        let mut bc = 0;
+        for a in 0..24 {
+            for b in (a + 1)..24 {
+                if labels[a] == labels[b] {
+                    within += dist(a, b);
+                    wc += 1;
+                } else {
+                    between += dist(a, b);
+                    bc += 1;
+                }
+            }
+        }
+        let (within, between) = (within / wc as f32, between / bc as f32);
+        assert!(between > 2.0 * within, "between {between} vs within {within}");
+    }
+
+    #[test]
+    fn tiny_inputs_fall_back_to_pca() {
+        let pts = Tensor::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let y = tsne(&pts, TsneConfig::default());
+        assert_eq!(y.shape(), &[2, 2]);
+    }
+}

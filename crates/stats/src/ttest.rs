@@ -1,0 +1,100 @@
+//! Welch's unequal-variance t-test — the significance test of §VI-B3
+//! ("we perform the t-tests … The p-values are less than 0.01").
+
+use crate::special::t_sf_two_sided;
+
+/// Result of a two-sample Welch t-test.
+#[derive(Debug, Clone, Copy)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl TTestResult {
+    /// True when the difference is significant at level `alpha`.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Welch's t-test for the difference of means of two independent samples.
+///
+/// # Panics
+///
+/// Panics when either sample has fewer than two observations.
+pub fn welch_t_test(a: &[f32], b: &[f32]) -> TTestResult {
+    assert!(a.len() >= 2 && b.len() >= 2, "t-test needs at least 2 samples per group");
+    let (ma, va, na) = mean_var(a);
+    let (mb, vb, nb) = mean_var(b);
+    let se2 = va / na + vb / nb;
+    let se = se2.sqrt().max(1e-300);
+    let t = (ma - mb) / se;
+    // Welch–Satterthwaite.
+    let df =
+        se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(1e-300);
+    let p_value = t_sf_two_sided(t.abs(), df.max(1.0));
+    TTestResult { t, df, p_value }
+}
+
+fn mean_var(x: &[f32]) -> (f64, f64, f64) {
+    let n = x.len() as f64;
+    let mean = x.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = x.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = welch_t_test(&a, &a);
+        assert!(r.t.abs() < 1e-9);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+        assert!(!r.significant(0.05));
+    }
+
+    #[test]
+    fn clearly_different_means_are_significant() {
+        let a: Vec<f32> = (0..30).map(|i| 10.0 + (i % 3) as f32 * 0.1).collect();
+        let b: Vec<f32> = (0..30).map(|i| 12.0 + (i % 3) as f32 * 0.1).collect();
+        let r = welch_t_test(&a, &b);
+        assert!(r.significant(0.01), "{r:?}");
+        assert!(r.t < 0.0, "a < b should give negative t");
+    }
+
+    #[test]
+    fn matches_hand_computation() {
+        // means 2.3 vs 2.6, both sample variances 0.025, n = 5 each:
+        // t = -0.3 / sqrt(0.01) = -3, Welch df = 8.
+        let a = [2.1f32, 2.5, 2.3, 2.2, 2.4];
+        let b = [2.5f32, 2.7, 2.6, 2.4, 2.8];
+        let r = welch_t_test(&a, &b);
+        assert!((r.t - (-3.0)).abs() < 1e-5, "t = {}", r.t);
+        assert!((r.df - 8.0).abs() < 1e-5, "df = {}", r.df);
+        // scipy.stats.t.sf(3, 8) * 2 ≈ 0.01707
+        assert!((r.p_value - 0.01707).abs() < 5e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn unequal_variances_use_welch_df() {
+        let a = [1.0f32, 1.01, 0.99, 1.0, 1.02, 0.98];
+        let b = [2.0f32, 5.0, -1.0, 3.0, 0.5, 2.5];
+        let r = welch_t_test(&a, &b);
+        // df should be pulled toward the smaller-variance-adjusted value,
+        // well below the pooled df of 10.
+        assert!(r.df < 6.0, "df = {}", r.df);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 samples")]
+    fn rejects_tiny_samples() {
+        welch_t_test(&[1.0], &[1.0, 2.0]);
+    }
+}

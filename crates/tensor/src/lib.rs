@@ -1,0 +1,48 @@
+//! # enhancenet-tensor
+//!
+//! Dense, contiguous, row-major `f32` tensor substrate used by every other
+//! crate in the EnhanceNet reproduction.
+//!
+//! The paper's models operate on small-to-medium tensors (entities `N ≤ 207`,
+//! hidden sizes `C' ≤ 64`, horizons `H = F = 12`), so this crate favours a
+//! simple, predictable representation — a `Vec<f32>` plus a shape — over
+//! stride/view machinery. Transposes and slices materialize. Matrix products
+//! use a cache-friendly `ikj` loop order and parallelize over rows with
+//! rayon when the problem is large enough to amortize the fork.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use enhancenet_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+//!
+//! ## Conventions
+//!
+//! * Shapes are `&[usize]`; rank-0 (scalar) tensors have shape `&[]` and one
+//!   element.
+//! * Binary elementwise operations broadcast with NumPy semantics.
+//! * Shape errors panic with a descriptive message; this mirrors the
+//!   behaviour of mainstream tensor libraries and keeps hot paths free of
+//!   `Result` plumbing. The offending shapes are always included in the
+//!   panic message.
+
+mod init;
+mod manip;
+mod matmul;
+mod ops;
+mod reduce;
+mod shape;
+mod tensor;
+
+pub use init::TensorRng;
+pub use shape::{broadcast_shapes, Shape};
+pub use tensor::Tensor;
+
+/// Absolute tolerance used by [`Tensor::allclose`] and the test-suites of the
+/// downstream crates.
+pub const DEFAULT_ATOL: f32 = 1e-5;

@@ -1,0 +1,362 @@
+//! Shape manipulation: reshape, transpose, permute, concat, slice, stack,
+//! padding, and axis selection. All operations materialize a new tensor.
+
+use crate::shape::{normalize_axis, Shape};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Reinterprets the buffer with a new shape of equal element count.
+    ///
+    /// One axis may be `usize::MAX` to mean "infer this dimension".
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        let mut dims = shape.to_vec();
+        if let Some(pos) = dims.iter().position(|&d| d == usize::MAX) {
+            let known: usize = dims.iter().filter(|&&d| d != usize::MAX).product();
+            assert!(
+                known > 0 && self.numel().is_multiple_of(known),
+                "cannot infer axis: numel {} not divisible by {:?}",
+                self.numel(),
+                shape
+            );
+            dims[pos] = self.numel() / known;
+        }
+        assert_eq!(
+            Shape::numel(&dims),
+            self.numel(),
+            "reshape {:?} -> {:?} changes element count",
+            self.shape,
+            shape
+        );
+        Tensor { shape: dims, data: self.data.clone() }
+    }
+
+    /// 2-D transpose.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose expects rank 2, got {:?}", self.shape);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// General axis permutation (`perm` is a permutation of `0..rank`).
+    pub fn permute(&self, perm: &[usize]) -> Tensor {
+        assert_eq!(perm.len(), self.rank(), "permute rank mismatch");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(p < perm.len() && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        let out_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
+        let in_strides = Shape::strides(&self.shape);
+        let perm_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+        let numel = self.numel();
+        let mut out = Vec::with_capacity(numel);
+        let mut idx = vec![0usize; out_shape.len()];
+        let mut off = 0usize;
+        for _ in 0..numel {
+            out.push(self.data[off]);
+            for ax in (0..out_shape.len()).rev() {
+                idx[ax] += 1;
+                off += perm_strides[ax];
+                if idx[ax] < out_shape[ax] {
+                    break;
+                }
+                off -= perm_strides[ax] * idx[ax];
+                idx[ax] = 0;
+            }
+        }
+        Tensor::from_vec(out, &out_shape)
+    }
+
+    /// Batched transpose of the last two axes of a rank-3 tensor.
+    pub fn transpose_batched(&self) -> Tensor {
+        assert_eq!(self.rank(), 3, "transpose_batched expects rank 3");
+        self.permute(&[0, 2, 1])
+    }
+
+    /// Concatenates tensors along `axis`. All other axes must agree.
+    pub fn concat(parts: &[&Tensor], axis: isize) -> Tensor {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let rank = parts[0].rank();
+        let ax = normalize_axis(axis, rank);
+        let mut out_shape = parts[0].shape.clone();
+        let mut axis_total = 0usize;
+        for p in parts {
+            assert_eq!(p.rank(), rank, "concat rank mismatch");
+            for d in 0..rank {
+                if d != ax {
+                    assert_eq!(
+                        p.shape[d], out_shape[d],
+                        "concat shape mismatch on axis {d}: {:?} vs {:?}",
+                        p.shape, out_shape
+                    );
+                }
+            }
+            axis_total += p.shape[ax];
+        }
+        out_shape[ax] = axis_total;
+        let outer: usize = out_shape[..ax].iter().product();
+        let inner: usize = out_shape[ax + 1..].iter().product();
+        let mut data = Vec::with_capacity(Shape::numel(&out_shape));
+        for o in 0..outer {
+            for p in parts {
+                let len = p.shape[ax] * inner;
+                data.extend_from_slice(&p.data[o * len..(o + 1) * len]);
+            }
+        }
+        Tensor::from_vec(data, &out_shape)
+    }
+
+    /// Stacks same-shaped tensors along a new leading axis.
+    pub fn stack(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "stack of zero tensors");
+        let mut shape = vec![parts.len()];
+        shape.extend_from_slice(&parts[0].shape);
+        let mut data = Vec::with_capacity(Shape::numel(&shape));
+        for p in parts {
+            assert_eq!(p.shape, parts[0].shape, "stack requires identical shapes");
+            data.extend_from_slice(&p.data);
+        }
+        Tensor::from_vec(data, &shape)
+    }
+
+    /// Copies the half-open range `[start, stop)` along `axis`.
+    pub fn slice_axis(&self, axis: isize, start: usize, stop: usize) -> Tensor {
+        let ax = normalize_axis(axis, self.rank());
+        assert!(
+            start <= stop && stop <= self.shape[ax],
+            "slice [{start},{stop}) out of bounds for axis {ax} with size {}",
+            self.shape[ax]
+        );
+        let outer: usize = self.shape[..ax].iter().product();
+        let inner: usize = self.shape[ax + 1..].iter().product();
+        let axis_len = self.shape[ax];
+        let mut out_shape = self.shape.clone();
+        out_shape[ax] = stop - start;
+        let mut data = Vec::with_capacity(Shape::numel(&out_shape));
+        for o in 0..outer {
+            let base = (o * axis_len + start) * inner;
+            data.extend_from_slice(&self.data[base..base + (stop - start) * inner]);
+        }
+        Tensor::from_vec(data, &out_shape)
+    }
+
+    /// Selects a single index along `axis`, removing that axis.
+    pub fn index_axis(&self, axis: isize, index: usize) -> Tensor {
+        let ax = normalize_axis(axis, self.rank());
+        let mut t = self.slice_axis(axis, index, index + 1);
+        t.shape.remove(ax);
+        t
+    }
+
+    /// Adds a new axis of length 1 at `axis`.
+    pub fn unsqueeze(&self, axis: isize) -> Tensor {
+        let rank = self.rank();
+        let ax = if axis < 0 { (axis + rank as isize + 1) as usize } else { axis as usize };
+        assert!(ax <= rank, "unsqueeze axis {axis} out of range for rank {rank}");
+        let mut shape = self.shape.clone();
+        shape.insert(ax, 1);
+        Tensor { shape, data: self.data.clone() }
+    }
+
+    /// Removes an axis of length 1 at `axis`.
+    pub fn squeeze(&self, axis: isize) -> Tensor {
+        let ax = normalize_axis(axis, self.rank());
+        assert_eq!(self.shape[ax], 1, "squeeze axis {ax} has size {}", self.shape[ax]);
+        let mut shape = self.shape.clone();
+        shape.remove(ax);
+        Tensor { shape, data: self.data.clone() }
+    }
+
+    /// Left-pads `axis` with `count` copies of `value` (causal padding for
+    /// dilated convolutions).
+    pub fn pad_axis_front(&self, axis: isize, count: usize, value: f32) -> Tensor {
+        let ax = normalize_axis(axis, self.rank());
+        let mut padded_shape = self.shape.clone();
+        padded_shape[ax] += count;
+        let outer: usize = self.shape[..ax].iter().product();
+        let inner: usize = self.shape[ax + 1..].iter().product();
+        let axis_len = self.shape[ax];
+        let mut data = Vec::with_capacity(Shape::numel(&padded_shape));
+        for o in 0..outer {
+            data.extend(std::iter::repeat_n(value, count * inner));
+            let base = o * axis_len * inner;
+            data.extend_from_slice(&self.data[base..base + axis_len * inner]);
+        }
+        Tensor::from_vec(data, &padded_shape)
+    }
+
+    /// Repeats the whole tensor `n` times along a new leading axis.
+    pub fn repeat_leading(&self, n: usize) -> Tensor {
+        let mut shape = vec![n];
+        shape.extend_from_slice(&self.shape);
+        let mut data = Vec::with_capacity(self.numel() * n);
+        for _ in 0..n {
+            data.extend_from_slice(&self.data);
+        }
+        Tensor::from_vec(data, &shape)
+    }
+
+    /// Flattens to rank 1.
+    pub fn flatten(&self) -> Tensor {
+        Tensor { shape: vec![self.numel()], data: self.data.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t234() -> Tensor {
+        Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 4])
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = t234().reshape(&[6, 4]);
+        assert_eq!(t.shape(), &[6, 4]);
+        assert_eq!(t.at(&[5, 3]), 23.0);
+    }
+
+    #[test]
+    fn reshape_infers_axis() {
+        let t = t234().reshape(&[2, usize::MAX]);
+        assert_eq!(t.shape(), &[2, 12]);
+    }
+
+    #[test]
+    #[should_panic(expected = "changes element count")]
+    fn reshape_rejects_bad_count() {
+        t234().reshape(&[5, 5]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let t = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let tt = t.transpose();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let t = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        assert!(t.transpose().transpose().allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn permute_matches_transpose() {
+        let t = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        assert!(t.permute(&[1, 0]).allclose(&t.transpose(), 0.0));
+    }
+
+    #[test]
+    fn permute_3d_moves_axes() {
+        let t = t234();
+        let p = t.permute(&[2, 0, 1]);
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        assert_eq!(p.at(&[3, 1, 2]), t.at(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn transpose_batched_swaps_last_two() {
+        let t = t234();
+        let b = t.transpose_batched();
+        assert_eq!(b.shape(), &[2, 4, 3]);
+        assert_eq!(b.at(&[1, 3, 0]), t.at(&[1, 0, 3]));
+    }
+
+    #[test]
+    fn concat_axis0() {
+        let a = Tensor::ones(&[1, 2]);
+        let b = Tensor::zeros(&[2, 2]);
+        let c = Tensor::concat(&[&a, &b], 0);
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.data(), &[1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_axis1() {
+        let a = Tensor::from_rows(&[vec![1.0], vec![2.0]]);
+        let b = Tensor::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let c = Tensor::concat(&[&a, &b], 1);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.data(), &[1.0, 3.0, 4.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_last_axis_of_3d() {
+        let t = t234();
+        let left = t.slice_axis(-1, 0, 2);
+        let right = t.slice_axis(-1, 2, 4);
+        assert!(Tensor::concat(&[&left, &right], -1).allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn stack_adds_leading_axis() {
+        let a = Tensor::ones(&[2]);
+        let b = Tensor::zeros(&[2]);
+        let s = Tensor::stack(&[&a, &b]);
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.data(), &[1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn slice_axis_middle() {
+        let t = t234();
+        let s = t.slice_axis(1, 1, 3);
+        assert_eq!(s.shape(), &[2, 2, 4]);
+        assert_eq!(s.at(&[0, 0, 0]), t.at(&[0, 1, 0]));
+        assert_eq!(s.at(&[1, 1, 3]), t.at(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn index_axis_removes_axis() {
+        let t = t234();
+        let s = t.index_axis(0, 1);
+        assert_eq!(s.shape(), &[3, 4]);
+        assert_eq!(s.at(&[2, 3]), 23.0);
+    }
+
+    #[test]
+    fn unsqueeze_squeeze_roundtrip() {
+        let t = Tensor::ones(&[2, 3]);
+        let u = t.unsqueeze(1);
+        assert_eq!(u.shape(), &[2, 1, 3]);
+        assert!(u.squeeze(1).allclose(&t, 0.0));
+        assert_eq!(t.unsqueeze(-1).shape(), &[2, 3, 1]);
+    }
+
+    #[test]
+    fn pad_axis_front_causal() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let p = t.pad_axis_front(0, 2, 0.0);
+        assert_eq!(p.data(), &[0.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn pad_axis_front_inner_axis() {
+        let t = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let p = t.pad_axis_front(1, 1, 9.0);
+        assert_eq!(p.shape(), &[2, 3]);
+        assert_eq!(p.data(), &[9.0, 1.0, 2.0, 9.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn repeat_leading_copies() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let r = t.repeat_leading(3);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn flatten_to_rank1() {
+        assert_eq!(t234().flatten().shape(), &[24]);
+    }
+}

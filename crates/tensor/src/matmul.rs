@@ -1,0 +1,224 @@
+//! Matrix products: 2-D `matmul`, batched `bmm`, and the batched-with-shared
+//! right-hand-side variant the graph convolution uses.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Below this many output elements the rayon fork costs more than it saves.
+const PAR_THRESHOLD: usize = 16 * 1024;
+
+/// Core `[m,k] x [k,n] -> [m,n]` kernel in `ikj` order (streams `b` rows,
+/// accumulates into the output row — cache-friendly without blocking).
+fn mm_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let row = |i: usize, out_row: &mut [f32]| {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..kk * n + n];
+            for (o, bv) in out_row.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    };
+    if m * n >= PAR_THRESHOLD {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| row(i, out_row));
+    } else {
+        for (i, out_row) in out.chunks_mut(n).enumerate() {
+            row(i, out_row);
+        }
+    }
+}
+
+impl Tensor {
+    /// 2-D matrix product `[m,k] x [k,n] -> [m,n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank 2 with a matching inner
+    /// dimension.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2, got {:?}", self.shape);
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims differ: {:?} x {:?}", self.shape, other.shape);
+        let mut out = vec![0.0f32; m * n];
+        mm_kernel(&self.data, &other.data, &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched matrix product `[b,m,k] x [b,k,n] -> [b,m,n]`.
+    ///
+    /// Batches are processed in parallel when large enough.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm lhs must be rank 3, got {:?}", self.shape);
+        assert_eq!(other.rank(), 3, "bmm rhs must be rank 3, got {:?}", other.shape);
+        let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(b, b2, "bmm batch dims differ: {:?} x {:?}", self.shape, other.shape);
+        assert_eq!(k, k2, "bmm inner dims differ: {:?} x {:?}", self.shape, other.shape);
+        let mut out = vec![0.0f32; b * m * n];
+        let work = |(bi, chunk): (usize, &mut [f32])| {
+            mm_kernel(
+                &self.data[bi * m * k..(bi + 1) * m * k],
+                &other.data[bi * k * n..(bi + 1) * k * n],
+                chunk,
+                m,
+                k,
+                n,
+            );
+        };
+        if b * m * n >= PAR_THRESHOLD && b > 1 {
+            out.par_chunks_mut(m * n).enumerate().for_each(work);
+        } else {
+            out.chunks_mut(m * n).enumerate().for_each(work);
+        }
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Batched product with a shared left matrix: `[m,k] x [b,k,n] -> [b,m,n]`.
+    ///
+    /// This is the graph-convolution pattern `A · Xᵦ` where the adjacency is
+    /// shared across the batch.
+    pub fn matmul_broadcast_left(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "lhs must be rank 2, got {:?}", self.shape);
+        assert_eq!(other.rank(), 3, "rhs must be rank 3, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (b, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(k, k2, "inner dims differ: {:?} x {:?}", self.shape, other.shape);
+        let mut out = vec![0.0f32; b * m * n];
+        out.chunks_mut(m * n).enumerate().for_each(|(bi, chunk)| {
+            mm_kernel(&self.data, &other.data[bi * k * n..(bi + 1) * k * n], chunk, m, k, n);
+        });
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Batched product with a shared right matrix: `[b,m,k] x [k,n] -> [b,m,n]`.
+    ///
+    /// This is the shared-filter pattern `Xᵦ · W`: one weight matrix applied
+    /// to every batch element. Implemented as a single `[b·m,k] x [k,n]`
+    /// product.
+    pub fn matmul_broadcast_right(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "lhs must be rank 3, got {:?}", self.shape);
+        assert_eq!(other.rank(), 2, "rhs must be rank 2, got {:?}", other.shape);
+        let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+        assert_eq!(k, other.shape[0], "inner dims differ: {:?} x {:?}", self.shape, other.shape);
+        let n = other.shape[1];
+        let flat = Tensor { shape: vec![b * m, k], data: self.data.clone() };
+        let mut out = flat.matmul(other);
+        out.shape = vec![b, m, n];
+        out
+    }
+
+    /// Dot product of two rank-1 tensors.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.rank(), 1, "dot expects rank-1 operands");
+        assert_eq!(self.shape, other.shape, "dot length mismatch");
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Matrix power `self^p` for a square rank-2 tensor (`p = 0` gives the
+    /// identity). Used to build k-hop graph supports.
+    pub fn matrix_power(&self, p: usize) -> Tensor {
+        assert_eq!(self.rank(), 2, "matrix_power expects a matrix");
+        assert_eq!(self.shape[0], self.shape[1], "matrix_power expects a square matrix");
+        let n = self.shape[0];
+        let mut acc = Tensor::eye(n);
+        for _ in 0..p {
+            acc = acc.matmul(self);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Tensor::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        assert_eq!(a.matmul(&Tensor::eye(3)).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_rows(&[vec![1.0, 0.0, 2.0]]);
+        let b = Tensor::from_rows(&[vec![1.0, 1.0], vec![9.0, 9.0], vec![2.0, 3.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[1, 2]);
+        assert_eq!(c.data(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_rejects_mismatched_inner() {
+        Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 5]));
+    }
+
+    #[test]
+    fn bmm_independent_batches() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], &[2, 2, 2]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0], &[2, 2, 2]);
+        let c = a.bmm(&b);
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        assert_eq!(&c.data()[..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&c.data()[4..], &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn broadcast_left_equals_per_batch_matmul() {
+        let a = Tensor::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]); // swap rows
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[2, 2, 2]);
+        let y = a.matmul_broadcast_left(&x);
+        assert_eq!(&y.data()[..4], &[3.0, 4.0, 1.0, 2.0]);
+        assert_eq!(&y.data()[4..], &[7.0, 8.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn broadcast_right_equals_flattened_matmul() {
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[2, 3, 2]);
+        let w = Tensor::from_rows(&[vec![1.0, 0.0, 2.0], vec![0.0, 1.0, 2.0]]);
+        let y = x.matmul_broadcast_right(&w);
+        assert_eq!(y.shape(), &[2, 3, 3]);
+        // first row: [0,1] @ w = [0, 1, 2]
+        assert_eq!(&y.data()[..3], &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.dot(&b), 32.0);
+    }
+
+    #[test]
+    fn matrix_power_zero_is_identity() {
+        let a = Tensor::from_rows(&[vec![2.0, 0.0], vec![0.0, 2.0]]);
+        assert!(a.matrix_power(0).allclose(&Tensor::eye(2), 0.0));
+        assert!(a.matrix_power(3).allclose(&(&Tensor::eye(2) * 8.0), 1e-5));
+    }
+
+    #[test]
+    fn large_matmul_parallel_path_matches_serial() {
+        // Force the rayon path (> PAR_THRESHOLD output elements) and compare
+        // against a small-block reference.
+        let m = 160;
+        let a = Tensor::from_vec((0..m * m).map(|v| (v % 7) as f32 * 0.25).collect(), &[m, m]);
+        let b = Tensor::eye(m);
+        assert!(a.matmul(&b).allclose(&a, 1e-5));
+    }
+}

@@ -1,0 +1,253 @@
+//! Reductions (sum / mean / max / min) over all elements or a single axis,
+//! plus softmax and the broadcast-gradient helper `reduce_to_shape`.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix math
+
+use crate::shape::normalize_axis;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of every element.
+    pub fn sum_all(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of every element.
+    pub fn mean_all(&self) -> f32 {
+        self.sum_all() / self.numel() as f32
+    }
+
+    /// Maximum element. Returns `-inf` for empty tensors.
+    pub fn max_all(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element. Returns `+inf` for empty tensors.
+    pub fn min_all(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sums along `axis` (negative axes count from the back), removing it.
+    pub fn sum_axis(&self, axis: isize) -> Tensor {
+        self.reduce_axis(axis, 0.0, |acc, v| acc + v)
+    }
+
+    /// Mean along `axis`, removing it.
+    pub fn mean_axis(&self, axis: isize) -> Tensor {
+        let ax = normalize_axis(axis, self.rank());
+        let n = self.shape[ax] as f32;
+        let mut s = self.sum_axis(axis);
+        s.map_inplace(|v| v / n);
+        s
+    }
+
+    /// Maximum along `axis`, removing it.
+    pub fn max_axis(&self, axis: isize) -> Tensor {
+        self.reduce_axis(axis, f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Generic single-axis fold. `axis` is removed from the output shape.
+    pub fn reduce_axis(&self, axis: isize, init: f32, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let ax = normalize_axis(axis, self.rank());
+        let outer: usize = self.shape[..ax].iter().product();
+        let axis_len = self.shape[ax];
+        let inner: usize = self.shape[ax + 1..].iter().product();
+        let mut out = vec![init; outer * inner];
+        for o in 0..outer {
+            for a in 0..axis_len {
+                let base = (o * axis_len + a) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    out[obase + i] = f(out[obase + i], self.data[base + i]);
+                }
+            }
+        }
+        let mut shape = self.shape.clone();
+        shape.remove(ax);
+        Tensor::from_vec(out, &shape)
+    }
+
+    /// Sums along `axis`, keeping it with length 1 (for broadcasting back).
+    pub fn sum_axis_keepdim(&self, axis: isize) -> Tensor {
+        let ax = normalize_axis(axis, self.rank());
+        let mut s = self.sum_axis(axis);
+        s.shape.insert(ax, 1);
+        s
+    }
+
+    /// Softmax along `axis`, numerically stabilized by the row max.
+    ///
+    /// Every slice along `axis` sums to 1.
+    pub fn softmax(&self, axis: isize) -> Tensor {
+        let ax = normalize_axis(axis, self.rank());
+        let outer: usize = self.shape[..ax].iter().product();
+        let axis_len = self.shape[ax];
+        let inner: usize = self.shape[ax + 1..].iter().product();
+        let mut out = vec![0.0f32; self.numel()];
+        for o in 0..outer {
+            for i in 0..inner {
+                let idx = |a: usize| (o * axis_len + a) * inner + i;
+                let mut mx = f32::NEG_INFINITY;
+                for a in 0..axis_len {
+                    mx = mx.max(self.data[idx(a)]);
+                }
+                let mut denom = 0.0f32;
+                for a in 0..axis_len {
+                    let e = (self.data[idx(a)] - mx).exp();
+                    out[idx(a)] = e;
+                    denom += e;
+                }
+                for a in 0..axis_len {
+                    out[idx(a)] /= denom;
+                }
+            }
+        }
+        Tensor::from_vec(out, &self.shape)
+    }
+
+    /// Reduces `self` (a gradient in a broadcast shape) back to `target`
+    /// by summing over the axes that were expanded.
+    ///
+    /// This is the adjoint of broadcasting and is used by every binary
+    /// backward pass in the autodiff crate.
+    pub fn reduce_to_shape(&self, target: &[usize]) -> Tensor {
+        if self.shape == target {
+            return self.clone();
+        }
+        let mut t = self.clone();
+        // Collapse prepended axes first.
+        while t.rank() > target.len() {
+            t = t.sum_axis(0);
+        }
+        // Then sum the axes that were expanded from 1.
+        for ax in 0..target.len() {
+            if target[ax] == 1 && t.shape[ax] != 1 {
+                t = t.sum_axis_keepdim(ax as isize);
+            }
+        }
+        assert_eq!(
+            t.shape, target,
+            "reduce_to_shape: {:?} cannot reduce to {:?}",
+            self.shape, target
+        );
+        t
+    }
+
+    /// Index of the maximum element (ties resolve to the first).
+    pub fn argmax_all(&self) -> usize {
+        let mut best = 0;
+        for (i, v) in self.data.iter().enumerate() {
+            if *v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t123456() -> Tensor {
+        Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])
+    }
+
+    #[test]
+    fn sum_and_mean_all() {
+        assert_eq!(t123456().sum_all(), 21.0);
+        assert_eq!(t123456().mean_all(), 3.5);
+    }
+
+    #[test]
+    fn sum_axis0_collapses_rows() {
+        let s = t123456().sum_axis(0);
+        assert_eq!(s.shape(), &[3]);
+        assert_eq!(s.data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn sum_axis1_collapses_cols() {
+        let s = t123456().sum_axis(1);
+        assert_eq!(s.shape(), &[2]);
+        assert_eq!(s.data(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn negative_axis() {
+        assert_eq!(t123456().sum_axis(-1).data(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn mean_axis_divides() {
+        assert_eq!(t123456().mean_axis(1).data(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn max_axis_picks_largest() {
+        assert_eq!(t123456().max_axis(0).data(), &[4.0, 5.0, 6.0]);
+        assert_eq!(t123456().max_all(), 6.0);
+        assert_eq!(t123456().min_all(), 1.0);
+    }
+
+    #[test]
+    fn keepdim_keeps_rank() {
+        let s = t123456().sum_axis_keepdim(1);
+        assert_eq!(s.shape(), &[2, 1]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let s = t123456().softmax(-1);
+        for r in 0..2 {
+            let sum: f32 = (0..3).map(|c| s.at(&[r, c])).sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotone: larger logits get larger probabilities.
+        assert!(s.at(&[0, 2]) > s.at(&[0, 0]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(vec![1000.0, 1001.0, 1002.0], &[3]);
+        let s = a.softmax(0);
+        assert!(!s.has_non_finite());
+        let b = Tensor::from_vec(vec![0.0, 1.0, 2.0], &[3]).softmax(0);
+        assert!(s.allclose(&b, 1e-6));
+    }
+
+    #[test]
+    fn softmax_middle_axis() {
+        let t = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[2, 3, 2]);
+        let s = t.softmax(1);
+        for b in 0..2 {
+            for i in 0..2 {
+                let sum: f32 = (0..3).map(|a| s.at(&[b, a, i])).sum();
+                assert!((sum - 1.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_to_shape_sums_broadcast_axes() {
+        let g = Tensor::ones(&[2, 3]);
+        let r = g.reduce_to_shape(&[3]);
+        assert_eq!(r.data(), &[2.0, 2.0, 2.0]);
+        let r2 = g.reduce_to_shape(&[2, 1]);
+        assert_eq!(r2.data(), &[3.0, 3.0]);
+        let r3 = g.reduce_to_shape(&[]);
+        assert_eq!(r3.item(), 6.0);
+    }
+
+    #[test]
+    fn reduce_to_same_shape_is_identity() {
+        let g = t123456();
+        assert!(g.reduce_to_shape(&[2, 3]).allclose(&g, 0.0));
+    }
+
+    #[test]
+    fn argmax_all_first_tie() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 3.0, 0.0], &[4]);
+        assert_eq!(t.argmax_all(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Shape arithmetic: element counts, row-major strides, and NumPy-style
+//! broadcasting.
+
+/// Lightweight helper around a tensor shape (`&[usize]`).
+///
+/// Most code works with raw `&[usize]` slices; `Shape` collects the shared
+/// arithmetic so it is implemented (and tested) exactly once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Total number of elements described by the shape. The empty shape
+    /// (rank 0, a scalar) has one element.
+    pub fn numel(dims: &[usize]) -> usize {
+        dims.iter().product()
+    }
+
+    /// Row-major (C-order) strides for `dims`.
+    ///
+    /// `strides[i]` is the linear-index distance between consecutive elements
+    /// along axis `i`.
+    pub fn strides(dims: &[usize]) -> Vec<usize> {
+        let mut s = vec![1usize; dims.len()];
+        for i in (0..dims.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * dims[i + 1];
+        }
+        s
+    }
+
+    /// Converts a multi-dimensional index to a linear offset.
+    pub fn offset(dims: &[usize], idx: &[usize]) -> usize {
+        debug_assert_eq!(dims.len(), idx.len());
+        let strides = Self::strides(dims);
+        idx.iter().zip(&strides).map(|(i, s)| i * s).sum()
+    }
+}
+
+/// Computes the NumPy broadcast of two shapes.
+///
+/// Shapes are aligned at their trailing axes; each pair of axis lengths must
+/// be equal or one of them must be `1`.
+///
+/// # Panics
+///
+/// Panics when the shapes are not broadcast-compatible.
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
+        let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+        out[i] = match (da, db) {
+            (x, y) if x == y => x,
+            (1, y) => y,
+            (x, 1) => x,
+            _ => panic!("shapes {a:?} and {b:?} are not broadcast-compatible"),
+        };
+    }
+    out
+}
+
+/// Strides of `src` viewed as the broadcast shape `dst` — broadcast axes get
+/// stride 0 so the same element is revisited.
+pub(crate) fn broadcast_strides(src: &[usize], dst: &[usize]) -> Vec<usize> {
+    let src_strides = Shape::strides(src);
+    let pad = dst.len() - src.len();
+    let mut out = vec![0usize; dst.len()];
+    for i in 0..dst.len() {
+        if i < pad {
+            out[i] = 0;
+        } else {
+            let d = src[i - pad];
+            out[i] = if d == 1 { 0 } else { src_strides[i - pad] };
+        }
+    }
+    out
+}
+
+/// Normalizes a possibly-negative axis (Python semantics) into `0..rank`.
+///
+/// # Panics
+///
+/// Panics when the axis is out of range for the rank.
+pub(crate) fn normalize_axis(axis: isize, rank: usize) -> usize {
+    let a = if axis < 0 { axis + rank as isize } else { axis };
+    assert!((0..rank as isize).contains(&a), "axis {axis} out of range for rank {rank}");
+    a as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_of_scalar_is_one() {
+        assert_eq!(Shape::numel(&[]), 1);
+    }
+
+    #[test]
+    fn numel_of_matrix() {
+        assert_eq!(Shape::numel(&[3, 4]), 12);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(Shape::strides(&[5]), vec![1]);
+        assert_eq!(Shape::strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_matches_manual_math() {
+        assert_eq!(Shape::offset(&[2, 3, 4], &[1, 2, 3]), 12 + 8 + 3);
+    }
+
+    #[test]
+    fn broadcast_equal_shapes() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_scalar_and_matrix() {
+        assert_eq!(broadcast_shapes(&[], &[2, 3]), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_row_and_column() {
+        assert_eq!(broadcast_shapes(&[3, 1], &[1, 4]), vec![3, 4]);
+    }
+
+    #[test]
+    fn broadcast_prepends_axes() {
+        assert_eq!(broadcast_shapes(&[4], &[2, 3, 4]), vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not broadcast-compatible")]
+    fn broadcast_incompatible_panics() {
+        broadcast_shapes(&[2, 3], &[4, 3]);
+    }
+
+    #[test]
+    fn broadcast_strides_zero_on_expanded_axes() {
+        assert_eq!(broadcast_strides(&[3, 1], &[3, 4]), vec![1, 0]);
+        assert_eq!(broadcast_strides(&[4], &[2, 3, 4]), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn normalize_axis_handles_negative() {
+        assert_eq!(normalize_axis(-1, 3), 2);
+        assert_eq!(normalize_axis(0, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn normalize_axis_rejects_out_of_range() {
+        normalize_axis(3, 3);
+    }
+}

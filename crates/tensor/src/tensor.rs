@@ -1,0 +1,318 @@
+//! The [`Tensor`] type: a contiguous, row-major `f32` array with a shape.
+
+use crate::shape::Shape;
+use std::fmt;
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// See the [crate documentation](crate) for design rationale and conventions.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    pub(crate) shape: Vec<usize>,
+    pub(crate) data: Vec<f32>,
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------- ctor
+
+    /// Builds a tensor from a flat row-major buffer and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` does not match the element count of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            Shape::numel(shape),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Self { shape: shape.to_vec(), data: vec![value; Shape::numel(shape)] }
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// A tensor of ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self { shape: vec![], data: vec![value] }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// `[0, 1, ..., n-1]` as a rank-1 tensor.
+    pub fn arange(n: usize) -> Self {
+        Self { shape: vec![n], data: (0..n).map(|i| i as f32).collect() }
+    }
+
+    /// Builds a rank-2 tensor from nested rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged rows.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows: expected {c} columns, got {}", row.len());
+            data.extend_from_slice(row);
+        }
+        Self { shape: vec![r, c], data }
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The rank (number of axes).
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index rank does not match or is out of bounds.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        assert_eq!(
+            idx.len(),
+            self.rank(),
+            "index rank {} vs tensor rank {}",
+            idx.len(),
+            self.rank()
+        );
+        for (i, (&ix, &d)) in idx.iter().zip(&self.shape).enumerate() {
+            assert!(ix < d, "index {ix} out of bounds for axis {i} with size {d}");
+        }
+        self.data[Shape::offset(&self.shape, idx)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        assert_eq!(idx.len(), self.rank());
+        let off = Shape::offset(&self.shape, idx);
+        self.data[off] = value;
+    }
+
+    /// The single value of a rank-0 or single-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor holds more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() on tensor with shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    // ------------------------------------------------------------ utilities
+
+    /// True when every element of `self` is within `atol` of the matching
+    /// element of `other` and the shapes are identical.
+    pub fn allclose(&self, other: &Tensor, atol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= atol || (a.is_nan() && b.is_nan()))
+    }
+
+    /// True when any element is NaN or infinite. Used by the trainer to
+    /// detect divergence.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Frobenius / L2 norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise with `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch (no broadcasting; use the arithmetic ops for
+    /// broadcast semantics).
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "zip_with requires identical shapes: {:?} vs {:?}",
+            self.shape, other.shape
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?} ", self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(
+                f,
+                "[{:.4}, {:.4}, .., {:.4}] (n={})",
+                self.data[0],
+                self.data[1],
+                self.data[self.numel() - 1],
+                self.numel()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_len() {
+        Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.at(&[0, 0]), 1.0);
+        assert_eq!(i.at(&[1, 0]), 0.0);
+        assert_eq!(i.data().iter().sum::<f32>(), 3.0);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(4.25).item(), 4.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "item()")]
+    fn item_rejects_multi_element() {
+        Tensor::zeros(&[2]).item();
+    }
+
+    #[test]
+    fn set_and_at() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t.set(&[1, 1], 7.0);
+        assert_eq!(t.at(&[1, 1]), 7.0);
+        assert_eq!(t.at(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn allclose_tolerates_small_differences() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![1.0 + 1e-7, 2.0 - 1e-7], &[2]);
+        assert!(a.allclose(&b, 1e-5));
+        assert!(!a.allclose(&b, 1e-9));
+    }
+
+    #[test]
+    fn allclose_requires_same_shape() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[1, 2]);
+        assert!(!a.allclose(&b, 1.0));
+    }
+
+    #[test]
+    fn from_rows_builds_matrix() {
+        let t = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.at(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    fn norm_is_frobenius() {
+        let t = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        assert!((t.norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn has_non_finite_detects_nan_and_inf() {
+        assert!(!Tensor::ones(&[3]).has_non_finite());
+        assert!(Tensor::from_vec(vec![1.0, f32::NAN], &[2]).has_non_finite());
+        assert!(Tensor::from_vec(vec![f32::INFINITY], &[1]).has_non_finite());
+    }
+
+    #[test]
+    fn map_and_zip_with() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = a.map(|v| v * 10.0);
+        assert_eq!(b.data(), &[10.0, 20.0]);
+        let c = a.zip_with(&b, |x, y| y - x);
+        assert_eq!(c.data(), &[9.0, 18.0]);
+    }
+
+    #[test]
+    fn arange_counts_up() {
+        assert_eq!(Tensor::arange(4).data(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+}

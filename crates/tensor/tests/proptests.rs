@@ -1,0 +1,139 @@
+//! Property-based tests for the tensor substrate: algebraic identities that
+//! must hold for arbitrary shapes and contents.
+
+use enhancenet_tensor::{broadcast_shapes, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a tensor with 1–3 axes of size 1–6 and values in ±10.
+fn small_tensor() -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(1usize..6, 1..4).prop_flat_map(|shape| {
+        let n: usize = shape.iter().product();
+        prop::collection::vec(-10.0f32..10.0, n)
+            .prop_map(move |data| Tensor::from_vec(data, &shape))
+    })
+}
+
+/// Strategy: a square matrix of side 1–8.
+fn square_matrix() -> impl Strategy<Value = Tensor> {
+    (1usize..8).prop_flat_map(|n| {
+        prop::collection::vec(-5.0f32..5.0, n * n)
+            .prop_map(move |data| Tensor::from_vec(data, &[n, n]))
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_is_commutative(t in small_tensor()) {
+        let u = t.map(|v| v * 0.5 + 1.0);
+        prop_assert!(t.add_t(&u).allclose(&u.add_t(&t), 1e-5));
+    }
+
+    #[test]
+    fn add_zero_is_identity(t in small_tensor()) {
+        let z = Tensor::zeros(t.shape());
+        prop_assert!(t.add_t(&z).allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn mul_by_one_is_identity(t in small_tensor()) {
+        prop_assert!(t.mul_t(&Tensor::ones(t.shape())).allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn sub_self_is_zero(t in small_tensor()) {
+        prop_assert!(t.sub_t(&t).allclose(&Tensor::zeros(t.shape()), 0.0));
+    }
+
+    #[test]
+    fn broadcast_shape_is_symmetric(
+        a in prop::collection::vec(1usize..5, 0..4),
+        b in prop::collection::vec(1usize..5, 0..4),
+    ) {
+        // Make shapes compatible by replacing mismatches with 1 on one side.
+        let rank = a.len().max(b.len());
+        let mut a2 = vec![1; rank - a.len()]; a2.extend(&a);
+        let mut b2 = vec![1; rank - b.len()]; b2.extend(&b);
+        for i in 0..rank {
+            if a2[i] != b2[i] && a2[i] != 1 && b2[i] != 1 { b2[i] = 1; }
+        }
+        prop_assert_eq!(broadcast_shapes(&a2, &b2), broadcast_shapes(&b2, &a2));
+    }
+
+    #[test]
+    fn matmul_identity_right(m in square_matrix()) {
+        let i = Tensor::eye(m.shape()[0]);
+        prop_assert!(m.matmul(&i).allclose(&m, 1e-4));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in square_matrix()) {
+        let b = a.map(|v| v - 1.0);
+        let c = a.map(|v| 0.5 * v + 2.0);
+        let lhs = a.matmul(&b.add_t(&c));
+        let rhs = a.matmul(&b).add_t(&a.matmul(&c));
+        prop_assert!(lhs.allclose(&rhs, 1e-2));
+    }
+
+    #[test]
+    fn transpose_of_matmul(a in square_matrix()) {
+        let b = a.map(|v| v * 0.25 - 1.0);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in small_tensor()) {
+        let s = t.softmax(-1);
+        let sums = s.sum_axis(-1);
+        prop_assert!(sums.data().iter().all(|&v| (v - 1.0).abs() < 1e-4));
+        prop_assert!(s.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn sum_axis_total_matches_sum_all(t in small_tensor()) {
+        let total: f32 = t.sum_all();
+        let via_axis: f32 = t.sum_axis(0).sum_all();
+        prop_assert!((total - via_axis).abs() < 1e-3 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn reduce_to_shape_preserves_total(t in small_tensor()) {
+        // Reducing a broadcast gradient must conserve the total mass.
+        let target: Vec<usize> = t.shape().iter().map(|_| 1).collect();
+        let r = t.reduce_to_shape(&target);
+        prop_assert!((r.sum_all() - t.sum_all()).abs() < 1e-3 * (1.0 + t.sum_all().abs()));
+    }
+
+    #[test]
+    fn concat_then_slice_roundtrips(t in small_tensor()) {
+        let c = Tensor::concat(&[&t, &t], 0);
+        let first = c.slice_axis(0, 0, t.shape()[0]);
+        prop_assert!(first.allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn permute_is_invertible(t in small_tensor()) {
+        let rank = t.rank();
+        let perm: Vec<usize> = (0..rank).rev().collect();
+        let mut inv = vec![0; rank];
+        for (i, &p) in perm.iter().enumerate() { inv[p] = i; }
+        prop_assert!(t.permute(&perm).permute(&inv).allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn sigmoid_bounded_and_monotone(t in small_tensor()) {
+        let s = t.sigmoid();
+        prop_assert!(s.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // σ(x) + σ(-x) = 1
+        let s_neg = (-&t).sigmoid();
+        prop_assert!(s.add_t(&s_neg).allclose(&Tensor::ones(t.shape()), 1e-5));
+    }
+
+    #[test]
+    fn pad_then_slice_recovers(t in small_tensor()) {
+        let padded = t.pad_axis_front(0, 2, 7.5);
+        let tail = padded.slice_axis(0, 2, padded.shape()[0]);
+        prop_assert!(tail.allclose(&t, 0.0));
+    }
+}

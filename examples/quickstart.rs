@@ -1,0 +1,64 @@
+//! Quickstart: generate a small correlated traffic dataset, train a plain
+//! GRU forecaster and its DFGN-enhanced counterpart, and compare them.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use enhancenet::{DfgnConfig, Forecaster, TrainConfig, Trainer};
+use enhancenet_data::traffic::{generate_traffic, TrafficConfig};
+use enhancenet_data::WindowDataset;
+use enhancenet_models::{GruSeq2Seq, ModelDims, TemporalMode};
+
+fn main() {
+    // 1. A synthetic correlated time series: 24 traffic sensors on 4
+    //    corridors, 8 days of 5-minute speeds, with per-sensor rush-hour
+    //    profiles (inbound sensors peak in the morning, outbound in the
+    //    evening — the distinct dynamics DFGN targets).
+    let mut cfg = TrafficConfig::tiny(24, 8);
+    cfg.num_corridors = 4;
+    let series = generate_traffic(&cfg);
+    println!(
+        "dataset: {} sensors × {} timestamps × {} feature(s)",
+        series.num_entities(),
+        series.num_steps(),
+        series.num_features()
+    );
+
+    // 2. Window it: 12 past steps -> 12 future steps, 70/10/20 split.
+    let data = WindowDataset::from_series(&series, 12, 12);
+    println!("windows: {} (train {:?})", data.num_windows(), data.split.train);
+
+    // 3. Train the base model and the DFGN-enhanced model. The enhanced
+    //    model learns through the generator indirection, so give both a
+    //    moderate budget.
+    let mut config = TrainConfig::quick(10, 8);
+    config.max_batches_per_epoch = Some(40);
+    let trainer = Trainer::new(config);
+    let dims =
+        ModelDims { num_entities: 24, in_features: 1, hidden: 32, input_len: 12, output_len: 12 };
+
+    let mut rnn = GruSeq2Seq::rnn(dims, 2, TemporalMode::Shared, 7);
+    trainer.train(&mut rnn, &data);
+    let base = trainer.evaluate(&rnn, &data, data.split.test.clone(), &[3, 6, 12]);
+
+    let dims_d = ModelDims { hidden: 12, ..dims };
+    let mut drnn = GruSeq2Seq::rnn(dims_d, 2, TemporalMode::Distinct(DfgnConfig::default()), 7);
+    trainer.train(&mut drnn, &data);
+    let enhanced = trainer.evaluate(&drnn, &data, data.split.test.clone(), &[3, 6, 12]);
+
+    // 4. Compare, the way the paper's Table I does. At this toy budget the
+    //    two trade places run to run; the stable effect (see
+    //    `experiments table1` for the full sweep) is that D-RNN reaches the
+    //    wide RNN's accuracy with a much smaller hidden size — the paper's
+    //    parameter-reduction claim.
+    println!("\n{:<8} {:>10} {:>10} {:>10} {:>10}", "model", "MAE@3", "MAE@6", "MAE@12", "#params");
+    for (name, eval, params) in
+        [("RNN", &base, rnn.num_parameters()), ("D-RNN", &enhanced, drnn.num_parameters())]
+    {
+        println!(
+            "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>10}",
+            name, eval.horizons[0].1.mae, eval.horizons[1].1.mae, eval.horizons[2].1.mae, params
+        );
+    }
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Summarize results/*.json into compact Markdown tables.
+
+Usage: python3 scripts/summarize_results.py [results_dir]
+
+Reads the JSON artifacts written by `cargo run -p enhancenet-experiments`
+and prints Markdown suitable for pasting into EXPERIMENTS.md.
+"""
+import json
+import sys
+from pathlib import Path
+
+
+def table_rows(path: Path) -> None:
+    results = json.loads(path.read_text())
+    print(f"\n### {path.stem}\n")
+    datasets = sorted({r["dataset"] for r in results}, key=lambda d: ["EB", "LA", "US"].index(d))
+    for ds in datasets:
+        print(f"\n**{ds}**\n")
+        print("| model | MAE@3 | MAE@6 | MAE@12 | RMSE@12 | # params |")
+        print("|---|---|---|---|---|---|")
+        for r in [r for r in results if r["dataset"] == ds]:
+            h = {hh[0]: hh for hh in r["horizons"]}
+            print(
+                f"| {r['model']} | {h[3][1]:.3f} | {h[6][1]:.3f} | {h[12][1]:.3f} "
+                f"| {h[12][2]:.3f} | {r['num_parameters']} |"
+            )
+
+
+def main() -> None:
+    results_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    for name in ["table1", "table2", "table3"]:
+        p = results_dir / f"{name}.json"
+        if p.exists():
+            table_rows(p)
+    ttests = results_dir / "table3_ttests.json"
+    if ttests.exists():
+        print("\n### t-tests\n")
+        for ds, ours, sota, t, p in json.loads(ttests.read_text()):
+            sig = "significant (p < 0.01)" if p < 0.01 else "not significant"
+            print(f"- {ds}: {ours} vs {sota}: t = {t:+.3f}, p = {p:.4f} — {sig}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+//! Root package: re-exports for the examples and integration tests.
+pub use enhancenet_autodiff as autodiff;
+pub use enhancenet_data as data;
+pub use enhancenet_graph as graph;
+pub use enhancenet_models as models;
+pub use enhancenet_stats as stats;
+pub use enhancenet_tensor as tensor;
