@@ -168,12 +168,22 @@ impl Graph {
             seed.shape(),
             self.value(output).shape()
         );
+        let _timer = enhancenet_telemetry::scoped("autodiff.backward");
+        if enhancenet_telemetry::enabled() {
+            enhancenet_telemetry::count("autodiff.backward.sweeps", 1);
+            enhancenet_telemetry::count("autodiff.tape.nodes", self.nodes.len() as u64);
+        }
         self.grads = (0..self.nodes.len()).map(|_| None).collect();
         self.grads[output.0 as usize] = Some(seed);
+        let mut visited = 0u64;
         for i in (0..=output.0 as usize).rev() {
             let Some(gy) = self.grads[i].take() else { continue };
             self.propagate(i, &gy);
             self.grads[i] = Some(gy);
+            visited += 1;
+        }
+        if enhancenet_telemetry::enabled() {
+            enhancenet_telemetry::count("autodiff.backward.nodes_visited", visited);
         }
     }
 

@@ -118,6 +118,14 @@ impl Dfgn {
 
     /// Runs the generator for all entities at once: returns `[N, out_dim]`.
     pub fn generate(&self, g: &mut Graph, store: &ParamStore) -> Var {
+        let _timer = enhancenet_telemetry::scoped("dfgn.generate");
+        if enhancenet_telemetry::enabled() {
+            enhancenet_telemetry::count("dfgn.generate.calls", 1);
+            enhancenet_telemetry::count(
+                "dfgn.generate.filters",
+                (self.num_entities * self.out_dim) as u64,
+            );
+        }
         let m = g.param(store, self.memory);
         self.generator.forward(g, store, m)
     }
@@ -142,9 +150,11 @@ impl Dfgn {
         let mut slot = cache.slot.borrow_mut();
         if let Some((version, filters)) = slot.as_ref() {
             if *version == store.version() {
+                enhancenet_telemetry::count("dfgn.cache.hits", 1);
                 return g.constant(filters.clone());
             }
         }
+        enhancenet_telemetry::count("dfgn.cache.misses", 1);
         let var = self.generate(g, store);
         *slot = Some((store.version(), g.value(var).clone()));
         var

@@ -40,4 +40,4 @@ pub use dfgn::{
 };
 pub use forecaster::{Forecaster, ForwardCtx};
 pub use gconv::{graph_conv, GcSupport};
-pub use trainer::{EvalReport, TrainConfig, TrainReport, Trainer};
+pub use trainer::{EpochTelemetry, EvalReport, TrainConfig, TrainReport, Trainer};

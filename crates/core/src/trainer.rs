@@ -61,6 +61,35 @@ impl TrainConfig {
     }
 }
 
+/// Structured per-epoch telemetry: one record per training epoch, also
+/// emitted as an `"epoch"` event on the global telemetry sink.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct EpochTelemetry {
+    /// 0-indexed epoch number.
+    pub epoch: usize,
+    /// Wall-clock seconds this epoch's training loop took.
+    pub secs: f32,
+    /// Windows (samples) processed by the training loop this epoch.
+    pub windows: usize,
+    /// Training throughput: `windows / secs`.
+    pub windows_per_sec: f32,
+    /// Mean pre-clip global gradient norm over this epoch's updates
+    /// (0 when every batch diverged and no update ran).
+    pub grad_norm: f32,
+    /// Mean training loss (masked MAE, scaled space).
+    pub train_loss: f32,
+    /// Validation MAE in the raw scale.
+    pub val_mae: f32,
+    /// Learning rate in effect.
+    pub lr: f32,
+    /// True when the epoch consumed the whole training split (not cut
+    /// short by `max_batches_per_epoch`). Only full epochs feed
+    /// [`TrainReport::secs_per_epoch`].
+    pub full_epoch: bool,
+    /// True when this epoch set a new best validation MAE.
+    pub best: bool,
+}
+
 /// Per-epoch and summary results of a training run.
 #[derive(Debug, Clone)]
 pub struct TrainReport {
@@ -71,9 +100,18 @@ pub struct TrainReport {
     /// Epoch whose weights were kept (best validation MAE).
     pub best_epoch: usize,
     /// Mean wall-clock seconds per training epoch — Table V's "T (s)".
+    ///
+    /// Averaged over **completed full epochs** only (epochs that consumed
+    /// the whole training split); epochs truncated by
+    /// `max_batches_per_epoch` would under-report the paper's metric. When
+    /// every epoch was truncated (scaled-down runs) the mean over all
+    /// epochs is reported instead.
     pub secs_per_epoch: f32,
     /// Total trainable parameters — Tables I/II's "# Para".
     pub num_parameters: usize,
+    /// One structured record per epoch (timings, throughput, grad norms,
+    /// losses) — the data behind the `--telemetry-out` JSONL.
+    pub epoch_telemetry: Vec<EpochTelemetry>,
 }
 
 /// Evaluation results on one split.
@@ -88,6 +126,25 @@ pub struct EvalReport {
     pub pred_ms: f32,
     /// Per-window MAE samples (raw scale), kept for the t-tests of §VI-B3.
     pub window_mae: Vec<f32>,
+}
+
+/// Mean seconds per epoch over completed **full** epochs (Table V's
+/// protocol); epochs truncated by `max_batches_per_epoch` don't represent
+/// a full pass over the training split. Falls back to the mean over all
+/// epochs when none ran to completion (scaled-down runs), and to 0 when
+/// no epoch ran at all.
+fn secs_per_full_epoch(epochs: &[EpochTelemetry]) -> f32 {
+    let mean = |records: &[&EpochTelemetry]| {
+        records.iter().map(|e| e.secs as f64).sum::<f64>() / records.len() as f64
+    };
+    let full: Vec<&EpochTelemetry> = epochs.iter().filter(|e| e.full_epoch).collect();
+    if !full.is_empty() {
+        mean(&full) as f32
+    } else if !epochs.is_empty() {
+        mean(&epochs.iter().collect::<Vec<_>>()) as f32
+    } else {
+        0.0
+    }
 }
 
 /// Drives training and evaluation of any [`Forecaster`].
@@ -116,25 +173,39 @@ impl Trainer {
 
         let mut train_loss = Vec::with_capacity(cfg.epochs);
         let mut val_mae = Vec::with_capacity(cfg.epochs);
+        let mut epoch_telemetry: Vec<EpochTelemetry> = Vec::with_capacity(cfg.epochs);
         let mut best = (f32::INFINITY, 0usize, model.store().snapshot());
-        let mut epoch_secs = 0.0f64;
+
+        // `verbose` progress lines route through the telemetry echo sink so
+        // the process has a single stderr reporter; restore the previous
+        // echo state on the way out.
+        let prev_echo = enhancenet_telemetry::echo_enabled();
+        if cfg.verbose {
+            enhancenet_telemetry::set_echo(true);
+        }
 
         for epoch in 0..cfg.epochs {
             let lr = cfg.schedule.lr_at(epoch);
             let started = Instant::now();
             let mut loss_sum = 0.0f64;
             let mut batches = 0usize;
+            let mut windows = 0usize;
+            let mut grad_norm_sum = 0.0f64;
+            let mut updates = 0usize;
+            let mut truncated = false;
             let iter =
                 BatchIterator::shuffled(data, data.split.train.clone(), cfg.batch_size, &mut rng);
             for batch in iter {
                 if let Some(cap) = cfg.max_batches_per_epoch {
                     if batches >= cap {
+                        truncated = true;
                         break;
                     }
                 }
                 let tf_prob = sampler.teacher_forcing_prob();
                 let mut g = Graph::new();
                 let pred = {
+                    let _timer = enhancenet_telemetry::scoped("trainer.forward");
                     let mut ctx = ForwardCtx::train(&mut rng, &batch.y_scaled, tf_prob);
                     model.forward(&mut g, &batch.x, &mut ctx)
                 };
@@ -142,50 +213,87 @@ impl Trainer {
                 let mask = batch.y_raw.map(|v| if v != 0.0 { 1.0 } else { 0.0 });
                 let loss = g.masked_mae(pred, &batch.y_scaled, &mask);
                 let loss_val = g.value(loss).item();
+                windows += batch.starts.len();
                 if !loss_val.is_finite() {
                     // Divergence guard: skip the update, keep training.
+                    enhancenet_telemetry::count("trainer.diverged_batches", 1);
                     sampler.advance();
                     batches += 1;
                     continue;
                 }
                 g.backward(loss);
-                model.store_mut().zero_grad();
-                g.write_grads(model.store_mut());
-                clip_grad_norm(model.store_mut(), cfg.clip_norm);
-                optimizer.step(model.store_mut(), lr);
+                let norm = {
+                    let _timer = enhancenet_telemetry::scoped("trainer.optimizer");
+                    model.store_mut().zero_grad();
+                    g.write_grads(model.store_mut());
+                    let norm = clip_grad_norm(model.store_mut(), cfg.clip_norm);
+                    optimizer.step(model.store_mut(), lr);
+                    norm
+                };
                 sampler.advance();
+                grad_norm_sum += norm as f64;
+                updates += 1;
                 loss_sum += loss_val as f64;
                 batches += 1;
             }
-            epoch_secs += started.elapsed().as_secs_f64();
+            let secs = started.elapsed().as_secs_f64();
             let mean_loss = if batches > 0 { (loss_sum / batches as f64) as f32 } else { f32::NAN };
             train_loss.push(mean_loss);
 
             // Validation MAE in the raw scale.
-            let val = self.quick_mae(model, data, data.split.val.clone(), &mut rng);
+            let val = {
+                let _timer = enhancenet_telemetry::scoped("trainer.validation");
+                self.quick_mae(model, data, data.split.val.clone(), &mut rng)
+            };
             val_mae.push(val);
-            if cfg.verbose {
-                eprintln!(
-                    "[{}] epoch {epoch}: loss {mean_loss:.4}, val MAE {val:.4}, lr {lr:.5}",
-                    model.name()
-                );
-            }
-            if val < best.0 {
+            let is_best = val < best.0;
+            let record = EpochTelemetry {
+                epoch,
+                secs: secs as f32,
+                windows,
+                windows_per_sec: if secs > 0.0 { (windows as f64 / secs) as f32 } else { 0.0 },
+                grad_norm: if updates > 0 { (grad_norm_sum / updates as f64) as f32 } else { 0.0 },
+                train_loss: mean_loss,
+                val_mae: val,
+                lr,
+                full_epoch: !truncated,
+                best: is_best,
+            };
+            enhancenet_telemetry::record_event("epoch", &record);
+            enhancenet_telemetry::echo(&format!(
+                "[{}] epoch {epoch}: loss {mean_loss:.4}, val MAE {val:.4}, lr {lr:.5}, \
+                 {:.1} windows/s",
+                model.name(),
+                record.windows_per_sec
+            ));
+            epoch_telemetry.push(record);
+            if is_best {
                 best = (val, epoch, model.store().snapshot());
+                enhancenet_telemetry::record_event(
+                    "best_epoch",
+                    &serde_json::json!({"epoch": epoch, "val_mae": val}),
+                );
             } else if let Some(p) = cfg.patience {
                 if epoch >= best.1 + p {
+                    enhancenet_telemetry::record_event(
+                        "early_stop",
+                        &serde_json::json!({"epoch": epoch, "best_epoch": best.1, "patience": p}),
+                    );
                     break;
                 }
             }
         }
+        if cfg.verbose {
+            enhancenet_telemetry::set_echo(prev_echo);
+        }
         model.store_mut().restore(&best.2);
-        let completed = train_loss.len().max(1);
         TrainReport {
+            best_epoch: best.1,
+            secs_per_epoch: secs_per_full_epoch(&epoch_telemetry),
+            num_parameters: model.num_parameters(),
             train_loss,
             val_mae,
-            best_epoch: best.1,
-            secs_per_epoch: (epoch_secs / completed as f64) as f32,
-            num_parameters: model.num_parameters(),
+            epoch_telemetry,
         }
     }
 
@@ -404,5 +512,78 @@ mod tests {
         // The affine model converges almost immediately, so patience should
         // cut the run well short of 50 epochs.
         assert!(report.train_loss.len() < 50, "ran {} epochs", report.train_loss.len());
+    }
+
+    #[test]
+    fn epoch_telemetry_has_one_record_per_epoch() {
+        let data = dataset();
+        let mut model = AffinePersistence::new(12);
+        let trainer = Trainer::new(TrainConfig::quick(4, 8));
+        let report = trainer.train(&mut model, &data);
+        assert_eq!(report.epoch_telemetry.len(), 4);
+        for (i, e) in report.epoch_telemetry.iter().enumerate() {
+            assert_eq!(e.epoch, i);
+            assert!(e.secs >= 0.0);
+            assert!(e.windows > 0, "epoch {i} processed no windows");
+            assert!(e.windows_per_sec > 0.0);
+            assert!(e.grad_norm >= 0.0);
+            assert!((e.train_loss - report.train_loss[i]).abs() < 1e-6);
+            assert!((e.val_mae - report.val_mae[i]).abs() < 1e-6);
+        }
+        // Exactly the epochs that improved validation MAE are flagged best,
+        // and the last of them is the reported best epoch.
+        let best_epochs: Vec<usize> =
+            report.epoch_telemetry.iter().filter(|e| e.best).map(|e| e.epoch).collect();
+        assert!(best_epochs.contains(&report.best_epoch));
+        assert_eq!(best_epochs.last().copied(), Some(report.best_epoch));
+    }
+
+    #[test]
+    fn secs_per_epoch_averages_full_epochs_only() {
+        let data = dataset();
+        let mut model = AffinePersistence::new(12);
+        // Uncapped: every epoch consumes the whole training split.
+        let mut cfg = TrainConfig::quick(3, 8);
+        cfg.max_batches_per_epoch = None;
+        let trainer = Trainer::new(cfg);
+        let report = trainer.train(&mut model, &data);
+        assert!(report.epoch_telemetry.iter().all(|e| e.full_epoch));
+        let mean: f64 = report.epoch_telemetry.iter().map(|e| e.secs as f64).sum::<f64>()
+            / report.epoch_telemetry.len() as f64;
+        assert!((report.secs_per_epoch as f64 - mean).abs() < 1e-5);
+
+        // With a 1-batch cap every epoch is truncated: the report must fall
+        // back to the mean over the truncated epochs rather than claiming
+        // full-epoch timing.
+        let mut cfg = TrainConfig::quick(3, 8);
+        cfg.max_batches_per_epoch = Some(1);
+        let trainer = Trainer::new(cfg);
+        let mut model = AffinePersistence::new(12);
+        let report = trainer.train(&mut model, &data);
+        assert!(report.epoch_telemetry.iter().all(|e| !e.full_epoch));
+        let mean: f64 = report.epoch_telemetry.iter().map(|e| e.secs as f64).sum::<f64>()
+            / report.epoch_telemetry.len() as f64;
+        assert!((report.secs_per_epoch as f64 - mean).abs() < 1e-5);
+    }
+
+    #[test]
+    fn secs_per_epoch_covers_early_stopped_runs() {
+        let data = dataset();
+        let mut model = AffinePersistence::new(12);
+        let mut cfg = TrainConfig::quick(50, 8);
+        cfg.patience = Some(2);
+        cfg.max_batches_per_epoch = None;
+        let trainer = Trainer::new(cfg);
+        let report = trainer.train(&mut model, &data);
+        let ran = report.epoch_telemetry.len();
+        assert!(ran < 50, "expected early stop, ran {ran} epochs");
+        // The early-stopped run still reports timing over the (full) epochs
+        // that actually completed.
+        let full: Vec<f64> =
+            report.epoch_telemetry.iter().filter(|e| e.full_epoch).map(|e| e.secs as f64).collect();
+        assert!(!full.is_empty());
+        let mean = full.iter().sum::<f64>() / full.len() as f64;
+        assert!((report.secs_per_epoch as f64 - mean).abs() < 1e-5);
+        assert!(report.secs_per_epoch > 0.0);
     }
 }

@@ -130,8 +130,7 @@ impl Hyper {
     /// smoke runs and time-boxed reproduction).
     pub fn at(scale: Scale) -> Self {
         let mut hyper = Self::at_inner(scale);
-        if let Some(epochs) = std::env::var("ENHANCENET_EPOCHS").ok().and_then(|v| v.parse().ok())
-        {
+        if let Some(epochs) = std::env::var("ENHANCENET_EPOCHS").ok().and_then(|v| v.parse().ok()) {
             hyper.epochs = epochs;
         }
         hyper
@@ -369,6 +368,7 @@ pub fn run_model(hyper: &Hyper, kind: &str, ds: &Dataset, full_scale: bool) -> R
             best_epoch: 0,
             secs_per_epoch: 0.0,
             num_parameters: 0,
+            epoch_telemetry: vec![],
         }
     } else {
         trainer.train(model.as_mut(), &ds.windows)

@@ -256,4 +256,18 @@ pub fn sanity_forward(scale: Scale) {
     let y = model.forward(&mut g, &x, &mut ctx);
     assert_eq!(g.value(y).shape()[1], 12);
     println!("sanity forward OK: {:?}", g.value(y).shape());
+
+    // A two-epoch quick training pass so the smoke run exercises the full
+    // telemetry surface (per-epoch events, kernel counters, stage timers)
+    // and `--telemetry-out` JSONL has epoch records for
+    // `scripts/bench_summary` to validate.
+    let mut model = hyper.make_model("RNN", &ds, 1);
+    let trainer = Trainer::new(enhancenet::TrainConfig::quick(2, 8));
+    let report = trainer.train(model.as_mut(), &ds.windows);
+    assert_eq!(report.epoch_telemetry.len(), 2);
+    println!(
+        "sanity train OK: {} epochs, {:.1} windows/s",
+        report.epoch_telemetry.len(),
+        report.epoch_telemetry[0].windows_per_sec
+    );
 }

@@ -2,7 +2,7 @@
 //! evaluation (§VI).
 //!
 //! ```text
-//! experiments <command> [--scale small|full]
+//! experiments <command> [--scale small|full] [--telemetry-out <path>]
 //!
 //! commands:
 //!   table1   DFGN on RNN/TCN (3 datasets)
@@ -21,6 +21,11 @@
 //! `--scale small` (default) reproduces the tables' *shape* in minutes on a
 //! CPU; `--scale full` uses the paper's entity counts and epoch budget.
 //! Artifacts are written under `results/`.
+//!
+//! `--telemetry-out <path>` enables the global telemetry registry for the
+//! run, writes it as JSONL to `path` on completion, and prints the human
+//! summary table to stderr. `scripts/bench_summary` converts the JSONL
+//! into the `BENCH_*.json` perf-trajectory format CI archives per commit.
 
 mod ablation;
 mod common;
@@ -45,6 +50,20 @@ fn main() {
         },
         None => Scale::Small,
     };
+    let telemetry_out: Option<std::path::PathBuf> =
+        match args.iter().position(|a| a == "--telemetry-out") {
+            Some(i) => match args.get(i + 1) {
+                Some(path) => Some(std::path::PathBuf::from(path)),
+                None => {
+                    eprintln!("error: --telemetry-out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            None => None,
+        };
+    if telemetry_out.is_some() {
+        enhancenet_telemetry::set_enabled(true);
+    }
 
     let started = std::time::Instant::now();
     match command {
@@ -73,10 +92,20 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: experiments <table1|table2|table3|table4|table5|fig10|fig11|fig12|ablation|all|sanity> [--scale small|full]"
+                "usage: experiments <table1|table2|table3|table4|table5|fig10|fig11|fig12|ablation|all|sanity> [--scale small|full] [--telemetry-out <path>]"
             );
             std::process::exit(2);
         }
+    }
+    if let Some(path) = &telemetry_out {
+        match enhancenet_telemetry::write_jsonl(path) {
+            Ok(()) => eprintln!("[telemetry written to {}]", path.display()),
+            Err(e) => {
+                eprintln!("error: failed to write telemetry to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        eprint!("{}", enhancenet_telemetry::summary_table());
     }
     eprintln!("[done in {:.1}s]", started.elapsed().as_secs_f32());
 }

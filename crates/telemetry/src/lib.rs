@@ -1,0 +1,438 @@
+//! # enhancenet-telemetry
+//!
+//! Process-global, low-overhead observability for the EnhanceNet stack:
+//! the instrumentation behind Table V's runtime accounting (seconds per
+//! training epoch, milliseconds per prediction) and the CI perf-trajectory
+//! pipeline.
+//!
+//! Three primitives feed one global [`Registry`]:
+//!
+//! * **Scoped timers** — [`scoped`] returns an RAII guard that attributes
+//!   the enclosed wall-clock time to a label on drop. Nested scopes each
+//!   bill their own label, so `trainer.forward` and an inner
+//!   `dfgn.generate` coexist without double bookkeeping.
+//! * **Counters** — [`count`] accumulates monotonic `u64` totals (kernel
+//!   calls, elements moved, parallel-vs-serial dispatch decisions).
+//! * **Events** — [`record_event`] appends a structured record (any
+//!   `serde::Serialize` payload), used by the trainer for per-epoch
+//!   progress and best-epoch checkpoints.
+//!
+//! Everything is gated on one process-global [`AtomicBool`]: when telemetry
+//! is disabled (the default) every primitive returns after a single relaxed
+//! atomic load — no locking, no allocation, no `Instant::now()`. Benchmarks
+//! and the inference hot path therefore pay one predictable branch.
+//!
+//! The registry renders two ways: [`render_jsonl`] (one JSON object per
+//! line — `meta`, `counter`, `timer`, and `event` records; the format
+//! `scripts/bench_summary` consumes) and [`summary_table`] (a human-aligned
+//! table for stderr).
+//!
+//! ```
+//! enhancenet_telemetry::reset();
+//! enhancenet_telemetry::set_enabled(true);
+//! {
+//!     let _t = enhancenet_telemetry::scoped("demo.work");
+//!     enhancenet_telemetry::count("demo.items", 3);
+//! }
+//! let jsonl = enhancenet_telemetry::render_jsonl();
+//! assert!(jsonl.lines().count() >= 3);
+//! enhancenet_telemetry::set_enabled(false);
+//! ```
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Master switch. Relaxed ordering is sufficient: the flag only gates
+/// best-effort accounting, never data the computation depends on.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether [`echo`] lines are printed to stderr (the `verbose` sink).
+static ECHO: AtomicBool = AtomicBool::new(false);
+
+/// True when telemetry collection is on. One relaxed atomic load — callers
+/// may use it to skip label/payload construction entirely.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns collection on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Turns the human echo sink (stderr) on or off. Independent of
+/// [`set_enabled`]: a verbose run prints progress lines even when no JSONL
+/// is being collected.
+pub fn set_echo(on: bool) {
+    ECHO.store(on, Ordering::Relaxed);
+}
+
+/// True when [`echo`] prints to stderr.
+#[inline]
+pub fn echo_enabled() -> bool {
+    ECHO.load(Ordering::Relaxed)
+}
+
+/// The human progress sink: prints `line` to stderr when echo is enabled.
+/// Trainer `verbose` output routes through here so there is exactly one
+/// place progress lines leave the process.
+pub fn echo(line: &str) {
+    if echo_enabled() {
+        eprintln!("{line}");
+    }
+}
+
+/// Aggregate for one timer label.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimerStat {
+    /// Completed scopes recorded under this label.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across those scopes.
+    pub total_ns: u64,
+}
+
+/// One structured event: a kind tag plus an arbitrary JSON payload.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Event family, e.g. `"epoch"` or `"best_epoch"`.
+    pub kind: String,
+    /// Serialized payload fields.
+    pub payload: serde_json::Value,
+}
+
+/// The process-global store behind the module-level free functions.
+#[derive(Debug, Default)]
+pub struct Registry {
+    timers: BTreeMap<String, TimerStat>,
+    counters: BTreeMap<String, u64>,
+    events: Vec<Event>,
+}
+
+fn registry() -> MutexGuard<'static, Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(Registry::default()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// RAII guard from [`scoped`]; bills elapsed time to its label on drop.
+/// When telemetry is disabled the guard is inert (holds no timestamp).
+#[must_use = "the timer records on drop; binding to _ drops immediately"]
+pub struct Scope {
+    inner: Option<(&'static str, Instant)>,
+}
+
+/// Starts a scoped wall-clock timer. Disabled path: one atomic load, no
+/// allocation, no clock read.
+#[inline]
+pub fn scoped(label: &'static str) -> Scope {
+    if !enabled() {
+        return Scope { inner: None };
+    }
+    Scope { inner: Some((label, Instant::now())) }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        if let Some((label, start)) = self.inner.take() {
+            let ns = start.elapsed().as_nanos() as u64;
+            let mut reg = registry();
+            let stat = reg.timers.entry(label.to_string()).or_default();
+            stat.calls += 1;
+            stat.total_ns += ns;
+        }
+    }
+}
+
+/// Adds `n` to the monotonic counter `label`. Disabled path: one atomic
+/// load, nothing else.
+#[inline]
+pub fn count(label: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry();
+    match reg.counters.get_mut(label) {
+        Some(v) => *v += n,
+        None => {
+            reg.counters.insert(label.to_string(), n);
+        }
+    }
+}
+
+/// Appends a structured event. The payload is serialized immediately so
+/// the caller may hand over borrowed data. No-op (and no serialization)
+/// when disabled.
+pub fn record_event<T: Serialize>(kind: &str, payload: &T) {
+    if !enabled() {
+        return;
+    }
+    let payload = serde_json::to_value(payload).unwrap_or(serde_json::Value::Null);
+    registry().events.push(Event { kind: kind.to_string(), payload });
+}
+
+/// Current value of a counter (0 when absent). Intended for tests and the
+/// summary renderers.
+pub fn counter_value(label: &str) -> u64 {
+    registry().counters.get(label).copied().unwrap_or(0)
+}
+
+/// Aggregate for a timer label, if any scope completed under it.
+pub fn timer_stat(label: &str) -> Option<TimerStat> {
+    registry().timers.get(label).copied()
+}
+
+/// Number of events recorded under `kind`.
+pub fn event_count(kind: &str) -> usize {
+    registry().events.iter().filter(|e| e.kind == kind).count()
+}
+
+/// Total records (timers + counters + events) currently held.
+pub fn record_count() -> usize {
+    let reg = registry();
+    reg.timers.len() + reg.counters.len() + reg.events.len()
+}
+
+/// Clears all recorded data (flags are untouched).
+pub fn reset() {
+    let mut reg = registry();
+    reg.timers.clear();
+    reg.counters.clear();
+    reg.events.clear();
+}
+
+/// Renders the registry as JSONL: a `meta` header line, then one line per
+/// counter, timer, and event (in that order). Every line is a standalone
+/// JSON object with a `"type"` discriminant — the contract
+/// `scripts/bench_summary` validates.
+pub fn render_jsonl() -> String {
+    let reg = registry();
+    let mut out = String::new();
+    let meta = serde_json::json!({
+        "type": "meta",
+        "schema": "enhancenet-telemetry-v1",
+        "counters": reg.counters.len(),
+        "timers": reg.timers.len(),
+        "events": reg.events.len(),
+    });
+    out.push_str(&meta.to_string());
+    out.push('\n');
+    for (label, value) in &reg.counters {
+        let line = serde_json::json!({"type": "counter", "label": label, "value": value});
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    for (label, stat) in &reg.timers {
+        let line = serde_json::json!({
+            "type": "timer",
+            "label": label,
+            "calls": stat.calls,
+            "total_ns": stat.total_ns,
+        });
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    for event in &reg.events {
+        let mut line = serde_json::Map::new();
+        line.insert("type".into(), "event".into());
+        line.insert("kind".into(), event.kind.clone().into());
+        line.insert("payload".into(), event.payload.clone());
+        out.push_str(&serde_json::Value::Object(line).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes [`render_jsonl`] to `path`, creating parent directories.
+pub fn write_jsonl(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(render_jsonl().as_bytes())
+}
+
+/// Renders a human-readable summary: timers sorted by total time, then
+/// counters, then event tallies.
+pub fn summary_table() -> String {
+    let reg = registry();
+    let mut out = String::new();
+    if !reg.timers.is_empty() {
+        out.push_str(&format!(
+            "{:<32} {:>10} {:>12} {:>12}\n",
+            "timer", "calls", "total ms", "mean µs"
+        ));
+        let mut timers: Vec<(&String, &TimerStat)> = reg.timers.iter().collect();
+        timers.sort_by_key(|(_, s)| std::cmp::Reverse(s.total_ns));
+        for (label, stat) in timers {
+            let total_ms = stat.total_ns as f64 / 1e6;
+            let mean_us = stat.total_ns as f64 / 1e3 / stat.calls.max(1) as f64;
+            out.push_str(&format!(
+                "{label:<32} {:>10} {total_ms:>12.3} {mean_us:>12.2}\n",
+                stat.calls
+            ));
+        }
+    }
+    if !reg.counters.is_empty() {
+        out.push_str(&format!("{:<32} {:>10}\n", "counter", "value"));
+        for (label, value) in &reg.counters {
+            out.push_str(&format!("{label:<32} {value:>10}\n"));
+        }
+    }
+    let mut kinds: BTreeMap<&str, usize> = BTreeMap::new();
+    for event in &reg.events {
+        *kinds.entry(event.kind.as_str()).or_insert(0) += 1;
+    }
+    if !kinds.is_empty() {
+        out.push_str(&format!("{:<32} {:>10}\n", "event kind", "records"));
+        for (kind, n) in kinds {
+            out.push_str(&format!("{kind:<32} {n:>10}\n"));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no telemetry recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// The registry is process-global; serialize tests that mutate it.
+    fn lock_tests() -> MutexGuard<'static, ()> {
+        static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+        GUARD.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn disabled_primitives_record_nothing() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(false);
+        {
+            let _t = scoped("t.disabled");
+            count("c.disabled", 5);
+            record_event("e.disabled", &serde_json::json!({"x": 1}));
+        }
+        assert_eq!(record_count(), 0);
+        assert_eq!(counter_value("c.disabled"), 0);
+        assert!(timer_stat("t.disabled").is_none());
+    }
+
+    #[test]
+    fn counters_accumulate_monotonically() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        count("c.a", 2);
+        count("c.a", 3);
+        count("c.b", 1);
+        set_enabled(false);
+        assert_eq!(counter_value("c.a"), 5);
+        assert_eq!(counter_value("c.b"), 1);
+    }
+
+    #[test]
+    fn nested_scopes_attribute_time_to_their_own_labels() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        {
+            let _outer = scoped("t.outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = scoped("t.inner");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        set_enabled(false);
+        let outer = timer_stat("t.outer").expect("outer recorded");
+        let inner = timer_stat("t.inner").expect("inner recorded");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 1);
+        // The inner scope is a strict sub-interval of the outer one.
+        assert!(inner.total_ns <= outer.total_ns, "inner {inner:?} vs outer {outer:?}");
+        assert!(inner.total_ns > 0);
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_serde_json() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        count("c.x", 7);
+        {
+            let _t = scoped("t.x");
+        }
+        record_event("epoch", &serde_json::json!({"epoch": 0, "loss": 1.5}));
+        set_enabled(false);
+        let jsonl = render_jsonl();
+        let lines: Vec<serde_json::Value> =
+            jsonl.lines().map(|l| serde_json::from_str(l).expect("valid JSON line")).collect();
+        assert_eq!(lines.len(), 4); // meta + counter + timer + event
+        assert_eq!(lines[0]["type"], "meta");
+        assert_eq!(lines[0]["schema"], "enhancenet-telemetry-v1");
+        let counter = lines.iter().find(|l| l["type"] == "counter").unwrap();
+        assert_eq!(counter["label"], "c.x");
+        assert_eq!(counter["value"], 7);
+        let timer = lines.iter().find(|l| l["type"] == "timer").unwrap();
+        assert_eq!(timer["label"], "t.x");
+        assert_eq!(timer["calls"], 1);
+        let event = lines.iter().find(|l| l["type"] == "event").unwrap();
+        assert_eq!(event["kind"], "epoch");
+        assert_eq!(event["payload"]["loss"], 1.5);
+    }
+
+    #[test]
+    fn write_jsonl_creates_parent_dirs() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        count("c.file", 1);
+        set_enabled(false);
+        let dir = std::env::temp_dir().join("enhancenet-telemetry-test");
+        let path = dir.join("nested").join("out.jsonl");
+        write_jsonl(&path).expect("write");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.contains("c.file"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_table_lists_labels() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        count("c.sum", 9);
+        {
+            let _t = scoped("t.sum");
+        }
+        record_event("epoch", &serde_json::json!({"epoch": 1}));
+        set_enabled(false);
+        let table = summary_table();
+        assert!(table.contains("c.sum"));
+        assert!(table.contains("t.sum"));
+        assert!(table.contains("epoch"));
+    }
+
+    #[test]
+    fn echo_respects_flag() {
+        // Behavioral smoke: must not panic either way.
+        set_echo(true);
+        echo("telemetry echo test line");
+        set_echo(false);
+        echo("suppressed");
+        assert!(!echo_enabled());
+    }
+}

@@ -7,6 +7,19 @@ use rayon::prelude::*;
 /// Below this many output elements the rayon fork costs more than it saves.
 const PAR_THRESHOLD: usize = 16 * 1024;
 
+/// Telemetry for one kernel dispatch: calls, output elements produced, and
+/// which path (rayon vs. serial) the size heuristic picked. Recorded once
+/// per public entry point, outside the parallel region, so the hot loops
+/// stay untouched; a single atomic load when telemetry is disabled.
+#[inline]
+fn record_dispatch(calls: &'static str, elems: &'static str, path: &'static str, n: usize) {
+    if enhancenet_telemetry::enabled() {
+        enhancenet_telemetry::count(calls, 1);
+        enhancenet_telemetry::count(elems, n as u64);
+        enhancenet_telemetry::count(path, 1);
+    }
+}
+
 /// Core `[m,k] x [k,n] -> [m,n]` kernel in `ikj` order (streams `b` rows,
 /// accumulates into the output row — cache-friendly without blocking).
 fn mm_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
@@ -47,6 +60,12 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims differ: {:?} x {:?}", self.shape, other.shape);
+        record_dispatch(
+            "tensor.matmul.calls",
+            "tensor.matmul.elements",
+            if m * n >= PAR_THRESHOLD { "tensor.matmul.par" } else { "tensor.matmul.serial" },
+            m * n,
+        );
         let mut out = vec![0.0f32; m * n];
         mm_kernel(&self.data, &other.data, &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])
@@ -62,6 +81,16 @@ impl Tensor {
         let (b2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
         assert_eq!(b, b2, "bmm batch dims differ: {:?} x {:?}", self.shape, other.shape);
         assert_eq!(k, k2, "bmm inner dims differ: {:?} x {:?}", self.shape, other.shape);
+        record_dispatch(
+            "tensor.bmm.calls",
+            "tensor.bmm.elements",
+            if b * m * n >= PAR_THRESHOLD && b > 1 {
+                "tensor.bmm.par"
+            } else {
+                "tensor.bmm.serial"
+            },
+            b * m * n,
+        );
         let mut out = vec![0.0f32; b * m * n];
         let work = |(bi, chunk): (usize, &mut [f32])| {
             mm_kernel(
@@ -91,6 +120,18 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (b, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
         assert_eq!(k, k2, "inner dims differ: {:?} x {:?}", self.shape, other.shape);
+        record_dispatch(
+            "tensor.mm_bcast_left.calls",
+            "tensor.mm_bcast_left.elements",
+            // Per-batch kernels may still split rows; the dispatch itself
+            // walks batches serially.
+            if m * n >= PAR_THRESHOLD {
+                "tensor.mm_bcast_left.par"
+            } else {
+                "tensor.mm_bcast_left.serial"
+            },
+            b * m * n,
+        );
         let mut out = vec![0.0f32; b * m * n];
         out.chunks_mut(m * n).enumerate().for_each(|(bi, chunk)| {
             mm_kernel(&self.data, &other.data[bi * k * n..(bi + 1) * k * n], chunk, m, k, n);

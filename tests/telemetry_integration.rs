@@ -1,0 +1,76 @@
+//! End-to-end telemetry coverage: a quick training run with the global
+//! registry enabled must emit one `epoch` event per epoch, populate the
+//! kernel counters and stage timers, and render JSONL that round-trips
+//! through `serde_json` with the fields `scripts/bench_summary` validates.
+//!
+//! Runs as its own test binary: the telemetry registry is process-global,
+//! and the sibling integration suites must keep seeing it disabled.
+
+use enhancenet::{TrainConfig, Trainer};
+use enhancenet_data::traffic::{generate_traffic, TrafficConfig};
+use enhancenet_data::WindowDataset;
+use enhancenet_models::{GruSeq2Seq, ModelDims, TemporalMode};
+
+#[test]
+fn quick_training_run_emits_structured_telemetry() {
+    let series = generate_traffic(&TrafficConfig::tiny(6, 2));
+    let data = WindowDataset::from_series(&series, 12, 12);
+    let dims =
+        ModelDims { num_entities: 6, in_features: 1, hidden: 12, input_len: 12, output_len: 12 };
+    let mut model = GruSeq2Seq::rnn(dims, 1, TemporalMode::Shared, 1);
+
+    enhancenet_telemetry::reset();
+    enhancenet_telemetry::set_enabled(true);
+    let epochs = 3;
+    let trainer = Trainer::new(TrainConfig::quick(epochs, 8));
+    let report = trainer.train(&mut model, &data);
+    enhancenet_telemetry::set_enabled(false);
+
+    // One structured record per epoch, in the report and on the sink.
+    assert_eq!(report.epoch_telemetry.len(), epochs);
+    assert_eq!(enhancenet_telemetry::event_count("epoch"), epochs);
+    // At least the first epoch improves over +inf, so a best_epoch event
+    // must exist.
+    assert!(enhancenet_telemetry::event_count("best_epoch") >= 1);
+
+    // The instrumented stack recorded kernel and stage activity.
+    assert!(enhancenet_telemetry::counter_value("tensor.matmul.calls") > 0);
+    let backward =
+        enhancenet_telemetry::timer_stat("autodiff.backward").expect("backward sweeps were timed");
+    assert!(backward.calls > 0);
+    let forward =
+        enhancenet_telemetry::timer_stat("trainer.forward").expect("forward passes were timed");
+    assert!(forward.calls as usize >= epochs, "one forward per batch expected");
+
+    // JSONL round-trip: every line is valid JSON; epoch events carry the
+    // schema bench_summary --check enforces.
+    let jsonl = enhancenet_telemetry::render_jsonl();
+    let mut epoch_lines = 0;
+    for line in jsonl.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSONL line");
+        if v["type"] == "event" && v["kind"] == "epoch" {
+            epoch_lines += 1;
+            let p = &v["payload"];
+            for key in [
+                "epoch",
+                "secs",
+                "windows",
+                "windows_per_sec",
+                "grad_norm",
+                "train_loss",
+                "val_mae",
+                "lr",
+                "full_epoch",
+                "best",
+            ] {
+                assert!(!p[key].is_null(), "epoch event missing {key}: {p}");
+            }
+            assert!(p["windows"].as_u64().unwrap() > 0);
+            assert!(p["secs"].as_f64().unwrap() >= 0.0);
+            assert!(p["windows_per_sec"].as_f64().unwrap() > 0.0);
+        }
+    }
+    assert_eq!(epoch_lines, epochs);
+
+    enhancenet_telemetry::reset();
+}
