@@ -168,7 +168,7 @@ impl Graph {
             seed.shape(),
             self.value(output).shape()
         );
-        let _timer = enhancenet_telemetry::scoped("autodiff.backward");
+        let _timer = enhancenet_telemetry::span("autodiff.backward");
         if enhancenet_telemetry::enabled() {
             enhancenet_telemetry::count("autodiff.backward.sweeps", 1);
             enhancenet_telemetry::count("autodiff.tape.nodes", self.nodes.len() as u64);

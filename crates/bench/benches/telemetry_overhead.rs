@@ -1,7 +1,8 @@
 //! Overhead of the telemetry primitives: the disabled fast path (one
 //! relaxed atomic load — what every kernel call pays in production) vs.
 //! the enabled path (mutexed registry update), and a small instrumented
-//! matmul with telemetry off vs. on.
+//! matmul with telemetry off vs. on. Also covers the hierarchical span
+//! guard and histogram `observe` added for run introspection.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use enhancenet_tensor::TensorRng;
@@ -21,6 +22,22 @@ fn bench_telemetry(c: &mut Criterion) {
         b.iter(|| {
             let _t = enhancenet_telemetry::scoped(black_box("bench.scope"));
             enhancenet_telemetry::count(black_box("bench.counter"), 1);
+        });
+    });
+    enhancenet_telemetry::set_enabled(false);
+    enhancenet_telemetry::reset();
+
+    c.bench_function("telemetry/disabled/span+observe", |b| {
+        b.iter(|| {
+            let _s = enhancenet_telemetry::span(black_box("bench.span"));
+            enhancenet_telemetry::observe(black_box("bench.histogram"), black_box(42.0));
+        });
+    });
+    enhancenet_telemetry::set_enabled(true);
+    c.bench_function("telemetry/enabled/span+observe", |b| {
+        b.iter(|| {
+            let _s = enhancenet_telemetry::span(black_box("bench.span"));
+            enhancenet_telemetry::observe(black_box("bench.histogram"), black_box(42.0));
         });
     });
     enhancenet_telemetry::set_enabled(false);

@@ -95,7 +95,7 @@ impl Damgn {
     /// `B = Softmax(ReLU(B₁ B₂ᵀ)) ∈ [N, N]` (row softmax; ReLU prunes weak
     /// correlations before normalization).
     pub fn static_b(&self, g: &mut Graph, store: &ParamStore) -> Var {
-        let _timer = enhancenet_telemetry::scoped("damgn.static_b");
+        let _timer = enhancenet_telemetry::span("damgn.static_b");
         enhancenet_telemetry::count("damgn.static_b.calls", 1);
         let b1 = g.param(store, self.b1);
         let b2 = g.param(store, self.b2);
@@ -110,7 +110,7 @@ impl Damgn {
     /// `C[i,j] = softmax_j(θ(x⁽ⁱ⁾)ᵀ φ(x⁽ʲ⁾))`, returned as `[B, N, N]`.
     pub fn dynamic_c(&self, g: &mut Graph, store: &ParamStore, x_t: Var) -> Var {
         assert_eq!(g.value(x_t).rank(), 3, "dynamic_c expects [B, N, C]");
-        let _timer = enhancenet_telemetry::scoped("damgn.dynamic_c");
+        let _timer = enhancenet_telemetry::span("damgn.dynamic_c");
         enhancenet_telemetry::count("damgn.dynamic_c.calls", 1);
         let th = g.param(store, self.theta);
         let ph = g.param(store, self.phi);
@@ -146,7 +146,7 @@ impl Damgn {
     /// embeddings and λ_C, so each timestep only pays for `C_t` (Eq. 16)
     /// and one add.
     pub fn bind(&self, g: &mut Graph, store: &ParamStore, base_supports: &[Var]) -> DamgnBinding {
-        let _timer = enhancenet_telemetry::scoped("damgn.bind");
+        let _timer = enhancenet_telemetry::span("damgn.bind");
         enhancenet_telemetry::count("damgn.bind.calls", 1);
         let la = g.param(store, self.lambda_a);
         let lb = g.param(store, self.lambda_b);
@@ -172,7 +172,7 @@ impl Damgn {
     /// (one `[B, N, N]` var per base support), computing `C_t` once from
     /// the signal `x_t ∈ [B, N, C]`.
     pub fn dynamic_supports_at(&self, g: &mut Graph, binding: &DamgnBinding, x_t: Var) -> Vec<Var> {
-        let _timer = enhancenet_telemetry::scoped("damgn.dynamic_supports");
+        let _timer = enhancenet_telemetry::span("damgn.dynamic_supports");
         enhancenet_telemetry::count("damgn.dynamic_supports.calls", 1);
         let q = g.matmul_broadcast_right(x_t, binding.theta);
         let k = g.matmul_broadcast_right(x_t, binding.phi);

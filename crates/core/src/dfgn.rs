@@ -118,7 +118,7 @@ impl Dfgn {
 
     /// Runs the generator for all entities at once: returns `[N, out_dim]`.
     pub fn generate(&self, g: &mut Graph, store: &ParamStore) -> Var {
-        let _timer = enhancenet_telemetry::scoped("dfgn.generate");
+        let _timer = enhancenet_telemetry::span("dfgn.generate");
         if enhancenet_telemetry::enabled() {
             enhancenet_telemetry::count("dfgn.generate.calls", 1);
             enhancenet_telemetry::count(

@@ -2,7 +2,8 @@
 //! the per-forward context (training flag, teacher signals for scheduled
 //! sampling).
 
-use enhancenet_autodiff::{Graph, ParamStore, Var};
+use crate::damgn::Damgn;
+use enhancenet_autodiff::{Graph, ParamId, ParamStore, Var};
 use enhancenet_tensor::{Tensor, TensorRng};
 
 /// Context threaded through one forward pass.
@@ -59,6 +60,20 @@ pub trait Forecaster {
     /// Total trainable scalars — the "# Para" column of Tables I/II.
     fn num_parameters(&self) -> usize {
         self.store().num_scalars()
+    }
+
+    /// The model's DAMGN instance, when it carries one. Drives the
+    /// per-epoch graph-health probe (`crate::probes`); plain hosts and
+    /// baselines keep the default `None` and the probe skips them.
+    fn damgn(&self) -> Option<&Damgn> {
+        None
+    }
+
+    /// Parameter id of the shared DFGN entity-memory table, when the
+    /// model has one. Drives the memory-drift probe and the t-SNE
+    /// figures; models without distinct filters keep the default `None`.
+    fn memory_id(&self) -> Option<ParamId> {
+        None
     }
 }
 

@@ -22,6 +22,9 @@
 //! * [`Forecaster`] + [`Trainer`] — the training/evaluation harness shared
 //!   by every host model and baseline, reporting the paper's metrics at the
 //!   3rd/6th/12th horizon plus parameter counts and runtimes.
+//! * [`probes`] — model-health probes (per-entity/per-horizon error
+//!   attribution, DAMGN λ/adjacency diagnostics, DFGN memory drift)
+//!   emitted as structured telemetry events.
 //!
 //! The host models themselves (RNN, TCN, GRNN, GTCN and their enhanced
 //! variants) live in `enhancenet-models`; this crate holds everything that
@@ -31,6 +34,7 @@ pub mod damgn;
 pub mod dfgn;
 pub mod forecaster;
 pub mod gconv;
+pub mod probes;
 pub mod trainer;
 
 pub use damgn::{Damgn, DamgnBinding, DamgnConfig};
@@ -40,4 +44,5 @@ pub use dfgn::{
 };
 pub use forecaster::{Forecaster, ForwardCtx};
 pub use gconv::{graph_conv, GcSupport};
+pub use probes::{MemoryDriftProbe, ProbeConfig};
 pub use trainer::{EpochTelemetry, EvalReport, TrainConfig, TrainReport, Trainer};

@@ -7,6 +7,7 @@
 //! training epoch, milliseconds per 12-step prediction).
 
 use crate::forecaster::{Forecaster, ForwardCtx};
+use crate::probes::{self, MemoryDriftProbe, ProbeConfig};
 use enhancenet_autodiff::Graph;
 use enhancenet_data::{BatchIterator, WindowDataset};
 use enhancenet_nn::optim::{clip_grad_norm, Adam, LrSchedule, Optimizer};
@@ -41,6 +42,11 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Print one line per epoch.
     pub verbose: bool,
+    /// Which model-health probes fire (error attribution at evaluation,
+    /// per-epoch DAMGN/DFGN diagnostics). Probes additionally require the
+    /// global telemetry switch, so the default all-on config costs nothing
+    /// in ordinary runs.
+    pub probes: ProbeConfig,
 }
 
 impl TrainConfig {
@@ -57,6 +63,7 @@ impl TrainConfig {
             patience: None,
             seed: 1,
             verbose: false,
+            probes: ProbeConfig::default(),
         }
     }
 }
@@ -184,7 +191,12 @@ impl Trainer {
             enhancenet_telemetry::set_echo(true);
         }
 
+        // Model-health probes: snapshot the DFGN memory table (if any)
+        // before the first update so drift is measured from init.
+        let drift_probe = MemoryDriftProbe::start(&cfg.probes, model);
+
         for epoch in 0..cfg.epochs {
+            let _epoch_span = enhancenet_telemetry::span("trainer.epoch");
             let lr = cfg.schedule.lr_at(epoch);
             let started = Instant::now();
             let mut loss_sum = 0.0f64;
@@ -203,9 +215,10 @@ impl Trainer {
                     }
                 }
                 let tf_prob = sampler.teacher_forcing_prob();
+                let step_start = enhancenet_telemetry::enabled().then(Instant::now);
                 let mut g = Graph::new();
                 let pred = {
-                    let _timer = enhancenet_telemetry::scoped("trainer.forward");
+                    let _timer = enhancenet_telemetry::span("trainer.forward");
                     let mut ctx = ForwardCtx::train(&mut rng, &batch.y_scaled, tf_prob);
                     model.forward(&mut g, &batch.x, &mut ctx)
                 };
@@ -223,7 +236,7 @@ impl Trainer {
                 }
                 g.backward(loss);
                 let norm = {
-                    let _timer = enhancenet_telemetry::scoped("trainer.optimizer");
+                    let _timer = enhancenet_telemetry::span("trainer.optimizer");
                     model.store_mut().zero_grad();
                     g.write_grads(model.store_mut());
                     let norm = clip_grad_norm(model.store_mut(), cfg.clip_norm);
@@ -235,6 +248,13 @@ impl Trainer {
                 updates += 1;
                 loss_sum += loss_val as f64;
                 batches += 1;
+                enhancenet_telemetry::observe("trainer.grad_norm", norm as f64);
+                if let Some(t0) = step_start {
+                    enhancenet_telemetry::observe(
+                        "trainer.step_ns",
+                        t0.elapsed().as_nanos() as f64,
+                    );
+                }
             }
             let secs = started.elapsed().as_secs_f64();
             let mean_loss = if batches > 0 { (loss_sum / batches as f64) as f32 } else { f32::NAN };
@@ -242,9 +262,13 @@ impl Trainer {
 
             // Validation MAE in the raw scale.
             let val = {
-                let _timer = enhancenet_telemetry::scoped("trainer.validation");
+                let _timer = enhancenet_telemetry::span("trainer.validation");
                 self.quick_mae(model, data, data.split.val.clone(), &mut rng)
             };
+            // Per-epoch model-health probes (no-ops unless telemetry is on
+            // and the model carries the relevant plugin).
+            probes::record_graph_diagnostics(&cfg.probes, epoch, model, data);
+            drift_probe.record(epoch, model);
             val_mae.push(val);
             let is_best = val < best.0;
             let record = EpochTelemetry {
@@ -394,6 +418,10 @@ impl Trainer {
             horizons.iter().map(|&h| (h, metrics_at_horizon(&pred_all, &truth_all, h))).collect();
         let overall = HorizonMetrics::compute(&pred_all, &truth_all);
 
+        // Error attribution: which entities and horizons the headline
+        // numbers hide (no-op unless telemetry + probe are on).
+        probes::record_error_attribution(&self.config.probes, &pred_all, &truth_all);
+
         // Prediction latency: single-window forwards (Table V's protocol —
         // "making a prediction for the next 12 timestamps").
         let timing_windows: Vec<usize> = range.take(5).collect();
@@ -404,8 +432,13 @@ impl Trainer {
             let t0 = Instant::now();
             let mut g = Graph::new();
             let mut ctx = ForwardCtx::eval(&mut rng);
-            let _ = model.forward(&mut g, &x, &mut ctx);
-            total += t0.elapsed().as_secs_f64();
+            {
+                let _span = enhancenet_telemetry::span("trainer.infer_window");
+                let _ = model.forward(&mut g, &x, &mut ctx);
+            }
+            let elapsed = t0.elapsed();
+            enhancenet_telemetry::observe("infer.window_ns", elapsed.as_nanos() as f64);
+            total += elapsed.as_secs_f64();
             timed += 1;
         }
         EvalReport {

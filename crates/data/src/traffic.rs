@@ -122,7 +122,7 @@ fn layout_sensors(cfg: &TrafficConfig, rng: &mut TensorRng) -> Vec<Sensor> {
         let corridor = i % cfg.num_corridors;
         let slot = i / cfg.num_corridors;
         // Alternate carriageways; distance grows outwards along the slot.
-        let inbound = slot.is_multiple_of(2);
+        let inbound = slot % 2 == 0;
         let km = 2.0 + (slot as f32 / 2.0).floor() * 1.7 + rng.scalar(-0.3, 0.3);
         let peak_hour = if inbound { 8.0 } else { 17.0 } + rng.scalar(-1.0, 1.0);
         sensors.push(Sensor {

@@ -1,7 +1,9 @@
 //! Shared experiment machinery: dataset preparation, the model factory,
 //! training/evaluation drivers, table printing and JSON artifacts.
 
-use enhancenet::{DfgnConfig, EvalReport, Forecaster, TrainConfig, TrainReport, Trainer};
+use enhancenet::{
+    DfgnConfig, EvalReport, Forecaster, ProbeConfig, TrainConfig, TrainReport, Trainer,
+};
 use enhancenet_arima::ArimaConfig;
 use enhancenet_data::traffic::{generate_traffic, TrafficConfig};
 use enhancenet_data::weather::{generate_weather, WeatherConfig};
@@ -330,6 +332,7 @@ impl Hyper {
             patience: None,
             seed: 1,
             verbose: false,
+            probes: ProbeConfig::default(),
         }
     }
 }

@@ -258,10 +258,12 @@ pub fn sanity_forward(scale: Scale) {
     println!("sanity forward OK: {:?}", g.value(y).shape());
 
     // A two-epoch quick training pass so the smoke run exercises the full
-    // telemetry surface (per-epoch events, kernel counters, stage timers)
-    // and `--telemetry-out` JSONL has epoch records for
-    // `scripts/bench_summary` to validate.
-    let mut model = hyper.make_model("RNN", &ds, 1);
+    // telemetry surface (per-epoch events, kernel counters, stage timers,
+    // span trees, latency/gradient histograms) and `--telemetry-out` JSONL
+    // has epoch records for `scripts/bench_summary` to validate. D-DA-GTCN
+    // carries both plugins, so the DAMGN graph diagnostics and DFGN memory
+    // drift probes fire alongside the host-model spans.
+    let mut model = hyper.make_model("D-DA-GTCN", &ds, 1);
     let trainer = Trainer::new(enhancenet::TrainConfig::quick(2, 8));
     let report = trainer.train(model.as_mut(), &ds.windows);
     assert_eq!(report.epoch_telemetry.len(), 2);
@@ -269,5 +271,15 @@ pub fn sanity_forward(scale: Scale) {
         "sanity train OK: {} epochs, {:.1} windows/s",
         report.epoch_telemetry.len(),
         report.epoch_telemetry[0].windows_per_sec
+    );
+
+    // An evaluation pass over the test split so the per-entity/per-horizon
+    // error-attribution probe and the `infer.window_ns` histogram are
+    // exercised end to end.
+    let eval =
+        trainer.evaluate(model.as_ref(), &ds.windows, ds.windows.split.test.clone(), &[3, 6, 12]);
+    println!(
+        "sanity eval OK: overall MAE {:.3}, predict {:.2} ms/window",
+        eval.overall.mae, eval.pred_ms
     );
 }

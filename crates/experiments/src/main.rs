@@ -2,7 +2,7 @@
 //! evaluation (§VI).
 //!
 //! ```text
-//! experiments <command> [--scale small|full] [--telemetry-out <path>]
+//! experiments <command> [--scale small|full] [--telemetry-out <path>] [--trace-out <path>]
 //!
 //! commands:
 //!   table1   DFGN on RNN/TCN (3 datasets)
@@ -26,6 +26,11 @@
 //! run, writes it as JSONL to `path` on completion, and prints the human
 //! summary table to stderr. `scripts/bench_summary` converts the JSONL
 //! into the `BENCH_*.json` perf-trajectory format CI archives per commit.
+//!
+//! `--trace-out <path>` also enables telemetry and additionally exports the
+//! hierarchical spans as a Chrome `trace_event` JSON file loadable in
+//! `chrome://tracing` / Perfetto. Both flags may be combined; each writes
+//! its own file.
 
 mod ablation;
 mod common;
@@ -61,11 +66,36 @@ fn main() {
             },
             None => None,
         };
-    if telemetry_out.is_some() {
+    let trace_out: Option<std::path::PathBuf> = match args.iter().position(|a| a == "--trace-out") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) => Some(std::path::PathBuf::from(path)),
+            None => {
+                eprintln!("error: --trace-out requires a path");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    if telemetry_out.is_some() || trace_out.is_some() {
         enhancenet_telemetry::set_enabled(true);
     }
 
     let started = std::time::Instant::now();
+    // Root span so the Chrome trace shows the whole run as one top-level
+    // slice above the trainer/model spans (labels must be 'static).
+    let run_span = enhancenet_telemetry::span(match command {
+        "table1" => "experiments.table1",
+        "table2" => "experiments.table2",
+        "table3" => "experiments.table3",
+        "table4" => "experiments.table4",
+        "table5" => "experiments.table5",
+        "fig10" | "fig11" => "experiments.fig10_fig11",
+        "fig12" => "experiments.fig12",
+        "sanity" => "experiments.sanity",
+        "ablation" => "experiments.ablation",
+        "all" => "experiments.all",
+        _ => "experiments.run",
+    });
     match command {
         "table1" => tables::table1(scale),
         "table2" => tables::table2(scale),
@@ -92,11 +122,12 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: experiments <table1|table2|table3|table4|table5|fig10|fig11|fig12|ablation|all|sanity> [--scale small|full] [--telemetry-out <path>]"
+                "usage: experiments <table1|table2|table3|table4|table5|fig10|fig11|fig12|ablation|all|sanity> [--scale small|full] [--telemetry-out <path>] [--trace-out <path>]"
             );
             std::process::exit(2);
         }
     }
+    drop(run_span);
     if let Some(path) = &telemetry_out {
         match enhancenet_telemetry::write_jsonl(path) {
             Ok(()) => eprintln!("[telemetry written to {}]", path.display()),
@@ -106,6 +137,15 @@ fn main() {
             }
         }
         eprint!("{}", enhancenet_telemetry::summary_table());
+    }
+    if let Some(path) = &trace_out {
+        match enhancenet_telemetry::write_chrome_trace(path) {
+            Ok(()) => eprintln!("[chrome trace written to {}]", path.display()),
+            Err(e) => {
+                eprintln!("error: failed to write trace to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
     eprintln!("[done in {:.1}s]", started.elapsed().as_secs_f32());
 }

@@ -354,6 +354,14 @@ impl Forecaster for GruSeq2Seq {
         self.dims.output_len
     }
 
+    fn damgn(&self) -> Option<&Damgn> {
+        GruSeq2Seq::damgn(self)
+    }
+
+    fn memory_id(&self) -> Option<ParamId> {
+        GruSeq2Seq::memory_id(self)
+    }
+
     fn forward(&self, g: &mut Graph, x: &Tensor, ctx: &mut ForwardCtx) -> Var {
         let (b, h_len, n, c) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         assert_eq!(n, self.dims.num_entities, "entity count mismatch");

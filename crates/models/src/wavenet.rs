@@ -349,6 +349,14 @@ impl Forecaster for WaveNet {
         self.dims.output_len
     }
 
+    fn damgn(&self) -> Option<&Damgn> {
+        WaveNet::damgn(self)
+    }
+
+    fn memory_id(&self) -> Option<ParamId> {
+        WaveNet::memory_id(self)
+    }
+
     fn forward(&self, g: &mut Graph, x: &Tensor, ctx: &mut ForwardCtx) -> Var {
         let (b, t, n, c) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         assert_eq!(n, self.dims.num_entities, "entity count mismatch");

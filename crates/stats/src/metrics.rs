@@ -72,6 +72,39 @@ pub fn metrics_at_horizon(pred: &Tensor, truth: &Tensor, horizon: usize) -> Hori
     HorizonMetrics::compute(&p, &t)
 }
 
+/// Metrics attributed to each entity (sensor) separately.
+///
+/// `pred` and `truth` are `[B, F, N]`; the result has one entry per
+/// entity `n`, computed over all batches and horizons of that entity's
+/// column. This is the error-attribution view behind the
+/// `probe.entity_error` telemetry events: EnhanceNet's per-entity plugin
+/// networks (DFGN memories, §IV-C) make per-entity error the natural unit
+/// of diagnosis.
+pub fn metrics_per_entity(pred: &Tensor, truth: &Tensor) -> Vec<HorizonMetrics> {
+    assert_eq!(pred.shape(), truth.shape(), "per-entity metric shape mismatch");
+    assert_eq!(pred.rank(), 3, "expected [B, F, N], got {:?}", pred.shape());
+    let n = pred.shape()[2];
+    (0..n)
+        .map(|i| {
+            let p = pred.index_axis(2, i);
+            let t = truth.index_axis(2, i);
+            HorizonMetrics::compute(&p, &t)
+        })
+        .collect()
+}
+
+/// Metrics at every forecast step `1..=F` (not just the headline 3/6/12).
+///
+/// `pred` and `truth` are `[B, F, N]`; entry `h` of the result is the
+/// error at 1-indexed horizon `h + 1`, the curve behind the
+/// `probe.horizon_error` telemetry events.
+pub fn metrics_per_horizon(pred: &Tensor, truth: &Tensor) -> Vec<HorizonMetrics> {
+    assert_eq!(pred.shape(), truth.shape(), "per-horizon metric shape mismatch");
+    assert_eq!(pred.rank(), 3, "expected [B, F, N], got {:?}", pred.shape());
+    let f = pred.shape()[1];
+    (1..=f).map(|h| metrics_at_horizon(pred, truth, h)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +169,33 @@ mod tests {
         let t = Tensor::from_vec(vec![10.0, 10.0], &[1, 2, 1]);
         assert!((metrics_at_horizon(&p, &t, 1).mae - 1.0).abs() < 1e-6);
         assert!((metrics_at_horizon(&p, &t, 2).mae - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_entity_attributes_errors_to_columns() {
+        // [B=1, F=2, N=2]: entity 0 always off by 1, entity 1 off by 2, 4.
+        let p = Tensor::from_vec(vec![11.0, 12.0, 11.0, 14.0], &[1, 2, 2]);
+        let t = Tensor::from_vec(vec![10.0, 10.0, 10.0, 10.0], &[1, 2, 2]);
+        let per = metrics_per_entity(&p, &t);
+        assert_eq!(per.len(), 2);
+        assert!((per[0].mae - 1.0).abs() < 1e-6);
+        assert!((per[1].mae - 3.0).abs() < 1e-6);
+        assert!((per[1].rmse - 10.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_horizon_matches_single_horizon_calls() {
+        let p = Tensor::from_vec(vec![11.0, 13.0, 12.0, 16.0], &[1, 2, 2]);
+        let t = Tensor::from_vec(vec![10.0, 10.0, 10.0, 10.0], &[1, 2, 2]);
+        let per = metrics_per_horizon(&p, &t);
+        assert_eq!(per.len(), 2);
+        for (i, m) in per.iter().enumerate() {
+            let direct = metrics_at_horizon(&p, &t, i + 1);
+            assert_eq!(m.mae, direct.mae);
+            assert_eq!(m.rmse, direct.rmse);
+        }
+        // Horizon 1 mean |err| = (1+2)/2, horizon 2 = (3+6)/2.
+        assert!((per[0].mae - 1.5).abs() < 1e-6);
+        assert!((per[1].mae - 4.5).abs() < 1e-6);
     }
 }

@@ -5,45 +5,62 @@
 //! training epoch, milliseconds per prediction) and the CI perf-trajectory
 //! pipeline.
 //!
-//! Three primitives feed one global [`Registry`]:
+//! Five primitives feed one global [`Registry`]:
 //!
 //! * **Scoped timers** — [`scoped`] returns an RAII guard that attributes
 //!   the enclosed wall-clock time to a label on drop. Nested scopes each
 //!   bill their own label, so `trainer.forward` and an inner
 //!   `dfgn.generate` coexist without double bookkeeping.
+//! * **Trace spans** — [`span`] is the hierarchical sibling of [`scoped`]:
+//!   on top of the same per-label aggregation it records each completed
+//!   interval with its thread id, nesting depth, and start offset, so the
+//!   run can be exported as a Chrome `trace_event` timeline
+//!   ([`render_chrome_trace`], viewable in `chrome://tracing` / Perfetto).
 //! * **Counters** — [`count`] accumulates monotonic `u64` totals (kernel
 //!   calls, elements moved, parallel-vs-serial dispatch decisions).
+//! * **Histograms** — [`observe`] feeds fixed-bucket log-scale histograms
+//!   (power-of-two bucket edges) that report p50/p95/p99 without storing
+//!   raw samples: per-batch step latency, per-window inference latency,
+//!   per-epoch gradient norms.
 //! * **Events** — [`record_event`] appends a structured record (any
 //!   `serde::Serialize` payload), used by the trainer for per-epoch
-//!   progress and best-epoch checkpoints.
+//!   progress and by the model-health probes in `enhancenet::probes`.
 //!
 //! Everything is gated on one process-global [`AtomicBool`]: when telemetry
 //! is disabled (the default) every primitive returns after a single relaxed
 //! atomic load — no locking, no allocation, no `Instant::now()`. Benchmarks
 //! and the inference hot path therefore pay one predictable branch.
 //!
-//! The registry renders two ways: [`render_jsonl`] (one JSON object per
-//! line — `meta`, `counter`, `timer`, and `event` records; the format
-//! `scripts/bench_summary` consumes) and [`summary_table`] (a human-aligned
-//! table for stderr).
+//! The registry renders three ways: [`render_jsonl`] (one JSON object per
+//! line — `meta`, `counter`, `timer`, `histogram`, `span`, and `event`
+//! records; the format `scripts/bench_summary` consumes),
+//! [`render_chrome_trace`] (a `trace_event` JSON document), and
+//! [`summary_table`] (a human-aligned table for stderr).
+//!
+//! Guards are hardened against a concurrent [`reset`]: each captures the
+//! registry generation at creation and drops its measurement silently if a
+//! reset happened in between, so a racing reset can never corrupt the fresh
+//! registry or panic a drop.
 //!
 //! ```
 //! enhancenet_telemetry::reset();
 //! enhancenet_telemetry::set_enabled(true);
 //! {
-//!     let _t = enhancenet_telemetry::scoped("demo.work");
+//!     let _t = enhancenet_telemetry::span("demo.work");
 //!     enhancenet_telemetry::count("demo.items", 3);
+//!     enhancenet_telemetry::observe("demo.latency_ns", 1250.0);
 //! }
 //! let jsonl = enhancenet_telemetry::render_jsonl();
-//! assert!(jsonl.lines().count() >= 3);
+//! assert!(jsonl.lines().count() >= 4);
 //! enhancenet_telemetry::set_enabled(false);
 //! ```
 
 use serde::Serialize;
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
@@ -53,6 +70,28 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// Whether [`echo`] lines are printed to stderr (the `verbose` sink).
 static ECHO: AtomicBool = AtomicBool::new(false);
+
+/// Bumped by [`reset`]. Live guards compare against their creation-time
+/// value on drop and discard the measurement when it no longer matches, so
+/// a reset that races a live scope/span cannot pollute the fresh registry.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Source of process-unique thread ids for span records (0 is reserved for
+/// "unknown", i.e. TLS already torn down).
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Small dense per-thread id, assigned on first span in the thread.
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The instant all span `start_us` offsets are measured from (first use).
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
 
 /// True when telemetry collection is on. One relaxed atomic load — callers
 /// may use it to skip label/payload construction entirely.
@@ -97,10 +136,174 @@ pub struct TimerStat {
     pub total_ns: u64,
 }
 
+/// One completed trace span: a timer interval annotated with enough context
+/// (thread, depth, start offset) to reconstruct the call tree.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span label, shared with the aggregated timer of the same name.
+    pub label: &'static str,
+    /// Process-unique small thread id (0 when TLS was unavailable).
+    pub tid: u64,
+    /// Nesting depth on `tid` at span start (0 = top level).
+    pub depth: u32,
+    /// Start offset in microseconds from the process telemetry epoch.
+    pub start_us: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Spans retained per run; beyond this the `telemetry.spans.dropped`
+/// counter increments instead (aggregated timers keep counting regardless).
+pub const MAX_SPANS: usize = 1 << 16;
+
+/// Number of fixed log-scale histogram buckets. Bucket `i` covers
+/// `[2^(i-32), 2^(i-31))`, so the range spans `2^-32` up to `2^48` — wide
+/// enough for both gradient norms and nanosecond latencies (~78 hours).
+pub const HISTOGRAM_BUCKETS: usize = 80;
+
+/// Fixed-bucket log-scale histogram. Stores only bucket counts plus exact
+/// count/sum/min/max, so memory is constant regardless of sample volume;
+/// quantiles are estimated by a cumulative bucket walk with linear
+/// interpolation inside the target bucket, clamped to the observed
+/// `[min, max]`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for `v`: `floor(log2 v) + 32`, clamped to the table.
+    /// Non-positive values land in bucket 0 (callers filter non-finite).
+    fn bucket_index(v: f64) -> usize {
+        if v <= 0.0 {
+            return 0;
+        }
+        let idx = v.log2().floor() as i64 + 32;
+        idx.clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize
+    }
+
+    /// `[lo, hi)` value bounds of bucket `i`.
+    fn bucket_bounds(i: usize) -> (f64, f64) {
+        (2f64.powi(i as i32 - 32), 2f64.powi(i as i32 - 31))
+    }
+
+    /// Records one sample. Non-finite values are ignored.
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Arithmetic mean (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimated quantile `q` in `[0, 1]`: cumulative bucket walk, linear
+    /// interpolation inside the landing bucket, clamped to `[min, max]`.
+    /// NaN when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return (lo + frac * (hi - lo)).clamp(self.min, self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c)).collect()
+    }
+}
+
+/// Copyable snapshot of one histogram's headline statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
 /// One structured event: a kind tag plus an arbitrary JSON payload.
 #[derive(Debug, Clone)]
 pub struct Event {
-    /// Event family, e.g. `"epoch"` or `"best_epoch"`.
+    /// Event family, e.g. `"epoch"` or `"probe.entity_error"`.
     pub kind: String,
     /// Serialized payload fields.
     pub payload: serde_json::Value,
@@ -111,6 +314,8 @@ pub struct Event {
 pub struct Registry {
     timers: BTreeMap<String, TimerStat>,
     counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: Vec<SpanRecord>,
     events: Vec<Event>,
 }
 
@@ -124,9 +329,11 @@ fn registry() -> MutexGuard<'static, Registry> {
 
 /// RAII guard from [`scoped`]; bills elapsed time to its label on drop.
 /// When telemetry is disabled the guard is inert (holds no timestamp).
+/// If [`reset`] runs while the guard is live, the measurement is discarded
+/// on drop rather than written into the fresh registry.
 #[must_use = "the timer records on drop; binding to _ drops immediately"]
 pub struct Scope {
-    inner: Option<(&'static str, Instant)>,
+    inner: Option<(&'static str, Instant, u64)>,
 }
 
 /// Starts a scoped wall-clock timer. Disabled path: one atomic load, no
@@ -136,17 +343,91 @@ pub fn scoped(label: &'static str) -> Scope {
     if !enabled() {
         return Scope { inner: None };
     }
-    Scope { inner: Some((label, Instant::now())) }
+    Scope { inner: Some((label, Instant::now(), GENERATION.load(Ordering::Relaxed))) }
 }
 
 impl Drop for Scope {
     fn drop(&mut self) {
-        if let Some((label, start)) = self.inner.take() {
+        if let Some((label, start, generation)) = self.inner.take() {
             let ns = start.elapsed().as_nanos() as u64;
+            if GENERATION.load(Ordering::Relaxed) != generation {
+                return; // reset() raced this scope; discard the interval.
+            }
             let mut reg = registry();
             let stat = reg.timers.entry(label.to_string()).or_default();
             stat.calls += 1;
             stat.total_ns += ns;
+        }
+    }
+}
+
+struct SpanInner {
+    label: &'static str,
+    start: Instant,
+    start_us: u64,
+    tid: u64,
+    depth: u32,
+    generation: u64,
+}
+
+/// RAII guard from [`span`]. On drop it aggregates into the timer of the
+/// same label (exactly like [`Scope`]) and additionally records a
+/// [`SpanRecord`] carrying thread id, nesting depth, and start offset.
+#[must_use = "the span records on drop; binding to _ drops immediately"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+/// Starts a hierarchical trace span. Disabled path: one atomic load, no
+/// allocation, no clock read, no TLS access. Enabled spans nest: each
+/// thread tracks its current depth, so `trainer.epoch` >
+/// `trainer.forward` > `autodiff.backward` reconstructs as a tree in the
+/// Chrome trace export.
+#[inline]
+pub fn span(label: &'static str) -> Span {
+    if !enabled() {
+        return Span { inner: None };
+    }
+    let generation = GENERATION.load(Ordering::Relaxed);
+    let tid = TID.try_with(|t| *t).unwrap_or(0);
+    let depth = DEPTH
+        .try_with(|d| {
+            let v = d.get();
+            d.set(v.saturating_add(1));
+            v
+        })
+        .unwrap_or(0);
+    let start_us = process_epoch().elapsed().as_micros() as u64;
+    Span {
+        inner: Some(SpanInner { label, start: Instant::now(), start_us, tid, depth, generation }),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(s) = self.inner.take() {
+            // Re-balance this thread's depth even when the record is
+            // discarded; saturating + try_with keep teardown panic-free.
+            let _ = DEPTH.try_with(|d| d.set(d.get().saturating_sub(1)));
+            let dur_ns = s.start.elapsed().as_nanos() as u64;
+            if GENERATION.load(Ordering::Relaxed) != s.generation {
+                return; // reset() raced this span; discard the interval.
+            }
+            let mut reg = registry();
+            let stat = reg.timers.entry(s.label.to_string()).or_default();
+            stat.calls += 1;
+            stat.total_ns += dur_ns;
+            if reg.spans.len() < MAX_SPANS {
+                reg.spans.push(SpanRecord {
+                    label: s.label,
+                    tid: s.tid,
+                    depth: s.depth,
+                    start_us: s.start_us,
+                    dur_ns,
+                });
+            } else {
+                *reg.counters.entry("telemetry.spans.dropped".to_string()).or_insert(0) += 1;
+            }
         }
     }
 }
@@ -163,6 +444,24 @@ pub fn count(label: &str, n: u64) {
         Some(v) => *v += n,
         None => {
             reg.counters.insert(label.to_string(), n);
+        }
+    }
+}
+
+/// Records `value` into the log-scale histogram `label`. Disabled path:
+/// one atomic load, nothing else. Non-finite values are ignored.
+#[inline]
+pub fn observe(label: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry();
+    match reg.histograms.get_mut(label) {
+        Some(h) => h.observe(value),
+        None => {
+            let mut h = Histogram::default();
+            h.observe(value);
+            reg.histograms.insert(label.to_string(), h);
         }
     }
 }
@@ -189,28 +488,73 @@ pub fn timer_stat(label: &str) -> Option<TimerStat> {
     registry().timers.get(label).copied()
 }
 
+/// Snapshot of one histogram's headline statistics, if it has samples.
+pub fn histogram_summary(label: &str) -> Option<HistogramSummary> {
+    let reg = registry();
+    let h = reg.histograms.get(label)?;
+    if h.count() == 0 {
+        return None;
+    }
+    Some(HistogramSummary {
+        count: h.count(),
+        sum: h.sum(),
+        min: h.min(),
+        max: h.max(),
+        p50: h.quantile(0.50),
+        p95: h.quantile(0.95),
+        p99: h.quantile(0.99),
+    })
+}
+
+/// Number of span records currently held.
+pub fn span_count() -> usize {
+    registry().spans.len()
+}
+
+/// Clone of all span records (for tests and exporters built on top).
+pub fn span_records() -> Vec<SpanRecord> {
+    registry().spans.clone()
+}
+
 /// Number of events recorded under `kind`.
 pub fn event_count(kind: &str) -> usize {
     registry().events.iter().filter(|e| e.kind == kind).count()
 }
 
-/// Total records (timers + counters + events) currently held.
-pub fn record_count() -> usize {
-    let reg = registry();
-    reg.timers.len() + reg.counters.len() + reg.events.len()
+/// Clone of the payloads of all events recorded under `kind`.
+pub fn events_of_kind(kind: &str) -> Vec<serde_json::Value> {
+    registry().events.iter().filter(|e| e.kind == kind).map(|e| e.payload.clone()).collect()
 }
 
-/// Clears all recorded data (flags are untouched).
+/// Total records (timers + counters + histograms + spans + events)
+/// currently held.
+pub fn record_count() -> usize {
+    let reg = registry();
+    reg.timers.len()
+        + reg.counters.len()
+        + reg.histograms.len()
+        + reg.spans.len()
+        + reg.events.len()
+}
+
+/// Clears all recorded data (flags are untouched) and advances the
+/// registry generation so any guard still live discards its measurement
+/// instead of writing it into the cleared registry.
 pub fn reset() {
+    // Bump first: a guard dropping between the bump and the clear compares
+    // generations, sees the mismatch, and discards — never double-records.
+    GENERATION.fetch_add(1, Ordering::Relaxed);
     let mut reg = registry();
     reg.timers.clear();
     reg.counters.clear();
+    reg.histograms.clear();
+    reg.spans.clear();
     reg.events.clear();
 }
 
 /// Renders the registry as JSONL: a `meta` header line, then one line per
-/// counter, timer, and event (in that order). Every line is a standalone
-/// JSON object with a `"type"` discriminant — the contract
+/// counter, timer, histogram, span, and event (in that order). Every line
+/// is a standalone JSON object with a `"type"` discriminant — the contract
 /// `scripts/bench_summary` validates.
 pub fn render_jsonl() -> String {
     let reg = registry();
@@ -220,6 +564,8 @@ pub fn render_jsonl() -> String {
         "schema": "enhancenet-telemetry-v1",
         "counters": reg.counters.len(),
         "timers": reg.timers.len(),
+        "histograms": reg.histograms.len(),
+        "spans": reg.spans.len(),
         "events": reg.events.len(),
     });
     out.push_str(&meta.to_string());
@@ -235,6 +581,36 @@ pub fn render_jsonl() -> String {
             "label": label,
             "calls": stat.calls,
             "total_ns": stat.total_ns,
+        });
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    for (label, h) in &reg.histograms {
+        let buckets: Vec<[u64; 2]> =
+            h.nonzero_buckets().into_iter().map(|(i, c)| [i as u64, c]).collect();
+        let line = serde_json::json!({
+            "type": "histogram",
+            "label": label,
+            "count": h.count(),
+            "sum": h.sum(),
+            "min": h.min(),
+            "max": h.max(),
+            "p50": h.quantile(0.50),
+            "p95": h.quantile(0.95),
+            "p99": h.quantile(0.99),
+            "buckets": buckets,
+        });
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    for s in &reg.spans {
+        let line = serde_json::json!({
+            "type": "span",
+            "label": s.label,
+            "tid": s.tid,
+            "depth": s.depth,
+            "start_us": s.start_us,
+            "dur_ns": s.dur_ns,
         });
         out.push_str(&line.to_string());
         out.push('\n');
@@ -261,8 +637,46 @@ pub fn write_jsonl(path: &Path) -> std::io::Result<()> {
     file.write_all(render_jsonl().as_bytes())
 }
 
-/// Renders a human-readable summary: timers sorted by total time, then
-/// counters, then event tallies.
+/// Renders all span records as a Chrome `trace_event` JSON document
+/// (complete `"ph": "X"` events, timestamps and durations in
+/// microseconds). Load the output in `chrome://tracing` or
+/// <https://ui.perfetto.dev> to see the per-thread span tree.
+pub fn render_chrome_trace() -> String {
+    let reg = registry();
+    let mut events = Vec::with_capacity(reg.spans.len());
+    for s in &reg.spans {
+        events.push(serde_json::json!({
+            "name": s.label,
+            "cat": "enhancenet",
+            "ph": "X",
+            "ts": s.start_us,
+            "dur": s.dur_ns as f64 / 1e3,
+            "pid": 1,
+            "tid": s.tid,
+            "args": {"depth": s.depth},
+        }));
+    }
+    serde_json::json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    })
+    .to_string()
+}
+
+/// Writes [`render_chrome_trace`] to `path`, creating parent directories.
+pub fn write_chrome_trace(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(render_chrome_trace().as_bytes())
+}
+
+/// Renders a human-readable summary: timers sorted by total time (label
+/// breaks ties, so the table is deterministic), then histograms, counters,
+/// and event tallies.
 pub fn summary_table() -> String {
     let reg = registry();
     let mut out = String::new();
@@ -272,13 +686,28 @@ pub fn summary_table() -> String {
             "timer", "calls", "total ms", "mean µs"
         ));
         let mut timers: Vec<(&String, &TimerStat)> = reg.timers.iter().collect();
-        timers.sort_by_key(|(_, s)| std::cmp::Reverse(s.total_ns));
+        timers.sort_by_key(|(label, s)| (std::cmp::Reverse(s.total_ns), *label));
         for (label, stat) in timers {
             let total_ms = stat.total_ns as f64 / 1e6;
             let mean_us = stat.total_ns as f64 / 1e3 / stat.calls.max(1) as f64;
             out.push_str(&format!(
                 "{label:<32} {:>10} {total_ms:>12.3} {mean_us:>12.2}\n",
                 stat.calls
+            ));
+        }
+    }
+    if !reg.histograms.is_empty() {
+        out.push_str(&format!(
+            "{:<32} {:>10} {:>12} {:>12} {:>12}\n",
+            "histogram", "count", "p50", "p95", "p99"
+        ));
+        for (label, h) in &reg.histograms {
+            out.push_str(&format!(
+                "{label:<32} {:>10} {:>12.3} {:>12.3} {:>12.3}\n",
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
             ));
         }
     }
@@ -322,12 +751,16 @@ mod tests {
         set_enabled(false);
         {
             let _t = scoped("t.disabled");
+            let _s = span("s.disabled");
             count("c.disabled", 5);
+            observe("h.disabled", 1.0);
             record_event("e.disabled", &serde_json::json!({"x": 1}));
         }
         assert_eq!(record_count(), 0);
         assert_eq!(counter_value("c.disabled"), 0);
         assert!(timer_stat("t.disabled").is_none());
+        assert!(histogram_summary("h.disabled").is_none());
+        assert_eq!(span_count(), 0);
     }
 
     #[test]
@@ -367,6 +800,131 @@ mod tests {
     }
 
     #[test]
+    fn spans_record_depth_and_feed_timers() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        {
+            let _outer = span("sp.outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = span("sp.inner");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        set_enabled(false);
+        // Spans also aggregate under the same timer labels.
+        assert_eq!(timer_stat("sp.outer").expect("outer timer").calls, 1);
+        assert_eq!(timer_stat("sp.inner").expect("inner timer").calls, 1);
+        let spans = span_records();
+        assert_eq!(spans.len(), 2);
+        let outer = spans.iter().find(|s| s.label == "sp.outer").expect("outer span");
+        let inner = spans.iter().find(|s| s.label == "sp.inner").expect("inner span");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.tid, inner.tid);
+        // Parent/child timing containment: inner starts at or after outer
+        // and ends at or before it.
+        assert!(inner.start_us >= outer.start_us);
+        let outer_end = outer.start_us as u128 * 1000 + outer.dur_ns as u128;
+        let inner_end = inner.start_us as u128 * 1000 + inner.dur_ns as u128;
+        // start_us truncates to µs, so allow that much slack on the ends.
+        assert!(inner_end <= outer_end + 1000, "inner {inner:?} vs outer {outer:?}");
+        assert!(inner.dur_ns <= outer.dur_ns);
+    }
+
+    #[test]
+    fn span_depth_rebalances_across_sequential_spans() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        {
+            let _a = span("sp.first");
+        }
+        {
+            let _b = span("sp.second");
+        }
+        set_enabled(false);
+        let spans = span_records();
+        // Both top-level: the first span's drop restored depth to 0.
+        assert!(spans.iter().all(|s| s.depth == 0), "{spans:?}");
+    }
+
+    #[test]
+    fn scope_survives_concurrent_reset_without_recording() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        let guard = scoped("t.racing");
+        let sp = span("sp.racing");
+        // A reset while guards are live must neither panic their drops nor
+        // let the stale measurements leak into the fresh registry.
+        reset();
+        drop(sp);
+        drop(guard);
+        set_enabled(false);
+        assert!(timer_stat("t.racing").is_none());
+        assert!(timer_stat("sp.racing").is_none());
+        assert_eq!(span_count(), 0);
+        assert_eq!(record_count(), 0);
+        // Depth re-balanced even though the span record was discarded.
+        set_enabled(true);
+        {
+            let _s = span("sp.after_reset");
+        }
+        set_enabled(false);
+        assert_eq!(span_records().last().expect("span after reset").depth, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        assert!(h.quantile(0.5).is_nan());
+        for v in 1..=100 {
+            h.observe(v as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 100.0);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        // Log-scale buckets are coarse: accept the right power-of-two
+        // bucket, and require the quantiles to be ordered and in range.
+        assert!((32.0..=64.0).contains(&p50), "p50 {p50}");
+        assert!((64.0..=100.0).contains(&p95), "p95 {p95}");
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 <= 100.0);
+        // Degenerate and non-finite inputs.
+        let mut d = Histogram::default();
+        d.observe(0.0);
+        d.observe(-3.0);
+        d.observe(f64::NAN);
+        d.observe(f64::INFINITY);
+        assert_eq!(d.count(), 2); // NaN and Inf ignored
+        assert_eq!(d.min(), -3.0);
+        assert!(d.quantile(0.99) <= 0.0);
+    }
+
+    #[test]
+    fn observe_feeds_named_histogram() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        for v in [1.0, 2.0, 4.0, 8.0, 1024.0] {
+            observe("h.lat", v);
+        }
+        set_enabled(false);
+        let s = histogram_summary("h.lat").expect("histogram recorded");
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1024.0);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+        assert!(s.p99 <= 1024.0);
+    }
+
+    #[test]
     fn jsonl_round_trips_through_serde_json() {
         let _g = lock_tests();
         reset();
@@ -395,6 +953,89 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_includes_histogram_and_span_records() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        {
+            let _s = span("sp.jsonl");
+        }
+        observe("h.jsonl", 3.5);
+        set_enabled(false);
+        let jsonl = render_jsonl();
+        let lines: Vec<serde_json::Value> =
+            jsonl.lines().map(|l| serde_json::from_str(l).expect("valid JSON line")).collect();
+        let hist = lines.iter().find(|l| l["type"] == "histogram").expect("histogram line");
+        assert_eq!(hist["label"], "h.jsonl");
+        assert_eq!(hist["count"], 1);
+        assert!(hist["buckets"].as_array().is_some_and(|b| !b.is_empty()));
+        let sp = lines.iter().find(|l| l["type"] == "span").expect("span line");
+        assert_eq!(sp["label"], "sp.jsonl");
+        assert_eq!(sp["depth"], 0);
+        assert!(sp["dur_ns"].as_u64().is_some());
+        // The meta header accounts for the new record families.
+        assert_eq!(lines[0]["histograms"], 1);
+        assert_eq!(lines[0]["spans"], 1);
+    }
+
+    #[test]
+    fn jsonl_escapes_quotes_newlines_and_non_ascii() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        let payload = serde_json::json!({
+            "msg": "line1\nline2 \"quoted\" — naïve 日本語",
+            "path": "C:\\tmp\\x",
+        });
+        record_event("escape.check", &payload);
+        count("counter \"with\" quotes\nand newline", 1);
+        set_enabled(false);
+        let jsonl = render_jsonl();
+        // Every rendered line must be exactly one standalone JSON document:
+        // embedded newlines in labels/payloads must be escaped, not raw.
+        for line in jsonl.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("each line parses");
+            assert!(v["type"].as_str().is_some());
+        }
+        let lines: Vec<serde_json::Value> =
+            jsonl.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
+        let event = lines.iter().find(|l| l["type"] == "event").expect("event line");
+        assert_eq!(event["payload"]["msg"], "line1\nline2 \"quoted\" — naïve 日本語");
+        assert_eq!(event["payload"]["path"], "C:\\tmp\\x");
+        let counter = lines.iter().find(|l| l["type"] == "counter").expect("counter line");
+        assert_eq!(counter["label"], "counter \"with\" quotes\nand newline");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_depth_args() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        {
+            let _outer = span("sp.trace_outer");
+            std::thread::sleep(Duration::from_millis(1));
+            {
+                let _inner = span("sp.trace_inner");
+            }
+        }
+        set_enabled(false);
+        let doc: serde_json::Value =
+            serde_json::from_str(&render_chrome_trace()).expect("trace parses");
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e["ph"], "X");
+            assert_eq!(e["pid"], 1);
+            assert!(e["ts"].as_u64().is_some());
+            assert!(e["dur"].as_f64().is_some());
+            assert!(e["args"]["depth"].as_u64().is_some());
+        }
+        let depths: Vec<u64> =
+            events.iter().map(|e| e["args"]["depth"].as_u64().unwrap()).collect();
+        assert!(depths.contains(&0) && depths.contains(&1), "depths {depths:?}");
+    }
+
+    #[test]
     fn write_jsonl_creates_parent_dirs() {
         let _g = lock_tests();
         reset();
@@ -410,6 +1051,23 @@ mod tests {
     }
 
     #[test]
+    fn write_chrome_trace_creates_parent_dirs() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        {
+            let _s = span("sp.file");
+        }
+        set_enabled(false);
+        let dir = std::env::temp_dir().join("enhancenet-trace-test");
+        let path = dir.join("nested").join("trace.json");
+        write_chrome_trace(&path).expect("write");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.contains("traceEvents"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn summary_table_lists_labels() {
         let _g = lock_tests();
         reset();
@@ -418,12 +1076,35 @@ mod tests {
         {
             let _t = scoped("t.sum");
         }
+        observe("h.sum", 2.0);
         record_event("epoch", &serde_json::json!({"epoch": 1}));
         set_enabled(false);
         let table = summary_table();
         assert!(table.contains("c.sum"));
         assert!(table.contains("t.sum"));
+        assert!(table.contains("h.sum"));
         assert!(table.contains("epoch"));
+    }
+
+    #[test]
+    fn summary_table_orders_deterministically() {
+        let _g = lock_tests();
+        reset();
+        set_enabled(true);
+        {
+            // Inject timers directly so total_ns ties are exact.
+            let mut reg = registry();
+            reg.timers.insert("t.tie_b".to_string(), TimerStat { calls: 1, total_ns: 500 });
+            reg.timers.insert("t.tie_a".to_string(), TimerStat { calls: 1, total_ns: 500 });
+            reg.timers.insert("t.big".to_string(), TimerStat { calls: 1, total_ns: 9000 });
+        }
+        set_enabled(false);
+        let table = summary_table();
+        let pos = |needle: &str| table.find(needle).unwrap_or_else(|| panic!("{needle} in table"));
+        // Sorted by total time descending; ties break by ascending label.
+        assert!(pos("t.big") < pos("t.tie_a"));
+        assert!(pos("t.tie_a") < pos("t.tie_b"));
+        assert_eq!(table, summary_table(), "rendering must be stable");
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Proves the "near-zero overhead when disabled" contract: with telemetry
-//! off, scoped timers, counters, and event recording perform **zero heap
-//! allocations**. Runs as its own integration binary so the counting
-//! allocator sees no interference from sibling tests.
+//! off, scoped timers, trace spans, counters, histograms, and event
+//! recording perform **zero heap allocations**. Runs as its own
+//! integration binary so the counting allocator sees no interference from
+//! sibling tests.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,8 +25,20 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
+/// Telemetry state (and the allocation counter) is process-global:
+/// serialize the tests so one test's enabled-path sanity block cannot leak
+/// allocations into the other's measured window.
+fn lock_tests() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    GUARD
+        .get_or_init(|| std::sync::Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 #[test]
 fn disabled_fast_path_is_allocation_free() {
+    let _g = lock_tests();
     enhancenet_telemetry::set_enabled(false);
     // Event payloads are only worth building when enabled; construct one
     // outside the measured window so record_event itself is what we count.
@@ -34,7 +47,9 @@ fn disabled_fast_path_is_allocation_free() {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for _ in 0..10_000 {
         let _scope = enhancenet_telemetry::scoped("alloc.test.timer");
+        let _span = enhancenet_telemetry::span("alloc.test.span");
         enhancenet_telemetry::count("alloc.test.counter", 3);
+        enhancenet_telemetry::observe("alloc.test.histogram", 42.0);
         enhancenet_telemetry::record_event("alloc.test.event", &payload);
     }
     let after = ALLOCATIONS.load(Ordering::Relaxed);
@@ -56,4 +71,28 @@ fn disabled_fast_path_is_allocation_free() {
     enhancenet_telemetry::set_enabled(false);
     assert_eq!(enhancenet_telemetry::counter_value("alloc.test.counter"), 3);
     assert!(enhancenet_telemetry::timer_stat("alloc.test.timer").is_some());
+}
+
+#[test]
+fn disabled_span_and_histogram_paths_are_allocation_free() {
+    let _g = lock_tests();
+    enhancenet_telemetry::reset();
+    enhancenet_telemetry::set_enabled(false);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let _outer = enhancenet_telemetry::span("alloc.span.outer");
+        let _inner = enhancenet_telemetry::span("alloc.span.inner");
+        enhancenet_telemetry::observe("alloc.hist", i as f64);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled span/histogram primitives must not allocate ({} allocations observed)",
+        after - before
+    );
+    assert_eq!(enhancenet_telemetry::span_count(), 0);
+    assert!(enhancenet_telemetry::histogram_summary("alloc.hist").is_none());
 }

@@ -1,0 +1,70 @@
+//! Cross-thread span-tree semantics: spans on different threads carry
+//! distinct thread ids and independent depth counters, and the Chrome
+//! trace export keeps them on separate rows. Runs as its own integration
+//! binary so the process-global registry is not shared with other suites.
+
+use std::time::Duration;
+
+#[test]
+fn threads_get_distinct_tids_and_independent_depths() {
+    enhancenet_telemetry::reset();
+    enhancenet_telemetry::set_enabled(true);
+
+    let worker = std::thread::spawn(|| {
+        let _outer = enhancenet_telemetry::span("tree.worker_outer");
+        std::thread::sleep(Duration::from_millis(2));
+        let _inner = enhancenet_telemetry::span("tree.worker_inner");
+        std::thread::sleep(Duration::from_millis(1));
+    });
+    {
+        let _outer = enhancenet_telemetry::span("tree.main_outer");
+        std::thread::sleep(Duration::from_millis(2));
+        let _inner = enhancenet_telemetry::span("tree.main_inner");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    worker.join().expect("worker thread");
+    enhancenet_telemetry::set_enabled(false);
+
+    let spans = enhancenet_telemetry::span_records();
+    assert_eq!(spans.len(), 4, "{spans:?}");
+    let find = |label: &str| {
+        spans.iter().find(|s| s.label == label).unwrap_or_else(|| panic!("{label} recorded"))
+    };
+    let main_outer = find("tree.main_outer");
+    let main_inner = find("tree.main_inner");
+    let worker_outer = find("tree.worker_outer");
+    let worker_inner = find("tree.worker_inner");
+
+    // Each thread nests independently from depth 0.
+    assert_eq!(main_outer.depth, 0);
+    assert_eq!(main_inner.depth, 1);
+    assert_eq!(worker_outer.depth, 0);
+    assert_eq!(worker_inner.depth, 1);
+
+    // Same thread id within a thread, distinct ids across threads.
+    assert_eq!(main_outer.tid, main_inner.tid);
+    assert_eq!(worker_outer.tid, worker_inner.tid);
+    assert_ne!(main_outer.tid, worker_outer.tid);
+
+    // Span durations also aggregate into the flat timer table.
+    for label in ["tree.main_outer", "tree.main_inner", "tree.worker_outer", "tree.worker_inner"] {
+        let stat =
+            enhancenet_telemetry::timer_stat(label).unwrap_or_else(|| panic!("{label} aggregated"));
+        assert_eq!(stat.calls, 1);
+        assert!(stat.total_ns > 0);
+    }
+
+    // The Chrome export carries both thread rows and both depth levels.
+    let doc: serde_json::Value =
+        serde_json::from_str(&enhancenet_telemetry::render_chrome_trace()).expect("trace parses");
+    let events = doc["traceEvents"].as_array().expect("traceEvents");
+    assert_eq!(events.len(), 4);
+    let tids: std::collections::BTreeSet<u64> =
+        events.iter().map(|e| e["tid"].as_u64().expect("tid")).collect();
+    assert_eq!(tids.len(), 2, "two thread rows, got {tids:?}");
+    let depths: std::collections::BTreeSet<u64> =
+        events.iter().map(|e| e["args"]["depth"].as_u64().expect("depth")).collect();
+    assert!(depths.contains(&0) && depths.contains(&1));
+
+    enhancenet_telemetry::reset();
+}

@@ -13,7 +13,7 @@ impl Tensor {
         if let Some(pos) = dims.iter().position(|&d| d == usize::MAX) {
             let known: usize = dims.iter().filter(|&&d| d != usize::MAX).product();
             assert!(
-                known > 0 && self.numel().is_multiple_of(known),
+                known > 0 && self.numel() % known == 0,
                 "cannot infer axis: numel {} not divisible by {:?}",
                 self.numel(),
                 shape

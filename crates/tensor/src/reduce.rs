@@ -133,6 +133,43 @@ impl Tensor {
         t
     }
 
+    /// Shannon entropy of each slice along the last axis, in nats,
+    /// treating the slice as a probability distribution. Non-positive
+    /// entries contribute zero (the `p ln p → 0` limit), so the helper is
+    /// safe on softmax outputs with exact zeros. Output drops the last
+    /// axis.
+    ///
+    /// Used by the DAMGN graph-health probe: the row entropy of the
+    /// learned static adjacency `B` (Eq. 15) measures how far each row is
+    /// from a uniform (uninformative) neighborhood — `ln N` nats means
+    /// uniform, 0 nats means one-hot.
+    pub fn row_entropy(&self) -> Tensor {
+        assert!(self.rank() >= 1, "row_entropy requires rank >= 1, got {:?}", self.shape);
+        let inner = self.shape[self.rank() - 1];
+        let outer: usize = self.shape[..self.rank() - 1].iter().product();
+        let mut out = vec![0.0f32; outer];
+        for o in 0..outer {
+            let mut h = 0.0f32;
+            for i in 0..inner {
+                let p = self.data[o * inner + i];
+                if p > 0.0 {
+                    h -= p * p.ln();
+                }
+            }
+            out[o] = h;
+        }
+        Tensor::from_vec(out, &self.shape[..self.rank() - 1])
+    }
+
+    /// Number of elements strictly greater than `thresh`.
+    ///
+    /// Used by the graph-health probe to measure effective sparsity of a
+    /// learned adjacency: the fraction of weights above the uniform level
+    /// `1/N`.
+    pub fn count_greater(&self, thresh: f32) -> usize {
+        self.data.iter().filter(|&&v| v > thresh).count()
+    }
+
     /// Index of the maximum element (ties resolve to the first).
     pub fn argmax_all(&self) -> usize {
         let mut best = 0;
@@ -243,6 +280,33 @@ mod tests {
     fn reduce_to_same_shape_is_identity() {
         let g = t123456();
         assert!(g.reduce_to_shape(&[2, 3]).allclose(&g, 0.0));
+    }
+
+    #[test]
+    fn row_entropy_uniform_onehot_and_zeros() {
+        // Uniform row: ln 4 nats. One-hot row: 0 nats. Zeros are ignored.
+        let t = Tensor::from_vec(vec![0.25, 0.25, 0.25, 0.25, 1.0, 0.0, 0.0, 0.0], &[2, 4]);
+        let h = t.row_entropy();
+        assert_eq!(h.shape(), &[2]);
+        assert!((h.data()[0] - 4.0f32.ln()).abs() < 1e-6, "uniform row: {}", h.data()[0]);
+        assert!(h.data()[1].abs() < 1e-9, "one-hot row: {}", h.data()[1]);
+    }
+
+    #[test]
+    fn row_entropy_rank3_reduces_last_axis() {
+        let t = Tensor::from_vec(vec![0.5, 0.5, 1.0, 0.0, 0.25, 0.75, 0.5, 0.5], &[2, 2, 2]);
+        let h = t.row_entropy();
+        assert_eq!(h.shape(), &[2, 2]);
+        assert!((h.at(&[0, 0]) - 2.0f32.ln()).abs() < 1e-6);
+        assert_eq!(h.at(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn count_greater_counts_strictly() {
+        let t = Tensor::from_vec(vec![0.1, 0.5, 0.5, 0.9], &[2, 2]);
+        assert_eq!(t.count_greater(0.5), 1);
+        assert_eq!(t.count_greater(0.0), 4);
+        assert_eq!(t.count_greater(1.0), 0);
     }
 
     #[test]

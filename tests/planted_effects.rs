@@ -58,17 +58,13 @@ fn traffic_plants_spatial_correlation_structure() {
     cfg.num_corridors = 2;
     cfg.noise_std = 0.5;
     let ds = generate_traffic(&cfg);
-    let series = |e: usize| -> Vec<f32> {
-        (0..ds.num_steps()).map(|t| ds.values.at(&[t, e, 0])).collect()
-    };
+    let series =
+        |e: usize| -> Vec<f32> { (0..ds.num_steps()).map(|t| ds.values.at(&[t, e, 0])).collect() };
     // Entities 0 and 4 share corridor 0 inbound (slots 0 and 2);
     // entity 1 is corridor 1.
     let same = corr(&series(0), &series(4));
     let cross = corr(&series(0), &series(1));
-    assert!(
-        same > cross,
-        "same-corridor corr {same} should exceed cross-corridor corr {cross}"
-    );
+    assert!(same > cross, "same-corridor corr {same} should exceed cross-corridor corr {cross}");
 }
 
 /// Dynamic correlations: the coupling between corridors must differ between
@@ -114,9 +110,8 @@ fn weather_plants_lagged_front_coupling() {
     let west = (0..9).min_by(|&a, &b| xs[a].total_cmp(&xs[b])).unwrap();
     let east = (0..9).max_by(|&a, &b| xs[a].total_cmp(&xs[b])).unwrap();
     // Same latitude band matters; just use pressure anomalies (feature 2).
-    let series = |e: usize| -> Vec<f32> {
-        (0..ds.num_steps()).map(|t| ds.values.at(&[t, e, 2])).collect()
-    };
+    let series =
+        |e: usize| -> Vec<f32> { (0..ds.num_steps()).map(|t| ds.values.at(&[t, e, 2])).collect() };
     let w = series(west);
     let e = series(east);
     let t = w.len();
@@ -127,8 +122,5 @@ fn weather_plants_lagged_front_coupling() {
             c1.total_cmp(&c2)
         })
         .unwrap();
-    assert!(
-        best_lag > 0,
-        "east pressure should lag west pressure (best lag {best_lag}h)"
-    );
+    assert!(best_lag > 0, "east pressure should lag west pressure (best lag {best_lag}h)");
 }
