@@ -50,38 +50,58 @@ impl Graph {
             Op::AddScalar(_) => self.accumulate(inputs[0], gy.clone()),
             Op::MulScalar(c) => self.accumulate(inputs[0], gy.mul_scalar(c)),
 
+            // Every matmul-family rule below uses the transpose-fused GEMM
+            // entry points (`_tn` reads the left operand transposed, `_nt`
+            // the right), so no gradient ever materializes a transpose.
             Op::MatMul => {
+                // y[m,n] = a[m,k] @ b[k,n] ⇒ ga = gy·bᵀ, gb = aᵀ·gy
                 let (a, b) = (inputs[0], inputs[1]);
-                let ga = gy.matmul(&self.value(b).transpose());
-                let gb = self.value(a).transpose().matmul(gy);
+                let ga = gy.matmul_nt(self.value(b));
+                let gb = self.value(a).matmul_tn(gy);
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::MatMulNT => {
+                // y[m,n] = a[m,k] @ b[n,k]ᵀ ⇒ ga = gy·b, gb = gyᵀ·a
+                let (a, b) = (inputs[0], inputs[1]);
+                let ga = gy.matmul(self.value(b));
+                let gb = gy.matmul_tn(self.value(a));
                 self.accumulate(a, ga);
                 self.accumulate(b, gb);
             }
             Op::Bmm => {
+                // yᵦ = aᵦ @ bᵦ ⇒ gaᵦ = gyᵦ·bᵦᵀ, gbᵦ = aᵦᵀ·gyᵦ
                 let (a, b) = (inputs[0], inputs[1]);
-                let ga = gy.bmm(&self.value(b).transpose_batched());
-                let gb = self.value(a).transpose_batched().bmm(gy);
+                let ga = gy.bmm_nt(self.value(b));
+                let gb = self.value(a).bmm_tn(gy);
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::BmmNT => {
+                // yᵦ = aᵦ @ bᵦᵀ ⇒ gaᵦ = gyᵦ·bᵦ, gbᵦ = gyᵦᵀ·aᵦ
+                let (a, b) = (inputs[0], inputs[1]);
+                let ga = gy.bmm(self.value(b));
+                let gb = gy.bmm_tn(self.value(a));
                 self.accumulate(a, ga);
                 self.accumulate(b, gb);
             }
             Op::MatMulBroadcastLeft => {
-                // y[b,m,n] = a[m,k] @ x[b,k,n]
+                // y[b,m,n] = a[m,k] @ x[b,k,n] ⇒ ga = Σᵦ gyᵦ·xᵦᵀ (one
+                // batch-summed fused GEMM, no [b,m,k] intermediate),
+                // gxᵦ = aᵀ·gyᵦ
                 let (a, x) = (inputs[0], inputs[1]);
-                let ga = gy.bmm(&self.value(x).transpose_batched()).sum_axis(0);
-                let gx = self.value(a).transpose().matmul_broadcast_left(gy);
+                let ga = gy.bmm_nt_reduce(self.value(x));
+                let gx = self.value(a).matmul_broadcast_left_tn(gy);
                 self.accumulate(a, ga);
                 self.accumulate(x, gx);
             }
             Op::MatMulBroadcastRight => {
-                // y[b,m,n] = x[b,m,k] @ w[k,n]
+                // y[..,n] = x[..,k] @ w[k,n] ⇒ gx = gy·wᵀ,
+                // gw = xᵀ_flat·gy_flat (leading axes fold in the kernel —
+                // no reshape copies)
                 let (x, w) = (inputs[0], inputs[1]);
-                let gx = gy.matmul_broadcast_right(&self.value(w).transpose());
-                let vx = self.value(x);
-                let (bsz, m, k) = (vx.shape()[0], vx.shape()[1], vx.shape()[2]);
-                let n = gy.shape()[2];
-                let x_flat = vx.reshape(&[bsz * m, k]);
-                let gy_flat = gy.reshape(&[bsz * m, n]);
-                let gw = x_flat.transpose().matmul(&gy_flat);
+                let gx = gy.matmul_broadcast_right_nt(self.value(w));
+                let gw = self.value(x).matmul_tn_flat(gy);
                 self.accumulate(x, gx);
                 self.accumulate(w, gw);
             }
@@ -382,6 +402,94 @@ mod tests {
         let gx = g.grad(x).unwrap();
         assert_eq!(gx.shape(), &[2, 3]);
         assert_eq!(gx.at(&[0, 1]), 4.0); // w[1,0] = (1*2)^2 = 4
+    }
+
+    #[test]
+    fn matmul_nt_backward_matches_transpose_then_matmul() {
+        // Same product built two ways — fused `a·bᵀ` node vs. explicit
+        // permute + matmul — must produce identical values and gradients.
+        let av = Tensor::from_vec((0..6).map(|v| v as f32 - 2.0).collect(), &[2, 3]);
+        let bv = Tensor::from_vec((0..12).map(|v| (v % 5) as f32 - 1.0).collect(), &[4, 3]);
+
+        let mut g = Graph::new();
+        let a = g.constant(av.clone());
+        let b = g.constant(bv.clone());
+        let y = g.matmul_nt(a, b);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+
+        let mut g2 = Graph::new();
+        let a2 = g2.constant(av);
+        let b2 = g2.constant(bv);
+        let bt = g2.permute(b2, &[1, 0]);
+        let y2 = g2.matmul(a2, bt);
+        let loss2 = g2.sum_all(y2);
+        g2.backward(loss2);
+
+        assert!(g.value(y).allclose(g2.value(y2), 1e-6));
+        assert!(g.grad(a).unwrap().allclose(g2.grad(a2).unwrap(), 1e-6));
+        assert!(g.grad(b).unwrap().allclose(g2.grad(b2).unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn bmm_nt_backward_matches_transpose_then_bmm() {
+        let av = Tensor::from_vec((0..24).map(|v| (v % 7) as f32 - 3.0).collect(), &[2, 3, 4]);
+        let bv = Tensor::from_vec((0..40).map(|v| (v % 5) as f32 - 2.0).collect(), &[2, 5, 4]);
+
+        let mut g = Graph::new();
+        let a = g.constant(av.clone());
+        let b = g.constant(bv.clone());
+        let y = g.bmm_nt(a, b);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+
+        let mut g2 = Graph::new();
+        let a2 = g2.constant(av);
+        let b2 = g2.constant(bv);
+        let bt = g2.permute(b2, &[0, 2, 1]);
+        let y2 = g2.bmm(a2, bt);
+        let loss2 = g2.sum_all(y2);
+        g2.backward(loss2);
+
+        assert!(g.value(y).allclose(g2.value(y2), 1e-6));
+        assert!(g.grad(a).unwrap().allclose(g2.grad(a2).unwrap(), 1e-6));
+        assert!(g.grad(b).unwrap().allclose(g2.grad(b2).unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn fused_matmul_grads_match_materialized_transpose_reference() {
+        // The fused rules must agree with the seed formulation that
+        // materialized transposes: ga = gy·Bᵀ and gb = Aᵀ·gy computed
+        // tensor-side with explicit transposes.
+        let av = Tensor::from_vec((0..15).map(|v| (v % 4) as f32 - 1.5).collect(), &[3, 5]);
+        let bv = Tensor::from_vec((0..20).map(|v| (v % 6) as f32 - 2.0).collect(), &[5, 4]);
+        let mut g = Graph::new();
+        let a = g.constant(av.clone());
+        let b = g.constant(bv.clone());
+        let y = g.matmul(a, b);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        let gy = Tensor::ones(&[3, 4]);
+        let ga_ref = gy.matmul(&bv.transpose());
+        let gb_ref = av.transpose().matmul(&gy);
+        assert!(g.grad(a).unwrap().allclose(&ga_ref, 1e-6));
+        assert!(g.grad(b).unwrap().allclose(&gb_ref, 1e-6));
+    }
+
+    #[test]
+    fn broadcast_right_backward_handles_rank_4() {
+        // The generalized shared-filter op folds arbitrary leading axes;
+        // its gradient must land back in the rank-4 input shape.
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[2, 3, 4, 5]));
+        let w = g.constant(Tensor::ones(&[5, 6]));
+        let y = g.matmul_broadcast_right(x, w);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.value(y).shape(), &[2, 3, 4, 6]);
+        assert_eq!(g.grad(x).unwrap().shape(), &[2, 3, 4, 5]);
+        // gw sums over 2*3*4 = 24 folded rows.
+        assert!(g.grad(w).unwrap().allclose(&Tensor::full(&[5, 6], 24.0), 1e-5));
     }
 
     #[test]

@@ -30,8 +30,12 @@ pub enum Op {
     MulScalar(f32),
     /// 2-D matrix multiply.
     MatMul,
+    /// 2-D transpose-fused multiply `a · bᵀ` (`[m,k] x [n,k]`).
+    MatMulNT,
     /// Batched 3-D matrix multiply.
     Bmm,
+    /// Batched transpose-fused multiply `aᵦ · bᵦᵀ` (`[b,m,k] x [b,n,k]`).
+    BmmNT,
     /// `[m,k] x [b,k,n]` with a shared left operand.
     MatMulBroadcastLeft,
     /// `[b,m,k] x [k,n]` with a shared right operand.

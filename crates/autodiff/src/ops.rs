@@ -109,10 +109,31 @@ impl Graph {
         self.push(v, Op::MatMul, vec![a, b])
     }
 
+    /// Transpose-fused 2-D multiply `a · bᵀ` for `b` stored `[n,k]`.
+    ///
+    /// Replaces the `transpose` + `matmul` node pair wherever a product
+    /// against a transposed operand is needed (attention-style scores,
+    /// similarity matrices): one node, no materialized transpose, and the
+    /// backward rule is likewise transpose-free.
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul_nt(self.value(b));
+        self.push(v, Op::MatMulNT, vec![a, b])
+    }
+
     /// Batched 3-D matrix multiply `[b,m,k] x [b,k,n]`.
     pub fn bmm(&mut self, a: Var, b: Var) -> Var {
         let v = self.value(a).bmm(self.value(b));
         self.push(v, Op::Bmm, vec![a, b])
+    }
+
+    /// Batched transpose-fused multiply `aᵦ · bᵦᵀ` for `b` stored `[b,n,k]`.
+    ///
+    /// The batched analogue of [`Graph::matmul_nt`] — replaces
+    /// `transpose_batched` + `bmm` (the dynamic-attention score pattern)
+    /// with a single fused node.
+    pub fn bmm_nt(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).bmm_nt(self.value(b));
+        self.push(v, Op::BmmNT, vec![a, b])
     }
 
     /// `[m,k] x [b,k,n] -> [b,m,n]` (shared adjacency × batched signal).
@@ -121,7 +142,10 @@ impl Graph {
         self.push(v, Op::MatMulBroadcastLeft, vec![a, b])
     }
 
-    /// `[b,m,k] x [k,n] -> [b,m,n]` (batched signal × shared filter).
+    /// `[..., k] x [k,n] -> [..., n]` (signal of any rank × shared filter).
+    ///
+    /// Leading axes fold into one GEMM inside the kernel; no reshape nodes
+    /// or data copies are needed on either the forward or backward pass.
     pub fn matmul_broadcast_right(&mut self, a: Var, b: Var) -> Var {
         let v = self.value(a).matmul_broadcast_right(self.value(b));
         self.push(v, Op::MatMulBroadcastRight, vec![a, b])

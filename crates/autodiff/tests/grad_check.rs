@@ -54,6 +54,49 @@ proptest! {
     }
 
     #[test]
+    fn grad_matmul_nt(x in tensor(&[3, 2], -2.0, 2.0), y in tensor(&[4, 2], -2.0, 2.0)) {
+        let r = check_gradient2(|g, a, b| { let m = g.matmul_nt(a, b); g.sum_all(m) }, &x, &y, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_bmm_nt(x in tensor(&[2, 2, 3], -1.5, 1.5), y in tensor(&[2, 4, 3], -1.5, 1.5)) {
+        let r = check_gradient2(|g, a, b| { let m = g.bmm_nt(a, b); g.sum_all(m) }, &x, &y, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_matmul_broadcast_right_rank4(
+        x in tensor(&[2, 2, 3, 2], -1.5, 1.5),
+        w in tensor(&[2, 3], -1.5, 1.5),
+    ) {
+        // The generalized shared-filter path folds rank-4 leading axes.
+        let r = check_gradient2(
+            |g, x, w| { let m = g.matmul_broadcast_right(x, w); g.sum_all(m) }, &x, &w, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn fused_backward_matches_transpose_materializing_path(
+        x in tensor(&[3, 4], -2.0, 2.0),
+        y in tensor(&[4, 5], -2.0, 2.0),
+    ) {
+        // The fused `_tn`/`_nt` gradient rules must agree with the seed
+        // formulation that materialized transposes tensor-side.
+        let mut g = Graph::new();
+        let a = g.constant(x.clone());
+        let b = g.constant(y.clone());
+        let m = g.matmul(a, b);
+        let loss = g.sum_all(m);
+        g.backward(loss);
+        let gy = Tensor::ones(&[3, 5]);
+        let ga_ref = gy.matmul(&y.transpose());
+        let gb_ref = x.transpose().matmul(&gy);
+        prop_assert!(g.grad(a).unwrap().allclose(&ga_ref, 1e-5));
+        prop_assert!(g.grad(b).unwrap().allclose(&gb_ref, 1e-5));
+    }
+
+    #[test]
     fn grad_matmul_broadcast_left(a in tensor(&[3, 3], -1.5, 1.5), x in tensor(&[2, 3, 2], -1.5, 1.5)) {
         let r = check_gradient2(
             |g, a, x| { let m = g.matmul_broadcast_left(a, x); g.sum_all(m) }, &a, &x, EPS);

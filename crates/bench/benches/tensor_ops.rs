@@ -16,12 +16,62 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_gemm_model_shapes(c: &mut Criterion) {
+    // Square adjacency products at METR-LA scale (N = 207): the dynamic-graph
+    // plugin multiplies [N, N] matrices in all three orientations — forward
+    // (nn) plus the two transpose-fused gradient kernels (tn, nt).
+    let n = 207usize;
+    let a = TensorRng::seed(20).normal(&[n, n], 0.0, 1.0);
+    let b = TensorRng::seed(21).normal(&[n, n], 0.0, 1.0);
+    let mut group = c.benchmark_group("gemm_adjacency_207");
+    group.bench_function("nn", |bench| bench.iter(|| black_box(a.matmul(&b))));
+    group.bench_function("tn", |bench| bench.iter(|| black_box(a.matmul_tn(&b))));
+    group.bench_function("nt", |bench| bench.iter(|| black_box(a.matmul_nt(&b))));
+    group.finish();
+
+    // RNN hidden projection with batch and entities flattened into rows:
+    // [B*N, C] x [C, C] forward, the tn weight gradient ([B*N, C]ᵀ · gy) and
+    // the nt input gradient (gy · Wᵀ).
+    let (rows, c_hidden) = (8 * 207, 64usize);
+    let x = TensorRng::seed(22).normal(&[rows, c_hidden], 0.0, 1.0);
+    let w = TensorRng::seed(23).normal(&[c_hidden, c_hidden], 0.0, 1.0);
+    let gy = TensorRng::seed(24).normal(&[rows, c_hidden], 0.0, 1.0);
+    let mut group = c.benchmark_group("gemm_rnn_hidden_1656x64");
+    group.bench_function("nn_forward", |bench| bench.iter(|| black_box(x.matmul(&w))));
+    group.bench_function("tn_weight_grad", |bench| bench.iter(|| black_box(x.matmul_tn(&gy))));
+    group.bench_function("nt_input_grad", |bench| bench.iter(|| black_box(gy.matmul_nt(&w))));
+    group.finish();
+
+    // WaveNet channel mixing: a rank-4 signal [B, N, T, C] against a shared
+    // [C, C] filter through the fold-and-multiply broadcast kernel, plus its
+    // transpose-fused nt twin (the input gradient).
+    let sig = TensorRng::seed(25).normal(&[8, 207, 12, 32], 0.0, 1.0);
+    let filt = TensorRng::seed(26).normal(&[32, 32], 0.0, 1.0);
+    let mut group = c.benchmark_group("gemm_wavenet_channels_8x207x12x32");
+    group.bench_function("broadcast_right", |bench| {
+        bench.iter(|| black_box(sig.matmul_broadcast_right(&filt)));
+    });
+    group.bench_function("broadcast_right_nt", |bench| {
+        bench.iter(|| black_box(sig.matmul_broadcast_right_nt(&filt)));
+    });
+    group.finish();
+}
+
 fn bench_bmm(c: &mut Criterion) {
     // The per-entity filter pattern: [N, B, C] x [N, C, C'].
     let x = TensorRng::seed(3).normal(&[200, 8, 16], 0.0, 1.0);
     let w = TensorRng::seed(4).normal(&[200, 16, 16], 0.0, 1.0);
     c.bench_function("bmm_per_entity_200x8x16", |b| {
         b.iter(|| black_box(x.bmm(&w)));
+    });
+    // Transpose-fused batched gradients over the same per-entity shapes:
+    // bmm_tn is the weight gradient (xᵀ · gy), bmm_nt the input gradient.
+    let gy = TensorRng::seed(12).normal(&[200, 8, 16], 0.0, 1.0);
+    c.bench_function("bmm_tn_per_entity_200x8x16", |b| {
+        b.iter(|| black_box(x.bmm_tn(&gy)));
+    });
+    c.bench_function("bmm_nt_per_entity_200x8x16", |b| {
+        b.iter(|| black_box(gy.bmm_nt(&w)));
     });
 }
 
@@ -75,6 +125,7 @@ fn bench_shape_ops(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_gemm_model_shapes,
     bench_bmm,
     bench_broadcast_left,
     bench_softmax,

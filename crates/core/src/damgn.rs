@@ -99,8 +99,7 @@ impl Damgn {
         enhancenet_telemetry::count("damgn.static_b.calls", 1);
         let b1 = g.param(store, self.b1);
         let b2 = g.param(store, self.b2);
-        let b2t = g.transpose(b2);
-        let raw = g.matmul(b1, b2t);
+        let raw = g.matmul_nt(b1, b2);
         let act = g.relu(raw);
         g.softmax(act, -1)
     }
@@ -116,8 +115,7 @@ impl Damgn {
         let ph = g.param(store, self.phi);
         let q = g.matmul_broadcast_right(x_t, th); // [B, N, E]
         let k = g.matmul_broadcast_right(x_t, ph); // [B, N, E]
-        let kt = g.transpose_batched(k); // [B, E, N]
-        let logits = g.bmm(q, kt); // [B, N, N]
+        let logits = g.bmm_nt(q, k); // [B, N, N], fused q·kᵀ
         g.softmax(logits, -1)
     }
 
@@ -176,8 +174,7 @@ impl Damgn {
         enhancenet_telemetry::count("damgn.dynamic_supports.calls", 1);
         let q = g.matmul_broadcast_right(x_t, binding.theta);
         let k = g.matmul_broadcast_right(x_t, binding.phi);
-        let kt = g.transpose_batched(k);
-        let logits = g.bmm(q, kt);
+        let logits = g.bmm_nt(q, k); // fused q·kᵀ
         let c = g.softmax(logits, -1);
         let wc = g.mul(binding.lambda_c, c); // [B, N, N]
         binding.static_parts.iter().map(|&sp| g.add(wc, sp)).collect()

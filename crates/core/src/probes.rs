@@ -150,7 +150,9 @@ pub fn record_graph_diagnostics(
     } else {
         let x = data.input_window(data.split.val.start);
         let h = x.shape()[0];
-        let x_t = g.constant(x.slice_axis(0, h - 1, h)); // [1, N, C]
+        // Host models condition the DAMGN on the target feature only
+        // (in_features = 1), so the probe must sample the same slice.
+        let x_t = g.constant(x.slice_axis(0, h - 1, h).slice_axis(2, 0, 1)); // [1, N, 1]
         let c = damgn.dynamic_c(&mut g, store, x_t);
         let c_val = g.value(c);
         (

@@ -323,8 +323,7 @@ impl WaveNet {
         if let Some((e1, e2)) = parts.adaptive {
             let v1 = g.param(&self.store, e1);
             let v2 = g.param(&self.store, e2);
-            let v2t = g.transpose(v2);
-            let raw = g.matmul(v1, v2t);
+            let raw = g.matmul_nt(v1, v2);
             let act = g.relu(raw);
             out.push(GcSupport::Static(g.softmax(act, -1)));
         }

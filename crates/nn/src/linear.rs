@@ -43,18 +43,11 @@ impl Linear {
             self.in_dim,
             shape
         );
+        // The shared-filter kernel folds any leading axes into one GEMM, so
+        // higher-rank inputs no longer need flatten/restore reshape nodes.
         let y = match shape.len() {
             2 => g.matmul(x, w),
-            3 => g.matmul_broadcast_right(x, w),
-            r => {
-                // Flatten all leading axes, apply, restore.
-                let lead: usize = shape[..r - 1].iter().product();
-                let flat = g.reshape(x, &[lead, self.in_dim]);
-                let y = g.matmul(flat, w);
-                let mut out_shape = shape[..r - 1].to_vec();
-                out_shape.push(self.out_dim);
-                g.reshape(y, &out_shape)
-            }
+            _ => g.matmul_broadcast_right(x, w),
         };
         match self.b {
             Some(b) => {

@@ -14,8 +14,8 @@ pub fn pca_2d(points: &Tensor) -> Tensor {
     let mean = points.mean_axis(0);
     let centered = points.sub_t(&mean);
 
-    // Covariance [D, D].
-    let cov = centered.transpose().matmul(&centered).mul_scalar(1.0 / n.max(1) as f32);
+    // Covariance [D, D] — transpose-fused Xᵀ·X, no materialized transpose.
+    let cov = centered.matmul_tn(&centered).mul_scalar(1.0 / n.max(1) as f32);
 
     let pc1 = power_iteration(&cov, 0xFACE);
     // Deflate and repeat.

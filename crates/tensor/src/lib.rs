@@ -6,9 +6,12 @@
 //! The paper's models operate on small-to-medium tensors (entities `N ≤ 207`,
 //! hidden sizes `C' ≤ 64`, horizons `H = F = 12`), so this crate favours a
 //! simple, predictable representation — a `Vec<f32>` plus a shape — over
-//! stride/view machinery. Transposes and slices materialize. Matrix products
-//! use a cache-friendly `ikj` loop order and parallelize over rows with
-//! rayon when the problem is large enough to amortize the fork.
+//! stride/view machinery. Transposes and slices materialize *except* inside
+//! matrix products: the blocked GEMM engine in [`mod@matmul`] reads either
+//! operand in transposed order through its `_tn`/`_nt` entry points, packs
+//! operand panels into buffers recycled by the thread-local [`scratch`]
+//! pool, and parallelizes with rayon when the arithmetic work is large
+//! enough to amortize the fork.
 //!
 //! ## Quick start
 //!
@@ -33,13 +36,15 @@
 
 mod init;
 mod manip;
-mod matmul;
+pub mod matmul;
 mod ops;
 mod reduce;
+pub mod scratch;
 mod shape;
 mod tensor;
 
 pub use init::TensorRng;
+pub use scratch::with_scratch;
 pub use shape::{broadcast_shapes, Shape};
 pub use tensor::Tensor;
 

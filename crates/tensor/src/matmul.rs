@@ -1,11 +1,50 @@
-//! Matrix products: 2-D `matmul`, batched `bmm`, and the batched-with-shared
-//! right-hand-side variant the graph convolution uses.
+//! Matrix products: a blocked, packed GEMM engine serving 2-D `matmul`,
+//! batched `bmm`, the broadcast variants the graph convolution and shared
+//! filters use, and transpose-fused `_tn`/`_nt` forms for the backward pass.
+//!
+//! # Engine layout
+//!
+//! One engine computes `C += A·B` for any combination of normal/transposed
+//! operands: [`MatRef`] reads either layout through row/column strides, so a
+//! transposed operand is never materialized. Dispatch is by arithmetic work
+//! (`m·n·k` multiply-adds):
+//!
+//! * below [`PACK_MIN_WORK`] — direct strided loops ([`gemm_direct`]); the
+//!   pack cost would exceed the whole product,
+//! * otherwise — BLIS-style blocking ([`gemm_blocked`]): the `n` dimension in
+//!   [`NC`] slabs, the `k` dimension in [`KC`] slices, the `m` dimension in
+//!   [`MC`] row blocks. B slabs pack once into [`NR`]-column strips and are
+//!   reused by every row block; A blocks pack per-thread into [`MR`]-row
+//!   strips; an `MR`×`NR` register-tiled micro-kernel does the arithmetic.
+//!   Row blocks fan out to rayon when total work reaches [`PAR_MIN_WORK`],
+//! * batched entry points additionally parallelize across the batch when the
+//!   summed work clears the same threshold.
+//!
+//! Pack buffers come from the thread-local [`crate::scratch`] pool, so
+//! steady-state training steps re-run the engine without allocating
+//! temporaries. Counters: `tensor.pack.bytes` (bytes packed),
+//! `tensor.scratch.hit`/`.miss` (pool behavior), plus the per-entry-point
+//! `tensor.<kernel>.{calls,elements,par,serial}` dispatch counters.
 
+use crate::scratch::with_scratch;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
-/// Below this many output elements the rayon fork costs more than it saves.
-const PAR_THRESHOLD: usize = 16 * 1024;
+/// Row-block height: the A panel (`MC`×`KC` floats = 64 KiB) stays L2-hot.
+const MC: usize = 64;
+/// Depth of one packed slice along the shared `k` dimension.
+const KC: usize = 256;
+/// Width of one packed B slab (`KC`×`NC` floats = 512 KiB, streamed by strip).
+const NC: usize = 512;
+/// Micro-kernel rows: accumulators span `MR`×`NR` registers.
+const MR: usize = 4;
+/// Micro-kernel columns (two 4-wide vectors per row on SSE2 baselines).
+const NR: usize = 8;
+
+/// Below this many multiply-adds the packed path costs more than it saves.
+const PACK_MIN_WORK: usize = 8 * 1024;
+/// At or above this many multiply-adds a dispatch forks to rayon.
+const PAR_MIN_WORK: usize = 1 << 20;
 
 /// Telemetry for one kernel dispatch: calls, output elements produced, and
 /// which path (rayon vs. serial) the size heuristic picked. Recorded once
@@ -20,31 +59,278 @@ fn record_dispatch(calls: &'static str, elems: &'static str, path: &'static str,
     }
 }
 
-/// Core `[m,k] x [k,n] -> [m,n]` kernel in `ikj` order (streams `b` rows,
-/// accumulates into the output row — cache-friendly without blocking).
-fn mm_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
+/// Bytes written into pack buffers, recorded outside the hot loops.
+#[inline]
+fn record_pack_bytes(elems: usize) {
+    if enhancenet_telemetry::enabled() {
+        enhancenet_telemetry::count("tensor.pack.bytes", (elems * size_of::<f32>()) as u64);
+    }
+}
+
+/// A read-only matrix view over a contiguous buffer: element `(r, c)` lives
+/// at `data[r·rs + c·cs]`. `rs = cols, cs = 1` reads row-major storage as-is;
+/// `rs = 1, cs = rows` reads it as its own transpose — that one constructor
+/// is the whole transpose-fusion contract.
+#[derive(Clone, Copy)]
+struct MatRef<'a> {
+    data: &'a [f32],
+    rs: usize,
+    cs: usize,
+}
+
+impl<'a> MatRef<'a> {
+    /// Views `data` as a row-major `[rows, cols]` matrix.
+    fn normal(data: &'a [f32], cols: usize) -> Self {
+        Self { data, rs: cols, cs: 1 }
+    }
+
+    /// Views a row-major `[cols, rows]` buffer as the logical `[rows, cols]`
+    /// transpose, without moving any data.
+    fn transposed(data: &'a [f32], rows: usize) -> Self {
+        Self { data, rs: 1, cs: rows }
+    }
+
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.rs + c * self.cs]
+    }
+}
+
+/// `out[m,n] += a[m,k] · b[k,n]` with automatic path selection. `out` must
+/// arrive zeroed (the public entry points allocate it that way).
+#[inline]
+fn gemm(out: &mut [f32], a: MatRef, b: MatRef, m: usize, k: usize, n: usize, allow_par: bool) {
     debug_assert_eq!(out.len(), m * n);
-    let row = |i: usize, out_row: &mut [f32]| {
-        for kk in 0..k {
-            let av = a[i * k + kk];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[kk * n..kk * n + n];
-            for (o, bv) in out_row.iter_mut().zip(brow) {
-                *o += av * bv;
+    let work = m * n * k;
+    if work < PACK_MIN_WORK {
+        gemm_direct(out, a, b, m, k, n);
+    } else {
+        gemm_blocked(out, a, b, m, k, n, allow_par && work >= PAR_MIN_WORK);
+    }
+}
+
+/// Small-product path: plain strided loops, no packing. Keeps the zero-skip
+/// from the seed kernel — sparse adjacency rows cost nothing. Inlined so
+/// batch loops specialize it for their (compile-time-known) stride patterns.
+#[inline]
+fn gemm_direct(out: &mut [f32], a: MatRef, b: MatRef, m: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    if b.cs == 1 && a.cs == 1 {
+        // Both operands row-major: the seed's ikj loop over contiguous row
+        // slices — no strided index arithmetic in the inner loops. This is
+        // the hot path for small batched products (per-entity filters).
+        for (i, orow) in out.chunks_mut(n).enumerate() {
+            let arow = &a.data[i * a.rs..i * a.rs + k];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[kk * b.rs..kk * b.rs + n];
+                for (o, bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
             }
         }
-    };
-    if m * n >= PAR_THRESHOLD {
-        out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| row(i, out_row));
+    } else if b.cs == 1 {
+        // B rows are contiguous: stream them into the output row (ikj).
+        for (i, orow) in out.chunks_mut(n).enumerate() {
+            for kk in 0..k {
+                let av = a.at(i, kk);
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[kk * b.rs..kk * b.rs + n];
+                for (o, bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
     } else {
-        for (i, out_row) in out.chunks_mut(n).enumerate() {
-            row(i, out_row);
+        // B columns are contiguous (transposed view): dot products (ijk).
+        for (i, orow) in out.chunks_mut(n).enumerate() {
+            for (j, o) in orow.iter_mut().enumerate() {
+                let bcol = &b.data[j * b.cs..j * b.cs + k];
+                let mut acc = 0.0f32;
+                for (kk, bv) in bcol.iter().enumerate() {
+                    acc += a.at(i, kk) * bv;
+                }
+                *o += acc;
+            }
         }
     }
+}
+
+/// Blocked path: pack B once per `(jc, pc)` slab, pack A per row block, run
+/// the register-tiled micro-kernel over the packed strips. Row blocks are
+/// contiguous `MC·n` chunks of `out`, so they parallelize without overlap.
+fn gemm_blocked(
+    out: &mut [f32],
+    a: MatRef,
+    b: MatRef,
+    m: usize,
+    k: usize,
+    n: usize,
+    parallel: bool,
+) {
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let nc_pad = nc.next_multiple_of(NR);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            with_scratch(kc * nc_pad, |bpack| {
+                pack_b(bpack, b, pc, jc, kc, nc);
+                record_pack_bytes(kc * nc_pad);
+                let bpack = &*bpack;
+                let row_block = |(blk, orows): (usize, &mut [f32])| {
+                    let ic = blk * MC;
+                    let mc = MC.min(m - ic);
+                    let mc_pad = mc.next_multiple_of(MR);
+                    with_scratch(kc * mc_pad, |apack| {
+                        pack_a(apack, a, ic, pc, mc, kc);
+                        record_pack_bytes(kc * mc_pad);
+                        for j0 in (0..nc).step_by(NR) {
+                            let nr = NR.min(nc - j0);
+                            let bstrip = &bpack[j0 * kc..j0 * kc + kc * NR];
+                            for i0 in (0..mc).step_by(MR) {
+                                let mr = MR.min(mc - i0);
+                                let astrip = &apack[i0 * kc..i0 * kc + kc * MR];
+                                microkernel(kc, astrip, bstrip, orows, i0, n, jc + j0, mr, nr);
+                            }
+                        }
+                    });
+                };
+                if parallel {
+                    out.par_chunks_mut(MC * n).enumerate().for_each(row_block);
+                } else {
+                    out.chunks_mut(MC * n).enumerate().for_each(row_block);
+                }
+            });
+        }
+    }
+}
+
+/// Packs `a[ic..ic+mc, pc..pc+kc]` into `MR`-row strips: strip `i0` holds
+/// `buf[i0·kc + kk·MR + ii] = a(ic+i0+ii, pc+kk)`, zero-padded past `mc` so
+/// the micro-kernel never branches on ragged rows.
+fn pack_a(buf: &mut [f32], a: MatRef, ic: usize, pc: usize, mc: usize, kc: usize) {
+    for i0 in (0..mc).step_by(MR) {
+        let strip = &mut buf[i0 * kc..i0 * kc + kc * MR];
+        for kk in 0..kc {
+            let dst = &mut strip[kk * MR..kk * MR + MR];
+            for (ii, d) in dst.iter_mut().enumerate() {
+                *d = if i0 + ii < mc { a.at(ic + i0 + ii, pc + kk) } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Packs `b[pc..pc+kc, jc..jc+nc]` into `NR`-column strips: strip `j0` holds
+/// `buf[j0·kc + kk·NR + jj] = b(pc+kk, jc+j0+jj)`, zero-padded past `nc`.
+fn pack_b(buf: &mut [f32], b: MatRef, pc: usize, jc: usize, kc: usize, nc: usize) {
+    for j0 in (0..nc).step_by(NR) {
+        let strip = &mut buf[j0 * kc..j0 * kc + kc * NR];
+        for kk in 0..kc {
+            let dst = &mut strip[kk * NR..kk * NR + NR];
+            for (jj, d) in dst.iter_mut().enumerate() {
+                *d = if j0 + jj < nc { b.at(pc + kk, jc + j0 + jj) } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// The register tile: `MR`×`NR` accumulators walk one packed A strip against
+/// one packed B strip over `kc` steps, then flush `mr`×`nr` of them into the
+/// output rows (`orows` is the row block; `col` the absolute first column).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn microkernel(
+    kc: usize,
+    astrip: &[f32],
+    bstrip: &[f32],
+    orows: &mut [f32],
+    i0: usize,
+    n: usize,
+    col: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for kk in 0..kc {
+        let arow = &astrip[kk * MR..kk * MR + MR];
+        let brow = &bstrip[kk * NR..kk * NR + NR];
+        for (accrow, &av) in acc.iter_mut().zip(arow) {
+            for (c, &bv) in accrow.iter_mut().zip(brow) {
+                *c += av * bv;
+            }
+        }
+    }
+    for (ii, accrow) in acc.iter().enumerate().take(mr) {
+        let base = (i0 + ii) * n + col;
+        for (o, c) in orows[base..base + nr].iter_mut().zip(accrow) {
+            *o += c;
+        }
+    }
+}
+
+/// Batched driver: one GEMM per batch over closure-provided operand views.
+/// Forks across batches when the summed work is large; otherwise runs
+/// batches serially, letting a single huge batch parallelize internally.
+fn gemm_batched<'a>(
+    out: &mut [f32],
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a_of: impl Fn(usize) -> MatRef<'a> + Sync,
+    b_of: impl Fn(usize) -> MatRef<'a> + Sync,
+) {
+    let per = m * n;
+    if batch_parallel(batch, m, k, n) {
+        out.par_chunks_mut(per).enumerate().for_each(|(bi, chunk)| {
+            gemm(chunk, a_of(bi), b_of(bi), m, k, n, false);
+        });
+    } else {
+        for (bi, chunk) in out.chunks_mut(per).enumerate() {
+            gemm(chunk, a_of(bi), b_of(bi), m, k, n, true);
+        }
+    }
+}
+
+/// Work-based batch heuristic: fork across batches when the *summed*
+/// multiply-adds clear [`PAR_MIN_WORK`] — many small batches are as
+/// parallel-worthy as one large one.
+fn batch_parallel(batch: usize, m: usize, k: usize, n: usize) -> bool {
+    batch > 1 && batch * m * n * k >= PAR_MIN_WORK
+}
+
+/// Dispatch-path label for a 2-D product of `work` multiply-adds.
+fn path_label(par: &'static str, serial: &'static str, work: usize) -> &'static str {
+    if work >= PAR_MIN_WORK {
+        par
+    } else {
+        serial
+    }
+}
+
+/// Dispatch recording for the batched entry points: the path label reflects
+/// whether the batch heuristic forks (or a lone batch parallelizes
+/// internally).
+#[allow(clippy::too_many_arguments)]
+fn record_batched_dispatch(
+    calls: &'static str,
+    elems: &'static str,
+    par: &'static str,
+    serial: &'static str,
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if !enhancenet_telemetry::enabled() {
+        return;
+    }
+    let forked = batch_parallel(batch, m, k, n) || (batch <= 1 && m * n * k >= PAR_MIN_WORK);
+    record_dispatch(calls, elems, if forked { par } else { serial }, batch * m * n);
 }
 
 impl Tensor {
@@ -63,17 +349,70 @@ impl Tensor {
         record_dispatch(
             "tensor.matmul.calls",
             "tensor.matmul.elements",
-            if m * n >= PAR_THRESHOLD { "tensor.matmul.par" } else { "tensor.matmul.serial" },
+            path_label("tensor.matmul.par", "tensor.matmul.serial", m * n * k),
             m * n,
         );
         let mut out = vec![0.0f32; m * n];
-        mm_kernel(&self.data, &other.data, &mut out, m, k, n);
+        gemm(
+            &mut out,
+            MatRef::normal(&self.data, k),
+            MatRef::normal(&other.data, n),
+            m,
+            k,
+            n,
+            true,
+        );
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose-fused product `selfᵀ · other`: `[k,m] x [k,n] -> [m,n]`.
+    ///
+    /// Reads `self` in transposed order directly — the backward pass's
+    /// `Aᵀ·gy` without ever materializing `Aᵀ`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_tn lhs must be rank 2, got {:?}", self.shape);
+        assert_eq!(other.rank(), 2, "matmul_tn rhs must be rank 2, got {:?}", other.shape);
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_tn shared dims differ: {:?} x {:?}", self.shape, other.shape);
+        record_dispatch(
+            "tensor.matmul_tn.calls",
+            "tensor.matmul_tn.elements",
+            path_label("tensor.matmul_tn.par", "tensor.matmul_tn.serial", m * n * k),
+            m * n,
+        );
+        let mut out = vec![0.0f32; m * n];
+        let a = MatRef::transposed(&self.data, m);
+        gemm(&mut out, a, MatRef::normal(&other.data, n), m, k, n, true);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose-fused product `self · otherᵀ`: `[m,k] x [n,k] -> [m,n]`.
+    ///
+    /// Reads `other` in transposed order directly — the backward pass's
+    /// `gy·Bᵀ` without ever materializing `Bᵀ`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_nt lhs must be rank 2, got {:?}", self.shape);
+        assert_eq!(other.rank(), 2, "matmul_nt rhs must be rank 2, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_nt shared dims differ: {:?} x {:?}", self.shape, other.shape);
+        record_dispatch(
+            "tensor.matmul_nt.calls",
+            "tensor.matmul_nt.elements",
+            path_label("tensor.matmul_nt.par", "tensor.matmul_nt.serial", m * n * k),
+            m * n,
+        );
+        let mut out = vec![0.0f32; m * n];
+        let b = MatRef::transposed(&other.data, k);
+        gemm(&mut out, MatRef::normal(&self.data, k), b, m, k, n, true);
         Tensor::from_vec(out, &[m, n])
     }
 
     /// Batched matrix product `[b,m,k] x [b,k,n] -> [b,m,n]`.
     ///
-    /// Batches are processed in parallel when large enough.
+    /// Batches fork to rayon when the summed work is large enough; a single
+    /// large batch parallelizes internally instead.
     pub fn bmm(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.rank(), 3, "bmm lhs must be rank 3, got {:?}", self.shape);
         assert_eq!(other.rank(), 3, "bmm rhs must be rank 3, got {:?}", other.shape);
@@ -81,79 +420,282 @@ impl Tensor {
         let (b2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
         assert_eq!(b, b2, "bmm batch dims differ: {:?} x {:?}", self.shape, other.shape);
         assert_eq!(k, k2, "bmm inner dims differ: {:?} x {:?}", self.shape, other.shape);
-        record_dispatch(
+        record_batched_dispatch(
             "tensor.bmm.calls",
             "tensor.bmm.elements",
-            if b * m * n >= PAR_THRESHOLD && b > 1 {
-                "tensor.bmm.par"
-            } else {
-                "tensor.bmm.serial"
-            },
-            b * m * n,
+            "tensor.bmm.par",
+            "tensor.bmm.serial",
+            b,
+            m,
+            k,
+            n,
         );
         let mut out = vec![0.0f32; b * m * n];
-        let work = |(bi, chunk): (usize, &mut [f32])| {
-            mm_kernel(
-                &self.data[bi * m * k..(bi + 1) * m * k],
-                &other.data[bi * k * n..(bi + 1) * k * n],
-                chunk,
-                m,
-                k,
-                n,
-            );
-        };
-        if b * m * n >= PAR_THRESHOLD && b > 1 {
-            out.par_chunks_mut(m * n).enumerate().for_each(work);
-        } else {
-            out.chunks_mut(m * n).enumerate().for_each(work);
-        }
+        gemm_batched(
+            &mut out,
+            b,
+            m,
+            k,
+            n,
+            |bi| MatRef::normal(&self.data[bi * m * k..(bi + 1) * m * k], k),
+            |bi| MatRef::normal(&other.data[bi * k * n..(bi + 1) * k * n], n),
+        );
         Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Batched transpose-fused product `selfᵦᵀ · otherᵦ`:
+    /// `[b,k,m] x [b,k,n] -> [b,m,n]`.
+    pub fn bmm_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm_tn lhs must be rank 3, got {:?}", self.shape);
+        assert_eq!(other.rank(), 3, "bmm_tn rhs must be rank 3, got {:?}", other.shape);
+        let (b, k, m) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(b, b2, "bmm_tn batch dims differ: {:?} x {:?}", self.shape, other.shape);
+        assert_eq!(k, k2, "bmm_tn shared dims differ: {:?} x {:?}", self.shape, other.shape);
+        record_batched_dispatch(
+            "tensor.bmm_tn.calls",
+            "tensor.bmm_tn.elements",
+            "tensor.bmm_tn.par",
+            "tensor.bmm_tn.serial",
+            b,
+            m,
+            k,
+            n,
+        );
+        let mut out = vec![0.0f32; b * m * n];
+        gemm_batched(
+            &mut out,
+            b,
+            m,
+            k,
+            n,
+            |bi| MatRef::transposed(&self.data[bi * k * m..(bi + 1) * k * m], m),
+            |bi| MatRef::normal(&other.data[bi * k * n..(bi + 1) * k * n], n),
+        );
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Batched transpose-fused product `selfᵦ · otherᵦᵀ`:
+    /// `[b,m,k] x [b,n,k] -> [b,m,n]`.
+    pub fn bmm_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm_nt lhs must be rank 3, got {:?}", self.shape);
+        assert_eq!(other.rank(), 3, "bmm_nt rhs must be rank 3, got {:?}", other.shape);
+        let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, n, k2) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(b, b2, "bmm_nt batch dims differ: {:?} x {:?}", self.shape, other.shape);
+        assert_eq!(k, k2, "bmm_nt shared dims differ: {:?} x {:?}", self.shape, other.shape);
+        record_batched_dispatch(
+            "tensor.bmm_nt.calls",
+            "tensor.bmm_nt.elements",
+            "tensor.bmm_nt.par",
+            "tensor.bmm_nt.serial",
+            b,
+            m,
+            k,
+            n,
+        );
+        let mut out = vec![0.0f32; b * m * n];
+        gemm_batched(
+            &mut out,
+            b,
+            m,
+            k,
+            n,
+            |bi| MatRef::normal(&self.data[bi * m * k..(bi + 1) * m * k], k),
+            |bi| MatRef::transposed(&other.data[bi * n * k..(bi + 1) * n * k], k),
+        );
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Batch-summed transpose-fused product `Σᵦ selfᵦ · otherᵦᵀ`:
+    /// `[b,m,j] x [b,l,j] -> [m,l]`.
+    ///
+    /// The broadcast-left gradient `Σᵦ gyᵦ · Xᵦᵀ` as one accumulation —
+    /// no `[b,m,l]` intermediate, no separate sum pass. Batches share the
+    /// output, so they run serially; each per-batch GEMM may parallelize.
+    pub fn bmm_nt_reduce(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm_nt_reduce lhs must be rank 3, got {:?}", self.shape);
+        assert_eq!(other.rank(), 3, "bmm_nt_reduce rhs must be rank 3, got {:?}", other.shape);
+        let (b, m, j) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, l, j2) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(b, b2, "bmm_nt_reduce batch dims differ: {:?} x {:?}", self.shape, other.shape);
+        assert_eq!(j, j2, "bmm_nt_reduce shared dims differ: {:?} x {:?}", self.shape, other.shape);
+        record_dispatch(
+            "tensor.bmm_nt_reduce.calls",
+            "tensor.bmm_nt_reduce.elements",
+            path_label("tensor.bmm_nt_reduce.par", "tensor.bmm_nt_reduce.serial", m * l * j),
+            m * l,
+        );
+        let mut out = vec![0.0f32; m * l];
+        for bi in 0..b {
+            let a = MatRef::normal(&self.data[bi * m * j..(bi + 1) * m * j], j);
+            let bt = MatRef::transposed(&other.data[bi * l * j..(bi + 1) * l * j], j);
+            gemm(&mut out, a, bt, m, j, l, true);
+        }
+        Tensor::from_vec(out, &[m, l])
     }
 
     /// Batched product with a shared left matrix: `[m,k] x [b,k,n] -> [b,m,n]`.
     ///
     /// This is the graph-convolution pattern `A · Xᵦ` where the adjacency is
-    /// shared across the batch.
+    /// shared across the batch. Batches fork to rayon when the summed work
+    /// is large enough.
     pub fn matmul_broadcast_left(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.rank(), 2, "lhs must be rank 2, got {:?}", self.shape);
         assert_eq!(other.rank(), 3, "rhs must be rank 3, got {:?}", other.shape);
         let (m, k) = (self.shape[0], self.shape[1]);
         let (b, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
         assert_eq!(k, k2, "inner dims differ: {:?} x {:?}", self.shape, other.shape);
-        record_dispatch(
+        record_batched_dispatch(
             "tensor.mm_bcast_left.calls",
             "tensor.mm_bcast_left.elements",
-            // Per-batch kernels may still split rows; the dispatch itself
-            // walks batches serially.
-            if m * n >= PAR_THRESHOLD {
-                "tensor.mm_bcast_left.par"
-            } else {
-                "tensor.mm_bcast_left.serial"
-            },
-            b * m * n,
+            "tensor.mm_bcast_left.par",
+            "tensor.mm_bcast_left.serial",
+            b,
+            m,
+            k,
+            n,
         );
         let mut out = vec![0.0f32; b * m * n];
-        out.chunks_mut(m * n).enumerate().for_each(|(bi, chunk)| {
-            mm_kernel(&self.data, &other.data[bi * k * n..(bi + 1) * k * n], chunk, m, k, n);
-        });
+        gemm_batched(
+            &mut out,
+            b,
+            m,
+            k,
+            n,
+            |_| MatRef::normal(&self.data, k),
+            |bi| MatRef::normal(&other.data[bi * k * n..(bi + 1) * k * n], n),
+        );
         Tensor::from_vec(out, &[b, m, n])
     }
 
-    /// Batched product with a shared right matrix: `[b,m,k] x [k,n] -> [b,m,n]`.
+    /// Transpose-fused broadcast-left: `selfᵀ · otherᵦ` with `self` `[m,k]`
+    /// read in transposed order, `[m,k] x [b,m,n] -> [b,k,n]`.
+    ///
+    /// The broadcast-left input gradient `Aᵀ · gyᵦ` without materializing
+    /// `Aᵀ`.
+    pub fn matmul_broadcast_left_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "lhs must be rank 2, got {:?}", self.shape);
+        assert_eq!(other.rank(), 3, "rhs must be rank 3, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (b, m2, n) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(m, m2, "shared dims differ: {:?}ᵀ x {:?}", self.shape, other.shape);
+        record_batched_dispatch(
+            "tensor.mm_bcast_left_tn.calls",
+            "tensor.mm_bcast_left_tn.elements",
+            "tensor.mm_bcast_left_tn.par",
+            "tensor.mm_bcast_left_tn.serial",
+            b,
+            k,
+            m,
+            n,
+        );
+        let mut out = vec![0.0f32; b * k * n];
+        gemm_batched(
+            &mut out,
+            b,
+            k,
+            m,
+            n,
+            |_| MatRef::transposed(&self.data, k),
+            |bi| MatRef::normal(&other.data[bi * m * n..(bi + 1) * m * n], n),
+        );
+        Tensor::from_vec(out, &[b, k, n])
+    }
+
+    /// Product with a shared right matrix: `[..., k] x [k,n] -> [..., n]`
+    /// for any lhs rank ≥ 2.
     ///
     /// This is the shared-filter pattern `Xᵦ · W`: one weight matrix applied
-    /// to every batch element. Implemented as a single `[b·m,k] x [k,n]`
-    /// product.
+    /// across all leading axes. Contiguous row-major layout means the
+    /// leading axes fold into a single `[Σ·, k]` GEMM — no reshape copy, no
+    /// input clone.
     pub fn matmul_broadcast_right(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 3, "lhs must be rank 3, got {:?}", self.shape);
+        assert!(self.rank() >= 2, "lhs must be rank >= 2, got {:?}", self.shape);
         assert_eq!(other.rank(), 2, "rhs must be rank 2, got {:?}", other.shape);
-        let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+        let k = *self.shape.last().unwrap();
         assert_eq!(k, other.shape[0], "inner dims differ: {:?} x {:?}", self.shape, other.shape);
         let n = other.shape[1];
-        let flat = Tensor { shape: vec![b * m, k], data: self.data.clone() };
-        let mut out = flat.matmul(other);
-        out.shape = vec![b, m, n];
-        out
+        let rows: usize = self.shape[..self.rank() - 1].iter().product();
+        record_dispatch(
+            "tensor.mm_bcast_right.calls",
+            "tensor.mm_bcast_right.elements",
+            path_label("tensor.mm_bcast_right.par", "tensor.mm_bcast_right.serial", rows * n * k),
+            rows * n,
+        );
+        let mut out = vec![0.0f32; rows * n];
+        gemm(
+            &mut out,
+            MatRef::normal(&self.data, k),
+            MatRef::normal(&other.data, n),
+            rows,
+            k,
+            n,
+            true,
+        );
+        let mut shape = self.shape[..self.rank() - 1].to_vec();
+        shape.push(n);
+        Tensor::from_vec(out, &shape)
+    }
+
+    /// Transpose-fused shared-right product `self · otherᵀ`:
+    /// `[..., n] x [k,n] -> [..., k]` for any lhs rank ≥ 2.
+    ///
+    /// The shared-filter input gradient `gy · Wᵀ` without materializing
+    /// `Wᵀ`.
+    pub fn matmul_broadcast_right_nt(&self, other: &Tensor) -> Tensor {
+        assert!(self.rank() >= 2, "lhs must be rank >= 2, got {:?}", self.shape);
+        assert_eq!(other.rank(), 2, "rhs must be rank 2, got {:?}", other.shape);
+        let n = *self.shape.last().unwrap();
+        let (k, n2) = (other.shape[0], other.shape[1]);
+        assert_eq!(n, n2, "shared dims differ: {:?} x {:?}ᵀ", self.shape, other.shape);
+        let rows: usize = self.shape[..self.rank() - 1].iter().product();
+        record_dispatch(
+            "tensor.mm_bcast_right_nt.calls",
+            "tensor.mm_bcast_right_nt.elements",
+            path_label(
+                "tensor.mm_bcast_right_nt.par",
+                "tensor.mm_bcast_right_nt.serial",
+                rows * n * k,
+            ),
+            rows * k,
+        );
+        let mut out = vec![0.0f32; rows * k];
+        let b = MatRef::transposed(&other.data, n);
+        gemm(&mut out, MatRef::normal(&self.data, n), b, rows, n, k, true);
+        let mut shape = self.shape[..self.rank() - 1].to_vec();
+        shape.push(k);
+        Tensor::from_vec(out, &shape)
+    }
+
+    /// Leading-axes-folded transpose-fused product `foldᵀ(self) · fold(other)`:
+    /// `[..., k] x [..., n] -> [k,n]` where both operands share identical
+    /// leading axes.
+    ///
+    /// The shared-filter weight gradient `Xᵀ_flat · gy_flat` as one GEMM —
+    /// no reshape copies, no transpose materialization.
+    pub fn matmul_tn_flat(&self, other: &Tensor) -> Tensor {
+        assert!(self.rank() >= 2, "lhs must be rank >= 2, got {:?}", self.shape);
+        assert_eq!(
+            self.shape[..self.rank() - 1],
+            other.shape[..other.rank() - 1],
+            "leading axes differ: {:?} x {:?}",
+            self.shape,
+            other.shape
+        );
+        let k = *self.shape.last().unwrap();
+        let n = *other.shape.last().unwrap();
+        let rows: usize = self.shape[..self.rank() - 1].iter().product();
+        record_dispatch(
+            "tensor.mm_tn_flat.calls",
+            "tensor.mm_tn_flat.elements",
+            path_label("tensor.mm_tn_flat.par", "tensor.mm_tn_flat.serial", rows * n * k),
+            k * n,
+        );
+        let mut out = vec![0.0f32; k * n];
+        let a = MatRef::transposed(&self.data, k);
+        gemm(&mut out, a, MatRef::normal(&other.data, n), k, rows, n, true);
+        Tensor::from_vec(out, &[k, n])
     }
 
     /// Dot product of two rank-1 tensors.
@@ -180,6 +722,30 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Unblocked, unpacked reference: the plain triple loop every kernel
+    /// variant must agree with.
+    fn reference_mm(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    out[i * n + j] += a.data()[i * k + kk] * b.data()[kk * n + j];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Deterministic small-integer fill: products stay exactly representable
+    /// in f32, so blocked-vs-reference comparisons can be exact.
+    fn int_tensor(shape: &[usize], seed: usize) -> Tensor {
+        let numel: usize = shape.iter().product();
+        let data = (0..numel).map(|v| ((v * 7 + seed) % 5) as f32 - 2.0).collect();
+        Tensor::from_vec(data, shape)
+    }
 
     #[test]
     fn matmul_known_values() {
@@ -211,6 +777,42 @@ mod tests {
     }
 
     #[test]
+    fn blocked_path_matches_reference_on_odd_shapes() {
+        // Shapes chosen to straddle every blocking boundary: ragged MR/NR
+        // tails, multiple KC slices, multiple MC row blocks, NC slab edges.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 17, 1),
+            (5, 3, 129),
+            (67, 261, 17),
+            (63, 64, 65),
+            (130, 300, 11),
+            (64, 257, 513),
+        ] {
+            let a = int_tensor(&[m, k], 1);
+            let b = int_tensor(&[k, n], 2);
+            let got = a.matmul(&b);
+            let want = reference_mm(&a, &b);
+            assert_eq!(got.data(), want.data(), "mismatch at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn tn_and_nt_match_materialized_transpose() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (31, 67, 13), (67, 129, 65)] {
+            let a = int_tensor(&[m, k], 3);
+            let b = int_tensor(&[k, n], 4);
+            let want = reference_mm(&a, &b);
+            // tn: feed aᵀ stored as [k,m].
+            let at = a.transpose();
+            assert_eq!(at.matmul_tn(&b).data(), want.data(), "tn mismatch at ({m},{k},{n})");
+            // nt: feed bᵀ stored as [n,k].
+            let bt = b.transpose();
+            assert_eq!(a.matmul_nt(&bt).data(), want.data(), "nt mismatch at ({m},{k},{n})");
+        }
+    }
+
+    #[test]
     fn bmm_independent_batches() {
         let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], &[2, 2, 2]);
         let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0], &[2, 2, 2]);
@@ -218,6 +820,25 @@ mod tests {
         assert_eq!(c.shape(), &[2, 2, 2]);
         assert_eq!(&c.data()[..4], &[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(&c.data()[4..], &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn bmm_tn_nt_match_transpose_batched() {
+        let (b, m, k, n) = (3, 5, 7, 4);
+        let a = int_tensor(&[b, m, k], 5);
+        let x = int_tensor(&[b, k, n], 6);
+        let want = a.bmm(&x);
+        assert_eq!(a.transpose_batched().bmm_tn(&x).data(), want.data());
+        assert_eq!(a.bmm_nt(&x.transpose_batched()).data(), want.data());
+    }
+
+    #[test]
+    fn bmm_nt_reduce_matches_bmm_then_sum() {
+        let (b, m, n, l) = (4, 5, 6, 3);
+        let gy = int_tensor(&[b, m, n], 7);
+        let x = int_tensor(&[b, l, n], 8);
+        let want = gy.bmm_nt(&x).sum_axis(0);
+        assert_eq!(gy.bmm_nt_reduce(&x).data(), want.data());
     }
 
     #[test]
@@ -230,6 +851,15 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_left_tn_matches_transposed_broadcast() {
+        let (b, m, k, n) = (3, 6, 4, 5);
+        let a = int_tensor(&[m, k], 9);
+        let gy = int_tensor(&[b, m, n], 10);
+        let want = a.transpose().matmul_broadcast_left(&gy);
+        assert_eq!(a.matmul_broadcast_left_tn(&gy).data(), want.data());
+    }
+
+    #[test]
     fn broadcast_right_equals_flattened_matmul() {
         let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[2, 3, 2]);
         let w = Tensor::from_rows(&[vec![1.0, 0.0, 2.0], vec![0.0, 1.0, 2.0]]);
@@ -237,6 +867,32 @@ mod tests {
         assert_eq!(y.shape(), &[2, 3, 3]);
         // first row: [0,1] @ w = [0, 1, 2]
         assert_eq!(&y.data()[..3], &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn broadcast_right_folds_any_leading_rank() {
+        let x = int_tensor(&[2, 3, 4, 5], 11);
+        let w = int_tensor(&[5, 6], 12);
+        let y = x.matmul_broadcast_right(&w);
+        assert_eq!(y.shape(), &[2, 3, 4, 6]);
+        let flat = x.reshape(&[24, 5]).matmul(&w);
+        assert_eq!(y.data(), flat.data());
+    }
+
+    #[test]
+    fn broadcast_right_nt_matches_materialized_transpose() {
+        let gy = int_tensor(&[2, 3, 6], 13);
+        let w = int_tensor(&[5, 6], 14);
+        let want = gy.matmul_broadcast_right(&w.transpose());
+        assert_eq!(gy.matmul_broadcast_right_nt(&w).data(), want.data());
+    }
+
+    #[test]
+    fn tn_flat_matches_reshape_transpose_matmul() {
+        let x = int_tensor(&[2, 3, 5], 15);
+        let gy = int_tensor(&[2, 3, 4], 16);
+        let want = x.reshape(&[6, 5]).transpose().matmul(&gy.reshape(&[6, 4]));
+        assert_eq!(x.matmul_tn_flat(&gy).data(), want.data());
     }
 
     #[test]
@@ -255,11 +911,29 @@ mod tests {
 
     #[test]
     fn large_matmul_parallel_path_matches_serial() {
-        // Force the rayon path (> PAR_THRESHOLD output elements) and compare
-        // against a small-block reference.
+        // Force the rayon path (work >= PAR_MIN_WORK) and compare against
+        // the identity.
         let m = 160;
         let a = Tensor::from_vec((0..m * m).map(|v| (v % 7) as f32 * 0.25).collect(), &[m, m]);
         let b = Tensor::eye(m);
         assert!(a.matmul(&b).allclose(&a, 1e-5));
+    }
+
+    #[test]
+    fn parallel_bmm_matches_serial_batches() {
+        // Summed work clears PAR_MIN_WORK while a single batch does not, so
+        // this exercises the batch-parallel fork.
+        let (b, m, k, n) = (16, 40, 41, 42);
+        assert!(batch_parallel(b, m, k, n));
+        assert!(m * k * n < PAR_MIN_WORK);
+        let a = int_tensor(&[b, m, k], 17);
+        let x = int_tensor(&[b, k, n], 18);
+        let got = a.bmm(&x);
+        for bi in 0..b {
+            let ai = Tensor::from_vec(a.data()[bi * m * k..(bi + 1) * m * k].to_vec(), &[m, k]);
+            let xi = Tensor::from_vec(x.data()[bi * k * n..(bi + 1) * k * n].to_vec(), &[k, n]);
+            let want = reference_mm(&ai, &xi);
+            assert_eq!(&got.data()[bi * m * n..(bi + 1) * m * n], want.data(), "batch {bi}");
+        }
     }
 }

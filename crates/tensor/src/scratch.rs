@@ -1,0 +1,107 @@
+//! Thread-local scratch-buffer pool for kernel temporaries.
+//!
+//! The GEMM engine packs operand panels into contiguous buffers before the
+//! micro-kernel runs. Those buffers are the same handful of sizes on every
+//! training step, so allocating them fresh per call would dominate small
+//! products and churn the allocator on large ones. Instead each thread keeps
+//! a small stack of retired buffers and [`with_scratch`] hands the top one
+//! back out, growing it only when the request exceeds anything pooled.
+//!
+//! Telemetry: every acquisition records `tensor.scratch.hit` (a pooled
+//! buffer's capacity covered the request) or `tensor.scratch.miss` (the pool
+//! was empty or too small and the buffer grew). Both are gated on
+//! [`enhancenet_telemetry::enabled`], so the disabled path stays a single
+//! relaxed atomic load and — once the pool is warm — allocation-free.
+
+use std::cell::RefCell;
+
+/// Buffers retired back to the pool beyond this depth are dropped instead.
+/// The GEMM engine nests at most two live buffers per thread (a B panel and
+/// an A panel); a little slack covers callers stacking their own temporary.
+const MAX_POOLED: usize = 8;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a scratch buffer of exactly `len` elements.
+///
+/// The buffer's contents are **unspecified** on entry — callers must write
+/// every element they read back (the pack routines overwrite their whole
+/// panel, padding included). The buffer returns to this thread's pool when
+/// `f` finishes, so steady-state acquisition performs no allocation.
+///
+/// Re-entrant: the pool borrow is released before `f` runs, so `f` may call
+/// [`with_scratch`] again (the engine does: an A-panel pack inside the
+/// B-panel scope) or run on rayon workers that maintain their own pools.
+pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = POOL.with(|pool| pool.borrow_mut().pop()).unwrap_or_default();
+    if enhancenet_telemetry::enabled() {
+        let label =
+            if buf.capacity() >= len { "tensor.scratch.hit" } else { "tensor.scratch.miss" };
+        enhancenet_telemetry::count(label, 1);
+    }
+    // Grow-only: `resize` zero-fills new tail capacity but never shrinks, so
+    // a warm buffer is reused without touching its contents.
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+    let result = f(&mut buf[..len]);
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Telemetry counters are process-global; serialize the tests that
+    /// enable collection so concurrent kernels can't pollute assertions.
+    /// (Other test threads may still record while collection is on, so the
+    /// assertions below are lower bounds, not exact counts.)
+    fn lock_telemetry() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(Mutex::default).lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn scratch_returns_requested_len() {
+        with_scratch(17, |buf| assert_eq!(buf.len(), 17));
+    }
+
+    #[test]
+    fn scratch_is_reentrant() {
+        let total = with_scratch(8, |outer| {
+            outer.fill(1.0);
+            let inner_sum: f32 = with_scratch(4, |inner| {
+                inner.fill(2.0);
+                inner.iter().sum()
+            });
+            outer.iter().sum::<f32>() + inner_sum
+        });
+        assert_eq!(total, 16.0);
+    }
+
+    #[test]
+    fn scratch_counts_hits_and_misses() {
+        let _g = lock_telemetry();
+        // Warm this thread's pool so the next same-size request is a hit.
+        with_scratch(1024, |_| ());
+        enhancenet_telemetry::reset();
+        enhancenet_telemetry::set_enabled(true);
+        with_scratch(1024, |_| ());
+        // Larger than anything pooled on this thread: must grow.
+        with_scratch(1 << 22, |_| ());
+        let hits = enhancenet_telemetry::counter_value("tensor.scratch.hit");
+        let misses = enhancenet_telemetry::counter_value("tensor.scratch.miss");
+        enhancenet_telemetry::set_enabled(false);
+        assert!(hits >= 1, "warm same-size request must hit the pool");
+        assert!(misses >= 1, "oversized request must report a miss");
+    }
+}

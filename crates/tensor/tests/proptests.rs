@@ -21,6 +21,49 @@ fn square_matrix() -> impl Strategy<Value = Tensor> {
     })
 }
 
+/// Strategy: one GEMM dimension, biased toward the odd/prime sizes that
+/// stress the engine's ragged micro-tile edges and block boundaries
+/// (MR = 4, NR = 8, MC = 64, KC = 256).
+fn gemm_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        Just(2),
+        Just(3),
+        Just(5),
+        Just(7),
+        Just(13),
+        Just(17),
+        Just(31),
+        Just(65),
+        Just(67),
+    ]
+}
+
+/// Strategy: a small-integer-valued tensor. Products and sums of these stay
+/// exactly representable in f32, so kernel comparisons can demand bitwise
+/// equality regardless of accumulation order.
+fn int_valued(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    prop::collection::vec(-3i32..4, n)
+        .prop_map(move |data| Tensor::from_vec(data.iter().map(|&v| v as f32).collect(), &shape))
+}
+
+/// Naive triple-loop reference GEMM: the semantics every engine path
+/// (direct, blocked/packed, parallel, transpose-fused) must reproduce.
+fn reference_mm(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for kk in 0..k {
+            for j in 0..n {
+                out[i * n + j] += a.data()[i * k + kk] * b.data()[kk * n + j];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
 proptest! {
     #[test]
     fn add_is_commutative(t in small_tensor()) {
@@ -135,5 +178,102 @@ proptest! {
         let padded = t.pad_axis_front(0, 2, 7.5);
         let tail = padded.slice_axis(0, 2, padded.shape()[0]);
         prop_assert!(tail.allclose(&t, 0.0));
+    }
+}
+
+proptest! {
+    // GEMM-engine properties run fewer, larger cases: each case multiplies
+    // matrices up to 67³ against the naive reference.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_matches_naive_reference(
+        (a, b) in (gemm_dim(), gemm_dim(), gemm_dim()).prop_flat_map(|(m, k, n)| {
+            (int_valued(vec![m, k]), int_valued(vec![k, n]))
+        })
+    ) {
+        let got = a.matmul(&b);
+        let want = reference_mm(&a, &b);
+        prop_assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn matmul_tn_matches_materialized_transpose(
+        (a, b) in (gemm_dim(), gemm_dim(), gemm_dim()).prop_flat_map(|(m, k, n)| {
+            (int_valued(vec![m, k]), int_valued(vec![k, n]))
+        })
+    ) {
+        // Store aᵀ as [k,m]; the fused kernel must recover a·b exactly.
+        let want = reference_mm(&a, &b);
+        prop_assert_eq!(a.transpose().matmul_tn(&b).data(), want.data());
+    }
+
+    #[test]
+    fn matmul_nt_matches_materialized_transpose(
+        (a, b) in (gemm_dim(), gemm_dim(), gemm_dim()).prop_flat_map(|(m, k, n)| {
+            (int_valued(vec![m, k]), int_valued(vec![k, n]))
+        })
+    ) {
+        // Store bᵀ as [n,k]; the fused kernel must recover a·b exactly.
+        let want = reference_mm(&a, &b);
+        prop_assert_eq!(a.matmul_nt(&b.transpose()).data(), want.data());
+    }
+
+    #[test]
+    fn bmm_tn_nt_match_per_batch_reference(
+        (a, b) in (1usize..4, gemm_dim(), gemm_dim(), gemm_dim()).prop_flat_map(|(bs, m, k, n)| {
+            (int_valued(vec![bs, m, k]), int_valued(vec![bs, k, n]))
+        })
+    ) {
+        let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+        let n = b.shape()[2];
+        let want = a.bmm(&b);
+        for bi in 0..bs {
+            let ai = Tensor::from_vec(a.data()[bi * m * k..(bi + 1) * m * k].to_vec(), &[m, k]);
+            let bi_t = Tensor::from_vec(b.data()[bi * k * n..(bi + 1) * k * n].to_vec(), &[k, n]);
+            let per = reference_mm(&ai, &bi_t);
+            prop_assert_eq!(&want.data()[bi * m * n..(bi + 1) * m * n], per.data());
+        }
+        prop_assert_eq!(a.transpose_batched().bmm_tn(&b).data(), want.data());
+        prop_assert_eq!(a.bmm_nt(&b.transpose_batched()).data(), want.data());
+    }
+
+    #[test]
+    fn broadcast_left_kernels_match_unfused_formulations(
+        (a, x) in (1usize..4, gemm_dim(), gemm_dim(), gemm_dim()).prop_flat_map(|(bs, m, k, n)| {
+            (int_valued(vec![m, k]), int_valued(vec![bs, k, n]))
+        })
+    ) {
+        let y = a.matmul_broadcast_left(&x); // [bs, m, n]
+        // The _tn gradient twin vs. an explicit materialized transpose.
+        prop_assert_eq!(
+            a.matmul_broadcast_left_tn(&y).data(),
+            a.transpose().matmul_broadcast_left(&y).data()
+        );
+        // Batch-summed nt-reduce (the adjacency gradient) vs. bmm_nt + sum.
+        prop_assert_eq!(
+            y.bmm_nt_reduce(&x).data(),
+            y.bmm_nt(&x).sum_axis(0).data()
+        );
+    }
+
+    #[test]
+    fn broadcast_right_kernels_match_unfused_formulations(
+        (x, w) in (1usize..4, gemm_dim(), gemm_dim(), gemm_dim()).prop_flat_map(|(bs, m, k, p)| {
+            (int_valued(vec![bs, m, k]), int_valued(vec![k, p]))
+        })
+    ) {
+        let (bs, m, k) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let p = w.shape()[1];
+        let z = x.matmul_broadcast_right(&w); // [bs, m, p]
+        // Shared-right fold vs. explicit flatten + matmul.
+        prop_assert_eq!(z.data(), x.reshape(&[bs * m, k]).matmul(&w).reshape(&[bs, m, p]).data());
+        // The _nt gradient twin vs. a materialized transpose.
+        prop_assert_eq!(z.data(), x.matmul_broadcast_right_nt(&w.transpose()).data());
+        // Weight-grad fold: xᵀ_flat · z_flat in one fused call.
+        prop_assert_eq!(
+            x.matmul_tn_flat(&z).data(),
+            x.reshape(&[bs * m, k]).transpose().matmul(&z.reshape(&[bs * m, p])).data()
+        );
     }
 }
