@@ -1,0 +1,162 @@
+//! Serving-path latency, LA-shaped (207 entities, 12 -> 12):
+//!
+//! * `round_trip_batch1` vs `direct_predict` — the full
+//!   [`ForecastService`] round-trip (queue, worker thread, scaler
+//!   inverse) must not regress against a bare `predict` call for a lone
+//!   request.
+//! * `microbatch{8,32}` vs `sequential{8,32}` — N concurrent submissions
+//!   answered by one batched forward pass vs N sequential `predict`
+//!   calls, on two host families (GRU and WaveNet).
+//!
+//! A p50/p95 percentile table for burst sizes 1/8/32 is printed before
+//! the Criterion runs.
+
+use criterion::{criterion_group, Criterion};
+use enhancenet::prelude::*;
+use enhancenet_models::{GruSeq2Seq, ModelDims, TemporalMode, WaveNet, WaveNetConfig};
+use enhancenet_tensor::{Tensor, TensorRng};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const LA_N: usize = 207;
+
+fn la_dims(hidden: usize) -> ModelDims {
+    ModelDims { num_entities: LA_N, in_features: 1, hidden, input_len: 12, output_len: 12 }
+}
+
+fn la_scaler() -> StandardScaler {
+    let mut rng = TensorRng::seed(5);
+    let history = rng.normal(&[64, LA_N, 1], 60.0, 8.0);
+    StandardScaler::fit(&history, 48).unwrap()
+}
+
+fn gru_host() -> Box<dyn Forecaster + Send> {
+    Box::new(GruSeq2Seq::rnn(la_dims(16), 1, TemporalMode::Shared, 1))
+}
+
+fn wavenet_host() -> Box<dyn Forecaster + Send> {
+    let config = WaveNetConfig {
+        dilations: vec![1, 2, 1, 2, 1, 2, 1, 2],
+        kernel: 2,
+        end_hidden: 32,
+        dropout: 0.3,
+    };
+    Box::new(WaveNet::tcn(la_dims(16), config, TemporalMode::Shared, 1))
+}
+
+fn la_service(
+    model: Box<dyn Forecaster + Send>,
+    max_batch: usize,
+    max_wait: Duration,
+) -> ForecastService {
+    let config = ServeConfig {
+        max_batch,
+        max_wait,
+        queue_capacity: 128,
+        deadline: Duration::from_secs(30),
+        target_feature: 0,
+    };
+    ForecastService::new(model, la_scaler(), config).unwrap()
+}
+
+fn la_windows(count: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = TensorRng::seed(seed);
+    (0..count).map(|_| rng.normal(&[12, LA_N, 1], 0.0, 1.0)).collect()
+}
+
+/// Burst of `batch` submissions answered through the micro-batch worker.
+fn burst(svc: &ForecastService, windows: &[Tensor]) {
+    let pendings: Vec<_> = windows.iter().map(|w| svc.submit(w).unwrap()).collect();
+    for pending in pendings {
+        black_box(pending.wait(Duration::from_secs(30)).unwrap());
+    }
+}
+
+/// Lone-request round trip (ingested state, full raw-scale API) vs a bare
+/// `predict` on the identical scaled window.
+fn bench_single_round_trip(c: &mut Criterion) {
+    let mut svc = la_service(gru_host(), 1, Duration::ZERO);
+    let mut rng = TensorRng::seed(7);
+    for t in 0..12 {
+        let row = rng.normal(&[LA_N], 60.0, 8.0);
+        svc.ingest_row(t, row.data()).unwrap();
+    }
+    c.bench_function("serve/round_trip_batch1_RNN_207", |b| {
+        b.iter(|| black_box(svc.forecast().unwrap()));
+    });
+
+    let direct = gru_host();
+    let scaled = la_scaler().transform(&svc.state().window().unwrap()).unwrap();
+    c.bench_function("serve/direct_predict_RNN_207", |b| {
+        b.iter(|| black_box(direct.predict(&scaled).unwrap()));
+    });
+}
+
+fn bench_micro_batching_host(
+    c: &mut Criterion,
+    name: &str,
+    make: &dyn Fn() -> Box<dyn Forecaster + Send>,
+) {
+    for &batch in &[8usize, 32] {
+        let windows = la_windows(batch, 9);
+        let svc = la_service(make(), batch, Duration::from_millis(20));
+        c.bench_function(&format!("serve/microbatch{batch}_{name}_207"), |b| {
+            b.iter(|| burst(&svc, &windows));
+        });
+        let direct = make();
+        c.bench_function(&format!("serve/sequential{batch}_{name}_207"), |b| {
+            b.iter(|| {
+                for window in &windows {
+                    black_box(direct.predict(window).unwrap());
+                }
+            });
+        });
+        svc.shutdown();
+    }
+}
+
+fn bench_micro_batching(c: &mut Criterion) {
+    bench_micro_batching_host(c, "RNN", &gru_host);
+    bench_micro_batching_host(c, "TCN", &wavenet_host);
+}
+
+/// Explicit burst-latency percentiles (the SLO view Criterion's summary
+/// does not give directly).
+fn percentile_report() {
+    println!("serve burst latency (GRU host, {LA_N} entities), 50 bursts each:");
+    for &batch in &[1usize, 8, 32] {
+        let windows = la_windows(batch, 11);
+        let svc = la_service(gru_host(), batch.max(1), Duration::from_millis(20));
+        // Warm-up burst so thread spawn and first-tape costs are excluded.
+        burst(&svc, &windows);
+        let mut samples: Vec<Duration> = (0..50)
+            .map(|_| {
+                let started = Instant::now();
+                burst(&svc, &windows);
+                started.elapsed()
+            })
+            .collect();
+        samples.sort();
+        let p50 = samples[samples.len() / 2];
+        let p95 = samples[samples.len() * 95 / 100];
+        println!(
+            "  batch={batch:<3} p50 {:>8.3} ms   p95 {:>8.3} ms   per-window p50 {:>8.3} ms",
+            p50.as_secs_f64() * 1e3,
+            p95.as_secs_f64() * 1e3,
+            p50.as_secs_f64() * 1e3 / batch as f64,
+        );
+        svc.shutdown();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_single_round_trip, bench_micro_batching
+}
+
+fn main() {
+    percentile_report();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

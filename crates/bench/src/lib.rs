@@ -28,7 +28,7 @@ pub const BENCH_B: usize = 4;
 pub fn bench_dataset() -> (WindowDataset, Tensor) {
     let series = generate_traffic(&TrafficConfig::tiny(BENCH_N, 2));
     let adjacency = gaussian_kernel_adjacency(&series.distances, AdjacencyConfig::default());
-    (WindowDataset::from_series(&series, 12, 12), adjacency)
+    (WindowDataset::from_series(&series, 12, 12).unwrap(), adjacency)
 }
 
 /// Standard model dims for the benches.

@@ -22,6 +22,7 @@
 
 use enhancenet_autodiff::{Graph, ParamId, ParamStore, Var};
 use enhancenet_tensor::{Tensor, TensorRng};
+use std::cell::RefCell;
 
 /// DAMGN hyper-parameters. Paper default: `M = 10` for the `B₁`, `B₂`
 /// memories; the embedding width of θ/φ defaults to the input feature
@@ -47,6 +48,34 @@ pub struct DamgnBinding {
     lambda_c: Var,
     theta: Var,
     phi: Var,
+}
+
+/// Version-keyed cache of the folded static component `λ_A·A_s + λ_B·B`
+/// (one tensor per base support), used on inference paths.
+///
+/// During training the static mix depends on live parameters and must stay
+/// on the tape, but between optimizer steps it is constant — recomputing
+/// the `B₁ B₂ᵀ` softmax and the per-support folds for every window is pure
+/// waste in a serving loop. The cache keys the folded tensors on
+/// [`ParamStore::version`], so any weight update (an optimizer step, a
+/// checkpoint restore) invalidates it automatically. Cache hits splice the
+/// stored values back in as constants — the exact tensors the tracked path
+/// produced, so eval outputs are bit-identical with or without the cache.
+#[derive(Default)]
+pub struct StaticFoldCache {
+    slot: RefCell<Option<(u64, Vec<Tensor>)>>,
+}
+
+impl StaticFoldCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True once a folded static component is stored.
+    pub fn is_populated(&self) -> bool {
+        self.slot.borrow().is_some()
+    }
 }
 
 /// One DAMGN instance: memories for `B`, embeddings for `C_t`, and the
@@ -164,6 +193,45 @@ impl Damgn {
             theta: g.param(store, self.theta),
             phi: g.param(store, self.phi),
         }
+    }
+
+    /// [`Damgn::bind`] with the static fold served from `cache` on eval
+    /// paths.
+    ///
+    /// Training forwards always take the tracked path (gradients must flow
+    /// through λ_A, λ_B and the memories). Eval forwards reuse the cached
+    /// `λ_A·A_s + λ_B·B` tensors as constants while the store version
+    /// matches, recomputing (and re-caching) after any weight change.
+    /// Telemetry: `damgn.fold.hits` / `damgn.fold.misses`.
+    pub fn bind_cached(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        base_supports: &[Var],
+        cache: &StaticFoldCache,
+        training: bool,
+    ) -> DamgnBinding {
+        if training {
+            return self.bind(g, store, base_supports);
+        }
+        let mut slot = cache.slot.borrow_mut();
+        if let Some((version, parts)) = slot.as_ref() {
+            if *version == store.version() && parts.len() == base_supports.len() {
+                enhancenet_telemetry::count("damgn.fold.hits", 1);
+                return DamgnBinding {
+                    static_parts: parts.iter().map(|t| g.constant(t.clone())).collect(),
+                    lambda_c: g.param(store, self.lambda_c),
+                    theta: g.param(store, self.theta),
+                    phi: g.param(store, self.phi),
+                };
+            }
+        }
+        enhancenet_telemetry::count("damgn.fold.misses", 1);
+        let binding = self.bind(g, store, base_supports);
+        let folded: Vec<Tensor> =
+            binding.static_parts.iter().map(|&v| g.value(v).clone()).collect();
+        *slot = Some((store.version(), folded));
+        binding
     }
 
     /// The per-timestep adjacencies `A'_s = λ_A·A_s + λ_B·B + λ_C·C_t`
@@ -313,6 +381,67 @@ mod tests {
         let via_binding = d.dynamic_supports_at(&mut g, &binding, x);
         assert_eq!(via_binding.len(), 1);
         assert!(g.value(via_binding[0]).allclose(g.value(direct), 1e-5));
+    }
+
+    #[test]
+    fn fold_cache_matches_tracked_bind_bitwise() {
+        let (store, d) = make(4, 2);
+        let cache = StaticFoldCache::new();
+        let a_t = Tensor::from_vec((0..16).map(|v| v as f32 * 0.05).collect(), &[4, 4]);
+        let mut rng = TensorRng::seed(6);
+        let x_t = rng.normal(&[2, 4, 2], 0.0, 1.0);
+        let run = |use_cache: bool| {
+            let mut g = Graph::new();
+            let a = g.constant(a_t.clone());
+            let x = g.constant(x_t.clone());
+            let binding = if use_cache {
+                d.bind_cached(&mut g, &store, &[a], &cache, false)
+            } else {
+                d.bind(&mut g, &store, &[a])
+            };
+            let out = d.dynamic_supports_at(&mut g, &binding, x);
+            g.value(out[0]).clone()
+        };
+        let tracked = run(false);
+        let miss = run(true); // populates the cache
+        assert!(cache.is_populated());
+        let hit = run(true); // serves the folded constants
+        assert_eq!(tracked.data(), miss.data());
+        assert_eq!(tracked.data(), hit.data());
+    }
+
+    #[test]
+    fn fold_cache_invalidates_on_weight_update() {
+        let (mut store, d) = make(3, 2);
+        let cache = StaticFoldCache::new();
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::eye(3));
+        let _ = d.bind_cached(&mut g, &store, &[a], &cache, false);
+        let v0 = store.version();
+        *store.value_mut(d.lambda_ids().0) = Tensor::scalar(2.0);
+        assert!(store.version() > v0);
+        // The next eval bind must refold with λ_A = 2, matching a fresh
+        // tracked bind rather than serving the stale cache entry.
+        let mut g2 = Graph::new();
+        let a2 = g2.constant(Tensor::eye(3));
+        let cached = d.bind_cached(&mut g2, &store, &[a2], &cache, false);
+        let mut g3 = Graph::new();
+        let a3 = g3.constant(Tensor::eye(3));
+        let fresh = d.bind(&mut g3, &store, &[a3]);
+        assert_eq!(
+            g2.value(cached.static_parts[0]).data(),
+            g3.value(fresh.static_parts[0]).data()
+        );
+    }
+
+    #[test]
+    fn training_bind_skips_the_cache() {
+        let (store, d) = make(3, 2);
+        let cache = StaticFoldCache::new();
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::eye(3));
+        let _ = d.bind_cached(&mut g, &store, &[a], &cache, true);
+        assert!(!cache.is_populated(), "training forwards must not populate the fold cache");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! sampling).
 
 use crate::damgn::Damgn;
+use crate::error::EnhanceNetError;
 use enhancenet_autodiff::{Graph, ParamId, ParamStore, Var};
 use enhancenet_tensor::{Tensor, TensorRng};
 
@@ -57,6 +58,64 @@ pub trait Forecaster {
     /// node (`[B, F, N]`, scaled space).
     fn forward(&self, g: &mut Graph, x: &Tensor, ctx: &mut ForwardCtx) -> Var;
 
+    /// The per-window input shape `[H, N, C]` this model expects, when it
+    /// knows it. Hosts built from [`ModelDims`]-style configs report it;
+    /// shape-agnostic baselines may keep the default `None`, which disables
+    /// up-front validation in [`Forecaster::predict`] and bars them from
+    /// [`crate::serve::ForecastService`] (which needs the shape to size its
+    /// sliding window).
+    ///
+    /// [`ModelDims`]: https://docs.rs/enhancenet-models
+    fn input_shape(&self) -> Option<[usize; 3]> {
+        None
+    }
+
+    /// Forecasts a scaled input window without exposing the tape machinery.
+    ///
+    /// This is the public inference entry point: callers hand in a scaled
+    /// window — `[H, N, C]` for one forecast or `[B, H, N, C]` for a batch —
+    /// and get back scaled predictions (`[F, N]` or `[B, F, N]`
+    /// respectively). The forward pass runs in evaluation mode (no dropout,
+    /// no teacher forcing), so the result is deterministic for a given
+    /// window and weight state.
+    ///
+    /// Returns [`EnhanceNetError::InputShape`] when the window's rank is
+    /// wrong or its trailing dimensions disagree with
+    /// [`Forecaster::input_shape`].
+    fn predict(&self, window: &Tensor) -> Result<Tensor, EnhanceNetError> {
+        let shape_err = |expected: Vec<usize>| EnhanceNetError::InputShape {
+            expected,
+            got: window.shape().to_vec(),
+        };
+        let (batched, x) = match window.rank() {
+            3 => (false, window.unsqueeze(0)),
+            4 => (true, window.clone()),
+            _ => {
+                let expected =
+                    self.input_shape().map(|s| s.to_vec()).unwrap_or_default();
+                return Err(shape_err(expected));
+            }
+        };
+        if let Some(expected) = self.input_shape() {
+            if x.shape()[1..] != expected {
+                return Err(shape_err(expected.to_vec()));
+            }
+        }
+        // The eval context draws nothing from the RNG (dropout off, no
+        // teacher forcing), so a fixed seed keeps the entry point pure.
+        let mut rng = TensorRng::seed(0);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let mut g = Graph::new();
+        let pred = self.forward(&mut g, &x, &mut ctx);
+        let out = g.value(pred).clone();
+        if batched {
+            Ok(out)
+        } else {
+            let (f, n) = (out.shape()[1], out.shape()[2]);
+            Ok(out.reshape(&[f, n]))
+        }
+    }
+
     /// Total trainable scalars — the "# Para" column of Tables I/II.
     fn num_parameters(&self) -> usize {
         self.store().num_scalars()
@@ -90,6 +149,7 @@ pub(crate) mod test_model {
         scale: ParamId,
         bias: ParamId,
         f: usize,
+        input_shape: Option<[usize; 3]>,
     }
 
     impl AffinePersistence {
@@ -97,7 +157,14 @@ pub(crate) mod test_model {
             let mut store = ParamStore::new();
             let scale = store.add("scale", Tensor::scalar(0.5));
             let bias = store.add("bias", Tensor::scalar(0.0));
-            Self { store, scale, bias, f }
+            Self { store, scale, bias, f, input_shape: None }
+        }
+
+        /// Declares the `[H, N, C]` shape this instance expects, enabling
+        /// `predict` validation and serving.
+        pub fn with_input_shape(mut self, h: usize, n: usize, c: usize) -> Self {
+            self.input_shape = Some([h, n, c]);
+            self
         }
     }
 
@@ -113,6 +180,9 @@ pub(crate) mod test_model {
         }
         fn horizon(&self) -> usize {
             self.f
+        }
+        fn input_shape(&self) -> Option<[usize; 3]> {
+            self.input_shape
         }
         fn forward(&self, g: &mut Graph, x: &Tensor, _ctx: &mut ForwardCtx) -> Var {
             let (b, h, n, _c) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
@@ -165,5 +235,49 @@ mod tests {
         let y = m.forward(&mut g, &x, &mut ctx);
         assert_eq!(g.value(y).shape(), &[2, 4, 3]);
         assert_eq!(m.num_parameters(), 2);
+    }
+
+    #[test]
+    fn predict_matches_forward_eval() {
+        use super::test_model::AffinePersistence;
+        let m = AffinePersistence::new(4);
+        let x = Tensor::ones(&[2, 5, 3, 1]);
+        let mut g = Graph::new();
+        let mut rng = TensorRng::seed(3);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let y = m.forward(&mut g, &x, &mut ctx);
+        let p = m.predict(&x).unwrap();
+        assert_eq!(p.data(), g.value(y).data());
+    }
+
+    #[test]
+    fn predict_unbatches_rank_3_windows() {
+        use super::test_model::AffinePersistence;
+        let m = AffinePersistence::new(4);
+        let single = Tensor::ones(&[5, 3, 1]);
+        let p = m.predict(&single).unwrap();
+        assert_eq!(p.shape(), &[4, 3]);
+        let batched = m.predict(&single.unsqueeze(0)).unwrap();
+        assert_eq!(batched.shape(), &[1, 4, 3]);
+        assert_eq!(batched.data(), p.data());
+    }
+
+    #[test]
+    fn predict_rejects_bad_ranks_and_shapes() {
+        use super::test_model::AffinePersistence;
+        let m = AffinePersistence::new(4).with_input_shape(5, 3, 1);
+        match m.predict(&Tensor::ones(&[5, 3])) {
+            Err(EnhanceNetError::InputShape { got, .. }) => assert_eq!(got, vec![5, 3]),
+            other => panic!("expected InputShape, got {other:?}"),
+        }
+        // With a declared input shape, mismatched trailing dims are typed
+        // errors rather than downstream panics.
+        match m.predict(&Tensor::ones(&[1, 5, 9, 1])) {
+            Err(EnhanceNetError::InputShape { expected, got }) => {
+                assert_eq!(expected, vec![5, 3, 1]);
+                assert_eq!(got, vec![1, 5, 9, 1]);
+            }
+            other => panic!("expected InputShape, got {other:?}"),
+        }
     }
 }

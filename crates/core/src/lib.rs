@@ -26,23 +26,40 @@
 //!   attribution, DAMGN λ/adjacency diagnostics, DFGN memory drift)
 //!   emitted as structured telemetry events.
 //!
+//! * [`serve`] — the online serving runtime: sliding-window ingest,
+//!   micro-batched inference on a worker thread, deadlines with graceful
+//!   degradation to persistence forecasts.
+//!
 //! The host models themselves (RNN, TCN, GRNN, GTCN and their enhanced
 //! variants) live in `enhancenet-models`; this crate holds everything that
 //! is *the paper's own contribution* plus the harness.
+//!
+//! Most callers want [`prelude`]:
+//!
+//! ```ignore
+//! use enhancenet::prelude::*;
+//! ```
 
 pub mod damgn;
 pub mod dfgn;
+pub mod error;
 pub mod forecaster;
 pub mod gconv;
+pub mod prelude;
 pub mod probes;
+pub mod serve;
 pub mod trainer;
 
-pub use damgn::{Damgn, DamgnBinding, DamgnConfig};
+pub use damgn::{Damgn, DamgnBinding, DamgnConfig, StaticFoldCache};
 pub use dfgn::{
     gru_filter_dim, gru_filter_dim_general, split_gru_filters, split_gru_filters_general,
     split_tcn_filters, tcn_filter_dim, Dfgn, DfgnConfig, FilterCache, GeneratedGruFilters,
 };
+pub use error::EnhanceNetError;
 pub use forecaster::{Forecaster, ForwardCtx};
 pub use gconv::{graph_conv, GcSupport};
 pub use probes::{MemoryDriftProbe, ProbeConfig};
-pub use trainer::{EpochTelemetry, EvalReport, TrainConfig, TrainReport, Trainer};
+pub use serve::{Forecast, ForecastService, PendingForecast, ServeConfig};
+pub use trainer::{
+    EpochTelemetry, EvalReport, TrainConfig, TrainConfigBuilder, TrainReport, Trainer,
+};

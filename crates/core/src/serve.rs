@@ -1,0 +1,602 @@
+//! Online forecast serving: sliding-window state, micro-batching, and
+//! graceful degradation around a trained [`Forecaster`].
+//!
+//! The offline path (train → [`crate::Trainer::evaluate`]) assumes the whole
+//! dataset is materialized. A deployed forecaster instead sees a stream of
+//! raw observations and must answer "what happens over the next `F` steps?"
+//! at any moment, within a latency budget. [`ForecastService`] closes that
+//! gap:
+//!
+//! * **Sliding-window state** — raw observations are ingested into a
+//!   [`SlidingWindow`] ring buffer; the stored [`StandardScaler`] is applied
+//!   at window-assembly time, so a served window is bit-identical to the
+//!   offline window for the same observations.
+//! * **Micro-batching** — requests funnel through a bounded queue to a
+//!   worker thread that owns the model. The worker drains up to
+//!   [`ServeConfig::max_batch`] queued requests (waiting at most
+//!   [`ServeConfig::max_wait`] for stragglers) and answers them with one
+//!   batched forward pass, amortizing the per-tape cost — the same
+//!   amortization argument as the DAMGN static fold
+//!   ([`crate::damgn::StaticFoldCache`]), one level up.
+//! * **Graceful degradation** — every request carries a deadline. On
+//!   timeout, an overloaded queue, a worker panic, or a still-warming
+//!   buffer, the caller gets a persistence forecast (each entity's last
+//!   observation repeated across the horizon) marked
+//!   [`Forecast::degraded`] instead of an error or a hang.
+//!
+//! Telemetry: counters `serve.request`, `serve.fallback`,
+//! `serve.queue.rejected`, `serve.worker.panics`; histograms
+//! `serve.batch.size`, `serve.latency_ns`, `serve.forward_ns`; span
+//! `serve.batch`.
+
+use crate::error::EnhanceNetError;
+use crate::forecaster::Forecaster;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use enhancenet_data::{SlidingWindow, StandardScaler};
+use enhancenet_tensor::Tensor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Largest batch one forward pass may serve (must be > 0).
+    pub max_batch: usize,
+    /// How long the worker waits for more requests once it holds one.
+    /// `Duration::ZERO` (the default) batches only what is already queued,
+    /// so a lone request pays no batching latency.
+    pub max_wait: Duration,
+    /// Bound of the request queue (must be > 0); a full queue degrades
+    /// new requests immediately instead of building unbounded backlog.
+    pub queue_capacity: usize,
+    /// Per-request deadline: how long [`ForecastService::forecast`] waits
+    /// for the model before falling back to a persistence forecast.
+    pub deadline: Duration,
+    /// Feature index forecasts are reported in (raw scale).
+    pub target_feature: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            max_wait: Duration::ZERO,
+            queue_capacity: 64,
+            deadline: Duration::from_millis(250),
+            target_feature: 0,
+        }
+    }
+}
+
+/// One served forecast.
+#[derive(Debug, Clone)]
+pub struct Forecast {
+    /// Raw-scale predictions `[F, N]` of the target feature.
+    pub values: Tensor,
+    /// True when this is a fallback persistence forecast (deadline missed,
+    /// queue full, worker panicked, or window still warming up) rather
+    /// than a model forecast.
+    pub degraded: bool,
+    /// Newest observation timestamp the forecast is anchored at.
+    pub anchor: Option<i64>,
+}
+
+/// A request travelling to the batch worker: one scaled `[H, N, C]` window
+/// plus the channel its scaled `[F, N]` prediction comes back on.
+struct BatchRequest {
+    window: Tensor,
+    reply: Sender<Result<Tensor, EnhanceNetError>>,
+}
+
+/// Handle to an in-flight prediction submitted with
+/// [`ForecastService::submit`].
+pub struct PendingForecast {
+    rx: Receiver<Result<Tensor, EnhanceNetError>>,
+}
+
+impl PendingForecast {
+    /// Waits up to `deadline` for the scaled `[F, N]` prediction.
+    ///
+    /// Returns [`EnhanceNetError::DeadlineExceeded`] on timeout and
+    /// [`EnhanceNetError::ServiceStopped`] when the worker is gone; a
+    /// late-arriving reply after a timeout is dropped harmlessly.
+    pub fn wait(&self, deadline: Duration) -> Result<Tensor, EnhanceNetError> {
+        match self.rx.recv_timeout(deadline) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => Err(EnhanceNetError::DeadlineExceeded { deadline }),
+            Err(RecvTimeoutError::Disconnected) => Err(EnhanceNetError::ServiceStopped),
+        }
+    }
+}
+
+/// An online forecasting endpoint wrapping a trained model.
+///
+/// Ingest raw observations with [`ForecastService::ingest`], ask for
+/// forecasts with [`ForecastService::forecast`]. The model lives on a
+/// dedicated worker thread; [`ForecastService::submit`] exposes the raw
+/// micro-batching path for callers managing their own windows (benchmarks,
+/// fan-out frontends).
+pub struct ForecastService {
+    tx: Option<Sender<BatchRequest>>,
+    worker: Option<JoinHandle<()>>,
+    buffer: SlidingWindow,
+    scaler: StandardScaler,
+    config: ServeConfig,
+    input: [usize; 3],
+    horizon: usize,
+}
+
+impl ForecastService {
+    /// Wraps `model` (which moves to the worker thread) behind a serving
+    /// endpoint. `scaler` must be the scaler the model was trained with —
+    /// [`crate::Trainer`] users take it from `WindowDataset::scaler`.
+    ///
+    /// Fails with [`EnhanceNetError::UnknownInputShape`] when the model
+    /// does not report its `[H, N, C]` input shape (needed to size the
+    /// sliding window), or [`EnhanceNetError::InvalidConfig`] for a zero
+    /// `max_batch`/`queue_capacity`.
+    pub fn new(
+        model: Box<dyn Forecaster + Send>,
+        scaler: StandardScaler,
+        config: ServeConfig,
+    ) -> Result<Self, EnhanceNetError> {
+        if config.max_batch == 0 {
+            return Err(EnhanceNetError::InvalidConfig {
+                field: "max_batch",
+                reason: "must be > 0".into(),
+            });
+        }
+        if config.queue_capacity == 0 {
+            return Err(EnhanceNetError::InvalidConfig {
+                field: "queue_capacity",
+                reason: "must be > 0".into(),
+            });
+        }
+        let input = model.input_shape().ok_or_else(|| EnhanceNetError::UnknownInputShape {
+            model: model.name().to_string(),
+        })?;
+        if config.target_feature >= input[2] {
+            return Err(EnhanceNetError::InvalidConfig {
+                field: "target_feature",
+                reason: format!("must be < {} features, got {}", input[2], config.target_feature),
+            });
+        }
+        let horizon = model.horizon();
+        let (tx, rx) = bounded(config.queue_capacity);
+        let (max_batch, max_wait) = (config.max_batch, config.max_wait);
+        let worker = std::thread::Builder::new()
+            .name("forecast-worker".into())
+            .spawn(move || worker_loop(model, rx, max_batch, max_wait))
+            .expect("failed to spawn forecast worker thread");
+        Ok(Self {
+            tx: Some(tx),
+            worker: Some(worker),
+            buffer: SlidingWindow::new(input[0], input[1], input[2]),
+            scaler,
+            config,
+            input,
+            horizon,
+        })
+    }
+
+    /// The `[H, N, C]` window shape this service assembles.
+    pub fn input_shape(&self) -> [usize; 3] {
+        self.input
+    }
+
+    /// Forecast horizon `F`.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// True once enough history is buffered for a model forecast.
+    pub fn is_ready(&self) -> bool {
+        self.buffer.is_ready()
+    }
+
+    /// The sliding-window state (timestamps retained, readiness).
+    pub fn state(&self) -> &SlidingWindow {
+        &self.buffer
+    }
+
+    /// Ingests one entity's raw observation at `timestamp`; see
+    /// [`SlidingWindow::ingest`] for the fill-forward and late-update
+    /// semantics.
+    pub fn ingest(
+        &mut self,
+        timestamp: i64,
+        entity: usize,
+        features: &[f32],
+    ) -> Result<(), EnhanceNetError> {
+        self.buffer.ingest(timestamp, entity, features).map_err(Into::into)
+    }
+
+    /// Ingests a full raw snapshot row (`N * C` values) at `timestamp`.
+    pub fn ingest_row(&mut self, timestamp: i64, row: &[f32]) -> Result<(), EnhanceNetError> {
+        self.buffer.ingest_row(timestamp, row).map_err(Into::into)
+    }
+
+    /// Drops buffered history older than `cutoff` (e.g. after a feed gap).
+    pub fn evict_before(&mut self, cutoff: i64) {
+        self.buffer.evict_before(cutoff);
+    }
+
+    /// Forecasts the next `F` steps from the current window, degrading to a
+    /// persistence forecast when the model cannot answer in time.
+    ///
+    /// Errors only when *nothing* can be served: no observation has ever
+    /// been ingested ([`EnhanceNetError::NotReady`]) or the scaler rejects
+    /// the window shape. Every other failure path — missed deadline, full
+    /// queue, worker panic, warming buffer — returns a degraded forecast.
+    pub fn forecast(&self) -> Result<Forecast, EnhanceNetError> {
+        enhancenet_telemetry::count("serve.request", 1);
+        let started = Instant::now();
+        let anchor = self.buffer.latest_timestamp();
+        let Some(raw) = self.buffer.window() else {
+            // Warming up: serve persistence off whatever history exists.
+            return self.fallback(anchor, started);
+        };
+        let scaled = self.scaler.transform(&raw)?;
+        let pending = match self.submit(&scaled) {
+            Ok(pending) => pending,
+            Err(_) => return self.fallback(anchor, started),
+        };
+        match pending.wait(self.config.deadline) {
+            Ok(scaled_pred) => {
+                let values = self.scaler.inverse_feature(&scaled_pred, self.config.target_feature);
+                enhancenet_telemetry::observe(
+                    "serve.latency_ns",
+                    started.elapsed().as_nanos() as f64,
+                );
+                Ok(Forecast { values, degraded: false, anchor })
+            }
+            Err(_) => self.fallback(anchor, started),
+        }
+    }
+
+    /// Submits a pre-scaled `[H, N, C]` window to the batch worker without
+    /// blocking; pair with [`PendingForecast::wait`]. This is the fan-out
+    /// path: submit many windows, then collect, and the worker serves them
+    /// in micro-batches.
+    pub fn submit(&self, scaled_window: &Tensor) -> Result<PendingForecast, EnhanceNetError> {
+        if scaled_window.shape() != &self.input {
+            return Err(EnhanceNetError::InputShape {
+                expected: self.input.to_vec(),
+                got: scaled_window.shape().to_vec(),
+            });
+        }
+        let tx = self.tx.as_ref().ok_or(EnhanceNetError::ServiceStopped)?;
+        let (reply_tx, reply_rx) = bounded(1);
+        let request = BatchRequest { window: scaled_window.clone(), reply: reply_tx };
+        match tx.try_send(request) {
+            Ok(()) => Ok(PendingForecast { rx: reply_rx }),
+            Err(TrySendError::Full(_)) => {
+                enhancenet_telemetry::count("serve.queue.rejected", 1);
+                Err(EnhanceNetError::Overloaded { capacity: self.config.queue_capacity })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(EnhanceNetError::ServiceStopped),
+        }
+    }
+
+    /// Stops the worker and joins it. Also runs on drop; calling it
+    /// explicitly surfaces the join point in the caller's control flow.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn fallback(&self, anchor: Option<i64>, started: Instant) -> Result<Forecast, EnhanceNetError> {
+        let values = self
+            .buffer
+            .persistence_forecast(self.horizon, self.config.target_feature)
+            .ok_or(EnhanceNetError::NotReady { have: self.buffer.len(), need: self.input[0] })?;
+        enhancenet_telemetry::count("serve.fallback", 1);
+        enhancenet_telemetry::observe("serve.latency_ns", started.elapsed().as_nanos() as f64);
+        Ok(Forecast { values, degraded: true, anchor })
+    }
+
+    fn stop(&mut self) {
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ForecastService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The batch worker: block for one request, drain stragglers up to
+/// `max_batch`/`max_wait`, answer the whole batch with one forward pass.
+/// Exits when every [`ForecastService`] sender is dropped.
+fn worker_loop(
+    model: Box<dyn Forecaster + Send>,
+    rx: Receiver<BatchRequest>,
+    max_batch: usize,
+    max_wait: Duration,
+) {
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        let wait_until = Instant::now() + max_wait;
+        while batch.len() < max_batch {
+            // Queued requests join for free; otherwise wait out max_wait.
+            if let Ok(request) = rx.try_recv() {
+                batch.push(request);
+                continue;
+            }
+            let now = Instant::now();
+            if now >= wait_until {
+                break;
+            }
+            match rx.recv_timeout(wait_until - now) {
+                Ok(request) => batch.push(request),
+                Err(_) => break,
+            }
+        }
+        serve_batch(model.as_ref(), &batch);
+    }
+}
+
+/// Runs one batched forward and distributes per-request replies. A panic in
+/// the model is contained here: every waiter gets an error (and so falls
+/// back to persistence) and the worker stays alive for later requests.
+fn serve_batch(model: &dyn Forecaster, batch: &[BatchRequest]) {
+    let _span = enhancenet_telemetry::span("serve.batch");
+    enhancenet_telemetry::observe("serve.batch.size", batch.len() as f64);
+    let windows: Vec<Tensor> = batch.iter().map(|r| r.window.unsqueeze(0)).collect();
+    let refs: Vec<&Tensor> = windows.iter().collect();
+    let x = Tensor::concat(&refs, 0);
+    let started = Instant::now();
+    match catch_unwind(AssertUnwindSafe(|| model.predict(&x))) {
+        Ok(Ok(pred)) => {
+            enhancenet_telemetry::observe("serve.forward_ns", started.elapsed().as_nanos() as f64);
+            for (i, request) in batch.iter().enumerate() {
+                let _ = request.reply.send(Ok(pred.index_axis(0, i)));
+            }
+        }
+        Ok(Err(e)) => {
+            for request in batch {
+                let _ = request.reply.send(Err(e.clone()));
+            }
+        }
+        Err(_) => {
+            enhancenet_telemetry::count("serve.worker.panics", 1);
+            for request in batch {
+                let _ = request.reply.send(Err(EnhanceNetError::ServiceStopped));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecaster::test_model::AffinePersistence;
+    use crate::forecaster::{Forecaster, ForwardCtx};
+    use enhancenet_autodiff::{Graph, ParamStore, Var};
+    use enhancenet_tensor::TensorRng;
+
+    const H: usize = 5;
+    const N: usize = 3;
+    const C: usize = 1;
+    const F: usize = 4;
+
+    fn scaler() -> StandardScaler {
+        let mut rng = TensorRng::seed(11);
+        let history = rng.normal(&[40, N, C], 50.0, 10.0);
+        StandardScaler::fit(&history, 30).unwrap()
+    }
+
+    fn service(config: ServeConfig) -> ForecastService {
+        let model = AffinePersistence::new(F).with_input_shape(H, N, C);
+        ForecastService::new(Box::new(model), scaler(), config).unwrap()
+    }
+
+    fn feed(svc: &mut ForecastService, steps: usize) {
+        for t in 0..steps {
+            for e in 0..N {
+                svc.ingest(t as i64, e, &[40.0 + t as f32 + e as f32]).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn served_forecast_matches_offline_predict() {
+        let mut svc = service(ServeConfig::default());
+        feed(&mut svc, H);
+        let served = svc.forecast().unwrap();
+        assert!(!served.degraded);
+        assert_eq!(served.anchor, Some(H as i64 - 1));
+        assert_eq!(served.values.shape(), &[F, N]);
+
+        // The offline path over the same observations, scaled the same way.
+        let model = AffinePersistence::new(F).with_input_shape(H, N, C);
+        let sc = scaler();
+        let raw = svc.state().window().unwrap();
+        let offline = sc.inverse_feature(&model.predict(&sc.transform(&raw).unwrap()).unwrap(), 0);
+        assert_eq!(served.values.data(), offline.data());
+    }
+
+    #[test]
+    fn empty_service_reports_not_ready() {
+        let svc = service(ServeConfig::default());
+        match svc.forecast() {
+            Err(EnhanceNetError::NotReady { have: 0, need }) => assert_eq!(need, H),
+            other => panic!("expected NotReady, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warming_buffer_serves_degraded_persistence() {
+        let mut svc = service(ServeConfig::default());
+        svc.ingest(0, 0, &[42.0]).unwrap();
+        let f = svc.forecast().unwrap();
+        assert!(f.degraded);
+        assert_eq!(f.values.shape(), &[F, N]);
+        assert_eq!(f.values.at(&[0, 0]), 42.0);
+        assert_eq!(f.values.at(&[F - 1, 0]), 42.0);
+        // Entities never observed persist their fill value.
+        assert_eq!(f.values.at(&[0, 1]), 0.0);
+    }
+
+    /// A model that sleeps in `forward`, simulating an overloaded backend.
+    struct SlowModel {
+        inner: AffinePersistence,
+        sleep: Duration,
+    }
+
+    impl Forecaster for SlowModel {
+        fn name(&self) -> &str {
+            "slow"
+        }
+        fn store(&self) -> &ParamStore {
+            self.inner.store()
+        }
+        fn store_mut(&mut self) -> &mut ParamStore {
+            self.inner.store_mut()
+        }
+        fn horizon(&self) -> usize {
+            self.inner.horizon()
+        }
+        fn input_shape(&self) -> Option<[usize; 3]> {
+            self.inner.input_shape()
+        }
+        fn forward(&self, g: &mut Graph, x: &Tensor, ctx: &mut ForwardCtx) -> Var {
+            std::thread::sleep(self.sleep);
+            self.inner.forward(g, x, ctx)
+        }
+    }
+
+    #[test]
+    fn missed_deadline_degrades_without_hanging() {
+        let model = SlowModel {
+            inner: AffinePersistence::new(F).with_input_shape(H, N, C),
+            sleep: Duration::from_millis(200),
+        };
+        let config = ServeConfig { deadline: Duration::from_millis(5), ..Default::default() };
+        let mut svc = ForecastService::new(Box::new(model), scaler(), config).unwrap();
+        feed(&mut svc, H);
+        let started = Instant::now();
+        let f = svc.forecast().unwrap();
+        assert!(f.degraded, "a missed deadline must degrade, not block");
+        assert!(
+            started.elapsed() < Duration::from_millis(150),
+            "forecast blocked past its deadline: {:?}",
+            started.elapsed()
+        );
+        svc.shutdown();
+    }
+
+    /// A model whose forward panics, simulating a poisoned worker.
+    struct PanickyModel {
+        inner: AffinePersistence,
+    }
+
+    impl Forecaster for PanickyModel {
+        fn name(&self) -> &str {
+            "panicky"
+        }
+        fn store(&self) -> &ParamStore {
+            self.inner.store()
+        }
+        fn store_mut(&mut self) -> &mut ParamStore {
+            self.inner.store_mut()
+        }
+        fn horizon(&self) -> usize {
+            self.inner.horizon()
+        }
+        fn input_shape(&self) -> Option<[usize; 3]> {
+            self.inner.input_shape()
+        }
+        fn forward(&self, _g: &mut Graph, _x: &Tensor, _ctx: &mut ForwardCtx) -> Var {
+            panic!("injected model failure");
+        }
+    }
+
+    #[test]
+    fn worker_panic_degrades_and_service_survives() {
+        let model = PanickyModel { inner: AffinePersistence::new(F).with_input_shape(H, N, C) };
+        let mut svc = ForecastService::new(Box::new(model), scaler(), ServeConfig::default())
+            .unwrap();
+        feed(&mut svc, H);
+        let first = svc.forecast().unwrap();
+        assert!(first.degraded);
+        // The worker survived the panic and still answers.
+        let second = svc.forecast().unwrap();
+        assert!(second.degraded);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_submissions() {
+        let model = SlowModel {
+            inner: AffinePersistence::new(F).with_input_shape(H, N, C),
+            sleep: Duration::from_millis(100),
+        };
+        let config = ServeConfig { max_batch: 1, queue_capacity: 1, ..Default::default() };
+        let svc = ForecastService::new(Box::new(model), scaler(), config).unwrap();
+        let window = Tensor::zeros(&[H, N, C]);
+        let pendings: Vec<_> = (0..8).map(|_| svc.submit(&window)).collect();
+        let rejected = pendings
+            .iter()
+            .filter(|p| matches!(p, Err(EnhanceNetError::Overloaded { capacity: 1 })))
+            .count();
+        assert!(rejected >= 1, "a 1-deep queue must reject an 8-burst");
+        // Accepted requests still complete.
+        for pending in pendings.into_iter().flatten() {
+            assert!(pending.wait(Duration::from_secs(5)).is_ok());
+        }
+    }
+
+    #[test]
+    fn micro_batch_replies_match_sequential_submissions() {
+        let config = ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(25),
+            ..Default::default()
+        };
+        let svc = service(config);
+        let mut rng = TensorRng::seed(7);
+        let windows: Vec<Tensor> = (0..4).map(|_| rng.normal(&[H, N, C], 0.0, 1.0)).collect();
+        let pendings: Vec<PendingForecast> =
+            windows.iter().map(|w| svc.submit(w).unwrap()).collect();
+        let model = AffinePersistence::new(F).with_input_shape(H, N, C);
+        for (window, pending) in windows.iter().zip(pendings) {
+            let batched = pending.wait(Duration::from_secs(5)).unwrap();
+            let solo = model.predict(window).unwrap();
+            assert_eq!(batched.shape(), &[F, N]);
+            assert_eq!(batched.data(), solo.data(), "batched reply diverged from solo predict");
+        }
+    }
+
+    #[test]
+    fn submit_validates_window_shape() {
+        let svc = service(ServeConfig::default());
+        match svc.submit(&Tensor::zeros(&[H, N + 1, C])) {
+            Err(EnhanceNetError::InputShape { expected, got }) => {
+                assert_eq!(expected, vec![H, N, C]);
+                assert_eq!(got, vec![H, N + 1, C]);
+            }
+            other => panic!("expected InputShape, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_validation_is_typed() {
+        let model = AffinePersistence::new(F).with_input_shape(H, N, C);
+        let config = ServeConfig { max_batch: 0, ..Default::default() };
+        match ForecastService::new(Box::new(model), scaler(), config) {
+            Err(EnhanceNetError::InvalidConfig { field: "max_batch", .. }) => {}
+            other => panic!("expected InvalidConfig, got {:?}", other.err()),
+        }
+        // A model without a declared input shape cannot be served.
+        let bare = AffinePersistence::new(F);
+        match ForecastService::new(Box::new(bare), scaler(), ServeConfig::default()) {
+            Err(EnhanceNetError::UnknownInputShape { .. }) => {}
+            other => panic!("expected UnknownInputShape, got {:?}", other.err()),
+        }
+    }
+}

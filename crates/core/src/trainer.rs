@@ -6,6 +6,7 @@
 //! checkpointing, and the runtime accounting of Table V (seconds per
 //! training epoch, milliseconds per 12-step prediction).
 
+use crate::error::EnhanceNetError;
 use crate::forecaster::{Forecaster, ForwardCtx};
 use crate::probes::{self, MemoryDriftProbe, ProbeConfig};
 use enhancenet_autodiff::Graph;
@@ -50,21 +51,155 @@ pub struct TrainConfig {
 }
 
 impl TrainConfig {
-    /// A small default suitable for scaled-down experiments and tests.
+    /// Starts a validated configuration build. Defaults follow the paper's
+    /// setup (§VI-A): 100 epochs, batch 64, constant 0.01 learning rate,
+    /// clip 5.0, sampling τ = 40, no batch caps, no early stopping.
+    pub fn builder() -> TrainConfigBuilder {
+        TrainConfigBuilder::default()
+    }
+
+    /// A small default suitable for scaled-down experiments and tests:
+    /// capped at 20 train / 10 eval batches per epoch.
+    ///
+    /// Delegates to [`TrainConfig::builder`]; panics if `epochs` or
+    /// `batch_size` is zero (pass user-supplied values through the builder
+    /// instead to get a typed error).
     pub fn quick(epochs: usize, batch_size: usize) -> Self {
+        Self::builder()
+            .epochs(epochs)
+            .batch_size(batch_size)
+            .max_batches_per_epoch(Some(20))
+            .max_eval_batches(Some(10))
+            .build()
+            .expect("quick config must be valid")
+    }
+}
+
+/// Builder for [`TrainConfig`] — the validated construction path.
+/// [`TrainConfigBuilder::build`] rejects configurations that would
+/// previously have failed deep inside the training loop (zero epochs or
+/// batch size, non-finite clip norm) with a typed
+/// [`EnhanceNetError::InvalidConfig`].
+#[derive(Debug, Clone)]
+pub struct TrainConfigBuilder {
+    config: TrainConfig,
+}
+
+impl Default for TrainConfigBuilder {
+    fn default() -> Self {
         Self {
-            epochs,
-            batch_size,
-            schedule: LrSchedule::Constant(0.01),
-            clip_norm: 5.0,
-            sampler_tau: 40.0,
-            max_batches_per_epoch: Some(20),
-            max_eval_batches: Some(10),
-            patience: None,
-            seed: 1,
-            verbose: false,
-            probes: ProbeConfig::default(),
+            config: TrainConfig {
+                epochs: 100,
+                batch_size: 64,
+                schedule: LrSchedule::Constant(0.01),
+                clip_norm: 5.0,
+                sampler_tau: 40.0,
+                max_batches_per_epoch: None,
+                max_eval_batches: None,
+                patience: None,
+                seed: 1,
+                verbose: false,
+                probes: ProbeConfig::default(),
+            },
         }
+    }
+}
+
+impl TrainConfigBuilder {
+    /// Maximum epochs (must end up > 0).
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.config.epochs = epochs;
+        self
+    }
+
+    /// Mini-batch size (must end up > 0).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.config.batch_size = batch_size;
+        self
+    }
+
+    /// Learning-rate schedule.
+    pub fn schedule(mut self, schedule: LrSchedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Global gradient-norm clip (must end up finite and > 0).
+    pub fn clip_norm(mut self, clip_norm: f32) -> Self {
+        self.config.clip_norm = clip_norm;
+        self
+    }
+
+    /// Scheduled-sampling τ.
+    pub fn sampler_tau(mut self, sampler_tau: f32) -> Self {
+        self.config.sampler_tau = sampler_tau;
+        self
+    }
+
+    /// Cap on train batches per epoch (`None` consumes the whole split).
+    pub fn max_batches_per_epoch(mut self, cap: Option<usize>) -> Self {
+        self.config.max_batches_per_epoch = cap;
+        self
+    }
+
+    /// Cap on evaluation batches (`None` evaluates the whole split).
+    pub fn max_eval_batches(mut self, cap: Option<usize>) -> Self {
+        self.config.max_eval_batches = cap;
+        self
+    }
+
+    /// Early-stopping patience in epochs (`None` disables).
+    pub fn patience(mut self, patience: Option<usize>) -> Self {
+        self.config.patience = patience;
+        self
+    }
+
+    /// Seed for shuffling, dropout and sampling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Print one line per epoch.
+    pub fn verbose(mut self, verbose: bool) -> Self {
+        self.config.verbose = verbose;
+        self
+    }
+
+    /// Which model-health probes fire.
+    pub fn probes(mut self, probes: ProbeConfig) -> Self {
+        self.config.probes = probes;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<TrainConfig, EnhanceNetError> {
+        let cfg = self.config;
+        if cfg.epochs == 0 {
+            return Err(EnhanceNetError::InvalidConfig {
+                field: "epochs",
+                reason: "must be > 0".into(),
+            });
+        }
+        if cfg.batch_size == 0 {
+            return Err(EnhanceNetError::InvalidConfig {
+                field: "batch_size",
+                reason: "must be > 0".into(),
+            });
+        }
+        if !cfg.clip_norm.is_finite() || cfg.clip_norm <= 0.0 {
+            return Err(EnhanceNetError::InvalidConfig {
+                field: "clip_norm",
+                reason: format!("must be finite and > 0, got {}", cfg.clip_norm),
+            });
+        }
+        if !cfg.sampler_tau.is_finite() || cfg.sampler_tau <= 0.0 {
+            return Err(EnhanceNetError::InvalidConfig {
+                field: "sampler_tau",
+                reason: format!("must be finite and > 0, got {}", cfg.sampler_tau),
+            });
+        }
+        Ok(cfg)
     }
 }
 
@@ -458,7 +593,7 @@ mod tests {
 
     fn dataset() -> WindowDataset {
         let ds = generate_traffic(&TrafficConfig::tiny(4, 2));
-        WindowDataset::from_series(&ds, 12, 12)
+        WindowDataset::from_series(&ds, 12, 12).unwrap()
     }
 
     #[test]
@@ -618,5 +753,57 @@ mod tests {
         let mean = full.iter().sum::<f64>() / full.len() as f64;
         assert!((report.secs_per_epoch as f64 - mean).abs() < 1e-5);
         assert!(report.secs_per_epoch > 0.0);
+    }
+
+    #[test]
+    fn builder_produces_quick_equivalent() {
+        let quick = TrainConfig::quick(6, 8);
+        let built = TrainConfig::builder()
+            .epochs(6)
+            .batch_size(8)
+            .max_batches_per_epoch(Some(20))
+            .max_eval_batches(Some(10))
+            .build()
+            .unwrap();
+        assert_eq!(built.epochs, quick.epochs);
+        assert_eq!(built.batch_size, quick.batch_size);
+        assert_eq!(built.clip_norm, quick.clip_norm);
+        assert_eq!(built.sampler_tau, quick.sampler_tau);
+        assert_eq!(built.max_batches_per_epoch, quick.max_batches_per_epoch);
+        assert_eq!(built.seed, quick.seed);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_fields() {
+        let zero_epochs = TrainConfig::builder().epochs(0).build();
+        match zero_epochs {
+            Err(EnhanceNetError::InvalidConfig { field: "epochs", .. }) => {}
+            other => panic!("expected InvalidConfig(epochs), got {other:?}"),
+        }
+        let zero_batch = TrainConfig::builder().batch_size(0).build();
+        match zero_batch {
+            Err(EnhanceNetError::InvalidConfig { field: "batch_size", .. }) => {}
+            other => panic!("expected InvalidConfig(batch_size), got {other:?}"),
+        }
+        for bad in [f32::NAN, f32::INFINITY, 0.0, -1.0] {
+            match TrainConfig::builder().clip_norm(bad).build() {
+                Err(EnhanceNetError::InvalidConfig { field: "clip_norm", .. }) => {}
+                other => panic!("expected InvalidConfig(clip_norm) for {bad}, got {other:?}"),
+            }
+        }
+        match TrainConfig::builder().sampler_tau(f32::NAN).build() {
+            Err(EnhanceNetError::InvalidConfig { field: "sampler_tau", .. }) => {}
+            other => panic!("expected InvalidConfig(sampler_tau), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_defaults_follow_paper_setup() {
+        let cfg = TrainConfig::builder().build().unwrap();
+        assert_eq!(cfg.epochs, 100);
+        assert_eq!(cfg.batch_size, 64);
+        assert_eq!(cfg.clip_norm, 5.0);
+        assert!(cfg.max_batches_per_epoch.is_none());
+        assert!(cfg.patience.is_none());
     }
 }

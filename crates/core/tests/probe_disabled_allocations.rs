@@ -64,7 +64,7 @@ fn disabled_probes_are_allocation_free() {
     // themselves are what we count.
     let model = NullModel { store: ParamStore::new() };
     let series = generate_traffic(&TrafficConfig::tiny(4, 2));
-    let data = WindowDataset::from_series(&series, 12, 12);
+    let data = WindowDataset::from_series(&series, 12, 12).unwrap();
     let pred = Tensor::ones(&[2, 12, 4]);
     let truth = Tensor::from_vec(vec![2.0; 2 * 12 * 4], &[2, 12, 4]);
     let cfg = ProbeConfig::default();

@@ -89,7 +89,7 @@ mod tests {
 
     fn dataset() -> WindowDataset {
         let ds = generate_traffic(&TrafficConfig::tiny(4, 1));
-        WindowDataset::from_series(&ds, 12, 12)
+        WindowDataset::from_series(&ds, 12, 12).unwrap()
     }
 
     #[test]

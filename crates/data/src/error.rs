@@ -1,0 +1,118 @@
+//! Typed errors for the public data-construction entry points.
+//!
+//! The library used to `assert!` on shape mismatches, which is fine for the
+//! offline experiment harness but unacceptable once windows are assembled
+//! from live observations inside a serving process: a malformed request must
+//! surface as a value, not a panic that poisons a worker thread. Every
+//! variant carries the expected-vs-got facts needed to debug the caller.
+
+use std::fmt;
+
+/// Errors produced by window construction, scaling, and streaming ingest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A tensor had the wrong rank for the operation.
+    RankMismatch {
+        /// What was being constructed or applied.
+        context: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Rank of the tensor actually supplied.
+        got: usize,
+    },
+    /// A tensor (or flat observation row) had the wrong extents.
+    ShapeMismatch {
+        /// What was being constructed or applied.
+        context: &'static str,
+        /// Required extents.
+        expected: Vec<usize>,
+        /// Extents actually supplied.
+        got: Vec<usize>,
+    },
+    /// The series is too short to cut a single `(H, F)` window.
+    SeriesTooShort {
+        /// Timestamps available.
+        steps: usize,
+        /// Input horizon requested.
+        h: usize,
+        /// Forecast horizon requested.
+        f: usize,
+    },
+    /// The scaler was asked to fit on zero timestamps.
+    EmptyFit,
+    /// The feature axis does not match the fitted scaler.
+    FeatureMismatch {
+        /// Features the scaler was fit on.
+        expected: usize,
+        /// Features in the tensor supplied.
+        got: usize,
+    },
+    /// An observation arrived for a timestamp older than anything retained.
+    StaleTimestamp {
+        /// Timestamp of the rejected observation.
+        timestamp: i64,
+        /// Oldest timestamp still held in the buffer.
+        oldest: i64,
+    },
+    /// An entity index outside the configured entity count.
+    EntityOutOfRange {
+        /// Entity index supplied.
+        entity: usize,
+        /// Configured entity count.
+        num_entities: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::RankMismatch { context, expected, got } => {
+                write!(f, "{context}: expected rank {expected}, got rank {got}")
+            }
+            DataError::ShapeMismatch { context, expected, got } => {
+                write!(f, "{context}: expected shape {expected:?}, got {got:?}")
+            }
+            DataError::SeriesTooShort { steps, h, f: fh } => {
+                write!(f, "series of {steps} steps is too short for H={h}, F={fh} (needs > H+F)")
+            }
+            DataError::EmptyFit => write!(f, "scaler needs at least one fit step"),
+            DataError::FeatureMismatch { expected, got } => {
+                write!(f, "feature count mismatch: scaler fit on {expected} features, got {got}")
+            }
+            DataError::StaleTimestamp { timestamp, oldest } => {
+                write!(f, "observation at t={timestamp} is older than the retained window (oldest t={oldest})")
+            }
+            DataError::EntityOutOfRange { entity, num_entities } => {
+                write!(f, "entity index {entity} out of range for {num_entities} entities")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_expected_vs_got() {
+        let e = DataError::ShapeMismatch {
+            context: "window",
+            expected: vec![12, 4, 1],
+            got: vec![12, 3, 1],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("[12, 4, 1]"));
+        assert!(msg.contains("[12, 3, 1]"));
+    }
+
+    #[test]
+    fn variants_compare_by_value() {
+        assert_eq!(DataError::EmptyFit, DataError::EmptyFit);
+        assert_ne!(
+            DataError::FeatureMismatch { expected: 2, got: 1 },
+            DataError::FeatureMismatch { expected: 2, got: 3 },
+        );
+    }
+}

@@ -27,15 +27,19 @@
 //! coloured by learned-memory cluster) can be regenerated.
 
 pub mod batch;
+pub mod error;
 pub mod io;
 pub mod scaler;
+pub mod stream;
 pub mod traffic;
 pub mod weather;
 pub mod window;
 
 pub use batch::{Batch, BatchIterator};
+pub use error::DataError;
 pub use io::{coords_to_csv, from_csv, values_to_csv, CsvError};
 pub use scaler::StandardScaler;
+pub use stream::SlidingWindow;
 pub use window::{ChronoSplit, WindowDataset};
 
 use enhancenet_tensor::Tensor;

@@ -1,6 +1,7 @@
 //! Per-feature z-score scaling, fit on the training portion only (the
 //! standard DCRNN / Graph WaveNet preprocessing).
 
+use crate::error::DataError;
 use enhancenet_tensor::Tensor;
 
 /// Standard scaler over the feature axis of a `[T, N, C]` series.
@@ -13,11 +14,19 @@ pub struct StandardScaler {
 impl StandardScaler {
     /// Fits per-feature mean and standard deviation over the first
     /// `fit_steps` timestamps (the training split) of `values` `[T, N, C]`.
-    pub fn fit(values: &Tensor, fit_steps: usize) -> Self {
-        assert_eq!(values.rank(), 3, "scaler expects [T, N, C]");
+    pub fn fit(values: &Tensor, fit_steps: usize) -> Result<Self, DataError> {
+        if values.rank() != 3 {
+            return Err(DataError::RankMismatch {
+                context: "scaler fit expects [T, N, C]",
+                expected: 3,
+                got: values.rank(),
+            });
+        }
         let (t, n, c) = (values.shape()[0], values.shape()[1], values.shape()[2]);
         let fit = fit_steps.min(t);
-        assert!(fit > 0, "scaler needs at least one fit step");
+        if fit == 0 {
+            return Err(DataError::EmptyFit);
+        }
         let count = (fit * n) as f32;
         let mut mean = vec![0.0f32; c];
         let data = values.data();
@@ -43,19 +52,28 @@ impl StandardScaler {
             }
         }
         let std = var.iter().map(|v| (v / count).sqrt().max(1e-6)).collect();
-        Self { mean, std }
+        Ok(Self { mean, std })
     }
 
     /// Scales a tensor whose **last axis** is the feature axis.
-    pub fn transform(&self, values: &Tensor) -> Tensor {
-        let c = *values.shape().last().expect("transform needs rank >= 1");
-        assert_eq!(c, self.mean.len(), "feature count mismatch");
+    pub fn transform(&self, values: &Tensor) -> Result<Tensor, DataError> {
+        if values.rank() == 0 {
+            return Err(DataError::RankMismatch {
+                context: "scaler transform",
+                expected: 1,
+                got: 0,
+            });
+        }
+        let c = *values.shape().last().expect("rank checked above");
+        if c != self.mean.len() {
+            return Err(DataError::FeatureMismatch { expected: self.mean.len(), got: c });
+        }
         let mut out = values.clone();
         for (i, v) in out.data_mut().iter_mut().enumerate() {
             let f = i % c;
             *v = (*v - self.mean[f]) / self.std[f];
         }
-        out
+        Ok(out)
     }
 
     /// Inverse-scales values of **feature `f` only** (predictions carry just
@@ -86,7 +104,7 @@ mod tests {
 
     #[test]
     fn fit_computes_feature_stats() {
-        let s = StandardScaler::fit(&sample(), 4);
+        let s = StandardScaler::fit(&sample(), 4).unwrap();
         assert!((s.mean(0) - 3.0).abs() < 1e-6);
         assert!((s.mean(1) - 10.0).abs() < 1e-6);
         let expected_std = (5.0f32).sqrt(); // var of 0,2,4,6 = 5
@@ -95,24 +113,51 @@ mod tests {
 
     #[test]
     fn constant_feature_keeps_min_std() {
-        let s = StandardScaler::fit(&sample(), 4);
+        let s = StandardScaler::fit(&sample(), 4).unwrap();
         assert!(s.std(1) >= 1e-6);
-        let t = s.transform(&sample());
+        let t = s.transform(&sample()).unwrap();
         assert!(!t.has_non_finite());
     }
 
     #[test]
     fn fit_uses_only_train_steps() {
-        let s_all = StandardScaler::fit(&sample(), 4);
-        let s_half = StandardScaler::fit(&sample(), 2);
+        let s_all = StandardScaler::fit(&sample(), 4).unwrap();
+        let s_half = StandardScaler::fit(&sample(), 2).unwrap();
         assert!((s_half.mean(0) - 1.0).abs() < 1e-6);
         assert!(s_half.mean(0) != s_all.mean(0));
     }
 
     #[test]
+    fn fit_rejects_wrong_rank() {
+        let flat = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        match StandardScaler::fit(&flat, 2) {
+            Err(crate::DataError::RankMismatch { expected: 3, got: 1, .. }) => {}
+            other => panic!("expected RankMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fit_rejects_zero_fit_steps() {
+        match StandardScaler::fit(&sample(), 0) {
+            Err(crate::DataError::EmptyFit) => {}
+            other => panic!("expected EmptyFit, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn transform_rejects_feature_mismatch() {
+        let s = StandardScaler::fit(&sample(), 4).unwrap();
+        let wrong = Tensor::zeros(&[4, 1, 3]);
+        match s.transform(&wrong) {
+            Err(crate::DataError::FeatureMismatch { expected: 2, got: 3 }) => {}
+            other => panic!("expected FeatureMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn transform_then_inverse_roundtrips() {
-        let s = StandardScaler::fit(&sample(), 4);
-        let t = s.transform(&sample());
+        let s = StandardScaler::fit(&sample(), 4).unwrap();
+        let t = s.transform(&sample()).unwrap();
         // Check the target feature roundtrip.
         let f0: Vec<f32> = (0..4).map(|i| t.at(&[i, 0, 0])).collect();
         let f0_tensor = Tensor::from_vec(f0, &[4]);
@@ -122,8 +167,8 @@ mod tests {
 
     #[test]
     fn transformed_train_data_is_standardized() {
-        let s = StandardScaler::fit(&sample(), 4);
-        let t = s.transform(&sample());
+        let s = StandardScaler::fit(&sample(), 4).unwrap();
+        let t = s.transform(&sample()).unwrap();
         let f0: Vec<f32> = (0..4).map(|i| t.at(&[i, 0, 0])).collect();
         let mean: f32 = f0.iter().sum::<f32>() / 4.0;
         let var: f32 = f0.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;

@@ -1,0 +1,326 @@
+//! Online sliding-window state for serving: ingest raw observations as they
+//! arrive, keep the last `H` timestamps per entity in a ring buffer, and
+//! assemble model-ready `[H, N, C]` windows on demand.
+//!
+//! The offline path materializes every window up front ([`crate::WindowDataset`]);
+//! the serving path cannot — observations arrive one entity at a time and the
+//! window advances continuously. [`SlidingWindow`] holds raw (unscaled)
+//! values so the scaler stays a pure view applied at window-assembly time,
+//! exactly as in offline training: the same scaler, the same order of
+//! operations, hence bit-identical inputs for identical observations.
+//!
+//! Entities that miss a timestamp are filled forward from their previous
+//! observation (the standard sensor-feed convention: a silent sensor is
+//! assumed unchanged until it reports again).
+
+use crate::error::DataError;
+use enhancenet_tensor::Tensor;
+use std::collections::VecDeque;
+
+/// Ring buffer of the most recent `H` observation rows over `N` entities ×
+/// `C` features, keyed by a monotonically increasing timestamp.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    h: usize,
+    num_entities: usize,
+    num_features: usize,
+    timestamps: VecDeque<i64>,
+    /// One row per retained timestamp, flattened `[N * C]`, raw scale.
+    rows: VecDeque<Vec<f32>>,
+}
+
+impl SlidingWindow {
+    /// An empty buffer retaining up to `h` timestamps of `num_entities` ×
+    /// `num_features` observations.
+    pub fn new(h: usize, num_entities: usize, num_features: usize) -> Self {
+        Self {
+            h,
+            num_entities,
+            num_features,
+            timestamps: VecDeque::with_capacity(h + 1),
+            rows: VecDeque::with_capacity(h + 1),
+        }
+    }
+
+    /// Retained timestamp count (≤ `H`).
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// True when no timestamps are retained.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// True once a full `H`-step window can be assembled.
+    pub fn is_ready(&self) -> bool {
+        self.len() == self.h
+    }
+
+    /// Input horizon `H` this buffer was configured with.
+    pub fn horizon(&self) -> usize {
+        self.h
+    }
+
+    /// Newest retained timestamp.
+    pub fn latest_timestamp(&self) -> Option<i64> {
+        self.timestamps.back().copied()
+    }
+
+    /// Oldest retained timestamp.
+    pub fn oldest_timestamp(&self) -> Option<i64> {
+        self.timestamps.front().copied()
+    }
+
+    /// Ingests an observation for one entity at `timestamp`.
+    ///
+    /// * `timestamp` newer than anything retained opens a new row, filling
+    ///   every entity forward from the previous row, then evicts the oldest
+    ///   row once more than `H` are held.
+    /// * `timestamp` equal to a retained timestamp updates that row in place
+    ///   (late-but-not-too-late corrections).
+    /// * `timestamp` older than the retained range is rejected with
+    ///   [`DataError::StaleTimestamp`] — the window has moved on.
+    pub fn ingest(&mut self, timestamp: i64, entity: usize, features: &[f32]) -> Result<(), DataError> {
+        if entity >= self.num_entities {
+            return Err(DataError::EntityOutOfRange { entity, num_entities: self.num_entities });
+        }
+        if features.len() != self.num_features {
+            return Err(DataError::ShapeMismatch {
+                context: "observation features",
+                expected: vec![self.num_features],
+                got: vec![features.len()],
+            });
+        }
+        match self.latest_timestamp() {
+            Some(latest) if timestamp <= latest => {
+                // In-place update of a retained row, or stale rejection.
+                let Some(pos) = self.timestamps.iter().position(|&t| t == timestamp) else {
+                    return Err(DataError::StaleTimestamp {
+                        timestamp,
+                        oldest: self.oldest_timestamp().expect("non-empty"),
+                    });
+                };
+                let base = entity * self.num_features;
+                self.rows[pos][base..base + self.num_features].copy_from_slice(features);
+            }
+            _ => {
+                // New timestamp: fill forward from the newest row (zeros when
+                // the buffer is empty), then write this entity's features.
+                let mut row = match self.rows.back() {
+                    Some(prev) => prev.clone(),
+                    None => vec![0.0; self.num_entities * self.num_features],
+                };
+                let base = entity * self.num_features;
+                row[base..base + self.num_features].copy_from_slice(features);
+                self.timestamps.push_back(timestamp);
+                self.rows.push_back(row);
+                while self.timestamps.len() > self.h {
+                    self.timestamps.pop_front();
+                    self.rows.pop_front();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Ingests a full snapshot row (`N * C` raw values) at `timestamp` —
+    /// the bulk path used when replaying a recorded series.
+    pub fn ingest_row(&mut self, timestamp: i64, row: &[f32]) -> Result<(), DataError> {
+        let expected = self.num_entities * self.num_features;
+        if row.len() != expected {
+            return Err(DataError::ShapeMismatch {
+                context: "observation row",
+                expected: vec![self.num_entities, self.num_features],
+                got: vec![row.len()],
+            });
+        }
+        if let Some(latest) = self.latest_timestamp() {
+            if timestamp <= latest {
+                let Some(pos) = self.timestamps.iter().position(|&t| t == timestamp) else {
+                    return Err(DataError::StaleTimestamp {
+                        timestamp,
+                        oldest: self.oldest_timestamp().expect("non-empty"),
+                    });
+                };
+                self.rows[pos].copy_from_slice(row);
+                return Ok(());
+            }
+        }
+        self.timestamps.push_back(timestamp);
+        self.rows.push_back(row.to_vec());
+        while self.timestamps.len() > self.h {
+            self.timestamps.pop_front();
+            self.rows.pop_front();
+        }
+        Ok(())
+    }
+
+    /// Drops retained rows with timestamps strictly before `cutoff` (e.g.
+    /// when a feed gap makes old context misleading). The buffer reports
+    /// not-ready until it refills.
+    pub fn evict_before(&mut self, cutoff: i64) {
+        while self.timestamps.front().is_some_and(|&t| t < cutoff) {
+            self.timestamps.pop_front();
+            self.rows.pop_front();
+        }
+    }
+
+    /// Assembles the raw `[H, N, C]` window, oldest timestamp first.
+    /// `None` until `H` timestamps have been retained.
+    pub fn window(&self) -> Option<Tensor> {
+        if !self.is_ready() {
+            return None;
+        }
+        let mut flat = Vec::with_capacity(self.h * self.num_entities * self.num_features);
+        for row in &self.rows {
+            flat.extend_from_slice(row);
+        }
+        Some(Tensor::from_vec(flat, &[self.h, self.num_entities, self.num_features]))
+    }
+
+    /// Persistence forecast `[F, N]` in the raw scale: repeat each entity's
+    /// most recent observation of `target_feature` for `f` steps. This is
+    /// the graceful-degradation fallback — always available once a single
+    /// observation exists.
+    pub fn persistence_forecast(&self, f: usize, target_feature: usize) -> Option<Tensor> {
+        let last = self.rows.back()?;
+        if target_feature >= self.num_features {
+            return None;
+        }
+        let mut flat = Vec::with_capacity(f * self.num_entities);
+        for _ in 0..f {
+            for e in 0..self.num_entities {
+                flat.push(last[e * self.num_features + target_feature]);
+            }
+        }
+        Some(Tensor::from_vec(flat, &[f, self.num_entities]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(v: f32) -> [f32; 2] {
+        [v, v * 10.0]
+    }
+
+    #[test]
+    fn fills_and_reports_ready() {
+        let mut w = SlidingWindow::new(3, 2, 2);
+        assert!(!w.is_ready());
+        for t in 0..3 {
+            w.ingest(t, 0, &obs(t as f32)).unwrap();
+            w.ingest(t, 1, &obs(t as f32 + 100.0)).unwrap();
+        }
+        assert!(w.is_ready());
+        let win = w.window().unwrap();
+        assert_eq!(win.shape(), &[3, 2, 2]);
+        assert_eq!(win.at(&[0, 0, 0]), 0.0);
+        assert_eq!(win.at(&[2, 1, 1]), 1020.0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut w = SlidingWindow::new(2, 1, 1);
+        for t in 0..5 {
+            w.ingest(t, 0, &[t as f32]).unwrap();
+        }
+        assert_eq!(w.oldest_timestamp(), Some(3));
+        assert_eq!(w.latest_timestamp(), Some(4));
+        let win = w.window().unwrap();
+        assert_eq!(win.at(&[0, 0, 0]), 3.0);
+        assert_eq!(win.at(&[1, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn missing_entity_fills_forward() {
+        let mut w = SlidingWindow::new(2, 2, 1);
+        w.ingest(0, 0, &[5.0]).unwrap();
+        w.ingest(0, 1, &[7.0]).unwrap();
+        // Entity 1 silent at t=1: carries 7.0 forward.
+        w.ingest(1, 0, &[6.0]).unwrap();
+        let win = w.window().unwrap();
+        assert_eq!(win.at(&[1, 0, 0]), 6.0);
+        assert_eq!(win.at(&[1, 1, 0]), 7.0);
+    }
+
+    #[test]
+    fn same_timestamp_updates_in_place() {
+        let mut w = SlidingWindow::new(2, 1, 1);
+        w.ingest(0, 0, &[1.0]).unwrap();
+        w.ingest(1, 0, &[2.0]).unwrap();
+        w.ingest(0, 0, &[9.0]).unwrap(); // late correction
+        let win = w.window().unwrap();
+        assert_eq!(win.at(&[0, 0, 0]), 9.0);
+        assert_eq!(win.at(&[1, 0, 0]), 2.0);
+    }
+
+    #[test]
+    fn stale_timestamp_is_rejected() {
+        let mut w = SlidingWindow::new(2, 1, 1);
+        for t in 0..4 {
+            w.ingest(t, 0, &[t as f32]).unwrap();
+        }
+        match w.ingest(0, 0, &[99.0]) {
+            Err(DataError::StaleTimestamp { timestamp: 0, oldest: 2 }) => {}
+            other => panic!("expected StaleTimestamp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_typed() {
+        let mut w = SlidingWindow::new(2, 2, 2);
+        match w.ingest(0, 5, &[1.0, 2.0]) {
+            Err(DataError::EntityOutOfRange { entity: 5, num_entities: 2 }) => {}
+            other => panic!("expected EntityOutOfRange, got {other:?}"),
+        }
+        match w.ingest(0, 0, &[1.0]) {
+            Err(DataError::ShapeMismatch { expected, got, .. }) => {
+                assert_eq!(expected, vec![2]);
+                assert_eq!(got, vec![1]);
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn evict_before_clears_old_context() {
+        let mut w = SlidingWindow::new(3, 1, 1);
+        for t in 0..3 {
+            w.ingest(t, 0, &[t as f32]).unwrap();
+        }
+        assert!(w.is_ready());
+        w.evict_before(2);
+        assert!(!w.is_ready());
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.oldest_timestamp(), Some(2));
+    }
+
+    #[test]
+    fn persistence_repeats_last_observation() {
+        let mut w = SlidingWindow::new(3, 2, 2);
+        w.ingest(0, 0, &[3.0, 30.0]).unwrap();
+        w.ingest(0, 1, &[4.0, 40.0]).unwrap();
+        let p = w.persistence_forecast(2, 0).unwrap();
+        assert_eq!(p.shape(), &[2, 2]);
+        assert_eq!(p.at(&[0, 0]), 3.0);
+        assert_eq!(p.at(&[1, 1]), 4.0);
+    }
+
+    #[test]
+    fn ingest_row_bulk_path_matches_per_entity() {
+        let mut a = SlidingWindow::new(2, 2, 1);
+        let mut b = SlidingWindow::new(2, 2, 1);
+        for t in 0..2i64 {
+            let row = [t as f32, t as f32 + 10.0];
+            a.ingest_row(t, &row).unwrap();
+            b.ingest(t, 0, &row[0..1]).unwrap();
+            b.ingest(t, 1, &row[1..2]).unwrap();
+        }
+        let wa = a.window().unwrap();
+        let wb = b.window().unwrap();
+        assert_eq!(wa.data(), wb.data());
+    }
+}

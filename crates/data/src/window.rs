@@ -1,6 +1,7 @@
 //! Sliding-window forecasting views and the 70/10/20 chronological split
 //! (§VI-A "The three datasets are split chronologically into 3 partitions").
 
+use crate::error::DataError;
 use crate::scaler::StandardScaler;
 use crate::CorrelatedTimeSeries;
 use enhancenet_tensor::Tensor;
@@ -58,23 +59,25 @@ impl WindowDataset {
     /// Builds a windowed dataset from a generated series with the paper's
     /// split fractions. The scaler is fit only on timestamps that belong to
     /// training windows.
-    pub fn from_series(ds: &CorrelatedTimeSeries, h: usize, f: usize) -> Self {
+    pub fn from_series(ds: &CorrelatedTimeSeries, h: usize, f: usize) -> Result<Self, DataError> {
         let t_total = ds.num_steps();
-        assert!(t_total > h + f, "series too short for H={h}, F={f}");
+        if t_total <= h + f {
+            return Err(DataError::SeriesTooShort { steps: t_total, h, f });
+        }
         let num_windows = t_total - h - f + 1;
         let split = ChronoSplit::paper(num_windows);
         // Training windows cover timestamps [0, train_end + h); fit there.
         let fit_steps = split.train.end + h;
-        let scaler = StandardScaler::fit(&ds.values, fit_steps);
-        Self {
-            scaled: scaler.transform(&ds.values),
+        let scaler = StandardScaler::fit(&ds.values, fit_steps)?;
+        Ok(Self {
+            scaled: scaler.transform(&ds.values)?,
             raw: ds.values.clone(),
             scaler,
             h,
             f,
             target_feature: 0,
             split,
-        }
+        })
     }
 
     /// Number of windows in total.
@@ -121,7 +124,7 @@ mod tests {
 
     fn tiny_windows() -> WindowDataset {
         let ds = generate_traffic(&TrafficConfig::tiny(6, 2));
-        WindowDataset::from_series(&ds, 12, 12)
+        WindowDataset::from_series(&ds, 12, 12).unwrap()
     }
 
     #[test]
@@ -187,8 +190,22 @@ mod tests {
             }
         }
         let shifted = CorrelatedTimeSeries { values, ..ds.clone() };
-        let w_orig = WindowDataset::from_series(&ds, 12, 12);
-        let w_shift = WindowDataset::from_series(&shifted, 12, 12);
+        let w_orig = WindowDataset::from_series(&ds, 12, 12).unwrap();
+        let w_shift = WindowDataset::from_series(&shifted, 12, 12).unwrap();
         assert!((w_orig.scaler.mean(0) - w_shift.scaler.mean(0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn from_series_rejects_short_series() {
+        let ds = generate_traffic(&TrafficConfig::tiny(4, 2));
+        let t = ds.num_steps();
+        match WindowDataset::from_series(&ds, t, 12) {
+            Err(crate::DataError::SeriesTooShort { steps, h, f }) => {
+                assert_eq!(steps, t);
+                assert_eq!(h, t);
+                assert_eq!(f, 12);
+            }
+            other => panic!("expected SeriesTooShort, got {:?}", other.map(|_| ())),
+        }
     }
 }

@@ -29,8 +29,8 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let values = TensorRng::seed(seed).normal(&[t, n, 2], 5.0, 3.0);
-        let scaler = StandardScaler::fit(&values, t);
-        let scaled = scaler.transform(&values);
+        let scaler = StandardScaler::fit(&values, t).unwrap();
+        let scaled = scaler.transform(&values).unwrap();
         prop_assert!(!scaled.has_non_finite());
         // Inverse of feature 0 recovers the original column.
         let f0_scaled: Vec<f32> = (0..t).map(|i| scaled.at(&[i, 0, 0])).collect();
@@ -69,7 +69,7 @@ proptest! {
     #[test]
     fn windows_tile_the_series(sensors in 3usize..8) {
         let ds = generate_traffic(&TrafficConfig::tiny(sensors, 1));
-        let w = WindowDataset::from_series(&ds, 12, 12);
+        let w = WindowDataset::from_series(&ds, 12, 12).unwrap();
         prop_assert_eq!(w.num_windows(), 288 - 23);
         // Consecutive windows shift by exactly one step.
         let w0 = w.input_window(0);
@@ -84,7 +84,7 @@ proptest! {
     #[test]
     fn window_target_alignment(sensors in 3usize..6, start in 0usize..100) {
         let ds = generate_traffic(&TrafficConfig::tiny(sensors, 1));
-        let w = WindowDataset::from_series(&ds, 12, 12);
+        let w = WindowDataset::from_series(&ds, 12, 12).unwrap();
         let target = w.target_window(start);
         for f in 0..12 {
             for e in 0..sensors {

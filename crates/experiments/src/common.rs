@@ -58,7 +58,7 @@ pub struct Dataset {
 
 fn build_dataset(name: &'static str, values: enhancenet_data::CorrelatedTimeSeries) -> Dataset {
     let adjacency = gaussian_kernel_adjacency(&values.distances, AdjacencyConfig::default());
-    let windows = WindowDataset::from_series(&values, 12, 12);
+    let windows = WindowDataset::from_series(&values, 12, 12).expect("dataset windowing failed");
     Dataset {
         name,
         num_entities: values.num_entities(),

@@ -69,6 +69,10 @@ impl Forecaster for ArimaBaseline {
         self.dims.output_len
     }
 
+    fn input_shape(&self) -> Option<[usize; 3]> {
+        Some([self.dims.input_len, self.dims.num_entities, self.dims.in_features])
+    }
+
     /// Forecasts each window by filtering its (raw-scale) history. The
     /// input arrives scaled, so it is inverted through the stored scaler
     /// first; outputs are re-scaled to match the harness contract.
@@ -103,7 +107,7 @@ mod tests {
 
     fn setup() -> (WindowDataset, ArimaBaseline) {
         let ds = generate_traffic(&TrafficConfig::tiny(4, 3));
-        let data = WindowDataset::from_series(&ds, 12, 12);
+        let data = WindowDataset::from_series(&ds, 12, 12).unwrap();
         let dims =
             ModelDims { num_entities: 4, in_features: 1, hidden: 0, input_len: 12, output_len: 12 };
         let model = ArimaBaseline::fit(dims, ArimaConfig::paper_default(), &data);

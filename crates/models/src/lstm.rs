@@ -105,6 +105,10 @@ impl Forecaster for LstmSeq2Seq {
         self.dims.output_len
     }
 
+    fn input_shape(&self) -> Option<[usize; 3]> {
+        Some([self.dims.input_len, self.dims.num_entities, self.dims.in_features])
+    }
+
     fn forward(&self, g: &mut Graph, x: &Tensor, ctx: &mut ForwardCtx) -> Var {
         let (b, h_len, n, c) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         assert_eq!(n, self.dims.num_entities);

@@ -16,7 +16,7 @@
 
 use crate::config::{GraphMode, ModelDims, TemporalMode};
 use enhancenet::dfgn::{gru_filter_dim_general, split_gru_filters_general, FilterCache};
-use enhancenet::{graph_conv, Damgn, Dfgn, Forecaster, ForwardCtx, GcSupport};
+use enhancenet::{graph_conv, Damgn, Dfgn, Forecaster, ForwardCtx, GcSupport, StaticFoldCache};
 use enhancenet_autodiff::{Graph, ParamId, ParamStore, Var};
 use enhancenet_graph::build_supports;
 use enhancenet_nn::cell::{gru_step, Gate};
@@ -184,6 +184,9 @@ struct GraphParts {
     supports: Vec<Tensor>,
     k_hops: usize,
     damgn: Option<Damgn>,
+    /// Eval-path cache of the DAMGN static fold `λ_A·A_s + λ_B·B`,
+    /// invalidated by weight updates via the store version.
+    fold_cache: StaticFoldCache,
 }
 
 /// GRU encoder–decoder forecaster (RNN / GRNN family).
@@ -218,6 +221,58 @@ impl GruSeq2Seq {
         Self::build(dims, num_layers, temporal, graph_mode, Some(adjacency), seed)
     }
 
+    /// Paper preset `RNN`: shared filters, no graph convolution.
+    pub fn paper_rnn(dims: ModelDims, num_layers: usize, seed: u64) -> Self {
+        Self::rnn(dims, num_layers, TemporalMode::Shared, seed)
+    }
+
+    /// Paper preset `D-RNN`: DFGN per-entity filters, no graph convolution.
+    pub fn paper_d_rnn(dims: ModelDims, num_layers: usize, seed: u64) -> Self {
+        Self::rnn(dims, num_layers, TemporalMode::Distinct(enhancenet::DfgnConfig::default()), seed)
+    }
+
+    /// Paper preset `GRNN` (DCRNN): shared filters, static dual-transition
+    /// supports.
+    pub fn paper_grnn(dims: ModelDims, num_layers: usize, adjacency: &Tensor, seed: u64) -> Self {
+        Self::grnn(dims, num_layers, TemporalMode::Shared, GraphMode::paper_static(), adjacency, seed)
+    }
+
+    /// Paper preset `D-GRNN`: DFGN filters over static supports.
+    pub fn paper_d_grnn(dims: ModelDims, num_layers: usize, adjacency: &Tensor, seed: u64) -> Self {
+        Self::grnn(
+            dims,
+            num_layers,
+            TemporalMode::Distinct(enhancenet::DfgnConfig::default()),
+            GraphMode::paper_static(),
+            adjacency,
+            seed,
+        )
+    }
+
+    /// Paper preset `DA-GRNN`: shared filters over DAMGN dynamic
+    /// adjacencies.
+    pub fn paper_da_grnn(dims: ModelDims, num_layers: usize, adjacency: &Tensor, seed: u64) -> Self {
+        Self::grnn(dims, num_layers, TemporalMode::Shared, GraphMode::paper_dynamic(), adjacency, seed)
+    }
+
+    /// Paper preset `D-DA-GRNN`: both plugins — the paper's strongest RNN
+    /// variant.
+    pub fn paper_d_da_grnn(
+        dims: ModelDims,
+        num_layers: usize,
+        adjacency: &Tensor,
+        seed: u64,
+    ) -> Self {
+        Self::grnn(
+            dims,
+            num_layers,
+            TemporalMode::Distinct(enhancenet::DfgnConfig::default()),
+            GraphMode::paper_dynamic(),
+            adjacency,
+            seed,
+        )
+    }
+
     fn build(
         dims: ModelDims,
         num_layers: usize,
@@ -247,7 +302,13 @@ impl GruSeq2Seq {
                 let a = adjacency.expect("static graph mode requires an adjacency");
                 let supports = build_supports(a, kind);
                 let count = supports.len();
-                (Some(GraphParts { supports, k_hops, damgn: None }), count, k_hops)
+                let parts = GraphParts {
+                    supports,
+                    k_hops,
+                    damgn: None,
+                    fold_cache: StaticFoldCache::new(),
+                };
+                (Some(parts), count, k_hops)
             }
             GraphMode::Dynamic { kind, k_hops, damgn } => {
                 let a = adjacency.expect("dynamic graph mode requires an adjacency");
@@ -256,7 +317,13 @@ impl GruSeq2Seq {
                 // DAMGN attends over the target feature (see DESIGN.md):
                 // one embedding size works for both encoder and decoder.
                 let damgn = Damgn::new(&mut store, &mut rng, "damgn", n, 1, damgn);
-                (Some(GraphParts { supports, k_hops, damgn: Some(damgn) }), count, k_hops)
+                let parts = GraphParts {
+                    supports,
+                    k_hops,
+                    damgn: Some(damgn),
+                    fold_cache: StaticFoldCache::new(),
+                };
+                (Some(parts), count, k_hops)
             }
             GraphMode::AdaptiveStatic { .. } => {
                 panic!("AdaptiveStatic is a WaveNet-family mode (Graph WaveNet baseline)")
@@ -354,6 +421,10 @@ impl Forecaster for GruSeq2Seq {
         self.dims.output_len
     }
 
+    fn input_shape(&self) -> Option<[usize; 3]> {
+        Some([self.dims.input_len, self.dims.num_entities, self.dims.in_features])
+    }
+
     fn damgn(&self) -> Option<&Damgn> {
         GruSeq2Seq::damgn(self)
     }
@@ -375,9 +446,9 @@ impl Forecaster for GruSeq2Seq {
             .as_ref()
             .map(|parts| parts.supports.iter().map(|s| g.constant(s.clone())).collect());
         let damgn_binding = match (&self.graph, &base_supports) {
-            (Some(parts), Some(base)) => {
-                parts.damgn.as_ref().map(|damgn| damgn.bind(g, &self.store, base))
-            }
+            (Some(parts), Some(base)) => parts.damgn.as_ref().map(|damgn| {
+                damgn.bind_cached(g, &self.store, base, &parts.fold_cache, ctx.training)
+            }),
             _ => None,
         };
         let enc_bound: Vec<BoundLayer> =
@@ -643,6 +714,58 @@ mod tests {
         let first = run();
         let second = run(); // cache hit
         assert!(first.allclose(&second, 0.0));
+    }
+
+    #[test]
+    fn paper_presets_match_explicit_modes() {
+        let a = ring_adjacency(5);
+        let cases: Vec<(GruSeq2Seq, &str)> = vec![
+            (GruSeq2Seq::paper_rnn(dims(5, 2), 2, 1), "RNN"),
+            (GruSeq2Seq::paper_d_rnn(dims(5, 2), 2, 1), "D-RNN"),
+            (GruSeq2Seq::paper_grnn(dims(5, 2), 2, &a, 1), "GRNN"),
+            (GruSeq2Seq::paper_d_grnn(dims(5, 2), 2, &a, 1), "D-GRNN"),
+            (GruSeq2Seq::paper_da_grnn(dims(5, 2), 2, &a, 1), "DA-GRNN"),
+            (GruSeq2Seq::paper_d_da_grnn(dims(5, 2), 2, &a, 1), "D-DA-GRNN"),
+        ];
+        for (m, expected) in cases {
+            assert_eq!(m.name(), expected);
+            assert_eq!(m.input_shape(), Some([4, 5, 2]));
+            forward_shape(&m, 2);
+        }
+    }
+
+    #[test]
+    fn eval_damgn_fold_cache_matches_tracked_path() {
+        // Second eval forward serves the folded static mix from the cache;
+        // outputs must agree bit-for-bit with the first (tracked) pass.
+        let a = ring_adjacency(5);
+        let m = GruSeq2Seq::paper_da_grnn(dims(5, 2), 1, &a, 17);
+        let x = TensorRng::seed(22).normal(&[1, 4, 5, 2], 0.0, 1.0);
+        let run = || {
+            let mut g = Graph::new();
+            let mut rng = TensorRng::seed(23);
+            let mut ctx = ForwardCtx::eval(&mut rng);
+            let y = m.forward(&mut g, &x, &mut ctx);
+            g.value(y).clone()
+        };
+        let first = run();
+        let second = run();
+        assert!(first.allclose(&second, 0.0));
+    }
+
+    #[test]
+    fn predict_serves_eval_forward_without_tape_access() {
+        let a = ring_adjacency(5);
+        let m = GruSeq2Seq::paper_da_grnn(dims(5, 2), 1, &a, 19);
+        let x = TensorRng::seed(24).normal(&[4, 5, 2], 0.0, 1.0);
+        let p = m.predict(&x).unwrap();
+        assert_eq!(p.shape(), &[3, 5]);
+        match m.predict(&TensorRng::seed(25).normal(&[4, 9, 2], 0.0, 1.0)) {
+            Err(enhancenet::EnhanceNetError::InputShape { expected, .. }) => {
+                assert_eq!(expected, vec![4, 5, 2]);
+            }
+            other => panic!("expected InputShape, got {other:?}"),
+        }
     }
 
     #[test]

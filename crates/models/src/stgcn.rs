@@ -148,6 +148,10 @@ impl Forecaster for Stgcn {
         self.dims.output_len
     }
 
+    fn input_shape(&self) -> Option<[usize; 3]> {
+        Some([self.dims.input_len, self.dims.num_entities, self.dims.in_features])
+    }
+
     fn forward(&self, g: &mut Graph, x: &Tensor, _ctx: &mut ForwardCtx) -> Var {
         let (b, t, n, c) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         assert_eq!(n, self.dims.num_entities);

@@ -26,7 +26,7 @@
 use crate::config::{GraphMode, ModelDims, TemporalMode};
 use enhancenet::dfgn::{split_tcn_filters, tcn_filter_dim, FilterCache};
 use enhancenet::gconv::gc_input_dim;
-use enhancenet::{graph_conv, Damgn, Dfgn, Forecaster, ForwardCtx, GcSupport};
+use enhancenet::{graph_conv, Damgn, Dfgn, Forecaster, ForwardCtx, GcSupport, StaticFoldCache};
 use enhancenet_autodiff::{Graph, ParamId, ParamStore, Var};
 use enhancenet_graph::build_supports;
 use enhancenet_nn::conv::{causal_conv_taps, receptive_field};
@@ -106,6 +106,9 @@ struct GraphParts {
     damgn: Option<Damgn>,
     /// Graph WaveNet's self-adaptive node embeddings `(E₁, E₂)`.
     adaptive: Option<(ParamId, ParamId)>,
+    /// Eval-path cache of the DAMGN static fold `λ_A·A_s + λ_B·B`,
+    /// invalidated by weight updates via the store version.
+    fold_cache: StaticFoldCache,
 }
 
 /// Gated WaveNet forecaster (TCN / GTCN family).
@@ -143,6 +146,87 @@ impl WaveNet {
         Self::build(dims, config, temporal, graph_mode, Some(adjacency), seed)
     }
 
+    /// Paper preset `TCN`: shared filters, no graph convolution.
+    pub fn paper_tcn(dims: ModelDims, seed: u64) -> Self {
+        Self::tcn(dims, WaveNetConfig::default(), TemporalMode::Shared, seed)
+    }
+
+    /// Paper preset `D-TCN`: DFGN per-entity taps, no graph convolution.
+    pub fn paper_d_tcn(dims: ModelDims, seed: u64) -> Self {
+        Self::tcn(
+            dims,
+            WaveNetConfig::default(),
+            TemporalMode::Distinct(enhancenet::DfgnConfig::default()),
+            seed,
+        )
+    }
+
+    /// Paper preset `GTCN`: shared taps, static dual-transition supports.
+    pub fn paper_gtcn(dims: ModelDims, adjacency: &Tensor, seed: u64) -> Self {
+        Self::gtcn(
+            dims,
+            WaveNetConfig::default(),
+            TemporalMode::Shared,
+            GraphMode::paper_static(),
+            adjacency,
+            seed,
+        )
+    }
+
+    /// Paper preset `D-GTCN`: DFGN taps over static supports.
+    pub fn paper_d_gtcn(dims: ModelDims, adjacency: &Tensor, seed: u64) -> Self {
+        Self::gtcn(
+            dims,
+            WaveNetConfig::default(),
+            TemporalMode::Distinct(enhancenet::DfgnConfig::default()),
+            GraphMode::paper_static(),
+            adjacency,
+            seed,
+        )
+    }
+
+    /// Paper preset `DA-GTCN`: shared taps over DAMGN dynamic adjacencies.
+    pub fn paper_da_gtcn(dims: ModelDims, adjacency: &Tensor, seed: u64) -> Self {
+        Self::gtcn(
+            dims,
+            WaveNetConfig::default(),
+            TemporalMode::Shared,
+            GraphMode::paper_dynamic(),
+            adjacency,
+            seed,
+        )
+    }
+
+    /// Paper preset `D-DA-GTCN`: both plugins — the paper's strongest TCN
+    /// variant.
+    pub fn paper_d_da_gtcn(dims: ModelDims, adjacency: &Tensor, seed: u64) -> Self {
+        Self::gtcn(
+            dims,
+            WaveNetConfig::default(),
+            TemporalMode::Distinct(enhancenet::DfgnConfig::default()),
+            GraphMode::paper_dynamic(),
+            adjacency,
+            seed,
+        )
+    }
+
+    /// Baseline preset: static supports plus the learned self-adaptive
+    /// adjacency of [31] (embedding width 10, as in that paper).
+    pub fn paper_adaptive_baseline(dims: ModelDims, adjacency: &Tensor, seed: u64) -> Self {
+        Self::gtcn(
+            dims,
+            WaveNetConfig::default(),
+            TemporalMode::Shared,
+            GraphMode::AdaptiveStatic {
+                kind: enhancenet_graph::SupportKind::DoubleTransition,
+                k_hops: 2,
+                embed_dim: 10,
+            },
+            adjacency,
+            seed,
+        )
+    }
+
     fn build(
         dims: ModelDims,
         config: WaveNetConfig,
@@ -177,7 +261,17 @@ impl WaveNet {
                 let a = adjacency.expect("static graph mode requires an adjacency");
                 let supports = build_supports(a, kind);
                 let count = supports.len();
-                (Some(GraphParts { supports, k_hops, damgn: None, adaptive: None }), count, k_hops)
+                (
+                    Some(GraphParts {
+                        supports,
+                        k_hops,
+                        damgn: None,
+                        adaptive: None,
+                        fold_cache: StaticFoldCache::new(),
+                    }),
+                    count,
+                    k_hops,
+                )
             }
             GraphMode::Dynamic { kind, k_hops, damgn } => {
                 let a = adjacency.expect("dynamic graph mode requires an adjacency");
@@ -185,7 +279,13 @@ impl WaveNet {
                 let count = supports.len();
                 let damgn = Damgn::new(&mut store, &mut rng, "damgn", n, 1, damgn);
                 (
-                    Some(GraphParts { supports, k_hops, damgn: Some(damgn), adaptive: None }),
+                    Some(GraphParts {
+                        supports,
+                        k_hops,
+                        damgn: Some(damgn),
+                        adaptive: None,
+                        fold_cache: StaticFoldCache::new(),
+                    }),
                     count,
                     k_hops,
                 )
@@ -198,7 +298,13 @@ impl WaveNet {
                 let e1 = store.add("adaptive.e1", rng.uniform(&[n, embed_dim], -bound, bound));
                 let e2 = store.add("adaptive.e2", rng.uniform(&[n, embed_dim], -bound, bound));
                 (
-                    Some(GraphParts { supports, k_hops, damgn: None, adaptive: Some((e1, e2)) }),
+                    Some(GraphParts {
+                        supports,
+                        k_hops,
+                        damgn: None,
+                        adaptive: Some((e1, e2)),
+                        fold_cache: StaticFoldCache::new(),
+                    }),
                     count,
                     k_hops,
                 )
@@ -307,7 +413,9 @@ impl WaveNet {
     /// Binds the supports used by every layer's GC. For DAMGN models this
     /// produces one `[B·T, N, N]` dynamic adjacency per base support,
     /// derived from the input's target feature at each aligned timestamp.
-    fn bind_supports(&self, g: &mut Graph, x: &Tensor) -> Option<Vec<GcSupport>> {
+    /// During evaluation the DAMGN static fold is served from the
+    /// version-keyed [`StaticFoldCache`].
+    fn bind_supports(&self, g: &mut Graph, x: &Tensor, training: bool) -> Option<Vec<GcSupport>> {
         let parts = self.graph.as_ref()?;
         let (b, t, n) = (x.shape()[0], x.shape()[1], x.shape()[2]);
         let base: Vec<Var> = parts.supports.iter().map(|s| g.constant(s.clone())).collect();
@@ -315,7 +423,7 @@ impl WaveNet {
             // Signal: [B, T, N, 1] -> [B*T, N, 1].
             let sig_t = x.slice_axis(3, 0, 1).reshape(&[b * t, n, 1]);
             let sig = g.constant(sig_t);
-            let binding = damgn.bind(g, &self.store, &base);
+            let binding = damgn.bind_cached(g, &self.store, &base, &parts.fold_cache, training);
             let dyn_supports = damgn.dynamic_supports_at(g, &binding, sig);
             return Some(dyn_supports.into_iter().map(GcSupport::Dynamic).collect());
         }
@@ -348,6 +456,10 @@ impl Forecaster for WaveNet {
         self.dims.output_len
     }
 
+    fn input_shape(&self) -> Option<[usize; 3]> {
+        Some([self.dims.input_len, self.dims.num_entities, self.dims.in_features])
+    }
+
     fn damgn(&self) -> Option<&Damgn> {
         WaveNet::damgn(self)
     }
@@ -364,7 +476,7 @@ impl Forecaster for WaveNet {
         let k = self.config.kernel;
         let ch = self.dims.hidden;
 
-        let supports = self.bind_supports(g, x);
+        let supports = self.bind_supports(g, x, ctx.training);
         let k_hops = self.graph.as_ref().map_or(0, |p| p.k_hops);
 
         // [B, T, N, C] -> [B, N, T, C'] with the input projection.
@@ -622,6 +734,66 @@ mod tests {
         let dfgn = WaveNet::tcn(d, cfg(), TemporalMode::Distinct(small_dfgn()), 1);
         assert!(dfgn.num_parameters() < s.num_parameters());
         forward_shape(&s, 2, n, 1);
+    }
+
+    #[test]
+    fn paper_presets_match_explicit_modes() {
+        let a = ring_adjacency(5);
+        let cases: Vec<(WaveNet, &str)> = vec![
+            (WaveNet::paper_tcn(dims(5, 2), 1), "TCN"),
+            (WaveNet::paper_d_tcn(dims(5, 2), 1), "D-TCN"),
+            (WaveNet::paper_gtcn(dims(5, 2), &a, 1), "GTCN"),
+            (WaveNet::paper_d_gtcn(dims(5, 2), &a, 1), "D-GTCN"),
+            (WaveNet::paper_da_gtcn(dims(5, 2), &a, 1), "DA-GTCN"),
+            (WaveNet::paper_d_da_gtcn(dims(5, 2), &a, 1), "D-DA-GTCN"),
+            (WaveNet::paper_adaptive_baseline(dims(5, 2), &a, 1), "Graph WaveNet"),
+        ];
+        for (m, expected) in cases {
+            assert_eq!(m.name(), expected);
+            assert_eq!(m.input_shape(), Some([8, 5, 2]));
+            forward_shape(&m, 2, 5, 2);
+        }
+    }
+
+    #[test]
+    fn eval_damgn_fold_cache_matches_tracked_path() {
+        // The first eval forward populates the static-fold cache; the
+        // second is served from it and must be bit-identical.
+        let a = ring_adjacency(4);
+        let m = WaveNet::gtcn(
+            dims(4, 1),
+            cfg(),
+            TemporalMode::Shared,
+            GraphMode::paper_dynamic(),
+            &a,
+            3,
+        );
+        let x = TensorRng::seed(11).normal(&[2, 8, 4, 1], 0.0, 1.0);
+        let run = || {
+            let mut g = Graph::new();
+            let mut rng = TensorRng::seed(1);
+            let mut ctx = ForwardCtx::eval(&mut rng);
+            let y = m.forward(&mut g, &x, &mut ctx);
+            g.value(y).clone()
+        };
+        let first = run();
+        let second = run();
+        assert!(first.allclose(&second, 0.0));
+    }
+
+    #[test]
+    fn predict_serves_eval_forward_without_tape_access() {
+        let m = WaveNet::paper_tcn(dims(4, 1), 5);
+        let window = TensorRng::seed(2).normal(&[8, 4, 1], 0.0, 1.0);
+        let out = m.predict(&window).expect("well-shaped window predicts");
+        assert_eq!(out.shape(), &[4, 4]);
+        let bad = TensorRng::seed(2).normal(&[8, 3, 1], 0.0, 1.0);
+        match m.predict(&bad) {
+            Err(enhancenet::EnhanceNetError::InputShape { expected, .. }) => {
+                assert_eq!(expected, vec![8, 4, 1]);
+            }
+            other => panic!("expected InputShape error, got {other:?}"),
+        }
     }
 
     #[test]

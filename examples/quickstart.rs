@@ -5,10 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use enhancenet::{DfgnConfig, Forecaster, TrainConfig, Trainer};
-use enhancenet_data::traffic::{generate_traffic, TrafficConfig};
-use enhancenet_data::WindowDataset;
-use enhancenet_models::{GruSeq2Seq, ModelDims, TemporalMode};
+use enhancenet::prelude::*;
+use enhancenet_models::{GruSeq2Seq, ModelDims};
 
 fn main() {
     // 1. A synthetic correlated time series: 24 traffic sensors on 4
@@ -26,24 +24,29 @@ fn main() {
     );
 
     // 2. Window it: 12 past steps -> 12 future steps, 70/10/20 split.
-    let data = WindowDataset::from_series(&series, 12, 12);
+    let data = WindowDataset::from_series(&series, 12, 12).expect("series is long enough");
     println!("windows: {} (train {:?})", data.num_windows(), data.split.train);
 
     // 3. Train the base model and the DFGN-enhanced model. The enhanced
     //    model learns through the generator indirection, so give both a
     //    moderate budget.
-    let mut config = TrainConfig::quick(10, 8);
-    config.max_batches_per_epoch = Some(40);
+    let config = TrainConfig::builder()
+        .epochs(10)
+        .batch_size(8)
+        .max_batches_per_epoch(Some(40))
+        .max_eval_batches(Some(10))
+        .build()
+        .expect("training config is valid");
     let trainer = Trainer::new(config);
     let dims =
         ModelDims { num_entities: 24, in_features: 1, hidden: 32, input_len: 12, output_len: 12 };
 
-    let mut rnn = GruSeq2Seq::rnn(dims, 2, TemporalMode::Shared, 7);
+    let mut rnn = GruSeq2Seq::paper_rnn(dims, 2, 7);
     trainer.train(&mut rnn, &data);
     let base = trainer.evaluate(&rnn, &data, data.split.test.clone(), &[3, 6, 12]);
 
     let dims_d = ModelDims { hidden: 12, ..dims };
-    let mut drnn = GruSeq2Seq::rnn(dims_d, 2, TemporalMode::Distinct(DfgnConfig::default()), 7);
+    let mut drnn = GruSeq2Seq::paper_d_rnn(dims_d, 2, 7);
     trainer.train(&mut drnn, &data);
     let enhanced = trainer.evaluate(&drnn, &data, data.split.test.clone(), &[3, 6, 12]);
 

@@ -10,18 +10,16 @@
 //! cargo run --release --example traffic_forecast
 //! ```
 
-use enhancenet::{Forecaster, TrainConfig, Trainer};
-use enhancenet_data::traffic::{generate_traffic, TrafficConfig};
-use enhancenet_data::WindowDataset;
+use enhancenet::prelude::*;
 use enhancenet_graph::{gaussian_kernel_adjacency, AdjacencyConfig};
-use enhancenet_models::{GraphMode, GruSeq2Seq, ModelDims, TemporalMode};
+use enhancenet_models::{GruSeq2Seq, ModelDims};
 
 fn main() {
     // A 20-sensor road network over 6 days.
     let mut cfg = TrafficConfig::tiny(20, 6);
     cfg.num_corridors = 4;
     let series = generate_traffic(&cfg);
-    let data = WindowDataset::from_series(&series, 12, 12);
+    let data = WindowDataset::from_series(&series, 12, 12).expect("series is long enough");
 
     // Distance-derived adjacency A (Gaussian kernel, threshold 0.1 — the
     // paper's §VI-A recipe).
@@ -31,26 +29,23 @@ fn main() {
 
     let dims =
         ModelDims { num_entities: 20, in_features: 1, hidden: 16, input_len: 12, output_len: 12 };
-    let mut config = TrainConfig::quick(6, 8);
-    config.max_batches_per_epoch = Some(25);
+    let config = TrainConfig::builder()
+        .epochs(6)
+        .batch_size(8)
+        .max_batches_per_epoch(Some(25))
+        .max_eval_batches(Some(10))
+        .build()
+        .expect("training config is valid");
     let trainer = Trainer::new(config);
 
     // GRNN (the DCRNN architecture) vs the fully enhanced D-DA-GRNN.
-    let mut grnn =
-        GruSeq2Seq::grnn(dims, 2, TemporalMode::Shared, GraphMode::paper_static(), &adjacency, 3);
+    let mut grnn = GruSeq2Seq::paper_grnn(dims, 2, &adjacency, 3);
     println!("training {} ({} params) ...", grnn.name(), grnn.num_parameters());
     trainer.train(&mut grnn, &data);
     let base = trainer.evaluate(&grnn, &data, data.split.test.clone(), &[3, 6, 12]);
 
     let dims_d = ModelDims { hidden: 10, ..dims };
-    let mut enhanced = GruSeq2Seq::grnn(
-        dims_d,
-        2,
-        TemporalMode::Distinct(enhancenet::DfgnConfig::default()),
-        GraphMode::paper_dynamic(),
-        &adjacency,
-        3,
-    );
+    let mut enhanced = GruSeq2Seq::paper_d_da_grnn(dims_d, 2, &adjacency, 3);
     println!("training {} ({} params) ...", enhanced.name(), enhanced.num_parameters());
     trainer.train(&mut enhanced, &data);
     let enh = trainer.evaluate(&enhanced, &data, data.split.test.clone(), &[3, 6, 12]);

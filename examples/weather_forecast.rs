@@ -1,17 +1,15 @@
 //! Multi-attribute weather forecasting (the paper's *US* setting):
 //! 6 attributes per station, hourly sampling, 12-hour forecasts with a
-//! WaveNet-style TCN, comparing the static-graph GTCN against the
+//! WaveNet-style TCN, comparing the static-supports GTCN against the
 //! DAMGN-enhanced DA-GTCN as weather fronts sweep the station grid.
 //!
 //! ```sh
 //! cargo run --release --example weather_forecast
 //! ```
 
-use enhancenet::{Forecaster, TrainConfig, Trainer};
-use enhancenet_data::weather::{generate_weather, WeatherConfig};
-use enhancenet_data::WindowDataset;
+use enhancenet::prelude::*;
 use enhancenet_graph::{gaussian_kernel_adjacency, AdjacencyConfig};
-use enhancenet_models::{GraphMode, ModelDims, TemporalMode, WaveNet, WaveNetConfig};
+use enhancenet_models::{ModelDims, WaveNet};
 
 fn main() {
     // 9 stations on a grid, ~7 weeks of hourly data with moving fronts.
@@ -22,27 +20,28 @@ fn main() {
         series.num_steps(),
         series.num_features()
     );
-    let data = WindowDataset::from_series(&series, 12, 12);
+    let data = WindowDataset::from_series(&series, 12, 12).expect("series is long enough");
     let adjacency = gaussian_kernel_adjacency(&series.distances, AdjacencyConfig::default());
 
     let dims =
         ModelDims { num_entities: 9, in_features: 6, hidden: 16, input_len: 12, output_len: 12 };
-    let mut config = TrainConfig::quick(6, 8);
-    config.schedule = enhancenet_nn::optim::LrSchedule::Constant(0.005);
+    let config = TrainConfig::builder()
+        .epochs(6)
+        .batch_size(8)
+        .schedule(LrSchedule::Constant(0.005))
+        .max_batches_per_epoch(Some(20))
+        .max_eval_batches(Some(10))
+        .build()
+        .expect("training config is valid");
     let trainer = Trainer::new(config);
 
     let mut results = Vec::new();
     for dynamic in [false, true] {
-        let graph_mode =
-            if dynamic { GraphMode::paper_dynamic() } else { GraphMode::paper_static() };
-        let mut model = WaveNet::gtcn(
-            dims,
-            WaveNetConfig::default(),
-            TemporalMode::Shared,
-            graph_mode,
-            &adjacency,
-            11,
-        );
+        let mut model = if dynamic {
+            WaveNet::paper_da_gtcn(dims, &adjacency, 11)
+        } else {
+            WaveNet::paper_gtcn(dims, &adjacency, 11)
+        };
         println!("training {} ...", model.name());
         trainer.train(&mut model, &data);
         let eval = trainer.evaluate(&model, &data, data.split.test.clone(), &[3, 6, 12]);

@@ -2,16 +2,13 @@
 //! survive a serialize → deserialize round trip bit-for-bit, predictions
 //! included.
 
-use enhancenet::{Forecaster, ForwardCtx, TrainConfig, Trainer};
-use enhancenet_autodiff::Graph;
-use enhancenet_data::traffic::{generate_traffic, TrafficConfig};
-use enhancenet_data::WindowDataset;
+use enhancenet::prelude::*;
 use enhancenet_models::{GruSeq2Seq, ModelDims, TemporalMode};
-use enhancenet_tensor::{Tensor, TensorRng};
+use enhancenet_tensor::Tensor;
 
 fn setup() -> (WindowDataset, GruSeq2Seq) {
     let series = generate_traffic(&TrafficConfig::tiny(5, 2));
-    let data = WindowDataset::from_series(&series, 12, 12);
+    let data = WindowDataset::from_series(&series, 12, 12).unwrap();
     let dims =
         ModelDims { num_entities: 5, in_features: 1, hidden: 8, input_len: 12, output_len: 12 };
     let model = GruSeq2Seq::rnn(dims, 1, TemporalMode::Shared, 3);
@@ -19,21 +16,21 @@ fn setup() -> (WindowDataset, GruSeq2Seq) {
 }
 
 fn predict(model: &GruSeq2Seq, x: &Tensor) -> Tensor {
-    let mut g = Graph::new();
-    let mut rng = TensorRng::seed(7);
-    let mut ctx = ForwardCtx::eval(&mut rng);
-    let y = model.forward(&mut g, x, &mut ctx);
-    g.value(y).clone()
+    model.predict(x).expect("well-shaped window")
 }
 
 #[test]
 fn checkpoint_roundtrip_preserves_predictions() {
     let (data, mut model) = setup();
-    let mut cfg = TrainConfig::quick(2, 8);
-    cfg.max_batches_per_epoch = Some(10);
+    let cfg = TrainConfig::builder()
+        .epochs(2)
+        .batch_size(8)
+        .max_batches_per_epoch(Some(10))
+        .build()
+        .expect("test config is valid");
     Trainer::new(cfg).train(&mut model, &data);
 
-    let x = data.input_window(0).unsqueeze(0);
+    let x = data.input_window(0);
     let before = predict(&model, &x);
     let blob = model.store().to_bytes();
 
@@ -63,7 +60,7 @@ fn checkpoint_is_stable_across_construction_seeds() {
     // (same architecture) must still reproduce the source predictions:
     // weights come entirely from the blob.
     let (data, model_a) = setup();
-    let x = data.input_window(3).unsqueeze(0);
+    let x = data.input_window(3);
     let blob = model_a.store().to_bytes();
     let dims =
         ModelDims { num_entities: 5, in_features: 1, hidden: 8, input_len: 12, output_len: 12 };

@@ -1,10 +1,7 @@
 //! Cross-crate integration tests: data generation → windowing → training →
 //! evaluation, for representatives of every model family.
 
-use enhancenet::{DfgnConfig, Forecaster, TrainConfig, Trainer};
-use enhancenet_data::traffic::{generate_traffic, TrafficConfig};
-use enhancenet_data::weather::{generate_weather, WeatherConfig};
-use enhancenet_data::WindowDataset;
+use enhancenet::prelude::*;
 use enhancenet_graph::{gaussian_kernel_adjacency, AdjacencyConfig};
 use enhancenet_models::{
     GraphMode, GruSeq2Seq, LstmSeq2Seq, ModelDims, Stgcn, TemporalMode, WaveNet, WaveNetConfig,
@@ -14,7 +11,7 @@ use enhancenet_tensor::Tensor;
 fn traffic_data(n: usize, days: usize) -> (WindowDataset, Tensor) {
     let series = generate_traffic(&TrafficConfig::tiny(n, days));
     let adjacency = gaussian_kernel_adjacency(&series.distances, AdjacencyConfig::default());
-    (WindowDataset::from_series(&series, 12, 12), adjacency)
+    (WindowDataset::from_series(&series, 12, 12).unwrap(), adjacency)
 }
 
 fn dims(n: usize, c: usize, hidden: usize) -> ModelDims {
@@ -22,9 +19,13 @@ fn dims(n: usize, c: usize, hidden: usize) -> ModelDims {
 }
 
 fn quick_trainer(epochs: usize) -> Trainer {
-    let mut cfg = TrainConfig::quick(epochs, 8);
-    cfg.max_batches_per_epoch = Some(15);
-    cfg.max_eval_batches = Some(6);
+    let cfg = TrainConfig::builder()
+        .epochs(epochs)
+        .batch_size(8)
+        .max_batches_per_epoch(Some(15))
+        .max_eval_batches(Some(6))
+        .build()
+        .expect("test config is valid");
     Trainer::new(cfg)
 }
 
@@ -114,7 +115,7 @@ fn every_family_trains_and_evaluates() {
 fn weather_pipeline_end_to_end() {
     let series = generate_weather(&WeatherConfig::tiny(6, 15));
     let adjacency = gaussian_kernel_adjacency(&series.distances, AdjacencyConfig::default());
-    let data = WindowDataset::from_series(&series, 12, 12);
+    let data = WindowDataset::from_series(&series, 12, 12).unwrap();
     let trainer = quick_trainer(2);
     let mut model = WaveNet::gtcn(
         dims(6, 6, 8),

@@ -2,8 +2,7 @@
 //! plugins target — the load-bearing assumption behind the substitution of
 //! PEMS/METR-LA/Kaggle with synthetic data (DESIGN.md §2).
 
-use enhancenet_data::traffic::{generate_traffic, TrafficConfig};
-use enhancenet_data::weather::{generate_weather, WeatherConfig};
+use enhancenet::prelude::*;
 
 /// Pearson correlation of two equal-length slices.
 fn corr(a: &[f32], b: &[f32]) -> f32 {

@@ -1,0 +1,145 @@
+//! End-to-end serving-path coverage: raw observations streamed through a
+//! [`ForecastService`] must produce exactly the forecasts the offline
+//! [`Forecaster::predict`] path produces on the same windows, and every
+//! failure mode must degrade to a persistence forecast instead of hanging
+//! or panicking.
+
+use enhancenet::prelude::*;
+use enhancenet::ForwardCtx;
+use enhancenet_autodiff::{Graph, ParamStore, Var};
+use enhancenet_models::{GruSeq2Seq, ModelDims, TemporalMode};
+use enhancenet_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+const H: usize = 12;
+const F: usize = 12;
+const N: usize = 8;
+
+fn dims() -> ModelDims {
+    ModelDims { num_entities: N, in_features: 1, hidden: 8, input_len: H, output_len: F }
+}
+
+/// Same constructor arguments → bit-identical parameters, so a twin model
+/// stands in for "the same trained model" on the offline path.
+fn model() -> GruSeq2Seq {
+    GruSeq2Seq::rnn(dims(), 1, TemporalMode::Shared, 3)
+}
+
+#[test]
+fn streamed_forecasts_match_offline_predict_bitwise() {
+    let series = generate_traffic(&TrafficConfig::tiny(N, 2));
+    let data = WindowDataset::from_series(&series, H, F).unwrap();
+    let (n, c) = (series.num_entities(), series.num_features());
+
+    let mut service =
+        ForecastService::new(Box::new(model()), data.scaler.clone(), ServeConfig::default())
+            .unwrap();
+    let offline = model();
+
+    let mut compared = 0;
+    for t in 0..60 {
+        let row = &series.values.data()[t * n * c..(t + 1) * n * c];
+        service.ingest_row(t as i64, row).unwrap();
+        if !service.is_ready() {
+            continue;
+        }
+        let served = service.forecast().unwrap();
+        assert!(!served.degraded, "model answered within deadline at t={t}");
+        assert_eq!(served.anchor, Some(t as i64));
+
+        // Offline: the same H raw rows, scaled with the same scaler.
+        let raw = series.values.slice_axis(0, t + 1 - H, t + 1);
+        let scaled = data.scaler.transform(&raw).unwrap();
+        let expected = data.scaler.inverse_feature(&offline.predict(&scaled).unwrap(), 0);
+        assert_eq!(
+            served.values.data(),
+            expected.data(),
+            "served forecast diverged from offline predict at t={t}"
+        );
+        compared += 1;
+    }
+    assert!(compared >= 40, "only {compared} forecasts compared");
+    service.shutdown();
+}
+
+/// A host whose forward pass is far slower than the serving deadline.
+struct SlowModel {
+    inner: GruSeq2Seq,
+    sleep: Duration,
+}
+
+impl Forecaster for SlowModel {
+    fn name(&self) -> &str {
+        "slow"
+    }
+    fn store(&self) -> &ParamStore {
+        self.inner.store()
+    }
+    fn store_mut(&mut self) -> &mut ParamStore {
+        self.inner.store_mut()
+    }
+    fn horizon(&self) -> usize {
+        self.inner.horizon()
+    }
+    fn input_shape(&self) -> Option<[usize; 3]> {
+        self.inner.input_shape()
+    }
+    fn forward(&self, g: &mut Graph, x: &Tensor, ctx: &mut ForwardCtx) -> Var {
+        std::thread::sleep(self.sleep);
+        self.inner.forward(g, x, ctx)
+    }
+}
+
+#[test]
+fn missed_deadline_returns_degraded_persistence_not_an_error() {
+    let series = generate_traffic(&TrafficConfig::tiny(N, 2));
+    let data = WindowDataset::from_series(&series, H, F).unwrap();
+    let (n, c) = (series.num_entities(), series.num_features());
+
+    let slow = SlowModel { inner: model(), sleep: Duration::from_millis(300) };
+    let config = ServeConfig { deadline: Duration::from_millis(5), ..Default::default() };
+    let mut service = ForecastService::new(Box::new(slow), data.scaler.clone(), config).unwrap();
+    for t in 0..H {
+        let row = &series.values.data()[t * n * c..(t + 1) * n * c];
+        service.ingest_row(t as i64, row).unwrap();
+    }
+
+    let started = Instant::now();
+    let forecast = service.forecast().expect("degraded forecast, not an error");
+    assert!(forecast.degraded, "a missed deadline must be marked degraded");
+    assert!(
+        started.elapsed() < Duration::from_millis(200),
+        "forecast blocked past its deadline: {:?}",
+        started.elapsed()
+    );
+
+    // The fallback is a persistence forecast: each entity's last raw
+    // observation repeated across the horizon.
+    assert_eq!(forecast.values.shape(), &[F, N]);
+    for e in 0..N {
+        let last = series.values.at(&[H - 1, e, 0]);
+        for f in 0..F {
+            assert_eq!(forecast.values.at(&[f, e]), last);
+        }
+    }
+    service.shutdown();
+}
+
+#[test]
+fn warming_service_degrades_instead_of_erroring() {
+    let series = generate_traffic(&TrafficConfig::tiny(N, 2));
+    let data = WindowDataset::from_series(&series, H, F).unwrap();
+    let (n, c) = (series.num_entities(), series.num_features());
+    let mut service =
+        ForecastService::new(Box::new(model()), data.scaler.clone(), ServeConfig::default())
+            .unwrap();
+    // Fewer rows than the window needs: degraded persistence, never a hang.
+    for t in 0..H / 2 {
+        let row = &series.values.data()[t * n * c..(t + 1) * n * c];
+        service.ingest_row(t as i64, row).unwrap();
+        let forecast = service.forecast().unwrap();
+        assert!(forecast.degraded);
+        assert_eq!(forecast.values.shape(), &[F, N]);
+    }
+    service.shutdown();
+}

@@ -6,15 +6,13 @@
 //! Runs as its own test binary: the telemetry registry is process-global,
 //! and the sibling integration suites must keep seeing it disabled.
 
-use enhancenet::{TrainConfig, Trainer};
-use enhancenet_data::traffic::{generate_traffic, TrafficConfig};
-use enhancenet_data::WindowDataset;
+use enhancenet::prelude::*;
 use enhancenet_models::{GruSeq2Seq, ModelDims, TemporalMode};
 
 #[test]
 fn quick_training_run_emits_structured_telemetry() {
     let series = generate_traffic(&TrafficConfig::tiny(6, 2));
-    let data = WindowDataset::from_series(&series, 12, 12);
+    let data = WindowDataset::from_series(&series, 12, 12).unwrap();
     let dims =
         ModelDims { num_entities: 6, in_features: 1, hidden: 12, input_len: 12, output_len: 12 };
     let mut model = GruSeq2Seq::rnn(dims, 1, TemporalMode::Shared, 1);
