@@ -1,0 +1,194 @@
+//! Standalone gradient buffers for data-parallel training.
+//!
+//! A [`GradBuffer`] holds one gradient slot per parameter of a
+//! [`ParamStore`], laid out by [`ParamId`] so reduction order is fixed by
+//! construction. Worker threads export leaf gradients from their private
+//! [`Graph`](crate::Graph)s with [`Graph::export_grads`](crate::Graph::export_grads)
+//! — no `&mut ParamStore` required — and the reducing thread folds buffers
+//! into the store in parameter order with [`GradBuffer::reduce_into`].
+//!
+//! Keeping the reduction a plain, ordered loop (rather than atomics or
+//! first-come accumulation into the store) is what makes sharded training
+//! bit-identical to serial training: float addition is not associative, so
+//! determinism requires that the *order* of every `+=` is a function of the
+//! data alone, never of thread scheduling.
+
+use crate::params::{ParamId, ParamStore};
+use enhancenet_tensor::Tensor;
+
+/// Per-parameter gradient accumulator detached from any [`ParamStore`].
+///
+/// Slots start empty and are materialized on first accumulation; a buffer
+/// reused across steps (after [`GradBuffer::reset`]) accumulates in place
+/// without reallocating, which keeps the sharded hot loop allocation-free
+/// at steady state.
+#[derive(Default)]
+pub struct GradBuffer {
+    slots: Vec<Option<Tensor>>,
+}
+
+impl GradBuffer {
+    /// A buffer with one (empty) slot per parameter of `store`.
+    pub fn for_store(store: &ParamStore) -> Self {
+        Self { slots: (0..store.len()).map(|_| None).collect() }
+    }
+
+    /// Number of parameter slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the buffer tracks no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The accumulated gradient for `id`, if anything was accumulated.
+    pub fn grad(&self, id: ParamId) -> Option<&Tensor> {
+        self.slots[id.0 as usize].as_ref()
+    }
+
+    /// Adds `g` into the slot for `id`. The first accumulation clones `g`;
+    /// subsequent ones add in place.
+    pub fn accumulate(&mut self, id: ParamId, g: &Tensor) {
+        match &mut self.slots[id.0 as usize] {
+            Some(acc) => acc.add_assign_t(g),
+            slot @ None => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Folds `other` into `self`, slot by slot in parameter order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffers track different parameter counts.
+    pub fn add_from(&mut self, other: &GradBuffer) {
+        assert_eq!(self.slots.len(), other.slots.len(), "grad buffer layout mismatch");
+        for (dst, src) in self.slots.iter_mut().zip(&other.slots) {
+            if let Some(g) = src {
+                match dst {
+                    Some(acc) => acc.add_assign_t(g),
+                    slot @ None => *slot = Some(g.clone()),
+                }
+            }
+        }
+    }
+
+    /// Zeroes every materialized slot in place (allocation-free), readying
+    /// the buffer for the next step. Empty slots stay empty.
+    pub fn reset(&mut self) {
+        for slot in self.slots.iter_mut().flatten() {
+            slot.data_mut().fill(0.0);
+        }
+    }
+
+    /// Accumulates every materialized slot into `store`, iterating
+    /// parameters in [`ParamId`] order. The deterministic tail of the
+    /// shard-reduce path: callers fold worker buffers in a fixed order and
+    /// finish with one ordered flush into the store.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer does not match the store layout.
+    pub fn reduce_into(&self, store: &mut ParamStore) {
+        assert_eq!(self.slots.len(), store.len(), "grad buffer does not match store layout");
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(g) = slot {
+                store.accumulate_grad(ParamId(i as u32), g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn store_ab() -> (ParamStore, ParamId, ParamId) {
+        let mut s = ParamStore::new();
+        let a = s.add("a", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let b = s.add("b", Tensor::from_vec(vec![3.0], &[1]));
+        (s, a, b)
+    }
+
+    #[test]
+    fn accumulate_and_reduce_match_direct_store_writes() {
+        let (mut s, a, b) = store_ab();
+        let mut buf = GradBuffer::for_store(&s);
+        buf.accumulate(a, &Tensor::from_vec(vec![0.5, 1.5], &[2]));
+        buf.accumulate(a, &Tensor::from_vec(vec![0.5, 0.5], &[2]));
+        buf.accumulate(b, &Tensor::from_vec(vec![2.0], &[1]));
+        buf.reduce_into(&mut s);
+        assert_eq!(s.grad(a).data(), &[1.0, 2.0]);
+        assert_eq!(s.grad(b).data(), &[2.0]);
+    }
+
+    #[test]
+    fn untouched_slots_do_not_reduce() {
+        let (mut s, a, b) = store_ab();
+        let mut buf = GradBuffer::for_store(&s);
+        buf.accumulate(a, &Tensor::ones(&[2]));
+        assert!(buf.grad(b).is_none());
+        buf.reduce_into(&mut s);
+        assert_eq!(s.grad(b).data(), &[0.0]);
+    }
+
+    #[test]
+    fn add_from_folds_in_place() {
+        let (s, a, b) = store_ab();
+        let mut total = GradBuffer::for_store(&s);
+        let mut shard = GradBuffer::for_store(&s);
+        shard.accumulate(a, &Tensor::ones(&[2]));
+        shard.accumulate(b, &Tensor::ones(&[1]));
+        total.add_from(&shard);
+        total.add_from(&shard);
+        assert_eq!(total.grad(a).unwrap().data(), &[2.0, 2.0]);
+        assert_eq!(total.grad(b).unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn reset_zeroes_without_dropping() {
+        let (s, a, _) = store_ab();
+        let mut buf = GradBuffer::for_store(&s);
+        buf.accumulate(a, &Tensor::ones(&[2]));
+        buf.reset();
+        assert_eq!(buf.grad(a).unwrap().data(), &[0.0, 0.0]);
+        buf.accumulate(a, &Tensor::ones(&[2]));
+        assert_eq!(buf.grad(a).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout")]
+    fn reduce_into_rejects_layout_mismatch() {
+        let (mut s, _, _) = store_ab();
+        let buf = GradBuffer::default();
+        buf.reduce_into(&mut s);
+    }
+
+    #[test]
+    fn export_grads_matches_write_grads() {
+        let (mut s, a, b) = store_ab();
+        let build = |s: &ParamStore| {
+            let mut g = Graph::new();
+            let av = g.param(s, a);
+            let bv = g.param(s, b);
+            let prod = g.mul(av, av);
+            let sum = g.sum_all(prod);
+            let sb = g.sum_all(bv);
+            let loss = g.add(sum, sb);
+            g.backward(loss);
+            g
+        };
+        let g1 = build(&s);
+        g1.write_grads(&mut s);
+        let direct_a = s.grad(a).clone();
+        let direct_b = s.grad(b).clone();
+
+        let g2 = build(&s);
+        let mut buf = GradBuffer::for_store(&s);
+        g2.export_grads(&mut buf);
+        assert_eq!(buf.grad(a).unwrap().data(), direct_a.data());
+        assert_eq!(buf.grad(b).unwrap().data(), direct_b.data());
+    }
+}

@@ -35,11 +35,13 @@
 
 mod backward;
 pub mod check;
+mod gradbuf;
 mod graph;
 mod ops;
 mod params;
 mod serialize;
 
+pub use gradbuf::GradBuffer;
 pub use graph::{Graph, Op, Var};
 pub use params::{ParamId, ParamStore};
 pub use serialize::CheckpointError;

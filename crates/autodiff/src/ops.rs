@@ -291,13 +291,30 @@ impl Graph {
     /// experimental setting (masked MAE, as in DCRNN / Graph WaveNet).
     pub fn masked_mae(&mut self, pred: Var, target: &Tensor, mask: &Tensor) -> Var {
         let mask_sum = mask.sum_all().max(1e-6);
+        self.masked_mae_with_denom(pred, target, mask, mask_sum)
+    }
+
+    /// [`Graph::masked_mae`] with an explicit denominator:
+    /// `Σ|pred-target|·mask / denom`.
+    ///
+    /// The sharded trainer scores each window on its own tape but normalizes
+    /// by the *whole batch's* mask sum, so per-window losses sum to one
+    /// batch loss whose value and gradients are independent of how windows
+    /// are grouped into shards.
+    pub fn masked_mae_with_denom(
+        &mut self,
+        pred: Var,
+        target: &Tensor,
+        mask: &Tensor,
+        denom: f32,
+    ) -> Var {
         let t = self.constant(target.clone());
         let m = self.constant(mask.clone());
         let diff = self.sub(pred, t);
         let a = self.abs(diff);
         let masked = self.mul(a, m);
         let s = self.sum_all(masked);
-        self.mul_scalar(s, 1.0 / mask_sum)
+        self.mul_scalar(s, 1.0 / denom)
     }
 
     /// Masked mean squared error (same masking semantics as

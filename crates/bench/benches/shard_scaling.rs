@@ -1,0 +1,50 @@
+//! Epoch throughput of the sharded data-parallel trainer at 1/2/4/8
+//! shards, on a GRU host and a WaveNet host.
+//!
+//! The engine is shard-count invariant bit for bit, so these groups
+//! measure pure scheduling: the same windows, graphs, and float operations
+//! at every `K`, distributed over `K` worker threads. The README's
+//! Performance section quotes the resulting scaling table; the PR
+//! acceptance floor is ≥1.5× epoch throughput at 4 shards.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enhancenet::{Forecaster, TrainConfig, Trainer};
+use enhancenet_bench::{bench_dataset, bench_dims, bench_wavenet_config};
+use enhancenet_models::{GruSeq2Seq, TemporalMode, WaveNet};
+use std::hint::black_box;
+
+fn shard_config(shards: usize) -> TrainConfig {
+    TrainConfig::builder()
+        .epochs(1)
+        .batch_size(8)
+        .max_batches_per_epoch(Some(6))
+        .max_eval_batches(Some(1))
+        .data_parallel(shards)
+        .build()
+        .expect("bench config is valid")
+}
+
+fn bench_host(c: &mut Criterion, host: &str, mut model: Box<dyn Forecaster>) {
+    let (data, _) = bench_dataset();
+    let mut group = c.benchmark_group(format!("shard_scaling/{host}"));
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &shards| {
+            let trainer = Trainer::new(shard_config(shards));
+            b.iter(|| black_box(trainer.train(model.as_mut(), &data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    bench_host(c, "GRU", Box::new(GruSeq2Seq::rnn(bench_dims(16), 2, TemporalMode::Shared, 1)));
+    bench_host(
+        c,
+        "WaveNet",
+        Box::new(WaveNet::tcn(bench_dims(16), bench_wavenet_config(), TemporalMode::Shared, 1)),
+    );
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Regenerates the README's shard-scaling table: epoch throughput of the
+//! data-parallel trainer at 1/2/4/8 shards on a GRU host and a WaveNet
+//! host.
+//!
+//! ```sh
+//! cargo run --release -p enhancenet-bench --bin shard_scaling_report
+//! ```
+//!
+//! The engine is shard-count invariant bit for bit, so every row runs the
+//! same float work; the speedup column is pure scheduling and tracks the
+//! machine's core count. Run on a multi-core box to reproduce the scaling
+//! the README quotes — a single-core container pins every row near 1.0×.
+
+use enhancenet::{Forecaster, TrainConfig, Trainer};
+use enhancenet_bench::{bench_dataset, bench_dims, bench_wavenet_config};
+use enhancenet_models::{GruSeq2Seq, TemporalMode, WaveNet};
+use std::time::Instant;
+
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+const EPOCHS: usize = 2;
+const BATCHES_PER_EPOCH: usize = 10;
+
+fn config(shards: usize) -> TrainConfig {
+    TrainConfig::builder()
+        .epochs(EPOCHS)
+        .batch_size(8)
+        .max_batches_per_epoch(Some(BATCHES_PER_EPOCH))
+        .max_eval_batches(Some(1))
+        .data_parallel(shards)
+        .build()
+        .expect("report config is valid")
+}
+
+fn measure(model: &mut dyn Forecaster) -> Vec<(usize, f64)> {
+    let (data, _) = bench_dataset();
+    // Warm-up: populate scratch pools and caches outside the timed region.
+    Trainer::new(config(1)).train(model, &data);
+    SHARDS
+        .iter()
+        .map(|&shards| {
+            let trainer = Trainer::new(config(shards));
+            let started = Instant::now();
+            let report = trainer.train(model, &data);
+            let secs = started.elapsed().as_secs_f64();
+            let windows: usize = report.epoch_telemetry.iter().map(|e| e.windows).sum();
+            (shards, windows as f64 / secs)
+        })
+        .collect()
+}
+
+fn print_host(host: &str, rows: &[(usize, f64)]) {
+    let base = rows[0].1;
+    println!("\n{host}");
+    println!("{:>7} {:>14} {:>9}", "shards", "windows/s", "speedup");
+    for &(shards, throughput) in rows {
+        println!("{shards:>7} {throughput:>14.1} {:>8.2}x", throughput / base);
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "shard scaling: {EPOCHS} epochs x {BATCHES_PER_EPOCH} batches of 8 windows, {cores} core(s)"
+    );
+
+    let mut gru = GruSeq2Seq::rnn(bench_dims(16), 2, TemporalMode::Shared, 1);
+    print_host("GRU host", &measure(&mut gru));
+
+    let mut wavenet = WaveNet::tcn(bench_dims(16), bench_wavenet_config(), TemporalMode::Shared, 1);
+    print_host("WaveNet host", &measure(&mut wavenet));
+}

@@ -22,7 +22,7 @@
 
 use enhancenet_autodiff::{Graph, ParamId, ParamStore, Var};
 use enhancenet_tensor::{Tensor, TensorRng};
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// DAMGN hyper-parameters. Paper default: `M = 10` for the `B₁`, `B₂`
 /// memories; the embedding width of θ/φ defaults to the input feature
@@ -61,9 +61,12 @@ pub struct DamgnBinding {
 /// checkpoint restore) invalidates it automatically. Cache hits splice the
 /// stored values back in as constants — the exact tensors the tracked path
 /// produced, so eval outputs are bit-identical with or without the cache.
+/// A `Mutex` (not `RefCell`) so host models stay `Sync` — shard workers in
+/// the data-parallel trainer share one `&dyn Forecaster`. Training forwards
+/// return before touching the lock, so the hot path never contends.
 #[derive(Default)]
 pub struct StaticFoldCache {
-    slot: RefCell<Option<(u64, Vec<Tensor>)>>,
+    slot: Mutex<Option<(u64, Vec<Tensor>)>>,
 }
 
 impl StaticFoldCache {
@@ -74,7 +77,7 @@ impl StaticFoldCache {
 
     /// True once a folded static component is stored.
     pub fn is_populated(&self) -> bool {
-        self.slot.borrow().is_some()
+        self.slot.lock().unwrap().is_some()
     }
 }
 
@@ -214,7 +217,7 @@ impl Damgn {
         if training {
             return self.bind(g, store, base_supports);
         }
-        let mut slot = cache.slot.borrow_mut();
+        let mut slot = cache.slot.lock().unwrap();
         if let Some((version, parts)) = slot.as_ref() {
             if *version == store.version() && parts.len() == base_supports.len() {
                 enhancenet_telemetry::count("damgn.fold.hits", 1);
@@ -428,10 +431,7 @@ mod tests {
         let mut g3 = Graph::new();
         let a3 = g3.constant(Tensor::eye(3));
         let fresh = d.bind(&mut g3, &store, &[a3]);
-        assert_eq!(
-            g2.value(cached.static_parts[0]).data(),
-            g3.value(fresh.static_parts[0]).data()
-        );
+        assert_eq!(g2.value(cached.static_parts[0]).data(), g3.value(fresh.static_parts[0]).data());
     }
 
     #[test]

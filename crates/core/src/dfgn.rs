@@ -35,9 +35,13 @@ impl Default for DfgnConfig {
 
 /// Prediction-phase cache of generated filters, keyed by the store
 /// version. Owned by the host layer; see [`Dfgn::generate_cached`].
+///
+/// A `Mutex` (not `RefCell`) so host models stay `Sync` — shard workers in
+/// the data-parallel trainer share one `&dyn Forecaster`. Training forwards
+/// return before touching the lock, so the hot path never contends.
 #[derive(Default)]
 pub struct FilterCache {
-    slot: std::cell::RefCell<Option<(u64, enhancenet_tensor::Tensor)>>,
+    slot: std::sync::Mutex<Option<(u64, enhancenet_tensor::Tensor)>>,
 }
 
 impl FilterCache {
@@ -48,7 +52,7 @@ impl FilterCache {
 
     /// True when a cached value is present (test/diagnostic hook).
     pub fn is_populated(&self) -> bool {
-        self.slot.borrow().is_some()
+        self.slot.lock().unwrap().is_some()
     }
 }
 
@@ -147,7 +151,7 @@ impl Dfgn {
         if training {
             return self.generate(g, store);
         }
-        let mut slot = cache.slot.borrow_mut();
+        let mut slot = cache.slot.lock().unwrap();
         if let Some((version, filters)) = slot.as_ref() {
             if *version == store.version() {
                 enhancenet_telemetry::count("dfgn.cache.hits", 1);

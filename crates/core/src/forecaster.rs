@@ -40,7 +40,13 @@ impl<'a> ForwardCtx<'a> {
 
 /// A correlated-time-series forecaster: maps a scaled input window
 /// `[B, H, N, C]` to scaled predictions `[B, F, N]` of the target feature.
-pub trait Forecaster {
+///
+/// `Send + Sync` is a supertrait: the serving runtime moves models into a
+/// worker thread, and the sharded trainer shares `&dyn Forecaster` across
+/// scoped workers. `forward` takes `&self`, so implementations are
+/// naturally `Sync` as long as any interior caches use locks (see
+/// [`crate::dfgn::FilterCache`] / [`crate::damgn::StaticFoldCache`]).
+pub trait Forecaster: Send + Sync {
     /// Human-readable model tag as it appears in the paper's tables
     /// (e.g. `"D-RNN"`, `"DA-GTCN"`).
     fn name(&self) -> &str;
@@ -91,8 +97,7 @@ pub trait Forecaster {
             3 => (false, window.unsqueeze(0)),
             4 => (true, window.clone()),
             _ => {
-                let expected =
-                    self.input_shape().map(|s| s.to_vec()).unwrap_or_default();
+                let expected = self.input_shape().map(|s| s.to_vec()).unwrap_or_default();
                 return Err(shape_err(expected));
             }
         };

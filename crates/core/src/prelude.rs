@@ -21,12 +21,12 @@ pub use crate::trainer::{
     EpochTelemetry, EvalReport, TrainConfig, TrainConfigBuilder, TrainReport, Trainer,
 };
 pub use enhancenet_data::traffic::{generate_traffic, TrafficConfig};
-pub use enhancenet_nn::optim::LrSchedule;
 pub use enhancenet_data::weather::{generate_weather, WeatherConfig};
 pub use enhancenet_data::{
     Batch, BatchIterator, ChronoSplit, CorrelatedTimeSeries, DataError, SlidingWindow,
     StandardScaler, WindowDataset,
 };
+pub use enhancenet_nn::optim::LrSchedule;
 pub use enhancenet_stats::metrics::{
     mae, mape, metrics_at_horizon, metrics_per_entity, metrics_per_horizon, rmse, HorizonMetrics,
 };

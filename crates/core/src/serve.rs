@@ -91,18 +91,31 @@ struct BatchRequest {
 
 /// Handle to an in-flight prediction submitted with
 /// [`ForecastService::submit`].
+#[derive(Debug)]
 pub struct PendingForecast {
     rx: Receiver<Result<Tensor, EnhanceNetError>>,
+    /// When the request entered the queue. The deadline clock starts here,
+    /// not at [`PendingForecast::wait`]: time spent queued behind other
+    /// requests counts against the latency budget, matching what the caller
+    /// actually experiences.
+    submitted: Instant,
 }
 
 impl PendingForecast {
-    /// Waits up to `deadline` for the scaled `[F, N]` prediction.
+    /// Waits until `deadline` *measured from submission* for the scaled
+    /// `[F, N]` prediction.
+    ///
+    /// The budget starts when [`ForecastService::submit`] accepted the
+    /// request, so queue time already spent is subtracted; calling `wait`
+    /// after the deadline has lapsed still polls once for an
+    /// already-delivered reply before giving up.
     ///
     /// Returns [`EnhanceNetError::DeadlineExceeded`] on timeout and
     /// [`EnhanceNetError::ServiceStopped`] when the worker is gone; a
     /// late-arriving reply after a timeout is dropped harmlessly.
     pub fn wait(&self, deadline: Duration) -> Result<Tensor, EnhanceNetError> {
-        match self.rx.recv_timeout(deadline) {
+        let remaining = deadline.saturating_sub(self.submitted.elapsed());
+        match self.rx.recv_timeout(remaining) {
             Ok(result) => result,
             Err(RecvTimeoutError::Timeout) => Err(EnhanceNetError::DeadlineExceeded { deadline }),
             Err(RecvTimeoutError::Disconnected) => Err(EnhanceNetError::ServiceStopped),
@@ -260,7 +273,7 @@ impl ForecastService {
     /// path: submit many windows, then collect, and the worker serves them
     /// in micro-batches.
     pub fn submit(&self, scaled_window: &Tensor) -> Result<PendingForecast, EnhanceNetError> {
-        if scaled_window.shape() != &self.input {
+        if scaled_window.shape() != self.input {
             return Err(EnhanceNetError::InputShape {
                 expected: self.input.to_vec(),
                 got: scaled_window.shape().to_vec(),
@@ -270,7 +283,7 @@ impl ForecastService {
         let (reply_tx, reply_rx) = bounded(1);
         let request = BatchRequest { window: scaled_window.clone(), reply: reply_tx };
         match tx.try_send(request) {
-            Ok(()) => Ok(PendingForecast { rx: reply_rx }),
+            Ok(()) => Ok(PendingForecast { rx: reply_rx, submitted: Instant::now() }),
             Err(TrySendError::Full(_)) => {
                 enhancenet_telemetry::count("serve.queue.rejected", 1);
                 Err(EnhanceNetError::Overloaded { capacity: self.config.queue_capacity })
@@ -490,6 +503,37 @@ mod tests {
         svc.shutdown();
     }
 
+    #[test]
+    fn wait_deadline_includes_queue_time() {
+        // A pending forecast whose worker never answers: the deadline clock
+        // started at submission, so by the time the caller gets around to
+        // waiting, most of the budget is already spent and `wait` must
+        // return almost immediately instead of granting a fresh full budget.
+        let (_tx, rx) = bounded::<Result<Tensor, EnhanceNetError>>(1);
+        let pending = PendingForecast { rx, submitted: Instant::now() };
+        let deadline = Duration::from_millis(50);
+        std::thread::sleep(Duration::from_millis(120));
+        let waited = Instant::now();
+        match pending.wait(deadline) {
+            Err(EnhanceNetError::DeadlineExceeded { deadline: d }) => assert_eq!(d, deadline),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(
+            waited.elapsed() < deadline,
+            "wait granted a fresh budget after the deadline had lapsed in the queue: {:?}",
+            waited.elapsed()
+        );
+
+        // A reply that landed within budget is still collectable even when
+        // the caller polls late — lapsed budget drops to a non-blocking poll,
+        // not an unconditional error.
+        let (tx, rx) = bounded::<Result<Tensor, EnhanceNetError>>(1);
+        let pending = PendingForecast { rx, submitted: Instant::now() };
+        tx.send(Ok(Tensor::zeros(&[F, N]))).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(pending.wait(deadline).is_ok(), "delivered reply must survive a late wait");
+    }
+
     /// A model whose forward panics, simulating a poisoned worker.
     struct PanickyModel {
         inner: AffinePersistence,
@@ -519,8 +563,8 @@ mod tests {
     #[test]
     fn worker_panic_degrades_and_service_survives() {
         let model = PanickyModel { inner: AffinePersistence::new(F).with_input_shape(H, N, C) };
-        let mut svc = ForecastService::new(Box::new(model), scaler(), ServeConfig::default())
-            .unwrap();
+        let mut svc =
+            ForecastService::new(Box::new(model), scaler(), ServeConfig::default()).unwrap();
         feed(&mut svc, H);
         let first = svc.forecast().unwrap();
         assert!(first.degraded);
@@ -553,11 +597,8 @@ mod tests {
 
     #[test]
     fn micro_batch_replies_match_sequential_submissions() {
-        let config = ServeConfig {
-            max_batch: 4,
-            max_wait: Duration::from_millis(25),
-            ..Default::default()
-        };
+        let config =
+            ServeConfig { max_batch: 4, max_wait: Duration::from_millis(25), ..Default::default() };
         let svc = service(config);
         let mut rng = TensorRng::seed(7);
         let windows: Vec<Tensor> = (0..4).map(|_| rng.normal(&[H, N, C], 0.0, 1.0)).collect();

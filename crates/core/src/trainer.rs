@@ -6,6 +6,8 @@
 //! checkpointing, and the runtime accounting of Table V (seconds per
 //! training epoch, milliseconds per 12-step prediction).
 
+pub(crate) mod parallel;
+
 use crate::error::EnhanceNetError;
 use crate::forecaster::{Forecaster, ForwardCtx};
 use crate::probes::{self, MemoryDriftProbe, ProbeConfig};
@@ -41,6 +43,13 @@ pub struct TrainConfig {
     pub patience: Option<usize>,
     /// Seed for shuffling, dropout and sampling.
     pub seed: u64,
+    /// Sharded data-parallel training: `Some(k)` fans each mini-batch out
+    /// over `k` scoped worker threads ([`parallel::ShardEngine`]); `None`
+    /// keeps the single-graph serial path. Results are bit-identical for
+    /// every `Some(k)` — the shard count is a pure throughput knob — though
+    /// the sharded and serial paths are distinct numeric trajectories
+    /// (per-window tapes vs one batched tape).
+    pub data_parallel: Option<usize>,
     /// Print one line per epoch.
     pub verbose: bool,
     /// Which model-health probes fire (error attribution at evaluation,
@@ -98,6 +107,7 @@ impl Default for TrainConfigBuilder {
                 max_eval_batches: None,
                 patience: None,
                 seed: 1,
+                data_parallel: None,
                 verbose: false,
                 probes: ProbeConfig::default(),
             },
@@ -160,6 +170,15 @@ impl TrainConfigBuilder {
         self
     }
 
+    /// Enables sharded data-parallel training over `shards` worker threads
+    /// (must end up ≥ 1; values beyond 256 are rejected as configuration
+    /// mistakes). `data_parallel(1)` runs the shard engine serially and is
+    /// bit-identical to every higher shard count.
+    pub fn data_parallel(mut self, shards: usize) -> Self {
+        self.config.data_parallel = Some(shards);
+        self
+    }
+
     /// Print one line per epoch.
     pub fn verbose(mut self, verbose: bool) -> Self {
         self.config.verbose = verbose;
@@ -198,6 +217,14 @@ impl TrainConfigBuilder {
                 field: "sampler_tau",
                 reason: format!("must be finite and > 0, got {}", cfg.sampler_tau),
             });
+        }
+        if let Some(shards) = cfg.data_parallel {
+            if shards == 0 || shards > 256 {
+                return Err(EnhanceNetError::InvalidConfig {
+                    field: "data_parallel",
+                    reason: format!("shard count must be in 1..=256, got {shards}"),
+                });
+            }
         }
         Ok(cfg)
     }
@@ -289,6 +316,24 @@ fn secs_per_full_epoch(epochs: &[EpochTelemetry]) -> f32 {
     }
 }
 
+/// Missing-data mask from raw targets: zero readings are missing (the
+/// traffic-dataset convention) and non-finite readings are corrupt sensor
+/// values; both mask out of the loss. The finiteness check matters: NaN
+/// satisfies `v != 0.0`, so without it a single bad reading put weight 1 on
+/// a NaN target and poisoned the whole batch's masked MAE.
+pub(crate) fn missing_mask(y_raw: &Tensor) -> Tensor {
+    y_raw.map(|v| if v.is_finite() && v != 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Scaled targets with non-finite entries zeroed. Masking alone does not
+/// recover from a NaN target (`NaN · 0 = NaN` inside the masked loss, and a
+/// NaN fed back by teacher forcing corrupts the forward pass), so the bad
+/// entries are replaced by a harmless 0 — the mask already excludes them
+/// from the loss and its gradients.
+pub(crate) fn sanitized_targets(y_scaled: &Tensor) -> Tensor {
+    y_scaled.map(|v| if v.is_finite() { v } else { 0.0 })
+}
+
 /// Drives training and evaluation of any [`Forecaster`].
 pub struct Trainer {
     config: TrainConfig,
@@ -330,69 +375,117 @@ impl Trainer {
         // before the first update so drift is measured from init.
         let drift_probe = MemoryDriftProbe::start(&cfg.probes, model);
 
+        // Sharded data-parallel engine (tentpole): per-window tapes fanned
+        // out over scoped workers, reduced in fixed window order so the
+        // shard count never changes the math (see `trainer::parallel`).
+        let mut engine =
+            cfg.data_parallel.map(|k| parallel::ShardEngine::new(k, model.store(), cfg.batch_size));
+        // Counts every batch drawn (diverged ones included) across the
+        // whole run; part of each window's RNG-stream derivation, so it
+        // must advance identically for every shard count.
+        let mut global_batch = 0u64;
+
         for epoch in 0..cfg.epochs {
             let _epoch_span = enhancenet_telemetry::span("trainer.epoch");
             let lr = cfg.schedule.lr_at(epoch);
             let started = Instant::now();
             let mut loss_sum = 0.0f64;
-            let mut batches = 0usize;
             let mut windows = 0usize;
             let mut grad_norm_sum = 0.0f64;
             let mut updates = 0usize;
             let mut truncated = false;
             let iter =
                 BatchIterator::shuffled(data, data.split.train.clone(), cfg.batch_size, &mut rng);
-            for batch in iter {
+            for (batch_idx, batch) in iter.enumerate() {
                 if let Some(cap) = cfg.max_batches_per_epoch {
-                    if batches >= cap {
+                    if batch_idx >= cap {
                         truncated = true;
                         break;
                     }
                 }
                 let tf_prob = sampler.teacher_forcing_prob();
                 let step_start = enhancenet_telemetry::enabled().then(Instant::now);
-                let mut g = Graph::new();
-                let pred = {
-                    let _timer = enhancenet_telemetry::span("trainer.forward");
-                    let mut ctx = ForwardCtx::train(&mut rng, &batch.y_scaled, tf_prob);
-                    model.forward(&mut g, &batch.x, &mut ctx)
-                };
-                // Mask from the raw targets (zero = missing reading).
-                let mask = batch.y_raw.map(|v| if v != 0.0 { 1.0 } else { 0.0 });
-                let loss = g.masked_mae(pred, &batch.y_scaled, &mask);
-                let loss_val = g.value(loss).item();
-                windows += batch.starts.len();
-                if !loss_val.is_finite() {
-                    // Divergence guard: skip the update, keep training.
-                    enhancenet_telemetry::count("trainer.diverged_batches", 1);
-                    sampler.advance();
-                    batches += 1;
-                    continue;
-                }
-                g.backward(loss);
-                let norm = {
-                    let _timer = enhancenet_telemetry::span("trainer.optimizer");
-                    model.store_mut().zero_grad();
-                    g.write_grads(model.store_mut());
-                    let norm = clip_grad_norm(model.store_mut(), cfg.clip_norm);
-                    optimizer.step(model.store_mut(), lr);
-                    norm
+                // Mask from the raw targets (zero or non-finite = missing
+                // reading), targets sanitized so a NaN reading cannot poison
+                // the tape or the teacher-forced decoder.
+                let mask = missing_mask(&batch.y_raw);
+                let target = sanitized_targets(&batch.y_scaled);
+                // Applied update: `Some((loss, pre-clip grad norm))`;
+                // `None` marks a diverged (non-finite loss) batch whose
+                // update was skipped.
+                let applied = match engine.as_mut() {
+                    Some(eng) => {
+                        let loss_val = eng.train_batch(
+                            &*model,
+                            &batch,
+                            &target,
+                            &mask,
+                            tf_prob,
+                            cfg.seed,
+                            global_batch,
+                        );
+                        if loss_val.is_finite() {
+                            let _timer = enhancenet_telemetry::span("trainer.optimizer");
+                            model.store_mut().zero_grad();
+                            eng.reduce_into(model.store_mut());
+                            let norm = clip_grad_norm(model.store_mut(), cfg.clip_norm);
+                            optimizer.step(model.store_mut(), lr);
+                            Some((loss_val, norm))
+                        } else {
+                            None
+                        }
+                    }
+                    None => {
+                        let mut g = Graph::new();
+                        let pred = {
+                            let _timer = enhancenet_telemetry::span("trainer.forward");
+                            let mut ctx = ForwardCtx::train(&mut rng, &target, tf_prob);
+                            model.forward(&mut g, &batch.x, &mut ctx)
+                        };
+                        let loss = g.masked_mae(pred, &target, &mask);
+                        let loss_val = g.value(loss).item();
+                        if loss_val.is_finite() {
+                            g.backward(loss);
+                            let _timer = enhancenet_telemetry::span("trainer.optimizer");
+                            model.store_mut().zero_grad();
+                            g.write_grads(model.store_mut());
+                            let norm = clip_grad_norm(model.store_mut(), cfg.clip_norm);
+                            optimizer.step(model.store_mut(), lr);
+                            Some((loss_val, norm))
+                        } else {
+                            None
+                        }
+                    }
                 };
                 sampler.advance();
-                grad_norm_sum += norm as f64;
-                updates += 1;
-                loss_sum += loss_val as f64;
-                batches += 1;
-                enhancenet_telemetry::observe("trainer.grad_norm", norm as f64);
-                if let Some(t0) = step_start {
-                    enhancenet_telemetry::observe(
-                        "trainer.step_ns",
-                        t0.elapsed().as_nanos() as f64,
-                    );
+                global_batch += 1;
+                match applied {
+                    Some((loss_val, norm)) => {
+                        // Throughput and loss accounting cover applied
+                        // updates only: a diverged batch did no useful work,
+                        // so counting its windows would inflate
+                        // `windows_per_sec`, and a skipped `loss_sum` entry
+                        // must not deflate the mean via the divisor.
+                        windows += batch.starts.len();
+                        grad_norm_sum += norm as f64;
+                        updates += 1;
+                        loss_sum += loss_val as f64;
+                        enhancenet_telemetry::observe("trainer.grad_norm", norm as f64);
+                        if let Some(t0) = step_start {
+                            enhancenet_telemetry::observe(
+                                "trainer.step_ns",
+                                t0.elapsed().as_nanos() as f64,
+                            );
+                        }
+                    }
+                    None => {
+                        // Divergence guard: skip the update, keep training.
+                        enhancenet_telemetry::count("trainer.diverged_batches", 1);
+                    }
                 }
             }
             let secs = started.elapsed().as_secs_f64();
-            let mean_loss = if batches > 0 { (loss_sum / batches as f64) as f32 } else { f32::NAN };
+            let mean_loss = if updates > 0 { (loss_sum / updates as f64) as f32 } else { f32::NAN };
             train_loss.push(mean_loss);
 
             // Validation MAE in the raw scale.
@@ -457,6 +550,11 @@ impl Trainer {
     }
 
     /// Mean raw-scale MAE over (a capped number of) batches from `range`.
+    ///
+    /// Shard-aware: with `data_parallel(k)` the per-window eval forwards
+    /// fan out over `k` workers and reassemble in window order
+    /// ([`parallel::eval_predictions`]), so validation MAE — like training —
+    /// is bit-identical for every shard count.
     fn quick_mae(
         &self,
         model: &dyn Forecaster,
@@ -473,12 +571,18 @@ impl Trainer {
                     break;
                 }
             }
-            let mut g = Graph::new();
-            let pred = {
-                let mut ctx = ForwardCtx::eval(rng);
-                model.forward(&mut g, &batch.x, &mut ctx)
+            let pred_scaled = match self.config.data_parallel {
+                Some(k) => parallel::eval_predictions(model, &batch, k),
+                None => {
+                    let mut g = Graph::new();
+                    let pred = {
+                        let mut ctx = ForwardCtx::eval(rng);
+                        model.forward(&mut g, &batch.x, &mut ctx)
+                    };
+                    g.value(pred).clone()
+                }
             };
-            let pred_raw = data.scaler.inverse_feature(g.value(pred), data.target_feature);
+            let pred_raw = data.scaler.inverse_feature(&pred_scaled, data.target_feature);
             sum += enhancenet_stats::metrics::mae(&pred_raw, &batch.y_raw) as f64;
             count += 1;
         }
@@ -589,6 +693,7 @@ impl Trainer {
 mod tests {
     use super::*;
     use crate::forecaster::test_model::AffinePersistence;
+    use enhancenet_autodiff::{ParamStore, Var};
     use enhancenet_data::traffic::{generate_traffic, TrafficConfig};
 
     fn dataset() -> WindowDataset {
@@ -795,6 +900,112 @@ mod tests {
             Err(EnhanceNetError::InvalidConfig { field: "sampler_tau", .. }) => {}
             other => panic!("expected InvalidConfig(sampler_tau), got {other:?}"),
         }
+    }
+
+    /// Emits NaN predictions for the first `nan_calls` forward passes, then
+    /// behaves like [`AffinePersistence`]. Forces deterministic divergence
+    /// for the accounting regression tests.
+    struct NanThenAffine {
+        inner: AffinePersistence,
+        calls: std::sync::atomic::AtomicUsize,
+        nan_calls: usize,
+    }
+
+    impl NanThenAffine {
+        fn new(f: usize, nan_calls: usize) -> Self {
+            Self {
+                inner: AffinePersistence::new(f),
+                calls: std::sync::atomic::AtomicUsize::new(0),
+                nan_calls,
+            }
+        }
+    }
+
+    impl Forecaster for NanThenAffine {
+        fn name(&self) -> &str {
+            "nan-then-affine"
+        }
+        fn store(&self) -> &ParamStore {
+            self.inner.store()
+        }
+        fn store_mut(&mut self) -> &mut ParamStore {
+            self.inner.store_mut()
+        }
+        fn horizon(&self) -> usize {
+            self.inner.horizon()
+        }
+        fn forward(&self, g: &mut Graph, x: &Tensor, ctx: &mut ForwardCtx) -> Var {
+            let call = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if call < self.nan_calls {
+                let (b, n) = (x.shape()[0], x.shape()[2]);
+                g.constant(Tensor::from_vec(
+                    vec![f32::NAN; b * self.horizon() * n],
+                    &[b, self.horizon(), n],
+                ))
+            } else {
+                self.inner.forward(g, x, ctx)
+            }
+        }
+    }
+
+    #[test]
+    fn diverged_batches_do_not_deflate_mean_loss_or_inflate_throughput() {
+        let data = dataset();
+        let mut cfg = TrainConfig::quick(1, 8);
+        cfg.max_batches_per_epoch = Some(4);
+
+        // Clean run: every batch applies, so `windows` counts all of them.
+        let mut clean = AffinePersistence::new(12);
+        let clean_report = Trainer::new(cfg.clone()).train(&mut clean, &data);
+        let clean_windows = clean_report.epoch_telemetry[0].windows;
+        assert_eq!(clean_windows, 32, "4 full batches of 8 expected");
+
+        // One diverged batch: the mean loss divides by the 3 applied
+        // batches (finite result) and the diverged batch's windows stay out
+        // of the throughput numbers.
+        let mut model = NanThenAffine::new(12, 1);
+        let report = Trainer::new(cfg.clone()).train(&mut model, &data);
+        let e = &report.epoch_telemetry[0];
+        assert!(e.train_loss.is_finite(), "mean over applied batches must be finite");
+        assert_eq!(
+            e.windows,
+            clean_windows - 8,
+            "diverged batch's windows must not count toward throughput"
+        );
+
+        // Every batch diverged: no update ran, and the honest summary is
+        // NaN — the old `loss_sum / batches` arithmetic reported a flat 0.0
+        // here, silently claiming perfect loss for a run that learned
+        // nothing.
+        let mut all_nan = NanThenAffine::new(12, usize::MAX);
+        let report = Trainer::new(cfg).train(&mut all_nan, &data);
+        let e = &report.epoch_telemetry[0];
+        assert!(e.train_loss.is_nan(), "all-diverged epoch reported {}", e.train_loss);
+        assert_eq!(e.windows, 0);
+        assert_eq!(e.windows_per_sec, 0.0);
+        assert_eq!(e.grad_norm, 0.0);
+    }
+
+    #[test]
+    fn missing_mask_excludes_nan_and_zero_readings() {
+        let y = Tensor::from_vec(vec![1.0, 0.0, f32::NAN, f32::NEG_INFINITY, -2.5], &[5]);
+        let mask = missing_mask(&y);
+        assert_eq!(mask.data(), &[1.0, 0.0, 0.0, 0.0, 1.0]);
+        let scaled = sanitized_targets(&y);
+        assert_eq!(scaled.data(), &[1.0, 0.0, 0.0, 0.0, -2.5]);
+    }
+
+    #[test]
+    fn builder_validates_data_parallel() {
+        for bad in [0usize, 257, 10_000] {
+            match TrainConfig::builder().data_parallel(bad).build() {
+                Err(EnhanceNetError::InvalidConfig { field: "data_parallel", .. }) => {}
+                other => panic!("expected InvalidConfig(data_parallel) for {bad}, got {other:?}"),
+            }
+        }
+        let cfg = TrainConfig::builder().data_parallel(4).build().unwrap();
+        assert_eq!(cfg.data_parallel, Some(4));
+        assert_eq!(TrainConfig::builder().build().unwrap().data_parallel, None);
     }
 
     #[test]

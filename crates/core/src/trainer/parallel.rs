@@ -1,0 +1,323 @@
+//! The sharded data-parallel training engine.
+//!
+//! [`ShardEngine`] splits every mini-batch along the window axis and runs
+//! the forward + backward passes on scoped worker threads, each against the
+//! shared read-only [`ParamStore`]. The determinism contract is that the
+//! shard count `K` never changes the math, only the schedule:
+//!
+//! * **Per-window work units.** The decomposition is per *window*, not per
+//!   worker: every window builds its own private [`Graph`], draws from its
+//!   own `TensorRng` stream (derived from the training seed, a global batch
+//!   counter, and the window's position in the batch), and exports its leaf
+//!   gradients into its own [`GradBuffer`]. Nothing a worker computes
+//!   depends on which worker computed it or on `K`.
+//! * **Fixed-order reduction.** The main thread folds the per-window
+//!   buffers into one accumulator in batch order `0, 1, …, B-1` and flushes
+//!   it into the store in [`ParamId`](enhancenet_autodiff::ParamId) order
+//!   ([`GradBuffer::reduce_into`]). Float addition is not associative, so
+//!   any scheme that reduced per-*worker* partial sums (or raced atomics
+//!   into the store) would make the result depend on `K` and on thread
+//!   timing. Per-window losses fold the same way, normalized by the whole
+//!   batch's mask sum so the grouping of windows into shards cancels out of
+//!   both the loss value and its gradients.
+//!
+//! Together these give the headline property pinned by the equivalence
+//! tests: `data_parallel(1)` and `data_parallel(K)` produce bit-identical
+//! training trajectories, so thread count becomes a pure throughput knob.
+
+use crate::forecaster::{Forecaster, ForwardCtx};
+use enhancenet_autodiff::{GradBuffer, Graph, ParamStore};
+use enhancenet_data::Batch;
+use enhancenet_tensor::{Tensor, TensorRng};
+
+/// SplitMix64 finalizer: decorrelates nearby inputs into independent-looking
+/// streams. Deterministic and cheap; the standard choice for spawning
+/// per-task RNG seeds from a master seed.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG seed for one window's forward pass: a function of the training
+/// seed, the global batch counter, and the window's index *within the
+/// batch* — never of the shard count or thread identity.
+pub(crate) fn window_stream_seed(seed: u64, global_batch: u64, window: usize) -> u64 {
+    let base = splitmix64(seed.wrapping_add(splitmix64(global_batch.wrapping_add(1))));
+    splitmix64(base.wrapping_add(window as u64))
+}
+
+/// Reusable state for sharded training steps: one [`GradBuffer`] per window
+/// slot plus the ordered-fold accumulator. Buffers are materialized on the
+/// first batch and zeroed in place between batches, so the steady-state hot
+/// loop does not reallocate them.
+pub(crate) struct ShardEngine {
+    workers: usize,
+    buffers: Vec<GradBuffer>,
+    losses: Vec<f32>,
+    total: GradBuffer,
+}
+
+impl ShardEngine {
+    /// An engine driving `workers` scoped threads over batches of at most
+    /// `batch_size` windows of a model backed by `store`.
+    pub(crate) fn new(workers: usize, store: &ParamStore, batch_size: usize) -> Self {
+        assert!(workers > 0, "shard engine needs at least one worker");
+        Self {
+            workers,
+            buffers: (0..batch_size).map(|_| GradBuffer::for_store(store)).collect(),
+            losses: vec![0.0; batch_size],
+            total: GradBuffer::for_store(store),
+        }
+    }
+
+    /// Runs forward + backward for every window of `batch` across the
+    /// worker threads and returns the batch loss (per-window masked-MAE
+    /// contributions folded in window order).
+    ///
+    /// On a finite loss the summed gradients are left staged for
+    /// [`ShardEngine::reduce_into`]; on a non-finite loss (diverged batch)
+    /// nothing is staged and the caller skips the update.
+    ///
+    /// `target` is the sanitized scaled target tensor (non-finite readings
+    /// zeroed) and `mask` the matching missing-data mask; both span the
+    /// whole batch so the loss denominator is shard-independent.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn train_batch(
+        &mut self,
+        model: &dyn Forecaster,
+        batch: &Batch,
+        target: &Tensor,
+        mask: &Tensor,
+        tf_prob: f32,
+        seed: u64,
+        global_batch: u64,
+    ) -> f32 {
+        let b = batch.starts.len();
+        assert!(b <= self.buffers.len(), "batch larger than engine capacity");
+        let denom = mask.sum_all().max(1e-6);
+        let chunk = b.div_ceil(self.workers).max(1);
+        enhancenet_telemetry::count("trainer.shard.batches", 1);
+        enhancenet_telemetry::count("trainer.shard.windows", b as u64);
+        {
+            let _span = enhancenet_telemetry::span("trainer.shard.fanout");
+            std::thread::scope(|s| {
+                let buffer_chunks = self.buffers[..b].chunks_mut(chunk);
+                let loss_chunks = self.losses[..b].chunks_mut(chunk);
+                for (w, (bufs, losses)) in buffer_chunks.zip(loss_chunks).enumerate() {
+                    let first = w * chunk;
+                    s.spawn(move || {
+                        let _span = enhancenet_telemetry::span("trainer.shard.worker");
+                        for (i, (buf, loss_slot)) in
+                            bufs.iter_mut().zip(losses.iter_mut()).enumerate()
+                        {
+                            let j = first + i;
+                            let x_j = batch.x.slice_axis(0, j, j + 1);
+                            let y_j = target.slice_axis(0, j, j + 1);
+                            let m_j = mask.slice_axis(0, j, j + 1);
+                            let mut rng =
+                                TensorRng::seed(window_stream_seed(seed, global_batch, j));
+                            let mut g = Graph::new();
+                            let pred = {
+                                let mut ctx = ForwardCtx::train(&mut rng, &y_j, tf_prob);
+                                model.forward(&mut g, &x_j, &mut ctx)
+                            };
+                            let loss = g.masked_mae_with_denom(pred, &y_j, &m_j, denom);
+                            *loss_slot = g.value(loss).item();
+                            if loss_slot.is_finite() {
+                                g.backward(loss);
+                                g.export_grads(buf);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        let mut batch_loss = 0.0f32;
+        for &l in &self.losses[..b] {
+            batch_loss += l;
+        }
+        if batch_loss.is_finite() {
+            let _span = enhancenet_telemetry::span("trainer.shard.reduce");
+            for buf in &self.buffers[..b] {
+                self.total.add_from(buf);
+            }
+        }
+        for buf in &mut self.buffers[..b] {
+            buf.reset();
+        }
+        batch_loss
+    }
+
+    /// Flushes the staged batch gradients into `store` in parameter order
+    /// and rearms the accumulator. Call exactly once per finite
+    /// [`ShardEngine::train_batch`], after `store.zero_grad()`.
+    pub(crate) fn reduce_into(&mut self, store: &mut ParamStore) {
+        self.total.reduce_into(store);
+        self.total.reset();
+    }
+}
+
+/// Evaluation-mode forward passes for every window of `batch`, fanned out
+/// over `workers` scoped threads, assembled into one `[B, F, N]` prediction
+/// tensor in window order. Eval draws nothing from the RNG, and each
+/// window's rows are written to a disjoint slice, so the result is
+/// identical for every worker count.
+pub(crate) fn eval_predictions(model: &dyn Forecaster, batch: &Batch, workers: usize) -> Tensor {
+    let b = batch.starts.len();
+    let f = model.horizon();
+    let n = batch.y_raw.shape()[2];
+    let per = f * n;
+    let mut out = vec![0.0f32; b * per];
+    let chunk = b.div_ceil(workers.max(1)).max(1);
+    std::thread::scope(|s| {
+        for (w, rows) in out.chunks_mut(chunk * per).enumerate() {
+            let first = w * chunk;
+            s.spawn(move || {
+                for (i, row) in rows.chunks_mut(per).enumerate() {
+                    let j = first + i;
+                    let x_j = batch.x.slice_axis(0, j, j + 1);
+                    let mut rng = TensorRng::seed(0);
+                    let mut g = Graph::new();
+                    let pred = {
+                        let mut ctx = ForwardCtx::eval(&mut rng);
+                        model.forward(&mut g, &x_j, &mut ctx)
+                    };
+                    row.copy_from_slice(g.value(pred).data());
+                }
+            });
+        }
+    });
+    Tensor::from_vec(out, &[b, f, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecaster::test_model::AffinePersistence;
+    use crate::trainer::{TrainConfig, Trainer};
+    use enhancenet_data::traffic::{generate_traffic, TrafficConfig};
+    use enhancenet_data::{BatchIterator, WindowDataset};
+
+    fn dataset() -> WindowDataset {
+        let ds = generate_traffic(&TrafficConfig::tiny(4, 2));
+        WindowDataset::from_series(&ds, 12, 12).unwrap()
+    }
+
+    fn quick_cfg(shards: usize) -> TrainConfig {
+        TrainConfig::builder()
+            .epochs(4)
+            .batch_size(8)
+            .max_batches_per_epoch(Some(10))
+            .max_eval_batches(Some(4))
+            .data_parallel(shards)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn window_stream_seeds_are_stable_and_distinct() {
+        let a = window_stream_seed(1, 0, 0);
+        assert_eq!(a, window_stream_seed(1, 0, 0), "seed derivation must be deterministic");
+        // Neighbouring windows, batches and runs all land on different
+        // streams.
+        assert_ne!(a, window_stream_seed(1, 0, 1));
+        assert_ne!(a, window_stream_seed(1, 1, 0));
+        assert_ne!(a, window_stream_seed(2, 0, 0));
+    }
+
+    #[test]
+    fn data_parallel_shards_are_bit_identical() {
+        // The tentpole contract: the shard count changes scheduling, never
+        // math. Train the same model under 1, 2 and 4 shards and require
+        // bit-identical losses, validation MAEs and final weights.
+        let data = dataset();
+        let mut reports = Vec::new();
+        let mut snapshots = Vec::new();
+        for shards in [1usize, 2, 4] {
+            let mut model = AffinePersistence::new(12);
+            let trainer = Trainer::new(quick_cfg(shards));
+            let report = trainer.train(&mut model, &data);
+            snapshots.push(model.store().snapshot());
+            reports.push((shards, report));
+        }
+        let (_, base) = &reports[0];
+        for (shards, report) in &reports[1..] {
+            assert_eq!(
+                base.train_loss.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                report.train_loss.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "train_loss diverged at {shards} shards"
+            );
+            assert_eq!(
+                base.val_mae.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                report.val_mae.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "val_mae diverged at {shards} shards"
+            );
+            assert_eq!(base.best_epoch, report.best_epoch);
+        }
+        for (i, snap) in snapshots[1..].iter().enumerate() {
+            for (a, b) in snapshots[0].iter().zip(snap) {
+                assert_eq!(
+                    a.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    b.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "final weights diverged for run {}",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_training_reduces_loss() {
+        let data = dataset();
+        let mut model = AffinePersistence::new(12);
+        let trainer = Trainer::new(quick_cfg(2));
+        let report = trainer.train(&mut model, &data);
+        let first = report.train_loss[0];
+        let last = *report.train_loss.last().unwrap();
+        assert!(last < first, "sharded loss should fall: first {first}, last {last}");
+    }
+
+    #[test]
+    fn eval_predictions_are_worker_count_invariant() {
+        let data = dataset();
+        let model = AffinePersistence::new(12);
+        let batch = BatchIterator::sequential(&data, data.split.val.clone(), 8).next().unwrap();
+        let serial = eval_predictions(&model, &batch, 1);
+        for workers in [2usize, 3, 8] {
+            let parallel = eval_predictions(&model, &batch, workers);
+            assert_eq!(serial.shape(), parallel.shape());
+            assert_eq!(
+                serial.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                parallel.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "eval diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_reading_masks_out_instead_of_diverging() {
+        // A corrupt (NaN) raw reading must degrade to one masked entry:
+        // the sanitized target keeps the tape finite and the mask keeps the
+        // entry out of the loss — not a diverged batch.
+        let data = dataset();
+        let mut batch =
+            BatchIterator::sequential(&data, data.split.train.clone(), 4).next().unwrap();
+        batch.y_raw.data_mut()[5] = f32::NAN;
+        batch.y_scaled.data_mut()[5] = f32::NAN;
+        let mask = crate::trainer::missing_mask(&batch.y_raw);
+        let target = crate::trainer::sanitized_targets(&batch.y_scaled);
+        assert_eq!(mask.data()[5], 0.0, "NaN reading must be masked");
+        assert_eq!(target.data()[5], 0.0, "NaN target must be zeroed off the tape");
+
+        let mut model = AffinePersistence::new(12);
+        let mut engine = ShardEngine::new(2, model.store(), 4);
+        let loss = engine.train_batch(&model, &batch, &target, &mask, 0.0, 1, 0);
+        assert!(loss.is_finite(), "one NaN reading diverged the whole batch: {loss}");
+
+        model.store_mut().zero_grad();
+        engine.reduce_into(model.store_mut());
+        assert!(model.store().grad_norm().is_finite(), "NaN reading leaked into gradients");
+    }
+}

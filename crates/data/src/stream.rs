@@ -81,7 +81,12 @@ impl SlidingWindow {
     ///   (late-but-not-too-late corrections).
     /// * `timestamp` older than the retained range is rejected with
     ///   [`DataError::StaleTimestamp`] — the window has moved on.
-    pub fn ingest(&mut self, timestamp: i64, entity: usize, features: &[f32]) -> Result<(), DataError> {
+    pub fn ingest(
+        &mut self,
+        timestamp: i64,
+        entity: usize,
+        features: &[f32],
+    ) -> Result<(), DataError> {
         if entity >= self.num_entities {
             return Err(DataError::EntityOutOfRange { entity, num_entities: self.num_entities });
         }

@@ -124,16 +124,25 @@ pub struct Hyper {
     pub max_batches: Option<usize>,
     /// Cap on eval batches.
     pub max_eval_batches: Option<usize>,
+    /// Data-parallel shard count for the trainer (`--threads`); `None`
+    /// keeps the serial reference path.
+    pub threads: Option<usize>,
 }
 
 impl Hyper {
     /// Hyper-parameters for `scale`. The epoch budget can be overridden
     /// with the `ENHANCENET_EPOCHS` environment variable (useful for CI
-    /// smoke runs and time-boxed reproduction).
+    /// smoke runs and time-boxed reproduction), and the trainer's
+    /// data-parallel shard count with `ENHANCENET_THREADS` (set by the
+    /// `--threads` CLI flag).
     pub fn at(scale: Scale) -> Self {
         let mut hyper = Self::at_inner(scale);
         if let Some(epochs) = std::env::var("ENHANCENET_EPOCHS").ok().and_then(|v| v.parse().ok()) {
             hyper.epochs = epochs;
+        }
+        if let Some(threads) = std::env::var("ENHANCENET_THREADS").ok().and_then(|v| v.parse().ok())
+        {
+            hyper.threads = Some(threads);
         }
         hyper
     }
@@ -151,6 +160,7 @@ impl Hyper {
                 batch: 8,
                 max_batches: Some(30),
                 max_eval_batches: Some(12),
+                threads: None,
             },
             Scale::Full => Hyper {
                 rnn_hidden: 64,
@@ -163,6 +173,7 @@ impl Hyper {
                 batch: 64,
                 max_batches: None,
                 max_eval_batches: None,
+                threads: None,
             },
         }
     }
@@ -333,6 +344,7 @@ impl Hyper {
             seed: 1,
             verbose: false,
             probes: ProbeConfig::default(),
+            data_parallel: self.threads,
         }
     }
 }

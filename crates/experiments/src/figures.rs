@@ -262,9 +262,13 @@ pub fn sanity_forward(scale: Scale) {
     // span trees, latency/gradient histograms) and `--telemetry-out` JSONL
     // has epoch records for `scripts/bench_summary` to validate. D-DA-GTCN
     // carries both plugins, so the DAMGN graph diagnostics and DFGN memory
-    // drift probes fire alongside the host-model spans.
+    // drift probes fire alongside the host-model spans. Training runs on the
+    // two-shard data-parallel path so the smoke run also exercises the
+    // `trainer.shard.*` fan-out/reduce telemetry.
     let mut model = hyper.make_model("D-DA-GTCN", &ds, 1);
-    let trainer = Trainer::new(enhancenet::TrainConfig::quick(2, 8));
+    let mut quick_cfg = enhancenet::TrainConfig::quick(2, 8);
+    quick_cfg.data_parallel = Some(2);
+    let trainer = Trainer::new(quick_cfg);
     let report = trainer.train(model.as_mut(), &ds.windows);
     assert_eq!(report.epoch_telemetry.len(), 2);
     println!(

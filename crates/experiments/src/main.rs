@@ -2,7 +2,7 @@
 //! evaluation (§VI).
 //!
 //! ```text
-//! experiments <command> [--scale small|full] [--telemetry-out <path>] [--trace-out <path>]
+//! experiments <command> [--scale small|full] [--threads <k>] [--telemetry-out <path>] [--trace-out <path>]
 //!
 //! commands:
 //!   table1   DFGN on RNN/TCN (3 datasets)
@@ -21,6 +21,10 @@
 //! `--scale small` (default) reproduces the tables' *shape* in minutes on a
 //! CPU; `--scale full` uses the paper's entity counts and epoch budget.
 //! Artifacts are written under `results/`.
+//!
+//! `--threads <k>` trains with the sharded data-parallel engine at `k`
+//! worker shards (`TrainConfig::data_parallel`); results are bit-identical
+//! for every `k`, so the flag only changes wall-clock time.
 //!
 //! `--telemetry-out <path>` enables the global telemetry registry for the
 //! run, writes it as JSONL to `path` on completion, and prints the human
@@ -55,6 +59,20 @@ fn main() {
         },
         None => Scale::Small,
     };
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(threads) if (1..=256).contains(&threads) => {
+                // `Hyper::at` reads this when building every TrainConfig, so
+                // one flag covers all commands without threading a parameter
+                // through each table/figure entry point.
+                std::env::set_var("ENHANCENET_THREADS", threads.to_string());
+            }
+            _ => {
+                eprintln!("error: --threads requires a shard count in 1..=256");
+                std::process::exit(2);
+            }
+        }
+    }
     let telemetry_out: Option<std::path::PathBuf> =
         match args.iter().position(|a| a == "--telemetry-out") {
             Some(i) => match args.get(i + 1) {
@@ -122,7 +140,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: experiments <table1|table2|table3|table4|table5|fig10|fig11|fig12|ablation|all|sanity> [--scale small|full] [--telemetry-out <path>] [--trace-out <path>]"
+                "usage: experiments <table1|table2|table3|table4|table5|fig10|fig11|fig12|ablation|all|sanity> [--scale small|full] [--threads <k>] [--telemetry-out <path>] [--trace-out <path>]"
             );
             std::process::exit(2);
         }

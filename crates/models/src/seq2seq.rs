@@ -234,7 +234,14 @@ impl GruSeq2Seq {
     /// Paper preset `GRNN` (DCRNN): shared filters, static dual-transition
     /// supports.
     pub fn paper_grnn(dims: ModelDims, num_layers: usize, adjacency: &Tensor, seed: u64) -> Self {
-        Self::grnn(dims, num_layers, TemporalMode::Shared, GraphMode::paper_static(), adjacency, seed)
+        Self::grnn(
+            dims,
+            num_layers,
+            TemporalMode::Shared,
+            GraphMode::paper_static(),
+            adjacency,
+            seed,
+        )
     }
 
     /// Paper preset `D-GRNN`: DFGN filters over static supports.
@@ -251,8 +258,20 @@ impl GruSeq2Seq {
 
     /// Paper preset `DA-GRNN`: shared filters over DAMGN dynamic
     /// adjacencies.
-    pub fn paper_da_grnn(dims: ModelDims, num_layers: usize, adjacency: &Tensor, seed: u64) -> Self {
-        Self::grnn(dims, num_layers, TemporalMode::Shared, GraphMode::paper_dynamic(), adjacency, seed)
+    pub fn paper_da_grnn(
+        dims: ModelDims,
+        num_layers: usize,
+        adjacency: &Tensor,
+        seed: u64,
+    ) -> Self {
+        Self::grnn(
+            dims,
+            num_layers,
+            TemporalMode::Shared,
+            GraphMode::paper_dynamic(),
+            adjacency,
+            seed,
+        )
     }
 
     /// Paper preset `D-DA-GRNN`: both plugins — the paper's strongest RNN

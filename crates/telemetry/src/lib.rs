@@ -17,7 +17,11 @@
 //!   run can be exported as a Chrome `trace_event` timeline
 //!   ([`render_chrome_trace`], viewable in `chrome://tracing` / Perfetto).
 //! * **Counters** — [`count`] accumulates monotonic `u64` totals (kernel
-//!   calls, elements moved, parallel-vs-serial dispatch decisions).
+//!   calls, elements moved, parallel-vs-serial dispatch decisions, batches
+//!   and windows routed through the sharded trainer). Names are a
+//!   contract: `scripts/bench_summary --check` pins the `tensor.*`,
+//!   `serve.*`/`damgn.fold.*`, and `trainer.shard.*` families against
+//!   allow-lists so dashboard keys stay stable across commits.
 //! * **Histograms** — [`observe`] feeds fixed-bucket log-scale histograms
 //!   (power-of-two bucket edges) that report p50/p95/p99 without storing
 //!   raw samples: per-batch step latency, per-window inference latency,
