@@ -210,11 +210,11 @@ impl Graph {
         }
     }
 
-    /// Accumulates leaf gradients into a detached [`GradBuffer`] instead of
+    /// Accumulates leaf gradients into a detached [`GradBuffer`](crate::GradBuffer) instead of
     /// the store. This is the worker-side half of sharded training: threads
     /// holding only `&ParamStore` export their gradients here, and the
     /// reducing thread folds buffers into the store in a fixed order
-    /// ([`GradBuffer::reduce_into`]).
+    /// ([`GradBuffer::reduce_into`](crate::GradBuffer::reduce_into)).
     pub fn export_grads(&self, buf: &mut crate::gradbuf::GradBuffer) {
         for (i, node) in self.nodes.iter().enumerate() {
             if let (Some(pid), Some(g)) = (node.param, self.grads.get(i).and_then(Option::as_ref)) {

@@ -100,11 +100,11 @@ fn bench_micro_batching_host(
     for &batch in &[8usize, 32] {
         let windows = la_windows(batch, 9);
         let svc = la_service(make(), batch, Duration::from_millis(20));
-        c.bench_function(&format!("serve/microbatch{batch}_{name}_207"), |b| {
+        c.bench_function(format!("serve/microbatch{batch}_{name}_207"), |b| {
             b.iter(|| burst(&svc, &windows));
         });
         let direct = make();
-        c.bench_function(&format!("serve/sequential{batch}_{name}_207"), |b| {
+        c.bench_function(format!("serve/sequential{batch}_{name}_207"), |b| {
             b.iter(|| {
                 for window in &windows {
                     black_box(direct.predict(window).unwrap());

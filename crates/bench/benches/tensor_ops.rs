@@ -73,6 +73,17 @@ fn bench_bmm(c: &mut Criterion) {
     c.bench_function("bmm_nt_per_entity_200x8x16", |b| {
         b.iter(|| black_box(gy.bmm_nt(&w)));
     });
+
+    // Attention-shaped scores: [B, N, C'] x [B, N, C']ᵀ per batch → [B, N, N].
+    // Unlike the per-entity shapes above (2048 madds per batch entry — below
+    // PACK_MIN_WORK, served by the direct loops), each 207×64×207 batch entry
+    // is deep into blocked-engine territory, so this is the bmm_nt bench that
+    // actually exercises packing + the SIMD micro-kernel dispatch.
+    let q = TensorRng::seed(13).normal(&[8, 207, 64], 0.0, 1.0);
+    let kmat = TensorRng::seed(14).normal(&[8, 207, 64], 0.0, 1.0);
+    c.bench_function("bmm_nt_attention_8x207x64", |b| {
+        b.iter(|| black_box(q.bmm_nt(&kmat)));
+    });
 }
 
 fn bench_broadcast_left(c: &mut Criterion) {

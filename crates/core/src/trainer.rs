@@ -44,7 +44,7 @@ pub struct TrainConfig {
     /// Seed for shuffling, dropout and sampling.
     pub seed: u64,
     /// Sharded data-parallel training: `Some(k)` fans each mini-batch out
-    /// over `k` scoped worker threads ([`parallel::ShardEngine`]); `None`
+    /// over `k` scoped worker threads (`parallel::ShardEngine`); `None`
     /// keeps the single-graph serial path. Results are bit-identical for
     /// every `Some(k)` — the shard count is a pure throughput knob — though
     /// the sharded and serial paths are distinct numeric trajectories

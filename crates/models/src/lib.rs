@@ -11,7 +11,7 @@
 //! | TCN (WaveNet) / D-TCN | [`WaveNet`] with `GraphMode::None` |
 //! | GTCN / D-GTCN / DA-GTCN / D-DA-GTCN | [`WaveNet`] with graph modes |
 //! | LSTM | [`LstmSeq2Seq`] |
-//! | DCRNN | [`GruSeq2Seq::grnn`] (diffusion-convolutional GRU seq2seq — the GRNN base *is* the DCRNN architecture [21]) |
+//! | DCRNN | [`GruSeq2Seq::grnn`] (diffusion-convolutional GRU seq2seq — the GRNN base *is* the DCRNN architecture \[21\]) |
 //! | STGCN | [`Stgcn`] |
 //! | Graph WaveNet | [`WaveNet`] with `GraphMode::AdaptiveStatic` |
 //! | ARIMA | [`ArimaBaseline`] |

@@ -1,5 +1,5 @@
 //! The LSTM baseline: an encoder–decoder with LSTM units and shared
-//! filters ("LSTM [13]: … Like GRU, an encoder-decoder architecture is used
+//! filters ("LSTM \[13\]: … Like GRU, an encoder-decoder architecture is used
 //! to make predictions", §VI-A).
 
 use crate::config::ModelDims;

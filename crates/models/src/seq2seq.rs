@@ -7,7 +7,7 @@
 //! * [`TemporalMode`] — shared filters vs DFGN-generated per-entity filters
 //!   (the `D-` prefix),
 //! * [`GraphMode`] — no graph convolution (RNN), ordinary GC over static
-//!   supports (GRNN — this is exactly the DCRNN architecture [21]), or GC
+//!   supports (GRNN — this is exactly the DCRNN architecture \[21\]), or GC
 //!   over DAMGN-generated dynamic adjacencies (the `DA-` prefix).
 //!
 //! The decoder consumes its own previous prediction (or, with scheduled
@@ -643,7 +643,11 @@ mod tests {
             TemporalMode::Distinct(small_dfgn()),
             GraphMode::paper_dynamic(),
             &a,
-            2,
+            // Seed 2 draws generator weights whose tiny (8->3) ReLU stack is
+            // fully dead for this 4-entity config, making zero generator
+            // grads a property of the draw rather than a bug; seed 3 keeps
+            // every unit alive so the test checks what it means to.
+            3,
         );
         check_all_grads(m);
     }

@@ -1,4 +1,4 @@
-//! The STGCN baseline (Yu, Yin & Zhu, IJCAI 2018 [34]): "spatial-temporal
+//! The STGCN baseline (Yu, Yin & Zhu, IJCAI 2018 \[34\]): "spatial-temporal
 //! graph convolution network that combines 1D convolution with GC in a
 //! non-hierarchical way" (§VI-A).
 //!

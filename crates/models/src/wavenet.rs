@@ -14,7 +14,7 @@
 //!   table, Figure 8) that generates the layer's per-entity filter and gate
 //!   taps (`o = 2·K·C_l·C'`, §IV-C2).
 //! * **GTCN** — ordinary graph convolution over static supports is applied
-//!   to each layer's gated output (§V-C2), as in Graph WaveNet [31].
+//!   to each layer's gated output (§V-C2), as in Graph WaveNet \[31\].
 //! * **DA-GTCN** — the adjacency fed to the GC is DAMGN's `A'`, whose
 //!   time-specific term `C_t` is computed from the input signal at each of
 //!   the `T` aligned timestamps.
@@ -211,7 +211,7 @@ impl WaveNet {
     }
 
     /// Baseline preset: static supports plus the learned self-adaptive
-    /// adjacency of [31] (embedding width 10, as in that paper).
+    /// adjacency of \[31\] (embedding width 10, as in that paper).
     pub fn paper_adaptive_baseline(dims: ModelDims, adjacency: &Tensor, seed: u64) -> Self {
         Self::gtcn(
             dims,

@@ -6,7 +6,7 @@
 //!   evaluation protocol reports them (§VI-A "Evaluation Metrics"),
 //! * Welch's t-test with exact Student-t p-values (the significance test of
 //!   §VI-B3),
-//! * exact t-SNE (van der Maaten & Hinton [23]) for Figure 10's
+//! * exact t-SNE (van der Maaten & Hinton \[23\]) for Figure 10's
 //!   entity-memory embedding,
 //! * PCA (power iteration) as a fast linear alternative / t-SNE init,
 //! * k-means for the cluster colouring of Figures 10–11.

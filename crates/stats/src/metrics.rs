@@ -194,8 +194,10 @@ mod tests {
             assert_eq!(m.mae, direct.mae);
             assert_eq!(m.rmse, direct.rmse);
         }
-        // Horizon 1 mean |err| = (1+2)/2, horizon 2 = (3+6)/2.
-        assert!((per[0].mae - 1.5).abs() < 1e-6);
-        assert!((per[1].mae - 4.5).abs() < 1e-6);
+        // Row-major [B=1, F=2, N=2] lays out as [[11, 13], [12, 16]]:
+        // horizon 1 holds entities {11, 13} (errors 1, 3 -> mean 2) and
+        // horizon 2 holds {12, 16} (errors 2, 6 -> mean 4).
+        assert!((per[0].mae - 2.0).abs() < 1e-6);
+        assert!((per[1].mae - 4.0).abs() < 1e-6);
     }
 }

@@ -233,7 +233,10 @@ mod tests {
     #[test]
     fn well_separated_clusters_stay_separated() {
         let (pts, labels) = blobs(2, 12, 0.2, 20.0);
-        let y = tsne(&pts, TsneConfig { iterations: 250, perplexity: 5.0, ..Default::default() });
+        // 600 iterations: the separation ratio at a fixed budget depends on
+        // the exact blob draw (250 leaves ~1.8x for some draws; 600 gives
+        // >10x), so give the optimizer enough budget to be draw-independent.
+        let y = tsne(&pts, TsneConfig { iterations: 600, perplexity: 5.0, ..Default::default() });
         // Mean embedding distance within clusters << between clusters.
         let dist = |a: usize, b: usize| -> f32 {
             let dx = y.at(&[a, 0]) - y.at(&[b, 0]);

@@ -1,0 +1,495 @@
+//! Micro-kernel dispatch: the register-tiled inner kernels of the blocked
+//! GEMM engine, selected once per process by runtime CPU feature detection.
+//!
+//! The blocked engine in [`crate::matmul`] packs operand panels and walks
+//! them with an `MR`×`NR` register tile. This module owns that tile: a
+//! portable scalar 4×8 kernel (the always-correct fallback, bit-identical
+//! to the pre-SIMD engine), an AVX2+FMA 6×16 kernel on `x86_64`, and a
+//! NEON 4×8 kernel on `aarch64`. [`selected_kernel`] picks one at first
+//! use via `is_x86_feature_detected!` and caches the choice; setting the
+//! `ENHANCENET_FORCE_SCALAR` environment variable (to anything but `0` or
+//! the empty string) pins dispatch to the scalar kernel for
+//! reproducibility and fallback testing.
+//!
+//! Kernels receive *packed* strips (A in `mr`-row strips, B in `nr`-column
+//! strips, both zero-padded to full tiles by the pack routines) and write
+//! an `mr`×`nr` corner of the accumulated tile through a raw output
+//! pointer. The pointer interface — rather than `&mut [f32]` — is what
+//! lets the engine fan row blocks *and* column slabs of one output across
+//! rayon without ever materializing overlapping mutable slices.
+//!
+//! Telemetry (recorded by the engine, not here):
+//! `tensor.kernel.dispatch.{avx2,neon,scalar}` counts blocked dispatches
+//! per kernel, `tensor.kernel.simd_available` counts blocked dispatches on
+//! hosts whose CPU supports a vectorized kernel (whether or not one was
+//! forced off), and `tensor.gemm.par_blocks` counts intra-GEMM parallel
+//! fan-out ([`crate::matmul`]).
+
+use std::sync::OnceLock;
+
+/// One register-tiled inner kernel: the exchangeable heart of the blocked
+/// GEMM engine.
+///
+/// Implementations are zero-sized and stateless; the engine holds one as a
+/// `&'static dyn MicroKernel` chosen by [`selected_kernel`]. The virtual
+/// call happens once per micro-tile (`mr × nr × kc` multiply-adds), so its
+/// cost is noise.
+pub trait MicroKernel: Sync {
+    /// Tile height: packed A strips hold this many rows per `k` step.
+    fn mr(&self) -> usize;
+    /// Tile width: packed B strips hold this many columns per `k` step.
+    fn nr(&self) -> usize;
+    /// Short identity (`"scalar"`, `"avx2"`, `"neon"`) used in telemetry
+    /// counter names and test labels.
+    fn name(&self) -> &'static str;
+    /// Full telemetry counter label for dispatches of this kernel.
+    fn dispatch_counter(&self) -> &'static str;
+
+    /// Computes `out[0..mr, 0..nr] += astrip · bstrip` over `kc` depth
+    /// steps.
+    ///
+    /// `astrip` holds `kc * self.mr()` floats (`astrip[kk*mr + ii]` = row
+    /// `ii`, depth `kk`); `bstrip` holds `kc * self.nr()` floats
+    /// (`bstrip[kk*nr + jj]` = column `jj`, depth `kk`). Rows/columns past
+    /// `mr`/`nr` are zero padding and their products are discarded.
+    ///
+    /// # Safety
+    ///
+    /// `out` must point at the tile's top-left element of a row-major
+    /// matrix with row stride `row_stride`; the `mr` rows × `nr` columns
+    /// reachable from it must be in bounds and writable, and no other
+    /// thread may access them for the duration of the call. Callers must
+    /// also uphold `mr <= self.mr()`, `nr <= self.nr()`, and the strip
+    /// lengths above.
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn run(
+        &self,
+        kc: usize,
+        astrip: &[f32],
+        bstrip: &[f32],
+        out: *mut f32,
+        row_stride: usize,
+        mr: usize,
+        nr: usize,
+    );
+}
+
+/// Portable scalar 4×8 kernel: 32 accumulators the compiler keeps in
+/// registers on any baseline. Bit-identical to the pre-dispatch engine —
+/// same tile shape, same accumulation order — so forcing it reproduces
+/// historical results exactly.
+pub struct ScalarKernel;
+
+/// The scalar tile shape (rows).
+pub const SCALAR_MR: usize = 4;
+/// The scalar tile shape (columns).
+pub const SCALAR_NR: usize = 8;
+
+impl MicroKernel for ScalarKernel {
+    fn mr(&self) -> usize {
+        SCALAR_MR
+    }
+
+    fn nr(&self) -> usize {
+        SCALAR_NR
+    }
+
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn dispatch_counter(&self) -> &'static str {
+        "tensor.kernel.dispatch.scalar"
+    }
+
+    unsafe fn run(
+        &self,
+        kc: usize,
+        astrip: &[f32],
+        bstrip: &[f32],
+        out: *mut f32,
+        row_stride: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        debug_assert!(astrip.len() >= kc * SCALAR_MR && bstrip.len() >= kc * SCALAR_NR);
+        debug_assert!(mr <= SCALAR_MR && nr <= SCALAR_NR);
+        let mut acc = [[0.0f32; SCALAR_NR]; SCALAR_MR];
+        for kk in 0..kc {
+            let arow = &astrip[kk * SCALAR_MR..kk * SCALAR_MR + SCALAR_MR];
+            let brow = &bstrip[kk * SCALAR_NR..kk * SCALAR_NR + SCALAR_NR];
+            for (accrow, &av) in acc.iter_mut().zip(arow) {
+                for (c, &bv) in accrow.iter_mut().zip(brow) {
+                    *c += av * bv;
+                }
+            }
+        }
+        for (ii, accrow) in acc.iter().enumerate().take(mr) {
+            let row = out.add(ii * row_stride);
+            for (jj, &c) in accrow.iter().enumerate().take(nr) {
+                *row.add(jj) += c;
+            }
+        }
+    }
+}
+
+/// AVX2+FMA 6×16 kernel: 12 `__m256` accumulators (6 rows × two 8-lane
+/// vectors) plus two B vectors and one broadcast fit x86-64's 16 vector
+/// registers without spills. Only constructed when `is_x86_feature_detected!`
+/// confirms both `avx2` and `fma` at runtime.
+#[cfg(target_arch = "x86_64")]
+pub struct Avx2Kernel;
+
+#[cfg(target_arch = "x86_64")]
+impl MicroKernel for Avx2Kernel {
+    fn mr(&self) -> usize {
+        6
+    }
+
+    fn nr(&self) -> usize {
+        16
+    }
+
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn dispatch_counter(&self) -> &'static str {
+        "tensor.kernel.dispatch.avx2"
+    }
+
+    unsafe fn run(
+        &self,
+        kc: usize,
+        astrip: &[f32],
+        bstrip: &[f32],
+        out: *mut f32,
+        row_stride: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        avx2_tile_6x16(kc, astrip, bstrip, out, row_stride, mr, nr);
+    }
+}
+
+/// The AVX2 tile body. `#[target_feature]` keeps the vector code out of
+/// the portable build paths; the caller guarantees the features exist
+/// (the kernel is only ever selected behind `is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn avx2_tile_6x16(
+    kc: usize,
+    astrip: &[f32],
+    bstrip: &[f32],
+    out: *mut f32,
+    row_stride: usize,
+    mr: usize,
+    nr: usize,
+) {
+    use core::arch::x86_64::*;
+    const MR: usize = 6;
+    const NR: usize = 16;
+    debug_assert!(astrip.len() >= kc * MR && bstrip.len() >= kc * NR);
+    debug_assert!(mr <= MR && nr <= NR);
+    let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+    let mut ap = astrip.as_ptr();
+    let mut bp = bstrip.as_ptr();
+    for _ in 0..kc {
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        for (ii, accrow) in acc.iter_mut().enumerate() {
+            let av = _mm256_broadcast_ss(&*ap.add(ii));
+            accrow[0] = _mm256_fmadd_ps(av, b0, accrow[0]);
+            accrow[1] = _mm256_fmadd_ps(av, b1, accrow[1]);
+        }
+        ap = ap.add(MR);
+        bp = bp.add(NR);
+    }
+    if mr == MR && nr == NR {
+        // Full tile: read-modify-write the output rows directly.
+        for (ii, accrow) in acc.iter().enumerate() {
+            let row = out.add(ii * row_stride);
+            _mm256_storeu_ps(row, _mm256_add_ps(_mm256_loadu_ps(row), accrow[0]));
+            let hi = row.add(8);
+            _mm256_storeu_ps(hi, _mm256_add_ps(_mm256_loadu_ps(hi), accrow[1]));
+        }
+    } else {
+        // Ragged edge: land the accumulators in a stack tile, then add
+        // back only the live `mr`×`nr` corner.
+        let mut tile = [0.0f32; MR * NR];
+        for (ii, accrow) in acc.iter().enumerate() {
+            _mm256_storeu_ps(tile.as_mut_ptr().add(ii * NR), accrow[0]);
+            _mm256_storeu_ps(tile.as_mut_ptr().add(ii * NR + 8), accrow[1]);
+        }
+        for ii in 0..mr {
+            let row = out.add(ii * row_stride);
+            for jj in 0..nr {
+                *row.add(jj) += tile[ii * NR + jj];
+            }
+        }
+    }
+}
+
+/// NEON 4×8 kernel: 8 `float32x4_t` accumulators (4 rows × two 4-lane
+/// vectors). NEON is baseline on `aarch64`, so no runtime detection is
+/// needed — the kernel is always available there.
+#[cfg(target_arch = "aarch64")]
+pub struct NeonKernel;
+
+#[cfg(target_arch = "aarch64")]
+impl MicroKernel for NeonKernel {
+    fn mr(&self) -> usize {
+        4
+    }
+
+    fn nr(&self) -> usize {
+        8
+    }
+
+    fn name(&self) -> &'static str {
+        "neon"
+    }
+
+    fn dispatch_counter(&self) -> &'static str {
+        "tensor.kernel.dispatch.neon"
+    }
+
+    unsafe fn run(
+        &self,
+        kc: usize,
+        astrip: &[f32],
+        bstrip: &[f32],
+        out: *mut f32,
+        row_stride: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        use core::arch::aarch64::*;
+        const MR: usize = 4;
+        const NR: usize = 8;
+        debug_assert!(astrip.len() >= kc * MR && bstrip.len() >= kc * NR);
+        debug_assert!(mr <= MR && nr <= NR);
+        let mut acc = [[vdupq_n_f32(0.0); 2]; MR];
+        let mut ap = astrip.as_ptr();
+        let mut bp = bstrip.as_ptr();
+        for _ in 0..kc {
+            let b0 = vld1q_f32(bp);
+            let b1 = vld1q_f32(bp.add(4));
+            for (ii, accrow) in acc.iter_mut().enumerate() {
+                let av = vdupq_n_f32(*ap.add(ii));
+                accrow[0] = vfmaq_f32(accrow[0], av, b0);
+                accrow[1] = vfmaq_f32(accrow[1], av, b1);
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        if mr == MR && nr == NR {
+            for (ii, accrow) in acc.iter().enumerate() {
+                let row = out.add(ii * row_stride);
+                vst1q_f32(row, vaddq_f32(vld1q_f32(row), accrow[0]));
+                let hi = row.add(4);
+                vst1q_f32(hi, vaddq_f32(vld1q_f32(hi), accrow[1]));
+            }
+        } else {
+            let mut tile = [0.0f32; MR * NR];
+            for (ii, accrow) in acc.iter().enumerate() {
+                vst1q_f32(tile.as_mut_ptr().add(ii * NR), accrow[0]);
+                vst1q_f32(tile.as_mut_ptr().add(ii * NR + 4), accrow[1]);
+            }
+            for ii in 0..mr {
+                let row = out.add(ii * row_stride);
+                for jj in 0..nr {
+                    *row.add(jj) += tile[ii * NR + jj];
+                }
+            }
+        }
+    }
+}
+
+/// True when `ENHANCENET_FORCE_SCALAR` is set to anything but `0` or the
+/// empty string. Read per call so tests can assert on it; the *selection*
+/// result is still cached by [`selected_kernel`].
+pub fn force_scalar_requested() -> bool {
+    match std::env::var("ENHANCENET_FORCE_SCALAR") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// True when the host CPU offers a vectorized kernel, regardless of
+/// whether dispatch was forced to scalar. Drives the
+/// `tensor.kernel.simd_available` counter, which lets
+/// `bench_summary --require-simd` distinguish "ran scalar because the
+/// host has no SIMD" (fine) from "ran scalar on SIMD hardware" (a
+/// dispatch regression).
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        return std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma");
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return true;
+    }
+    #[allow(unreachable_code)]
+    false
+}
+
+/// The micro-kernel every blocked GEMM in this process uses, chosen once:
+/// `ENHANCENET_FORCE_SCALAR` wins, then AVX2+FMA where detected, then NEON
+/// on `aarch64`, then the scalar fallback.
+pub fn selected_kernel() -> &'static dyn MicroKernel {
+    static SELECTED: OnceLock<&'static dyn MicroKernel> = OnceLock::new();
+    *SELECTED.get_or_init(|| {
+        if force_scalar_requested() {
+            return &ScalarKernel;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if simd_available() {
+            return &Avx2Kernel;
+        }
+        #[cfg(target_arch = "aarch64")]
+        return &NeonKernel;
+        #[allow(unreachable_code)]
+        &ScalarKernel
+    })
+}
+
+/// Every kernel the host can execute — the scalar fallback plus whichever
+/// vectorized kernels runtime detection admits. Tests iterate this to pin
+/// each dispatch variant against the reference in-process, without
+/// spawning one subprocess per `ENHANCENET_FORCE_SCALAR` state.
+pub fn available_kernels() -> Vec<&'static dyn MicroKernel> {
+    let mut kernels: Vec<&'static dyn MicroKernel> = vec![&ScalarKernel];
+    #[cfg(target_arch = "x86_64")]
+    if simd_available() {
+        kernels.push(&Avx2Kernel);
+    }
+    #[cfg(target_arch = "aarch64")]
+    kernels.push(&NeonKernel);
+    kernels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference for one packed micro-tile: the triple loop over strips.
+    fn reference_tile(kc: usize, astrip: &[f32], bstrip: &[f32], mr: usize, nr: usize) -> Vec<f32> {
+        let (kmr, knr) = (astrip.len() / kc, bstrip.len() / kc);
+        let mut out = vec![0.0f32; mr * nr];
+        for kk in 0..kc {
+            for ii in 0..mr {
+                for jj in 0..nr {
+                    out[ii * nr + jj] += astrip[kk * kmr + ii] * bstrip[kk * knr + jj];
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic small-integer strips: products stay exactly
+    /// representable, so scalar and FMA kernels must agree bitwise.
+    fn int_strip(len: usize, seed: usize) -> Vec<f32> {
+        (0..len).map(|v| ((v * 13 + seed * 7) % 7) as f32 - 3.0).collect()
+    }
+
+    /// Runs `kernel` on an `mr`×`nr` corner embedded in a wider output
+    /// matrix and returns that corner.
+    fn run_kernel_tile(
+        kernel: &dyn MicroKernel,
+        kc: usize,
+        astrip: &[f32],
+        bstrip: &[f32],
+        mr: usize,
+        nr: usize,
+    ) -> Vec<f32> {
+        // Give the tile a wider row stride than nr so stride handling and
+        // out-of-tile preservation are both exercised.
+        let stride = kernel.nr() + 3;
+        let mut out = vec![0.0f32; (kernel.mr() + 1) * stride];
+        unsafe {
+            kernel.run(kc, astrip, bstrip, out.as_mut_ptr(), stride, mr, nr);
+        }
+        let mut corner = Vec::with_capacity(mr * nr);
+        for ii in 0..mr {
+            corner.extend_from_slice(&out[ii * stride..ii * stride + nr]);
+        }
+        // Everything outside the corner must be untouched.
+        for (idx, &v) in out.iter().enumerate() {
+            let (r, c) = (idx / stride, idx % stride);
+            if r >= mr || c >= nr {
+                assert_eq!(v, 0.0, "kernel {} wrote outside its {mr}x{nr} tile", kernel.name());
+            }
+        }
+        corner
+    }
+
+    #[test]
+    fn every_kernel_matches_reference_on_full_and_ragged_tiles() {
+        for kernel in available_kernels() {
+            let (kmr, knr) = (kernel.mr(), kernel.nr());
+            for &kc in &[1usize, 2, 7, 33] {
+                let astrip = int_strip(kc * kmr, 1);
+                let bstrip = int_strip(kc * knr, 2);
+                // Every ragged corner, including the full tile.
+                for mr in 1..=kmr {
+                    for nr in 1..=knr {
+                        let got = run_kernel_tile(kernel, kc, &astrip, &bstrip, mr, nr);
+                        let want = reference_tile(kc, &astrip, &bstrip, mr, nr);
+                        assert_eq!(
+                            got,
+                            want,
+                            "kernel {} mismatch at kc={kc} mr={mr} nr={nr}",
+                            kernel.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_accumulates_into_existing_output() {
+        for kernel in available_kernels() {
+            let (kmr, knr) = (kernel.mr(), kernel.nr());
+            let kc = 3;
+            let astrip = int_strip(kc * kmr, 3);
+            let bstrip = int_strip(kc * knr, 4);
+            let stride = knr;
+            let mut out = vec![1.0f32; kmr * stride];
+            unsafe {
+                kernel.run(kc, &astrip, &bstrip, out.as_mut_ptr(), stride, kmr, knr);
+            }
+            let want = reference_tile(kc, &astrip, &bstrip, kmr, knr);
+            for (o, w) in out.iter().zip(&want) {
+                assert_eq!(*o, w + 1.0, "kernel {} must += into out", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_selection_is_consistent_and_named() {
+        let selected = selected_kernel();
+        let names: Vec<&str> = available_kernels().iter().map(|k| k.name()).collect();
+        assert!(names.contains(&selected.name()), "selected {:?} not available", selected.name());
+        assert!(names.contains(&"scalar"), "scalar fallback must always be available");
+        for kernel in available_kernels() {
+            assert!(["scalar", "avx2", "neon"].contains(&kernel.name()));
+            assert!(kernel.dispatch_counter().starts_with("tensor.kernel.dispatch."));
+            assert!(kernel.dispatch_counter().ends_with(kernel.name()));
+            assert!(kernel.mr() >= 1 && kernel.nr() >= 1);
+        }
+        // Selection is cached: repeated calls return the same kernel.
+        assert_eq!(selected.name(), selected_kernel().name());
+    }
+
+    #[test]
+    fn scalar_kernel_shape_matches_pre_dispatch_engine() {
+        // The historical engine used a 4x8 tile; the scalar fallback must
+        // keep it so forced-scalar runs reproduce old results bit-for-bit.
+        assert_eq!(ScalarKernel.mr(), 4);
+        assert_eq!(ScalarKernel.nr(), 8);
+    }
+}

@@ -10,8 +10,10 @@
 //! matrix products: the blocked GEMM engine in [`mod@matmul`] reads either
 //! operand in transposed order through its `_tn`/`_nt` entry points, packs
 //! operand panels into buffers recycled by the thread-local [`scratch`]
-//! pool, and parallelizes with rayon when the arithmetic work is large
-//! enough to amortize the fork.
+//! pool, runs them through the SIMD micro-kernel selected at startup by
+//! [`mod@kernel`] (AVX2+FMA, NEON, or the scalar fallback —
+//! `ENHANCENET_FORCE_SCALAR=1` pins the latter), and parallelizes with
+//! rayon when the arithmetic work is large enough to amortize the fork.
 //!
 //! ## Quick start
 //!
@@ -35,6 +37,7 @@
 //!   panic message.
 
 mod init;
+pub mod kernel;
 mod manip;
 pub mod matmul;
 mod ops;
@@ -44,6 +47,7 @@ mod shape;
 mod tensor;
 
 pub use init::TensorRng;
+pub use kernel::MicroKernel;
 pub use scratch::with_scratch;
 pub use shape::{broadcast_shapes, Shape};
 pub use tensor::Tensor;

@@ -5,41 +5,48 @@
 //! # Engine layout
 //!
 //! One engine computes `C += A·B` for any combination of normal/transposed
-//! operands: [`MatRef`] reads either layout through row/column strides, so a
+//! operands: `MatRef` reads either layout through row/column strides, so a
 //! transposed operand is never materialized. Dispatch is by arithmetic work
 //! (`m·n·k` multiply-adds):
 //!
-//! * below [`PACK_MIN_WORK`] — direct strided loops ([`gemm_direct`]); the
+//! * below `PACK_MIN_WORK` — direct strided loops (`gemm_direct`); the
 //!   pack cost would exceed the whole product,
-//! * otherwise — BLIS-style blocking ([`gemm_blocked`]): the `n` dimension in
-//!   [`NC`] slabs, the `k` dimension in [`KC`] slices, the `m` dimension in
-//!   [`MC`] row blocks. B slabs pack once into [`NR`]-column strips and are
-//!   reused by every row block; A blocks pack per-thread into [`MR`]-row
-//!   strips; an `MR`×`NR` register-tiled micro-kernel does the arithmetic.
-//!   Row blocks fan out to rayon when total work reaches [`PAR_MIN_WORK`],
+//! * otherwise — BLIS-style blocking (`gemm_blocked`): the `n` dimension in
+//!   `NC` slabs, the `k` dimension in `KC` slices, the `m` dimension in
+//!   `MC` row blocks. B slabs pack into `nr`-column strips; A blocks pack
+//!   per-thread into `mr`-row strips; the register-tiled micro-kernel chosen
+//!   by [`crate::kernel::selected_kernel`] (AVX2+FMA 6×16, NEON 4×8, or the
+//!   scalar 4×8 fallback — `ENHANCENET_FORCE_SCALAR=1` pins the latter) does
+//!   the arithmetic, so panel shapes follow the selected kernel's `mr`/`nr`.
+//!   When total work reaches `PAR_MIN_WORK` one GEMM fans out internally:
+//!   across `MC` row blocks for tall outputs, across `NC` column slabs
+//!   for wide ones (each slab task packing its own panels from its worker
+//!   thread's scratch pool),
 //! * batched entry points additionally parallelize across the batch when the
 //!   summed work clears the same threshold.
 //!
 //! Pack buffers come from the thread-local [`crate::scratch`] pool, so
 //! steady-state training steps re-run the engine without allocating
 //! temporaries. Counters: `tensor.pack.bytes` (bytes packed),
-//! `tensor.scratch.hit`/`.miss` (pool behavior), plus the per-entry-point
-//! `tensor.<kernel>.{calls,elements,par,serial}` dispatch counters.
+//! `tensor.scratch.hit`/`.miss` (pool behavior), the per-entry-point
+//! `tensor.<kernel>.{calls,elements,par,serial}` dispatch counters, plus —
+//! per blocked dispatch — `tensor.kernel.dispatch.{avx2,neon,scalar}`,
+//! `tensor.kernel.simd_available` (host capability, regardless of forcing),
+//! and `tensor.gemm.par_blocks` (intra-GEMM fan-out width).
 
+use crate::kernel::{self, MicroKernel};
 use crate::scratch::with_scratch;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
-/// Row-block height: the A panel (`MC`×`KC` floats = 64 KiB) stays L2-hot.
+/// Row-block height: the A panel (`MC`×`KC` floats ≈ 64 KiB) stays L2-hot.
+/// Not required to divide any kernel's `mr`; packing pads the last strip.
 const MC: usize = 64;
 /// Depth of one packed slice along the shared `k` dimension.
 const KC: usize = 256;
-/// Width of one packed B slab (`KC`×`NC` floats = 512 KiB, streamed by strip).
+/// Width of one packed B slab (`KC`×`NC` floats = 512 KiB, streamed by
+/// strip). A multiple of every kernel's `nr`, so slabs tile evenly.
 const NC: usize = 512;
-/// Micro-kernel rows: accumulators span `MR`×`NR` registers.
-const MR: usize = 4;
-/// Micro-kernel columns (two 4-wide vectors per row on SSE2 baselines).
-const NR: usize = 8;
 
 /// Below this many multiply-adds the packed path costs more than it saves.
 const PACK_MIN_WORK: usize = 8 * 1024;
@@ -64,6 +71,24 @@ fn record_dispatch(calls: &'static str, elems: &'static str, path: &'static str,
 fn record_pack_bytes(elems: usize) {
     if enhancenet_telemetry::enabled() {
         enhancenet_telemetry::count("tensor.pack.bytes", (elems * size_of::<f32>()) as u64);
+    }
+}
+
+/// Telemetry for one blocked dispatch: which micro-kernel ran, whether the
+/// host CPU *could* have run a vectorized one (so `bench_summary
+/// --require-simd` can tell "no SIMD hardware" apart from "SIMD silently
+/// disabled"), and the intra-GEMM parallel fan-out width (0 = serial).
+#[inline]
+fn record_blocked_dispatch(kern: &dyn MicroKernel, par_fanout: usize) {
+    if !enhancenet_telemetry::enabled() {
+        return;
+    }
+    enhancenet_telemetry::count(kern.dispatch_counter(), 1);
+    if kernel::simd_available() {
+        enhancenet_telemetry::count("tensor.kernel.simd_available", 1);
+    }
+    if par_fanout > 0 {
+        enhancenet_telemetry::count("tensor.gemm.par_blocks", par_fanout as u64);
     }
 }
 
@@ -160,9 +185,7 @@ fn gemm_direct(out: &mut [f32], a: MatRef, b: MatRef, m: usize, k: usize, n: usi
     }
 }
 
-/// Blocked path: pack B once per `(jc, pc)` slab, pack A per row block, run
-/// the register-tiled micro-kernel over the packed strips. Row blocks are
-/// contiguous `MC·n` chunks of `out`, so they parallelize without overlap.
+/// Blocked path with the process-selected micro-kernel.
 fn gemm_blocked(
     out: &mut [f32],
     a: MatRef,
@@ -172,34 +195,80 @@ fn gemm_blocked(
     n: usize,
     parallel: bool,
 ) {
+    gemm_blocked_with(kernel::selected_kernel(), out, a, b, m, k, n, parallel);
+}
+
+/// Shares one output buffer across slab tasks that write provably disjoint
+/// column ranges. Only ever dereferenced through [`MicroKernel::run`],
+/// whose safety contract restates the disjointness requirement.
+struct OutPtr(*mut f32);
+unsafe impl Send for OutPtr {}
+unsafe impl Sync for OutPtr {}
+
+/// Blocked path: pack B once per `(jc, pc)` slab, pack A per row block, run
+/// the register-tiled micro-kernel over the packed strips.
+///
+/// Intra-GEMM parallelism picks the wider fan-out: tall outputs split into
+/// `MC`-row blocks (contiguous `MC·n` chunks of `out`, no overlap); wide
+/// outputs split into `NC`-column slabs, each task owning columns
+/// `[jc, jc+nc)` of every row and packing its own B panel. Serial calls
+/// keep the row-block structure so a B panel packs once per `(jc, pc)`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked_with(
+    kern: &dyn MicroKernel,
+    out: &mut [f32],
+    a: MatRef,
+    b: MatRef,
+    m: usize,
+    k: usize,
+    n: usize,
+    parallel: bool,
+) {
+    debug_assert_eq!(out.len(), m * n);
+    let row_blocks = m.div_ceil(MC);
+    let col_slabs = n.div_ceil(NC);
+    let slab_parallel = parallel && col_slabs > 1 && col_slabs >= row_blocks;
+    let row_parallel = parallel && !slab_parallel && row_blocks > 1;
+    record_blocked_dispatch(
+        kern,
+        if slab_parallel {
+            col_slabs
+        } else if row_parallel {
+            row_blocks
+        } else {
+            0
+        },
+    );
+    if slab_parallel {
+        let base = OutPtr(out.as_mut_ptr());
+        let base = &base;
+        (0..col_slabs).into_par_iter().for_each(|slab| {
+            let jc = slab * NC;
+            gemm_slab(kern, base.0, a, b, m, k, n, jc, NC.min(n - jc));
+        });
+        return;
+    }
+    let (kmr, knr) = (kern.mr(), kern.nr());
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
-        let nc_pad = nc.next_multiple_of(NR);
+        let nc_pad = nc.next_multiple_of(knr);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
             with_scratch(kc * nc_pad, |bpack| {
-                pack_b(bpack, b, pc, jc, kc, nc);
+                pack_b(bpack, b, pc, jc, kc, nc, knr);
                 record_pack_bytes(kc * nc_pad);
                 let bpack = &*bpack;
                 let row_block = |(blk, orows): (usize, &mut [f32])| {
                     let ic = blk * MC;
                     let mc = MC.min(m - ic);
-                    let mc_pad = mc.next_multiple_of(MR);
+                    let mc_pad = mc.next_multiple_of(kmr);
                     with_scratch(kc * mc_pad, |apack| {
-                        pack_a(apack, a, ic, pc, mc, kc);
+                        pack_a(apack, a, ic, pc, mc, kc, kmr);
                         record_pack_bytes(kc * mc_pad);
-                        for j0 in (0..nc).step_by(NR) {
-                            let nr = NR.min(nc - j0);
-                            let bstrip = &bpack[j0 * kc..j0 * kc + kc * NR];
-                            for i0 in (0..mc).step_by(MR) {
-                                let mr = MR.min(mc - i0);
-                                let astrip = &apack[i0 * kc..i0 * kc + kc * MR];
-                                microkernel(kc, astrip, bstrip, orows, i0, n, jc + j0, mr, nr);
-                            }
-                        }
+                        micro_loop(kern, kc, apack, bpack, orows.as_mut_ptr(), n, jc, mc, nc);
                     });
                 };
-                if parallel {
+                if row_parallel {
                     out.par_chunks_mut(MC * n).enumerate().for_each(row_block);
                 } else {
                     out.chunks_mut(MC * n).enumerate().for_each(row_block);
@@ -209,14 +278,87 @@ fn gemm_blocked(
     }
 }
 
-/// Packs `a[ic..ic+mc, pc..pc+kc]` into `MR`-row strips: strip `i0` holds
-/// `buf[i0·kc + kk·MR + ii] = a(ic+i0+ii, pc+kk)`, zero-padded past `mc` so
+/// One `NC`-column slab of the output, all rows, all `k` slices — the unit
+/// of work of the wide-output parallel path. `base` points at element
+/// `(0, 0)` of the full `m`×`n` output; this task only writes columns
+/// `[jc, jc+nc)`, which no other slab touches.
+#[allow(clippy::too_many_arguments)]
+fn gemm_slab(
+    kern: &dyn MicroKernel,
+    base: *mut f32,
+    a: MatRef,
+    b: MatRef,
+    m: usize,
+    k: usize,
+    n: usize,
+    jc: usize,
+    nc: usize,
+) {
+    let (kmr, knr) = (kern.mr(), kern.nr());
+    let nc_pad = nc.next_multiple_of(knr);
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        with_scratch(kc * nc_pad, |bpack| {
+            pack_b(bpack, b, pc, jc, kc, nc, knr);
+            record_pack_bytes(kc * nc_pad);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                let mc_pad = mc.next_multiple_of(kmr);
+                with_scratch(kc * mc_pad, |apack| {
+                    pack_a(apack, a, ic, pc, mc, kc, kmr);
+                    record_pack_bytes(kc * mc_pad);
+                    // In bounds: rows ic..ic+mc and columns jc..jc+nc of
+                    // the m×n output this slab exclusively owns.
+                    let block = unsafe { base.add(ic * n) };
+                    micro_loop(kern, kc, apack, bpack, block, n, jc, mc, nc);
+                });
+            }
+        });
+    }
+}
+
+/// Walks one packed A block against one packed B slab, dispatching the
+/// micro-kernel per register tile. `out` points at row 0 of the block
+/// (column 0 of the full matrix, row stride `row_stride`); `col0` is the
+/// slab's first absolute column.
+#[allow(clippy::too_many_arguments)]
+fn micro_loop(
+    kern: &dyn MicroKernel,
+    kc: usize,
+    apack: &[f32],
+    bpack: &[f32],
+    out: *mut f32,
+    row_stride: usize,
+    col0: usize,
+    mc: usize,
+    nc: usize,
+) {
+    let (kmr, knr) = (kern.mr(), kern.nr());
+    for j0 in (0..nc).step_by(knr) {
+        let nr = knr.min(nc - j0);
+        let bstrip = &bpack[j0 * kc..j0 * kc + kc * knr];
+        for i0 in (0..mc).step_by(kmr) {
+            let mr = kmr.min(mc - i0);
+            let astrip = &apack[i0 * kc..i0 * kc + kc * kmr];
+            // Safety: the tile at rows [i0, i0+mr) × columns
+            // [col0+j0, col0+j0+nr) lies inside the caller's exclusive
+            // region, and the strips carry kc·mr/kc·nr packed floats.
+            unsafe {
+                let tile = out.add(i0 * row_stride + col0 + j0);
+                kern.run(kc, astrip, bstrip, tile, row_stride, mr, nr);
+            }
+        }
+    }
+}
+
+/// Packs `a[ic..ic+mc, pc..pc+kc]` into `mr`-row strips: strip `i0` holds
+/// `buf[i0·kc + kk·mr + ii] = a(ic+i0+ii, pc+kk)`, zero-padded past `mc` so
 /// the micro-kernel never branches on ragged rows.
-fn pack_a(buf: &mut [f32], a: MatRef, ic: usize, pc: usize, mc: usize, kc: usize) {
-    for i0 in (0..mc).step_by(MR) {
-        let strip = &mut buf[i0 * kc..i0 * kc + kc * MR];
+fn pack_a(buf: &mut [f32], a: MatRef, ic: usize, pc: usize, mc: usize, kc: usize, mr: usize) {
+    for i0 in (0..mc).step_by(mr) {
+        let strip = &mut buf[i0 * kc..i0 * kc + kc * mr];
         for kk in 0..kc {
-            let dst = &mut strip[kk * MR..kk * MR + MR];
+            let dst = &mut strip[kk * mr..kk * mr + mr];
             for (ii, d) in dst.iter_mut().enumerate() {
                 *d = if i0 + ii < mc { a.at(ic + i0 + ii, pc + kk) } else { 0.0 };
             }
@@ -224,13 +366,13 @@ fn pack_a(buf: &mut [f32], a: MatRef, ic: usize, pc: usize, mc: usize, kc: usize
     }
 }
 
-/// Packs `b[pc..pc+kc, jc..jc+nc]` into `NR`-column strips: strip `j0` holds
-/// `buf[j0·kc + kk·NR + jj] = b(pc+kk, jc+j0+jj)`, zero-padded past `nc`.
-fn pack_b(buf: &mut [f32], b: MatRef, pc: usize, jc: usize, kc: usize, nc: usize) {
-    for j0 in (0..nc).step_by(NR) {
-        let strip = &mut buf[j0 * kc..j0 * kc + kc * NR];
+/// Packs `b[pc..pc+kc, jc..jc+nc]` into `nr`-column strips: strip `j0` holds
+/// `buf[j0·kc + kk·nr + jj] = b(pc+kk, jc+j0+jj)`, zero-padded past `nc`.
+fn pack_b(buf: &mut [f32], b: MatRef, pc: usize, jc: usize, kc: usize, nc: usize, nr: usize) {
+    for j0 in (0..nc).step_by(nr) {
+        let strip = &mut buf[j0 * kc..j0 * kc + kc * nr];
         for kk in 0..kc {
-            let dst = &mut strip[kk * NR..kk * NR + NR];
+            let dst = &mut strip[kk * nr..kk * nr + nr];
             for (jj, d) in dst.iter_mut().enumerate() {
                 *d = if j0 + jj < nc { b.at(pc + kk, jc + j0 + jj) } else { 0.0 };
             }
@@ -238,38 +380,36 @@ fn pack_b(buf: &mut [f32], b: MatRef, pc: usize, jc: usize, kc: usize, nc: usize
     }
 }
 
-/// The register tile: `MR`×`NR` accumulators walk one packed A strip against
-/// one packed B strip over `kc` steps, then flush `mr`×`nr` of them into the
-/// output rows (`orows` is the row block; `col` the absolute first column).
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn microkernel(
-    kc: usize,
-    astrip: &[f32],
-    bstrip: &[f32],
-    orows: &mut [f32],
-    i0: usize,
-    n: usize,
-    col: usize,
-    mr: usize,
-    nr: usize,
-) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for kk in 0..kc {
-        let arow = &astrip[kk * MR..kk * MR + MR];
-        let brow = &bstrip[kk * NR..kk * NR + NR];
-        for (accrow, &av) in acc.iter_mut().zip(arow) {
-            for (c, &bv) in accrow.iter_mut().zip(brow) {
-                *c += av * bv;
-            }
-        }
-    }
-    for (ii, accrow) in acc.iter().enumerate().take(mr) {
-        let base = (i0 + ii) * n + col;
-        for (o, c) in orows[base..base + nr].iter_mut().zip(accrow) {
-            *o += c;
-        }
-    }
+/// Test hook: the full blocked engine — packing, blocking, micro-loop,
+/// optional intra-GEMM parallelism — with an explicit micro-kernel,
+/// bypassing both the work heuristic and the process-wide selection.
+/// Lets one test process pin every dispatch variant from
+/// [`kernel::available_kernels`] against a reference, instead of spawning
+/// a subprocess per `ENHANCENET_FORCE_SCALAR` state.
+#[doc(hidden)]
+pub fn matmul_with_kernel(
+    a: &Tensor,
+    b: &Tensor,
+    kern: &dyn MicroKernel,
+    parallel: bool,
+) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul_with_kernel lhs must be rank 2, got {:?}", a.shape());
+    assert_eq!(b.rank(), 2, "matmul_with_kernel rhs must be rank 2, got {:?}", b.shape());
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul_with_kernel inner dims differ: {:?} x {:?}", a.shape(), b.shape());
+    let mut out = vec![0.0f32; m * n];
+    gemm_blocked_with(
+        kern,
+        &mut out,
+        MatRef::normal(a.data(), k),
+        MatRef::normal(b.data(), n),
+        m,
+        k,
+        n,
+        parallel,
+    );
+    Tensor::from_vec(out, &[m, n])
 }
 
 /// Batched driver: one GEMM per batch over closure-provided operand views.
@@ -297,7 +437,7 @@ fn gemm_batched<'a>(
 }
 
 /// Work-based batch heuristic: fork across batches when the *summed*
-/// multiply-adds clear [`PAR_MIN_WORK`] — many small batches are as
+/// multiply-adds clear `PAR_MIN_WORK` — many small batches are as
 /// parallel-worthy as one large one.
 fn batch_parallel(batch: usize, m: usize, k: usize, n: usize) -> bool {
     batch > 1 && batch * m * n * k >= PAR_MIN_WORK
@@ -907,6 +1047,86 @@ mod tests {
         let a = Tensor::from_rows(&[vec![2.0, 0.0], vec![0.0, 2.0]]);
         assert!(a.matrix_power(0).allclose(&Tensor::eye(2), 0.0));
         assert!(a.matrix_power(3).allclose(&(&Tensor::eye(2) * 8.0), 1e-5));
+    }
+
+    #[test]
+    fn pack_a_layout_strips_and_zero_pads() {
+        // 5x3 source packed with mr = 4, kc = 3: strip 0 interleaves rows
+        // 0..4 by depth; strip 1 holds row 4 plus three zero-padded rows.
+        let data: Vec<f32> = (0..15).map(|v| v as f32).collect();
+        let a = MatRef::normal(&data, 3);
+        let mut buf = vec![f32::NAN; 3 * 8];
+        pack_a(&mut buf, a, 0, 0, 5, 3, 4);
+        // Strip 0, depth 0: column 0 of rows 0..4.
+        assert_eq!(&buf[0..4], &[0.0, 3.0, 6.0, 9.0]);
+        // Strip 0, depth 2: column 2 of rows 0..4.
+        assert_eq!(&buf[8..12], &[2.0, 5.0, 8.0, 11.0]);
+        // Strip 1, depth 0: row 4 then zero padding — never stale NaNs.
+        assert_eq!(&buf[12..16], &[12.0, 0.0, 0.0, 0.0]);
+        assert!(buf[12..].iter().all(|v| !v.is_nan()));
+    }
+
+    #[test]
+    fn pack_a_transposed_view_reads_swapped_strides() {
+        // A [3, 2] buffer viewed as its [2, 3] transpose must pack the
+        // logical (not storage) rows.
+        let data: Vec<f32> = (0..6).map(|v| v as f32).collect();
+        let at = MatRef::transposed(&data, 2);
+        let mut buf = vec![0.0f32; 3 * 2];
+        pack_a(&mut buf, at, 0, 0, 2, 3, 2);
+        // Logical row 0 = storage column 0 = [0, 2, 4]; row 1 = [1, 3, 5].
+        assert_eq!(buf, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn pack_b_layout_strips_and_zero_pads() {
+        // 2x5 source packed with nr = 4, kc = 2: strip 0 holds columns
+        // 0..4, strip 1 holds column 4 plus three zero-padded columns.
+        let data: Vec<f32> = (0..10).map(|v| v as f32).collect();
+        let b = MatRef::normal(&data, 5);
+        let mut buf = vec![f32::NAN; 2 * 8];
+        pack_b(&mut buf, b, 0, 0, 2, 5, 4);
+        assert_eq!(&buf[0..4], &[0.0, 1.0, 2.0, 3.0]); // depth 0, cols 0..4
+        assert_eq!(&buf[4..8], &[5.0, 6.0, 7.0, 8.0]); // depth 1, cols 0..4
+        assert_eq!(&buf[8..12], &[4.0, 0.0, 0.0, 0.0]); // strip 1, depth 0
+        assert_eq!(&buf[12..16], &[9.0, 0.0, 0.0, 0.0]); // strip 1, depth 1
+    }
+
+    #[test]
+    fn every_kernel_drives_blocked_engine_to_reference() {
+        // The same odd/ragged shape sweep as the public-API test, but
+        // forced through each dispatch variant the host can run, serial
+        // and parallel. Integer values keep comparisons bitwise even for
+        // FMA kernels.
+        for &(m, k, n) in &[(1, 1, 1), (5, 3, 17), (7, 19, 23), (67, 129, 65)] {
+            let a = int_tensor(&[m, k], 1);
+            let b = int_tensor(&[k, n], 2);
+            let want = reference_mm(&a, &b);
+            for kern in crate::kernel::available_kernels() {
+                for parallel in [false, true] {
+                    let got = matmul_with_kernel(&a, &b, kern, parallel);
+                    assert_eq!(
+                        got.data(),
+                        want.data(),
+                        "kernel {} mismatch at ({m},{k},{n}) parallel={parallel}",
+                        kern.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_output_slab_parallel_matches_reference() {
+        // col_slabs (3) > row_blocks (1) with work >= PAR_MIN_WORK forces
+        // the column-slab fan-out; slabs must tile the output without
+        // overlap or gaps.
+        let (m, k, n) = (32, 64, 1200);
+        assert!(m * k * n >= PAR_MIN_WORK);
+        assert!(n.div_ceil(NC) > m.div_ceil(MC));
+        let a = int_tensor(&[m, k], 3);
+        let b = int_tensor(&[k, n], 4);
+        assert_eq!(a.matmul(&b).data(), reference_mm(&a, &b).data());
     }
 
     #[test]

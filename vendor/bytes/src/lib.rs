@@ -1,0 +1,186 @@
+//! Vendored, dependency-free subset of the `bytes` crate.
+//!
+//! The registry configured for this repository is unreachable from the build
+//! environment, so the workspace vendors the few external crates it uses as
+//! minimal in-tree implementations (see `vendor/README.md`). This crate
+//! covers exactly the surface `enhancenet-autodiff`'s checkpoint wire format
+//! consumes: little-endian put/get of `u32`/`f32`, raw slices, and the
+//! `BytesMut` → `Bytes` freeze.
+
+use std::ops::Deref;
+
+/// An immutable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data }
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.data.as_slice() == *other
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// A new buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap) }
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Read access to a byte stream, advancing past consumed bytes.
+///
+/// Matching upstream `bytes`, the `get_*` methods panic when fewer bytes
+/// remain than the read requires — callers guard with [`Buf::remaining`].
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consumes and returns the next `n` bytes.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+
+    /// Consumes 4 bytes as a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Consumes 4 bytes as a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "copy_to_bytes past end of buffer");
+        let (head, tail) = self.split_at(n);
+        let out = Bytes { data: head.to_vec() };
+        *self = tail;
+        out
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        assert!(self.len() >= 4, "get_u32_le past end of buffer");
+        let (head, tail) = self.split_at(4);
+        *self = tail;
+        u32::from_le_bytes(head.try_into().unwrap())
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+/// Write access to a growable byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` in little-endian order.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32_f32_slice() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_f32_le(1.5);
+        buf.put_slice(b"xy");
+        let frozen = buf.freeze();
+        let mut rd: &[u8] = &frozen;
+        assert_eq!(rd.remaining(), 10);
+        assert_eq!(rd.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(rd.get_f32_le(), 1.5);
+        assert_eq!(rd.copy_to_bytes(2), b"xy"[..]);
+        assert_eq!(rd.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn get_past_end_panics() {
+        let mut rd: &[u8] = &[1, 2];
+        let _ = rd.get_u32_le();
+    }
+}

@@ -1,0 +1,336 @@
+//! Vendored, dependency-free subset of the `criterion` crate.
+//!
+//! The registry configured for this repository is unreachable from the build
+//! environment, so the workspace vendors the few external crates it uses as
+//! minimal in-tree implementations (see `vendor/README.md`). This harness
+//! keeps criterion's API shape (`criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`) over a simple engine: per-benchmark wall-clock sampling
+//! with a short warm-up, reporting median / mean / min per iteration.
+//!
+//! CLI behavior matches what CI invokes:
+//! * `--test` (from `cargo bench -- --test`) runs every benchmark body once
+//!   and reports `ok`, without timing loops.
+//! * any bare (non-flag) argument filters benchmarks by substring match on
+//!   their full `group/name` id.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, configured once per binary.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 100, test_mode: false, filter: None }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies command-line arguments (`--test`, substring filters). Flags
+    /// criterion would accept but this harness doesn't implement are ignored
+    /// rather than rejected, so `cargo bench` wrappers keep working.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" => {
+                    // `cargo bench` appends `--bench` to the binary's args;
+                    // swallow it (and no value follows from cargo).
+                }
+                s if s.starts_with("--") => {
+                    // Unimplemented criterion flag; skip a value if present.
+                    if let Some(next) = args.peek() {
+                        if !next.starts_with("--") {
+                            args.next();
+                        }
+                    }
+                }
+                other => self.filter = Some(other.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        let samples = self.sample_size;
+        self.run_one(&id, samples, f);
+        self
+    }
+
+    /// Prints the end-of-run footer (kept for API compatibility).
+    pub fn final_summary(&self) {
+        println!("\nbenchmarks complete");
+    }
+
+    fn run_one<F>(&mut self, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher { mode: Mode::Once, samples: Vec::new() };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        // Warm-up: run the body until ~50ms have elapsed so caches, pools,
+        // and lazy statics settle before timing.
+        let warm_deadline = Instant::now() + Duration::from_millis(50);
+        while Instant::now() < warm_deadline {
+            let mut b = Bencher { mode: Mode::Once, samples: Vec::new() };
+            f(&mut b);
+        }
+        let mut b = Bencher { mode: Mode::Sample(sample_size), samples: Vec::new() };
+        f(&mut b);
+        b.samples.sort_unstable();
+        let median = b.samples[b.samples.len() / 2];
+        let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+        let min = b.samples[0];
+        println!(
+            "{id:<44} median {:>12} mean {:>12} min {:>12} ({} samples)",
+            fmt_duration(median),
+            fmt_duration(mean),
+            fmt_duration(min),
+            b.samples.len(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named set of benchmarks sharing a prefix and optional sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, samples, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; groups need no teardown).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a displayed parameter value, e.g. a size.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self(param.to_string())
+    }
+
+    /// Builds a `name/parameter` id.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        Self(format!("{}/{}", name.into(), param))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        Self(s.clone())
+    }
+}
+
+enum Mode {
+    /// Run the body once (test mode and warm-up).
+    Once,
+    /// Collect N timed samples.
+    Sample(usize),
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, whose return value is black-boxed to keep the
+    /// optimizer from deleting the measured work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Once => {
+                black_box(routine());
+            }
+            Mode::Sample(n) => {
+                // Batch iterations per sample so sub-microsecond bodies are
+                // measured above timer resolution.
+                let probe = Instant::now();
+                black_box(routine());
+                let once = probe.elapsed();
+                let batch = (Duration::from_micros(100).as_nanos() / once.as_nanos().max(1))
+                    .clamp(1, 10_000) as u32;
+                self.samples.reserve(n);
+                for _ in 0..n {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    self.samples.push(start.elapsed() / batch);
+                }
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, in either upstream form:
+/// `criterion_group!(name, target, ...)` or
+/// `criterion_group! { name = n; config = expr; targets = t, ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut runs = 0u32;
+        let runs_ref = &mut runs;
+        c.bench_function("trivial", |b| b.iter(|| *runs_ref += 1));
+        assert!(runs > 0, "benchmark body never executed");
+    }
+
+    #[test]
+    fn groups_compose_ids_and_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4);
+        let mut ran = false;
+        let ran_ref = &mut ran;
+        group.bench_with_input(BenchmarkId::from_parameter(207), &207usize, |b, &n| {
+            b.iter(|| {
+                *ran_ref = true;
+                black_box(n * 2)
+            })
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { sample_size: 3, test_mode: false, filter: Some("other".into()) };
+        let mut ran = false;
+        let ran_ref = &mut ran;
+        c.bench_function("this_one", |b| b.iter(|| *ran_ref = true));
+        assert!(!ran, "filtered benchmark must not run");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { sample_size: 50, test_mode: true, filter: None };
+        let mut runs = 0u32;
+        let runs_ref = &mut runs;
+        c.bench_function("once", |b| b.iter(|| *runs_ref += 1));
+        assert_eq!(runs, 1);
+    }
+}

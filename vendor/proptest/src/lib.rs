@@ -1,0 +1,482 @@
+//! Vendored, dependency-free subset of the `proptest` crate.
+//!
+//! The registry configured for this repository is unreachable from the build
+//! environment, so the workspace vendors the few external crates it uses as
+//! minimal in-tree implementations (see `vendor/README.md`). This crate
+//! keeps proptest's API shape — [`Strategy`] with `prop_map`/`prop_flat_map`,
+//! range and tuple strategies, [`prop::collection::vec`], `Just`,
+//! `prop_oneof!`, and the [`proptest!`] test macro — over a much simpler
+//! engine: deterministic seeded generation with **no shrinking**. Failures
+//! print the case index and seed so a run is reproducible by construction
+//! (seeds derive from the test name, not wall-clock entropy).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Re-exports matching `proptest::prelude::*` as used by this workspace.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Deterministic RNG driving value generation (splitmix64 core).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, bound)` via widening multiply.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream there is no value tree: `new_value` produces the final
+/// value directly and failing cases are reported by seed rather than shrunk.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { base: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds from it
+    /// (dependent generation, e.g. "a length, then a vec of that length").
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMapStrategy<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMapStrategy { base: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Strategy producing a fixed value, matching `proptest::strategy::Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct MapStrategy<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.new_value(rng))
+    }
+}
+
+/// [`Strategy::prop_flat_map`] adapter.
+pub struct FlatMapStrategy<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMapStrategy<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.new_value(rng)).new_value(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                (self.start as $wide).wrapping_add(rng.below(span) as $wide) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as $wide).wrapping_add(rng.below(span + 1) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(
+    usize => u64,
+    u64 => u64,
+    u32 => u64,
+    u16 => u64,
+    u8 => u64,
+    isize => i64,
+    i64 => i64,
+    i32 => i64,
+    i16 => i64,
+    i8 => i64
+);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let v = self.start + (self.end - self.start) * rng.unit_f64() as $t;
+                // Floating rounding can land exactly on `end`; nudge back in.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                start + (end - start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Equal-weight choice between boxed strategies, backing [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].new_value(rng)
+    }
+}
+
+/// Builds a [`Union`]; used by [`prop_oneof!`] so element types unify at the
+/// `Vec` rather than fighting cast inference in macro output.
+pub fn union<T>(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+    Union { options }
+}
+
+/// Boxes a strategy, erasing its concrete type.
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// Namespace mirror of `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        use crate::{SizeRange, Strategy, TestRng};
+
+        /// Generates `Vec`s whose length is drawn from `size` and whose
+        /// elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        /// Strategy returned by [`vec()`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.sample(rng);
+                (0..len).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Length specification for collection strategies: a fixed size or a range.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max - self.min) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { min: r.start, max: r.end }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        Self { min: *r.start(), max: *r.end() + 1 }
+    }
+}
+
+/// Runner configuration, matching the `proptest::test_runner::Config` fields
+/// this workspace sets.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Runs `case` once per configured case with deterministic seeds derived
+/// from `name` (FNV-1a), reporting the failing seed before re-panicking.
+/// Called by the [`proptest!`] macro expansion; not public API.
+#[doc(hidden)]
+pub fn run_cases(config: &ProptestConfig, name: &str, mut case: impl FnMut(&mut TestRng)) {
+    let mut base: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        base ^= u64::from(b);
+        base = base.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for i in 0..config.cases {
+        let seed = base.wrapping_add(u64::from(i));
+        let mut rng = TestRng::new(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| case(&mut rng))) {
+            eprintln!(
+                "proptest `{name}`: case {}/{} failed (seed {seed:#018x})",
+                i + 1,
+                config.cases
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the upstream forms used in this workspace: an optional leading
+/// `#![proptest_config(...)]`, then one or more `fn name(pat in strategy,
+/// ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    (@funcs ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        // Attributes (including `#[test]`) pass through verbatim: upstream
+        // proptest expects the caller to write `#[test]` and so does every
+        // use in this workspace.
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::run_cases(&config, stringify!($name), |rng| {
+                $(let $pat = $crate::Strategy::new_value(&($strat), rng);)*
+                $body
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a proptest body (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a proptest body (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Equal-weight choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, f32)> {
+        (1usize..10, -1.0f32..1.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..8, x in 0.5f32..5.0, k in 0u64..1000) {
+            prop_assert!((3..8).contains(&n));
+            prop_assert!((0.5..5.0).contains(&x));
+            prop_assert!(k < 1000);
+        }
+
+        #[test]
+        fn tuple_patterns_bind((n, x) in pair()) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_respects_size_and_elements(v in prop::collection::vec(0i32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| (0..5).contains(&e)));
+        }
+
+        #[test]
+        fn flat_map_dependent_lengths(v in (1usize..5).prop_flat_map(|n| {
+            prop::collection::vec(0u8..10, n).prop_map(move |v| (n, v))
+        })) {
+            prop_assert_eq!(v.0, v.1.len());
+        }
+
+        #[test]
+        fn oneof_picks_listed_values(v in prop_oneof![Just(1usize), Just(4), Just(9)]) {
+            prop_assert!([1, 4, 9].contains(&v));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let strat = prop::collection::vec(0u64..1_000_000, 8);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        crate::run_cases(&ProptestConfig::with_cases(3), "det", |rng| {
+            a.push(strat.new_value(rng));
+        });
+        crate::run_cases(&ProptestConfig::with_cases(3), "det", |rng| {
+            b.push(strat.new_value(rng));
+        });
+        assert_eq!(a, b);
+        assert!(a.iter().flatten().any(|&v| v > 0), "degenerate generation");
+    }
+}

@@ -1,0 +1,354 @@
+//! Vendored, dependency-free subset of the `rayon` crate.
+//!
+//! The registry configured for this repository is unreachable from the build
+//! environment, so the workspace vendors the few external crates it uses as
+//! minimal in-tree implementations (see `vendor/README.md`). This crate
+//! covers the surface the GEMM engine consumes — `par_chunks_mut(..)
+//! .enumerate().for_each(..)` over output row blocks and
+//! `(0..n).into_par_iter().for_each(..)` over column slabs — backed by a
+//! persistent global thread pool rather than per-call thread spawns, so the
+//! fork point costs a queue push, not a clone+spawn.
+//!
+//! # Pool design
+//!
+//! * One detached worker per logical CPU (minus the caller), created lazily
+//!   on the first parallel call and kept for the process lifetime.
+//! * A fork pushes one boxed job per item onto a shared injector queue and
+//!   then **helps**: the calling thread pops and runs queued jobs while it
+//!   waits for its own batch to drain. Helping makes nested forks deadlock-
+//!   free (a worker blocked on an inner fork keeps executing queued work)
+//!   and keeps the caller productive instead of parked.
+//! * Jobs are `catch_unwind`-wrapped; the first panic in a batch is resumed
+//!   on the forking thread after the batch completes, mirroring rayon.
+//!
+//! Worker-count override: `RAYON_NUM_THREADS` (upstream-compatible), else
+//! `std::thread::available_parallelism()`.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Re-exports matching `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+/// Number of worker threads parallel calls fan out across (callers included).
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct Injector {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+impl Injector {
+    fn push(&self, job: Job) {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).push_back(job);
+        self.available.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+    }
+}
+
+fn injector() -> &'static Arc<Injector> {
+    static POOL: OnceLock<Arc<Injector>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let inj =
+            Arc::new(Injector { queue: Mutex::new(VecDeque::new()), available: Condvar::new() });
+        // The forking thread always helps, so spawn one fewer worker than
+        // the target width.
+        for i in 0..current_num_threads().saturating_sub(1) {
+            let inj = Arc::clone(&inj);
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || worker_loop(&inj))
+                .expect("spawn rayon worker");
+        }
+        inj
+    })
+}
+
+fn worker_loop(inj: &Injector) {
+    loop {
+        let job = {
+            let mut queue = inj.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = inj.available.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job();
+    }
+}
+
+/// Completion tracker for one fork: counts tasks down and records the first
+/// panic payload so the forking thread can resume it.
+struct Batch {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done: Condvar,
+    done_lock: Mutex<()>,
+}
+
+impl Batch {
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        if let Some(p) = panic {
+            let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+            slot.get_or_insert(p);
+        }
+        if self.pending.fetch_sub(1, Ordering::Release) == 1 {
+            let _guard = self.done_lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Runs `tasks` to completion across the pool, helping from the calling
+/// thread. Tasks may borrow from the caller's stack: the function does not
+/// return until every task has finished, which is what makes the lifetime
+/// erasure below sound.
+fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    if tasks.is_empty() {
+        return;
+    }
+    if tasks.len() == 1 || current_num_threads() == 1 {
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+    let batch = Arc::new(Batch {
+        pending: AtomicUsize::new(tasks.len()),
+        panic: Mutex::new(None),
+        done: Condvar::new(),
+        done_lock: Mutex::new(()),
+    });
+    let inj = injector();
+    for task in tasks {
+        // SAFETY: `run_scoped` blocks until `batch.pending` hits zero, and
+        // every pushed job decrements it exactly once (panic or not), so no
+        // task outlives `'scope` borrows held by the caller.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        let batch = Arc::clone(&batch);
+        inj.push(Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(task));
+            batch.complete(result.err());
+        }));
+    }
+    // Help: drain queued jobs (ours or another fork's) while waiting.
+    while batch.pending.load(Ordering::Acquire) != 0 {
+        if let Some(job) = inj.try_pop() {
+            job();
+        } else {
+            let guard = batch.done_lock.lock().unwrap_or_else(|e| e.into_inner());
+            if batch.pending.load(Ordering::Acquire) != 0 {
+                // Timed wait: a helper running another fork's long job could
+                // otherwise miss the notify window.
+                let _ = batch.done.wait_timeout(guard, Duration::from_millis(1));
+            }
+        }
+    }
+    let mut panic = batch.panic.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(p) = panic.take() {
+        resume_unwind(p);
+    }
+}
+
+/// Parallel mutable chunking of slices, matching `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into `size`-element chunks (last may be shorter)
+    /// that `for_each` processes in parallel.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut { inner: self }
+    }
+
+    /// Runs `f` on every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Send + Sync,
+    {
+        let f = &f;
+        run_scoped(
+            self.slice
+                .chunks_mut(self.size)
+                .map(|chunk| Box::new(move || f(chunk)) as Box<dyn FnOnce() + Send + '_>)
+                .collect(),
+        );
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct EnumerateChunksMut<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<T: Send> EnumerateChunksMut<'_, T> {
+    /// Runs `f` on every `(index, chunk)` pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Send + Sync,
+    {
+        let f = &f;
+        run_scoped(
+            self.inner
+                .slice
+                .chunks_mut(self.inner.size)
+                .enumerate()
+                .map(|(i, chunk)| Box::new(move || f((i, chunk))) as Box<dyn FnOnce() + Send + '_>)
+                .collect(),
+        );
+    }
+}
+
+/// Conversion into a parallel iterator, matching `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The parallel form of `self`.
+    type Iter;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: std::ops::Range<usize>,
+}
+
+impl ParRange {
+    /// Runs `f` on every index, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        let f = &f;
+        run_scoped(
+            self.range.map(|i| Box::new(move || f(i)) as Box<dyn FnOnce() + Send + '_>).collect(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i / 10 + 1);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_unenumerated() {
+        let mut data = vec![1i32; 64];
+        data.par_chunks_mut(7).for_each(|chunk| {
+            for v in chunk.iter_mut() {
+                *v *= 2;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn par_range_visits_every_index() {
+        let hits: Vec<AtomicUsize> = (0..57).map(|_| AtomicUsize::new(0)).collect();
+        (0..57usize).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_forks_do_not_deadlock() {
+        let mut outer = [0usize; 8];
+        outer.par_chunks_mut(1).enumerate().for_each(|(i, chunk)| {
+            let mut inner = [0usize; 16];
+            inner.par_chunks_mut(4).for_each(|c| {
+                for v in c.iter_mut() {
+                    *v = 1;
+                }
+            });
+            chunk[0] = i + inner.iter().sum::<usize>();
+        });
+        for (i, &v) in outer.iter().enumerate() {
+            assert_eq!(v, i + 16);
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_forking_thread() {
+        let result = std::panic::catch_unwind(|| {
+            let mut data = [0u8; 10];
+            data.par_chunks_mut(2).enumerate().for_each(|(i, _)| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn borrowed_captures_are_seen_after_fork() {
+        let input: Vec<usize> = (0..100).collect();
+        let mut out = vec![0usize; 100];
+        out.par_chunks_mut(9).enumerate().for_each(|(ci, chunk)| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = input[ci * 9 + j] * 3;
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * 3);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Vendored, dependency-free subset of the `serde` crate.
+//!
+//! The registry configured for this repository is unreachable from the build
+//! environment, so the workspace vendors the few external crates it uses as
+//! minimal in-tree implementations (see `vendor/README.md`). Upstream
+//! serde's format-agnostic data model is collapsed to the one format this
+//! workspace serializes to: [`Serialize`] writes JSON text directly, and
+//! `serde_json` layers `Value` construction and parsing on top.
+//!
+//! Non-finite floats serialize as `null` (JSON has no NaN/∞), which keeps
+//! telemetry records parseable when a diverged training epoch reports a NaN
+//! gradient norm.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A type that can write itself as a JSON value.
+///
+/// Implementations must append exactly one syntactically valid JSON value to
+/// `out` — object, array, string, number, boolean, or null.
+pub trait Serialize {
+    /// Appends `self` as JSON text.
+    fn write_json(&self, out: &mut String);
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+/// Appends `s` as a JSON string literal, escaping per RFC 8259 (quote,
+/// backslash, and control characters; multi-byte UTF-8 passes through raw).
+pub fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! int_serialize {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(itoa_buffer(*self as i128).as_str());
+            }
+        }
+    )*};
+}
+
+int_serialize!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn write_json(&self, out: &mut String) {
+        // u64::MAX exceeds i128 formatting shortcut's comfort only via cast;
+        // u64 -> i128 is lossless.
+        out.push_str(itoa_buffer(*self as i128).as_str());
+    }
+}
+
+impl Serialize for u128 {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl Serialize for i128 {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+fn itoa_buffer(v: i128) -> String {
+    v.to_string()
+}
+
+/// Appends a finite float in a JSON-compatible spelling (`Display` plus a
+/// forced `.0` so integers round-trip as floats); non-finite becomes `null`.
+fn write_json_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+impl Serialize for f32 {
+    fn write_json(&self, out: &mut String) {
+        write_json_f64(f64::from(*self), out);
+    }
+}
+
+impl Serialize for f64 {
+    fn write_json(&self, out: &mut String) {
+        write_json_f64(*self, out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+macro_rules! tuple_serialize {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+tuple_serialize! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    fn to_json<T: Serialize>(v: T) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_json(3usize), "3");
+        assert_eq!(to_json(-7i64), "-7");
+        assert_eq!(to_json(u64::MAX), u64::MAX.to_string());
+        assert_eq!(to_json(true), "true");
+        assert_eq!(to_json(1.5f32), "1.5");
+        assert_eq!(to_json(2.0f64), "2.0");
+        assert_eq!(to_json(f32::NAN), "null");
+        assert_eq!(to_json(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(to_json("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(to_json("日本語"), "\"日本語\"");
+        assert_eq!(to_json("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(to_json(vec![1, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json((1usize, 2.5f32, "x")), "[1,2.5,\"x\"]");
+        assert_eq!(to_json(Option::<u32>::None), "null");
+        assert_eq!(to_json(Some(4u32)), "4");
+    }
+}

@@ -1,0 +1,161 @@
+//! Vendored, dependency-free `#[derive(Serialize)]` implementation.
+//!
+//! The registry configured for this repository is unreachable from the build
+//! environment, so the workspace vendors the few external crates it uses as
+//! minimal in-tree implementations (see `vendor/README.md`). This macro
+//! supports exactly what the workspace derives on: non-generic structs with
+//! named fields, honoring `#[serde(skip_serializing)]`. It parses the raw
+//! `proc_macro::TokenStream` directly instead of pulling in syn/quote.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored JSON-writer trait) for a struct
+/// with named fields, emitting the fields as a JSON object in declaration
+/// order. Fields marked `#[serde(skip_serializing)]` are omitted.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    let mut idx = 0;
+    skip_attrs_and_vis(&tokens, &mut idx);
+    match tokens.get(idx) {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => idx += 1,
+        other => panic!(
+            "vendored serde_derive only supports structs, found {:?}",
+            other.map(|t| t.to_string())
+        ),
+    }
+    let name = match tokens.get(idx) {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        other => panic!("expected struct name, found {:?}", other.map(|t| t.to_string())),
+    };
+    idx += 1;
+    if matches!(tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic structs ({name})");
+    }
+    let body = match tokens.get(idx) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "vendored serde_derive only supports named-field structs, found {:?}",
+            other.map(|t| t.to_string())
+        ),
+    };
+
+    let fields = parse_named_fields(body);
+
+    let mut out = String::new();
+    out.push_str(&format!("impl ::serde::Serialize for {name} {{\n"));
+    out.push_str("    fn write_json(&self, out: &mut ::std::string::String) {\n");
+    out.push_str("        out.push('{');\n");
+    let mut first = true;
+    for field in fields.iter().filter(|f| !f.skip) {
+        if !first {
+            out.push_str("        out.push(',');\n");
+        }
+        first = false;
+        out.push_str(&format!("        ::serde::write_json_str(\"{}\", out);\n", field.name));
+        out.push_str("        out.push(':');\n");
+        out.push_str(&format!(
+            "        ::serde::Serialize::write_json(&self.{}, out);\n",
+            field.name
+        ));
+    }
+    out.push_str("        out.push('}');\n");
+    out.push_str("    }\n}\n");
+    out.parse().expect("serde_derive generated invalid Rust")
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// Advances `idx` past outer attributes (`#[...]`) and a visibility modifier
+/// (`pub` with an optional restriction group).
+fn skip_attrs_and_vis(tokens: &[TokenTree], idx: &mut usize) {
+    loop {
+        match tokens.get(*idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *idx += 2; // '#' plus the bracket group
+            }
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "pub" => {
+                *idx += 1;
+                if matches!(
+                    tokens.get(*idx),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *idx += 1; // pub(crate) / pub(super) restriction
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type` fields out of a brace-group body, recording whether a
+/// `#[serde(skip_serializing)]` attribute precedes each one.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        let mut skip = false;
+        // Field attributes.
+        while matches!(tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(attr)) = tokens.get(idx + 1) {
+                skip |= attr_skips_serializing(attr.stream());
+            }
+            idx += 2;
+        }
+        skip_attrs_and_vis(&tokens, &mut idx);
+        let name = match tokens.get(idx) {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            None => break,
+            other => panic!("expected field name, found {:?}", other.map(|t| t.to_string())),
+        };
+        idx += 1;
+        match tokens.get(idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => idx += 1,
+            other => panic!(
+                "expected ':' after field `{name}`, found {:?}",
+                other.map(|t| t.to_string())
+            ),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        // Commas inside parenthesized/bracketed types are invisible here
+        // (groups are single tokens); only generic args need depth tracking.
+        let mut angle_depth = 0usize;
+        while let Some(tok) = tokens.get(idx) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    idx += 1;
+                    break;
+                }
+                _ => {}
+            }
+            idx += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Returns true when an attribute body is `serde(...)` containing a
+/// `skip_serializing` ident.
+fn attr_skips_serializing(attr: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip_serializing"))
+        }
+        _ => false,
+    }
+}

@@ -1,0 +1,969 @@
+//! Vendored, dependency-free subset of the `serde_json` crate.
+//!
+//! The registry configured for this repository is unreachable from the build
+//! environment, so the workspace vendors the few external crates it uses as
+//! minimal in-tree implementations (see `vendor/README.md`). This crate
+//! covers the workspace's JSON needs: the [`Value`] tree with an
+//! insertion-ordered [`Map`], the [`json!`] constructor macro, a strict
+//! RFC 8259 parser ([`from_str`]), compact/pretty printers, and bridges to
+//! the vendored `serde::Serialize` trait ([`to_value`], [`to_string`],
+//! [`to_string_pretty`]).
+
+use std::fmt;
+
+/// An arbitrary JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// A JSON number (integer or float).
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object with insertion-ordered keys.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Borrows the string content when `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean when `self` is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` when it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Returns any number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements when `self` is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrows the map when `self` is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` when `self` is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Returns true for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => n.write(out),
+            Value::String(s) => serde::write_json_str(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    serde::write_json_str(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        const INDENT: &str = "  ";
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&INDENT.repeat(depth + 1));
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&INDENT.repeat(depth));
+                out.push(']');
+            }
+            Value::Object(map) if !map.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&INDENT.repeat(depth + 1));
+                    serde::write_json_str(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&INDENT.repeat(depth));
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Writes the compact (single-line) JSON encoding.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_compact(&mut s);
+        f.write_str(&s)
+    }
+}
+
+impl serde::Serialize for Value {
+    fn write_json(&self, out: &mut String) {
+        self.write_compact(out);
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Returns the member value, or `Null` when `self` is not an object or
+    /// lacks the key (matching upstream's forgiving indexing).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Returns the element, or `Null` when `self` is not an array or the
+    /// index is out of bounds.
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+// Comparisons against bare literals, so tests can write
+// `assert_eq!(line["type"], "meta")` without wrapping in `Value`.
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => n.as_i128() == Some(*other as i128),
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+
+eq_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+/// A JSON number: a non-negative integer, negative integer, or float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(N);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// Returns the number as `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::PosInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `i64` when it is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::PosInt(v) => i64::try_from(v).ok(),
+            N::NegInt(v) => Some(v),
+            N::Float(_) => None,
+        }
+    }
+
+    fn as_i128(&self) -> Option<i128> {
+        match self.0 {
+            N::PosInt(v) => Some(v as i128),
+            N::NegInt(v) => Some(v as i128),
+            N::Float(_) => None,
+        }
+    }
+
+    /// Returns the number as `f64` (lossy for large integers).
+    pub fn as_f64(&self) -> f64 {
+        match self.0 {
+            N::PosInt(v) => v as f64,
+            N::NegInt(v) => v as f64,
+            N::Float(v) => v,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self.0 {
+            N::PosInt(v) => out.push_str(&v.to_string()),
+            N::NegInt(v) => out.push_str(&v.to_string()),
+            N::Float(v) => {
+                let s = format!("{v}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            }
+        }
+    }
+}
+
+/// An insertion-ordered `String -> Value` map, matching upstream built with
+/// the `preserve_order` feature (telemetry relies on key order for readable
+/// JSONL lines).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self { entries: Vec::new() }
+    }
+
+    /// Inserts, replacing in place (retaining the original position) when
+    /// the key already exists; returns the previous value if any.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Returns true when the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// From conversions (also the foundation of the `json!` macro).
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number(N::PosInt(v as u64)))
+            }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                let v = v as i64;
+                if v >= 0 {
+                    Value::Number(Number(N::PosInt(v as u64)))
+                } else {
+                    Value::Number(Number(N::NegInt(v)))
+                }
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    /// Non-finite floats become `Null` (JSON has no NaN/∞), matching the
+    /// vendored serde's serialization of them.
+    fn from(v: f64) -> Self {
+        if v.is_finite() {
+            Value::Number(Number(N::Float(v)))
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::from(f64::from(v))
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Self {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+// References to scalars, so `json!({"v": value})` works when `value` is a
+// `&u64` loop variable. Per-type rather than blanket: a generic `From<&T>`
+// would fail coherence against the `From<&String>` impl above.
+macro_rules! from_ref {
+    ($($t:ty),*) => {$(
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Self {
+                (*v).into()
+            }
+        }
+    )*};
+}
+
+from_ref!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ---------------------------------------------------------------------------
+// json! macro
+
+/// Builds a [`Value`] from JSON-looking syntax; object values may be nested
+/// literals or arbitrary Rust expressions convertible via `Into<Value>`.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Recursive token muncher behind [`json!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::json_internal!(@array [] $($tt)+)
+    };
+
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_internal!(@object object () ($($tt)+));
+        $crate::Value::Object(object)
+    }};
+
+    ($other:expr) => { $crate::Value::from($other) };
+
+    // ----- array muncher: accumulates element expressions in [..] -----
+    (@array [$($elems:expr,)*]) => {
+        $crate::Value::Array(<[_]>::into_vec(::std::boxed::Box::new([$($elems,)*])))
+    };
+    (@array [$($elems:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] [$($inner:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($inner)*]),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] {$($inner:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($inner)*}),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($($rest)*)?)
+    };
+
+    // ----- object muncher: (key tokens) then value, entry by entry -----
+    (@object $object:ident () ()) => {};
+    // Entry whose value is a nested object literal.
+    (@object $object:ident ($($key:tt)+) (: {$($inner:tt)*} $(, $($rest:tt)*)?)) => {
+        $object.insert(($($key)+).into(), $crate::json_internal!({$($inner)*}));
+        $crate::json_internal!(@object $object () ($($($rest)*)?));
+    };
+    // Entry whose value is a nested array literal.
+    (@object $object:ident ($($key:tt)+) (: [$($inner:tt)*] $(, $($rest:tt)*)?)) => {
+        $object.insert(($($key)+).into(), $crate::json_internal!([$($inner)*]));
+        $crate::json_internal!(@object $object () ($($($rest)*)?));
+    };
+    // Entry whose value is `null`.
+    (@object $object:ident ($($key:tt)+) (: null $(, $($rest:tt)*)?)) => {
+        $object.insert(($($key)+).into(), $crate::Value::Null);
+        $crate::json_internal!(@object $object () ($($($rest)*)?));
+    };
+    // Entry whose value is an expression followed by more entries.
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*)) => {
+        $object.insert(($($key)+).into(), $crate::Value::from($value));
+        $crate::json_internal!(@object $object () ($($rest)*));
+    };
+    // Final entry whose value is an expression (optionally no trailing comma).
+    (@object $object:ident ($($key:tt)+) (: $value:expr)) => {
+        $object.insert(($($key)+).into(), $crate::Value::from($value));
+    };
+    // Munch one token into the key accumulator.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*)) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*));
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Serialize bridges
+
+/// Error produced by conversion/parsing; carries a human-readable message.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+/// Serializes any `serde::Serialize` value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes any `serde::Serialize` value to 2-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let parsed = from_str(&to_string(value)?)?;
+    let mut out = String::new();
+    parsed.write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Converts any `serde::Serialize` value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    from_str(&to_string(&value)?)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+/// Parses a complete JSON document, rejecting trailing non-whitespace.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy the run of plain bytes in one slice.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_literal("\\u") {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::new("invalid low surrogate"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error::new("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(Error::new("raw control character in string")),
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos += 4;
+        u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid \\u escape"))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(v) = stripped.parse::<u64>() {
+                    if let Ok(neg) = i64::try_from(v).map(|v| -v) {
+                        return Ok(Value::Number(Number(N::NegInt(neg))));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number(N::PosInt(v))));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number(N::Float(v))))
+            .map_err(|_| Error::new(format!("invalid number '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_flat_and_nested() {
+        let label = "gemm";
+        let value = 42u64;
+        let v = json!({"type": "counter", "label": label, "value": value});
+        assert_eq!(v.to_string(), r#"{"type":"counter","label":"gemm","value":42}"#);
+
+        let depth = 3usize;
+        let nested = json!({"name": "span", "args": {"depth": depth}, "dur": 1500_f64 / 1e3});
+        assert_eq!(nested["args"]["depth"], 3);
+        assert_eq!(nested["dur"].as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn json_macro_embedded_array_expr() {
+        let events = vec![json!({"a": 1}), json!({"a": 2})];
+        let doc = json!({"traceEvents": events, "displayTimeUnit": "ms"});
+        assert_eq!(doc["traceEvents"].as_array().unwrap().len(), 2);
+        assert_eq!(doc["traceEvents"][1]["a"], 2);
+        assert_eq!(doc["displayTimeUnit"], "ms");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let src = r#"{"a":[1,-2,3.5,true,null],"b":{"c":"x\ny"},"d":"日本語"}"#;
+        let v = from_str(src).unwrap();
+        assert_eq!(v["a"][0], 1);
+        assert_eq!(v["a"][1], -2);
+        assert_eq!(v["a"][2].as_f64(), Some(3.5));
+        assert_eq!(v["a"][3], true);
+        assert!(v["a"][4].is_null());
+        assert_eq!(v["b"]["c"], "x\ny");
+        assert_eq!(v["d"], "日本語");
+        assert_eq!(from_str(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(from_str(r#""é""#).unwrap(), "é");
+        assert_eq!(from_str(r#""😀""#).unwrap(), "😀");
+        assert!(from_str(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str("nul").is_err());
+    }
+
+    #[test]
+    fn missing_keys_index_to_null() {
+        let v = json!({"a": 1});
+        assert!(v["missing"].is_null());
+        assert!(v["missing"]["deeper"].is_null());
+        assert!(v[5].is_null());
+    }
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("z".into(), json!(1));
+        m.insert("a".into(), json!(2));
+        assert_eq!(m.insert("z".into(), json!(3)), Some(json!(1)));
+        let keys: Vec<&String> = m.keys().collect();
+        assert_eq!(keys, ["z", "a"]);
+        assert_eq!(Value::Object(m).to_string(), r#"{"z":3,"a":2}"#);
+    }
+
+    #[test]
+    fn pretty_printer_indents() {
+        let v = json!({"a": [1, 2], "b": {"c": true}});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            pretty,
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {\n    \"c\": true\n  }\n}"
+        );
+    }
+
+    #[test]
+    fn to_value_bridges_serialize() {
+        let v = to_value((1usize, 2.5f32, "x")).unwrap();
+        assert_eq!(v[0], 1);
+        assert_eq!(v[1].as_f64(), Some(2.5));
+        assert_eq!(v[2], "x");
+        // &Value round-trips through the bridge unchanged.
+        let original = json!({"k": [1, 2]});
+        assert_eq!(to_value(&original).unwrap(), original);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert!(Value::from(f64::NAN).is_null());
+        assert!(Value::from(f32::NEG_INFINITY).is_null());
+    }
+}
