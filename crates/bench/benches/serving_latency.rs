@@ -55,6 +55,7 @@ fn la_service(
         queue_capacity: 128,
         deadline: Duration::from_secs(30),
         target_feature: 0,
+        ..Default::default()
     };
     ForecastService::new(model, la_scaler(), config).unwrap()
 }

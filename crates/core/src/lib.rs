@@ -59,7 +59,9 @@ pub use error::EnhanceNetError;
 pub use forecaster::{Forecaster, ForwardCtx};
 pub use gconv::{graph_conv, GcSupport};
 pub use probes::{MemoryDriftProbe, ProbeConfig};
-pub use serve::{Forecast, ForecastService, PendingForecast, ServeConfig};
+pub use serve::{
+    DegradedCause, Forecast, ForecastService, PendingForecast, RequestTiming, ServeConfig,
+};
 pub use trainer::{
     EpochTelemetry, EvalReport, TrainConfig, TrainConfigBuilder, TrainReport, Trainer,
 };

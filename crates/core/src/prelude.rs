@@ -16,7 +16,9 @@ pub use crate::dfgn::{Dfgn, DfgnConfig};
 pub use crate::error::EnhanceNetError;
 pub use crate::forecaster::Forecaster;
 pub use crate::probes::ProbeConfig;
-pub use crate::serve::{Forecast, ForecastService, PendingForecast, ServeConfig};
+pub use crate::serve::{
+    DegradedCause, Forecast, ForecastService, PendingForecast, RequestTiming, ServeConfig,
+};
 pub use crate::trainer::{
     EpochTelemetry, EvalReport, TrainConfig, TrainConfigBuilder, TrainReport, Trainer,
 };
@@ -30,3 +32,4 @@ pub use enhancenet_nn::optim::LrSchedule;
 pub use enhancenet_stats::metrics::{
     mae, mape, metrics_at_horizon, metrics_per_entity, metrics_per_horizon, rmse, HorizonMetrics,
 };
+pub use enhancenet_telemetry::SloReport;

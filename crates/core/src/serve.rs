@@ -21,20 +21,34 @@
 //! * **Graceful degradation** — every request carries a deadline. On
 //!   timeout, an overloaded queue, a worker panic, or a still-warming
 //!   buffer, the caller gets a persistence forecast (each entity's last
-//!   observation repeated across the horizon) marked
-//!   [`Forecast::degraded`] instead of an error or a hang.
+//!   observation repeated across the horizon) tagged with its
+//!   [`DegradedCause`] instead of an error or a hang.
+//! * **Live observability** — every [`ForecastService::forecast`] carries a
+//!   monotonic request id and comes back with a [`RequestTiming`] breakdown
+//!   (queue wait vs. forward vs. total). Outcomes feed a rolling
+//!   [`SloWindow`], surfaced as `serve.slo.*` gauges and
+//!   [`ForecastService::slo_report`]; setting
+//!   [`ServeConfig::metrics_addr`] starts an embedded [`MetricsServer`]
+//!   answering `/metrics`, `/healthz`, and `/readyz` (ready ⇔ window warm
+//!   and worker alive).
 //!
-//! Telemetry: counters `serve.request`, `serve.fallback`,
-//! `serve.queue.rejected`, `serve.worker.panics`; histograms
-//! `serve.batch.size`, `serve.latency_ns`, `serve.forward_ns`; span
-//! `serve.batch`.
+//! Telemetry: counters `serve.request`, `serve.fallback` (plus per-cause
+//! `serve.fallback.{cold,deadline,queue_full,panic}`),
+//! `serve.queue.rejected`, `serve.worker.panics`; gauges
+//! `serve.queue.depth`, `serve.window.fill`, `serve.slo.*`; histograms
+//! `serve.batch.size`, `serve.latency_ns`, `serve.forward_ns`,
+//! `serve.queue.wait_ns`; span `serve.batch`.
 
 use crate::error::EnhanceNetError;
 use crate::forecaster::Forecaster;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use enhancenet_data::{SlidingWindow, StandardScaler};
+use enhancenet_telemetry::{MetricsServer, SloReport, SloWindow};
 use enhancenet_tensor::Tensor;
+use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -55,6 +69,20 @@ pub struct ServeConfig {
     pub deadline: Duration,
     /// Feature index forecasts are reported in (raw scale).
     pub target_feature: usize,
+    /// When set, the service binds an embedded [`MetricsServer`] here
+    /// (e.g. `"127.0.0.1:9898"`, port 0 for ephemeral) serving
+    /// `/metrics`, `/healthz`, and `/readyz`. `None` (the default) runs
+    /// without a listener.
+    pub metrics_addr: Option<String>,
+    /// Span of the rolling SLO window (must be long enough to give every
+    /// slot at least one nanosecond).
+    pub slo_window: Duration,
+    /// Ring slots the SLO window is resolved into (must be > 0). More
+    /// slots age traffic out more smoothly at slightly more report cost.
+    pub slo_slots: usize,
+    /// Deadline hit-rate objective in `(0, 1]`; the error-budget burn in
+    /// [`SloReport`] is measured against this target.
+    pub slo_target: f64,
 }
 
 impl Default for ServeConfig {
@@ -65,8 +93,66 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             deadline: Duration::from_millis(250),
             target_feature: 0,
+            metrics_addr: None,
+            slo_window: Duration::from_secs(60),
+            slo_slots: 12,
+            slo_target: 0.99,
         }
     }
+}
+
+/// Why a [`Forecast`] was served from the persistence fallback instead of
+/// the model. Each cause also increments its own
+/// `serve.fallback.{cold,deadline,queue_full,panic}` counter, so a scrape
+/// can tell a warming replica from an overloaded one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradedCause {
+    /// The sliding window has not buffered a full `[H, N, C]` history yet.
+    ColdWindow,
+    /// The model did not answer within [`ServeConfig::deadline`].
+    Deadline,
+    /// The request queue was at capacity when the request arrived.
+    QueueFull,
+    /// The worker panicked, answered with a model error, or is gone.
+    WorkerPanic,
+}
+
+impl DegradedCause {
+    /// Stable lowercase tag (`cold_window`, `deadline`, `queue_full`,
+    /// `panic`) — what replies and event payloads are tagged with.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradedCause::ColdWindow => "cold_window",
+            DegradedCause::Deadline => "deadline",
+            DegradedCause::QueueFull => "queue_full",
+            DegradedCause::WorkerPanic => "panic",
+        }
+    }
+
+    /// The per-cause fallback counter this cause increments.
+    pub fn counter_label(self) -> &'static str {
+        match self {
+            DegradedCause::ColdWindow => "serve.fallback.cold",
+            DegradedCause::Deadline => "serve.fallback.deadline",
+            DegradedCause::QueueFull => "serve.fallback.queue_full",
+            DegradedCause::WorkerPanic => "serve.fallback.panic",
+        }
+    }
+}
+
+/// Per-request latency attribution carried on every [`Forecast`].
+///
+/// `queue_wait_ns` and `forward_ns` are measured by the batch worker
+/// (zero on fallback paths, which never reach it); `total_ns` is the
+/// caller-observed wall time from request entry to reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestTiming {
+    /// Time the request sat queued before its batch was assembled.
+    pub queue_wait_ns: u64,
+    /// Duration of the batched forward pass that answered the request.
+    pub forward_ns: u64,
+    /// End-to-end latency observed by [`ForecastService::forecast`].
+    pub total_ns: u64,
 }
 
 /// One served forecast.
@@ -74,34 +160,72 @@ impl Default for ServeConfig {
 pub struct Forecast {
     /// Raw-scale predictions `[F, N]` of the target feature.
     pub values: Tensor,
-    /// True when this is a fallback persistence forecast (deadline missed,
-    /// queue full, worker panicked, or window still warming up) rather
-    /// than a model forecast.
-    pub degraded: bool,
+    /// `Some(cause)` when this is a fallback persistence forecast rather
+    /// than a model forecast; `None` for a healthy model answer.
+    pub degraded: Option<DegradedCause>,
     /// Newest observation timestamp the forecast is anchored at.
     pub anchor: Option<i64>,
+    /// Monotonic id assigned at request entry; flows through queue, batch,
+    /// and reply, so one request can be traced across log lines.
+    pub request_id: u64,
+    /// Where this request's latency went.
+    pub timing: RequestTiming,
+}
+
+impl Forecast {
+    /// True when this forecast came from the persistence fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+}
+
+/// What the batch worker sends back: the scaled `[F, N]` prediction plus
+/// the worker-side timing attribution.
+struct BatchReply {
+    values: Tensor,
+    queue_wait_ns: u64,
+    forward_ns: u64,
 }
 
 /// A request travelling to the batch worker: one scaled `[H, N, C]` window
-/// plus the channel its scaled `[F, N]` prediction comes back on.
+/// plus the channel its reply comes back on.
 struct BatchRequest {
+    id: u64,
     window: Tensor,
-    reply: Sender<Result<Tensor, EnhanceNetError>>,
+    /// When the request entered the queue; the worker turns this into the
+    /// per-request `serve.queue.wait_ns` observation at batch assembly.
+    submitted: Instant,
+    reply: Sender<Result<BatchReply, EnhanceNetError>>,
 }
 
 /// Handle to an in-flight prediction submitted with
 /// [`ForecastService::submit`].
 #[derive(Debug)]
 pub struct PendingForecast {
-    rx: Receiver<Result<Tensor, EnhanceNetError>>,
+    rx: Receiver<Result<BatchReply, EnhanceNetError>>,
     /// When the request entered the queue. The deadline clock starts here,
     /// not at [`PendingForecast::wait`]: time spent queued behind other
     /// requests counts against the latency budget, matching what the caller
     /// actually experiences.
     submitted: Instant,
+    id: u64,
+}
+
+impl std::fmt::Debug for BatchReply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchReply")
+            .field("queue_wait_ns", &self.queue_wait_ns)
+            .field("forward_ns", &self.forward_ns)
+            .finish_non_exhaustive()
+    }
 }
 
 impl PendingForecast {
+    /// The monotonic request id assigned at submission.
+    pub fn request_id(&self) -> u64 {
+        self.id
+    }
+
     /// Waits until `deadline` *measured from submission* for the scaled
     /// `[F, N]` prediction.
     ///
@@ -114,6 +238,11 @@ impl PendingForecast {
     /// [`EnhanceNetError::ServiceStopped`] when the worker is gone; a
     /// late-arriving reply after a timeout is dropped harmlessly.
     pub fn wait(&self, deadline: Duration) -> Result<Tensor, EnhanceNetError> {
+        self.wait_reply(deadline).map(|reply| reply.values)
+    }
+
+    /// [`PendingForecast::wait`] keeping the worker-side timing breakdown.
+    fn wait_reply(&self, deadline: Duration) -> Result<BatchReply, EnhanceNetError> {
         let remaining = deadline.saturating_sub(self.submitted.elapsed());
         match self.rx.recv_timeout(remaining) {
             Ok(result) => result,
@@ -138,6 +267,12 @@ pub struct ForecastService {
     config: ServeConfig,
     input: [usize; 3],
     horizon: usize,
+    next_request_id: AtomicU64,
+    slo: Mutex<SloWindow>,
+    /// Readiness inputs shared with the metrics server's `/readyz` probe.
+    warm: Arc<AtomicBool>,
+    worker_alive: Arc<AtomicBool>,
+    metrics: Option<MetricsServer>,
 }
 
 impl ForecastService {
@@ -148,7 +283,8 @@ impl ForecastService {
     /// Fails with [`EnhanceNetError::UnknownInputShape`] when the model
     /// does not report its `[H, N, C]` input shape (needed to size the
     /// sliding window), or [`EnhanceNetError::InvalidConfig`] for a zero
-    /// `max_batch`/`queue_capacity`.
+    /// `max_batch`/`queue_capacity`, an invalid SLO window shape or
+    /// target, or an unbindable [`ServeConfig::metrics_addr`].
     pub fn new(
         model: Box<dyn Forecaster + Send>,
         scaler: StandardScaler,
@@ -166,6 +302,24 @@ impl ForecastService {
                 reason: "must be > 0".into(),
             });
         }
+        if config.slo_slots == 0 {
+            return Err(EnhanceNetError::InvalidConfig {
+                field: "slo_slots",
+                reason: "must be > 0".into(),
+            });
+        }
+        if config.slo_window.as_nanos() / config.slo_slots as u128 == 0 {
+            return Err(EnhanceNetError::InvalidConfig {
+                field: "slo_window",
+                reason: format!("too short for {} slots", config.slo_slots),
+            });
+        }
+        if !(config.slo_target > 0.0 && config.slo_target <= 1.0) {
+            return Err(EnhanceNetError::InvalidConfig {
+                field: "slo_target",
+                reason: format!("must be in (0, 1], got {}", config.slo_target),
+            });
+        }
         let input = model.input_shape().ok_or_else(|| EnhanceNetError::UnknownInputShape {
             model: model.name().to_string(),
         })?;
@@ -178,10 +332,29 @@ impl ForecastService {
         let horizon = model.horizon();
         let (tx, rx) = bounded(config.queue_capacity);
         let (max_batch, max_wait) = (config.max_batch, config.max_wait);
+        let worker_alive = Arc::new(AtomicBool::new(true));
+        let alive_flag = Arc::clone(&worker_alive);
         let worker = std::thread::Builder::new()
             .name("forecast-worker".into())
-            .spawn(move || worker_loop(model, rx, max_batch, max_wait))
+            .spawn(move || worker_loop(model, rx, max_batch, max_wait, &alive_flag))
             .expect("failed to spawn forecast worker thread");
+        let warm = Arc::new(AtomicBool::new(false));
+        let metrics = match &config.metrics_addr {
+            Some(addr) => {
+                let (warm, alive) = (Arc::clone(&warm), Arc::clone(&worker_alive));
+                let probe: enhancenet_telemetry::ReadyProbe =
+                    Arc::new(move || warm.load(Ordering::Relaxed) && alive.load(Ordering::Relaxed));
+                Some(MetricsServer::bind(addr.as_str(), probe).map_err(|e| {
+                    EnhanceNetError::InvalidConfig {
+                        field: "metrics_addr",
+                        reason: format!("cannot bind {addr}: {e}"),
+                    }
+                })?)
+            }
+            None => None,
+        };
+        let slo =
+            Mutex::new(SloWindow::new(config.slo_window, config.slo_slots, config.slo_target));
         Ok(Self {
             tx: Some(tx),
             worker: Some(worker),
@@ -190,6 +363,11 @@ impl ForecastService {
             config,
             input,
             horizon,
+            next_request_id: AtomicU64::new(0),
+            slo,
+            warm,
+            worker_alive,
+            metrics,
         })
     }
 
@@ -213,6 +391,23 @@ impl ForecastService {
         &self.buffer
     }
 
+    /// Address of the embedded metrics server, when
+    /// [`ServeConfig::metrics_addr`] was set (resolves port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(MetricsServer::local_addr)
+    }
+
+    /// True while the batch worker thread is running (one of the two
+    /// readiness inputs behind `/readyz`; the other is window warmth).
+    pub fn worker_alive(&self) -> bool {
+        self.worker_alive.load(Ordering::Relaxed)
+    }
+
+    /// Windowed SLO statistics over the configured rolling window.
+    pub fn slo_report(&self) -> SloReport {
+        self.slo.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).report()
+    }
+
     /// Ingests one entity's raw observation at `timestamp`; see
     /// [`SlidingWindow::ingest`] for the fill-forward and late-update
     /// semantics.
@@ -222,17 +417,22 @@ impl ForecastService {
         entity: usize,
         features: &[f32],
     ) -> Result<(), EnhanceNetError> {
-        self.buffer.ingest(timestamp, entity, features).map_err(Into::into)
+        self.buffer.ingest(timestamp, entity, features)?;
+        self.refresh_window_state();
+        Ok(())
     }
 
     /// Ingests a full raw snapshot row (`N * C` values) at `timestamp`.
     pub fn ingest_row(&mut self, timestamp: i64, row: &[f32]) -> Result<(), EnhanceNetError> {
-        self.buffer.ingest_row(timestamp, row).map_err(Into::into)
+        self.buffer.ingest_row(timestamp, row)?;
+        self.refresh_window_state();
+        Ok(())
     }
 
     /// Drops buffered history older than `cutoff` (e.g. after a feed gap).
     pub fn evict_before(&mut self, cutoff: i64) {
         self.buffer.evict_before(cutoff);
+        self.refresh_window_state();
     }
 
     /// Forecasts the next `F` steps from the current window, degrading to a
@@ -241,30 +441,48 @@ impl ForecastService {
     /// Errors only when *nothing* can be served: no observation has ever
     /// been ingested ([`EnhanceNetError::NotReady`]) or the scaler rejects
     /// the window shape. Every other failure path — missed deadline, full
-    /// queue, worker panic, warming buffer — returns a degraded forecast.
+    /// queue, worker panic, warming buffer — returns a degraded forecast
+    /// tagged with its [`DegradedCause`].
     pub fn forecast(&self) -> Result<Forecast, EnhanceNetError> {
         enhancenet_telemetry::count("serve.request", 1);
+        let id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
+        self.sample_gauges();
         let anchor = self.buffer.latest_timestamp();
         let Some(raw) = self.buffer.window() else {
             // Warming up: serve persistence off whatever history exists.
-            return self.fallback(anchor, started);
+            return self.fallback(id, anchor, started, DegradedCause::ColdWindow);
         };
         let scaled = self.scaler.transform(&raw)?;
-        let pending = match self.submit(&scaled) {
+        let pending = match self.submit_with_id(&scaled, id) {
             Ok(pending) => pending,
-            Err(_) => return self.fallback(anchor, started),
-        };
-        match pending.wait(self.config.deadline) {
-            Ok(scaled_pred) => {
-                let values = self.scaler.inverse_feature(&scaled_pred, self.config.target_feature);
-                enhancenet_telemetry::observe(
-                    "serve.latency_ns",
-                    started.elapsed().as_nanos() as f64,
-                );
-                Ok(Forecast { values, degraded: false, anchor })
+            Err(EnhanceNetError::Overloaded { .. }) => {
+                return self.fallback(id, anchor, started, DegradedCause::QueueFull);
             }
-            Err(_) => self.fallback(anchor, started),
+            Err(_) => return self.fallback(id, anchor, started, DegradedCause::WorkerPanic),
+        };
+        match pending.wait_reply(self.config.deadline) {
+            Ok(reply) => {
+                let values = self.scaler.inverse_feature(&reply.values, self.config.target_feature);
+                let total_ns = started.elapsed().as_nanos() as u64;
+                enhancenet_telemetry::observe("serve.latency_ns", total_ns as f64);
+                self.record_outcome(total_ns, false);
+                Ok(Forecast {
+                    values,
+                    degraded: None,
+                    anchor,
+                    request_id: id,
+                    timing: RequestTiming {
+                        queue_wait_ns: reply.queue_wait_ns,
+                        forward_ns: reply.forward_ns,
+                        total_ns,
+                    },
+                })
+            }
+            Err(EnhanceNetError::DeadlineExceeded { .. }) => {
+                self.fallback(id, anchor, started, DegradedCause::Deadline)
+            }
+            Err(_) => self.fallback(id, anchor, started, DegradedCause::WorkerPanic),
         }
     }
 
@@ -273,6 +491,15 @@ impl ForecastService {
     /// path: submit many windows, then collect, and the worker serves them
     /// in micro-batches.
     pub fn submit(&self, scaled_window: &Tensor) -> Result<PendingForecast, EnhanceNetError> {
+        let id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+        self.submit_with_id(scaled_window, id)
+    }
+
+    fn submit_with_id(
+        &self,
+        scaled_window: &Tensor,
+        id: u64,
+    ) -> Result<PendingForecast, EnhanceNetError> {
         if scaled_window.shape() != self.input {
             return Err(EnhanceNetError::InputShape {
                 expected: self.input.to_vec(),
@@ -280,10 +507,13 @@ impl ForecastService {
             });
         }
         let tx = self.tx.as_ref().ok_or(EnhanceNetError::ServiceStopped)?;
+        enhancenet_telemetry::gauge("serve.queue.depth", tx.len() as f64);
         let (reply_tx, reply_rx) = bounded(1);
-        let request = BatchRequest { window: scaled_window.clone(), reply: reply_tx };
+        let submitted = Instant::now();
+        let request =
+            BatchRequest { id, window: scaled_window.clone(), submitted, reply: reply_tx };
         match tx.try_send(request) {
-            Ok(()) => Ok(PendingForecast { rx: reply_rx, submitted: Instant::now() }),
+            Ok(()) => Ok(PendingForecast { rx: reply_rx, submitted, id }),
             Err(TrySendError::Full(_)) => {
                 enhancenet_telemetry::count("serve.queue.rejected", 1);
                 Err(EnhanceNetError::Overloaded { capacity: self.config.queue_capacity })
@@ -298,14 +528,74 @@ impl ForecastService {
         self.stop();
     }
 
-    fn fallback(&self, anchor: Option<i64>, started: Instant) -> Result<Forecast, EnhanceNetError> {
+    /// Samples the request-path level gauges: current queue depth and how
+    /// full the sliding window is (1.0 = warm).
+    fn sample_gauges(&self) {
+        if let Some(tx) = self.tx.as_ref() {
+            enhancenet_telemetry::gauge("serve.queue.depth", tx.len() as f64);
+        }
+        enhancenet_telemetry::gauge(
+            "serve.window.fill",
+            self.buffer.len() as f64 / self.input[0] as f64,
+        );
+    }
+
+    /// Keeps the readiness flag and window-fill gauge in sync with the
+    /// sliding window after every mutation.
+    fn refresh_window_state(&self) {
+        self.warm.store(self.buffer.is_ready(), Ordering::Relaxed);
+        enhancenet_telemetry::gauge(
+            "serve.window.fill",
+            self.buffer.len() as f64 / self.input[0] as f64,
+        );
+    }
+
+    /// Feeds one request outcome into the rolling SLO window and refreshes
+    /// the `serve.slo.*` gauges. Deadline attainment is judged purely on
+    /// latency — a fast fallback still "hit" its deadline; degradation is
+    /// tracked as its own rate.
+    fn record_outcome(&self, total_ns: u64, degraded: bool) {
+        let deadline_hit = u128::from(total_ns) <= self.config.deadline.as_nanos();
+        let report = {
+            let mut slo = self.slo.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            slo.record(total_ns as f64, deadline_hit, degraded);
+            if !enhancenet_telemetry::enabled() {
+                return;
+            }
+            slo.report()
+        };
+        enhancenet_telemetry::gauge("serve.slo.p50_ns", report.latency_p50_ns);
+        enhancenet_telemetry::gauge("serve.slo.p95_ns", report.latency_p95_ns);
+        enhancenet_telemetry::gauge("serve.slo.p99_ns", report.latency_p99_ns);
+        enhancenet_telemetry::gauge("serve.slo.deadline_hit_rate", report.deadline_hit_rate);
+        enhancenet_telemetry::gauge("serve.slo.degraded_rate", report.degraded_rate);
+        enhancenet_telemetry::gauge("serve.slo.error_budget_burn", report.error_budget_burn);
+        enhancenet_telemetry::gauge("serve.slo.window_requests", report.requests as f64);
+    }
+
+    fn fallback(
+        &self,
+        id: u64,
+        anchor: Option<i64>,
+        started: Instant,
+        cause: DegradedCause,
+    ) -> Result<Forecast, EnhanceNetError> {
         let values = self
             .buffer
             .persistence_forecast(self.horizon, self.config.target_feature)
             .ok_or(EnhanceNetError::NotReady { have: self.buffer.len(), need: self.input[0] })?;
         enhancenet_telemetry::count("serve.fallback", 1);
-        enhancenet_telemetry::observe("serve.latency_ns", started.elapsed().as_nanos() as f64);
-        Ok(Forecast { values, degraded: true, anchor })
+        enhancenet_telemetry::count(cause.counter_label(), 1);
+        let total_ns = started.elapsed().as_nanos() as u64;
+        enhancenet_telemetry::observe("serve.latency_ns", total_ns as f64);
+        self.record_outcome(total_ns, true);
+        Ok(Forecast {
+            values,
+            degraded: Some(cause),
+            anchor,
+            request_id: id,
+            timing: RequestTiming { queue_wait_ns: 0, forward_ns: 0, total_ns },
+        })
     }
 
     fn stop(&mut self) {
@@ -313,6 +603,9 @@ impl ForecastService {
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
         }
+        // Joining the exporter last lets a scraper observe the final
+        // not-ready state before the listener goes away.
+        drop(self.metrics.take());
     }
 }
 
@@ -324,13 +617,22 @@ impl Drop for ForecastService {
 
 /// The batch worker: block for one request, drain stragglers up to
 /// `max_batch`/`max_wait`, answer the whole batch with one forward pass.
-/// Exits when every [`ForecastService`] sender is dropped.
+/// Exits when every [`ForecastService`] sender is dropped, clearing `alive`
+/// (and with it `/readyz`) on the way out — even by panic.
 fn worker_loop(
     model: Box<dyn Forecaster + Send>,
     rx: Receiver<BatchRequest>,
     max_batch: usize,
     max_wait: Duration,
+    alive: &Arc<AtomicBool>,
 ) {
+    struct AliveGuard<'a>(&'a AtomicBool);
+    impl Drop for AliveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.store(false, Ordering::SeqCst);
+        }
+    }
+    let _guard = AliveGuard(alive);
     while let Ok(first) = rx.recv() {
         let mut batch = vec![first];
         let wait_until = Instant::now() + max_wait;
@@ -359,15 +661,34 @@ fn worker_loop(
 fn serve_batch(model: &dyn Forecaster, batch: &[BatchRequest]) {
     let _span = enhancenet_telemetry::span("serve.batch");
     enhancenet_telemetry::observe("serve.batch.size", batch.len() as f64);
+    let assembled = Instant::now();
+    // Queue wait ends at batch assembly; attribute it per request id.
+    let queue_waits: Vec<u64> = batch
+        .iter()
+        .map(|request| {
+            let wait_ns = assembled.duration_since(request.submitted).as_nanos() as u64;
+            enhancenet_telemetry::observe("serve.queue.wait_ns", wait_ns as f64);
+            wait_ns
+        })
+        .collect();
+    // Progress watermark: the newest request id this worker has picked up.
+    if let Some(max_id) = batch.iter().map(|r| r.id).max() {
+        enhancenet_telemetry::gauge("serve.batch.last_request_id", max_id as f64);
+    }
     let windows: Vec<Tensor> = batch.iter().map(|r| r.window.unsqueeze(0)).collect();
     let refs: Vec<&Tensor> = windows.iter().collect();
     let x = Tensor::concat(&refs, 0);
     let started = Instant::now();
     match catch_unwind(AssertUnwindSafe(|| model.predict(&x))) {
         Ok(Ok(pred)) => {
-            enhancenet_telemetry::observe("serve.forward_ns", started.elapsed().as_nanos() as f64);
+            let forward_ns = started.elapsed().as_nanos() as u64;
+            enhancenet_telemetry::observe("serve.forward_ns", forward_ns as f64);
             for (i, request) in batch.iter().enumerate() {
-                let _ = request.reply.send(Ok(pred.index_axis(0, i)));
+                let _ = request.reply.send(Ok(BatchReply {
+                    values: pred.index_axis(0, i),
+                    queue_wait_ns: queue_waits[i],
+                    forward_ns,
+                }));
             }
         }
         Ok(Err(e)) => {
@@ -421,7 +742,8 @@ mod tests {
         let mut svc = service(ServeConfig::default());
         feed(&mut svc, H);
         let served = svc.forecast().unwrap();
-        assert!(!served.degraded);
+        assert!(!served.is_degraded());
+        assert_eq!(served.degraded, None);
         assert_eq!(served.anchor, Some(H as i64 - 1));
         assert_eq!(served.values.shape(), &[F, N]);
 
@@ -446,13 +768,55 @@ mod tests {
     fn warming_buffer_serves_degraded_persistence() {
         let mut svc = service(ServeConfig::default());
         svc.ingest(0, 0, &[42.0]).unwrap();
+        assert!(!svc.is_ready());
         let f = svc.forecast().unwrap();
-        assert!(f.degraded);
+        assert_eq!(f.degraded, Some(DegradedCause::ColdWindow));
+        assert!(f.is_degraded());
         assert_eq!(f.values.shape(), &[F, N]);
         assert_eq!(f.values.at(&[0, 0]), 42.0);
         assert_eq!(f.values.at(&[F - 1, 0]), 42.0);
         // Entities never observed persist their fill value.
         assert_eq!(f.values.at(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn request_ids_are_monotonic_and_timing_populated() {
+        let mut svc = service(ServeConfig::default());
+        feed(&mut svc, H);
+        let a = svc.forecast().unwrap();
+        let b = svc.forecast().unwrap();
+        assert!(
+            b.request_id > a.request_id,
+            "ids must grow: {} then {}",
+            a.request_id,
+            b.request_id
+        );
+        for f in [&a, &b] {
+            assert!(f.timing.total_ns > 0);
+            assert!(
+                f.timing.queue_wait_ns + f.timing.forward_ns <= f.timing.total_ns,
+                "attribution exceeds wall time: {:?}",
+                f.timing
+            );
+            assert!(f.timing.forward_ns > 0, "model path must attribute forward time");
+        }
+    }
+
+    #[test]
+    fn slo_report_tracks_outcomes() {
+        let mut svc = service(ServeConfig::default());
+        svc.ingest(0, 0, &[42.0]).unwrap();
+        let _ = svc.forecast().unwrap(); // cold-window fallback
+        feed(&mut svc, H);
+        let _ = svc.forecast().unwrap(); // healthy
+        let report = svc.slo_report();
+        assert_eq!(report.requests, 2);
+        assert!((report.degraded_rate - 0.5).abs() < 1e-12);
+        // Both answered far inside the 250 ms default deadline.
+        assert_eq!(report.deadline_hit_rate, 1.0);
+        assert_eq!(report.error_budget_burn, 0.0);
+        assert!(report.latency_p50_ns > 0.0);
+        assert_eq!(report.window, svc.config.slo_window);
     }
 
     /// A model that sleeps in `forward`, simulating an overloaded backend.
@@ -494,12 +858,41 @@ mod tests {
         feed(&mut svc, H);
         let started = Instant::now();
         let f = svc.forecast().unwrap();
-        assert!(f.degraded, "a missed deadline must degrade, not block");
+        assert_eq!(f.degraded, Some(DegradedCause::Deadline));
         assert!(
             started.elapsed() < Duration::from_millis(150),
             "forecast blocked past its deadline: {:?}",
             started.elapsed()
         );
+        // The miss shows up in the rolling SLO window.
+        let report = svc.slo_report();
+        assert!(report.deadline_hit_rate < 1.0);
+        assert!(report.error_budget_burn > 0.0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn overloaded_queue_degrades_with_queue_full_cause() {
+        let model = SlowModel {
+            inner: AffinePersistence::new(F).with_input_shape(H, N, C),
+            sleep: Duration::from_millis(300),
+        };
+        let config = ServeConfig {
+            max_batch: 1,
+            queue_capacity: 1,
+            deadline: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let mut svc = ForecastService::new(Box::new(model), scaler(), config).unwrap();
+        feed(&mut svc, H);
+        // Occupy the worker with one request and fill the 1-deep queue with
+        // another; the next forecast cannot enqueue and must degrade.
+        let window = Tensor::zeros(&[H, N, C]);
+        let _busy = svc.submit(&window).unwrap();
+        std::thread::sleep(Duration::from_millis(30)); // let the worker take it
+        let _queued = svc.submit(&window).unwrap();
+        let f = svc.forecast().unwrap();
+        assert_eq!(f.degraded, Some(DegradedCause::QueueFull));
         svc.shutdown();
     }
 
@@ -509,8 +902,8 @@ mod tests {
         // started at submission, so by the time the caller gets around to
         // waiting, most of the budget is already spent and `wait` must
         // return almost immediately instead of granting a fresh full budget.
-        let (_tx, rx) = bounded::<Result<Tensor, EnhanceNetError>>(1);
-        let pending = PendingForecast { rx, submitted: Instant::now() };
+        let (_tx, rx) = bounded::<Result<BatchReply, EnhanceNetError>>(1);
+        let pending = PendingForecast { rx, submitted: Instant::now(), id: 0 };
         let deadline = Duration::from_millis(50);
         std::thread::sleep(Duration::from_millis(120));
         let waited = Instant::now();
@@ -527,9 +920,11 @@ mod tests {
         // A reply that landed within budget is still collectable even when
         // the caller polls late — lapsed budget drops to a non-blocking poll,
         // not an unconditional error.
-        let (tx, rx) = bounded::<Result<Tensor, EnhanceNetError>>(1);
-        let pending = PendingForecast { rx, submitted: Instant::now() };
-        tx.send(Ok(Tensor::zeros(&[F, N]))).unwrap();
+        let (tx, rx) = bounded::<Result<BatchReply, EnhanceNetError>>(1);
+        let pending = PendingForecast { rx, submitted: Instant::now(), id: 1 };
+        assert_eq!(pending.request_id(), 1);
+        tx.send(Ok(BatchReply { values: Tensor::zeros(&[F, N]), queue_wait_ns: 0, forward_ns: 0 }))
+            .unwrap();
         std::thread::sleep(Duration::from_millis(60));
         assert!(pending.wait(deadline).is_ok(), "delivered reply must survive a late wait");
     }
@@ -567,10 +962,10 @@ mod tests {
             ForecastService::new(Box::new(model), scaler(), ServeConfig::default()).unwrap();
         feed(&mut svc, H);
         let first = svc.forecast().unwrap();
-        assert!(first.degraded);
+        assert_eq!(first.degraded, Some(DegradedCause::WorkerPanic));
         // The worker survived the panic and still answers.
         let second = svc.forecast().unwrap();
-        assert!(second.degraded);
+        assert_eq!(second.degraded, Some(DegradedCause::WorkerPanic));
         svc.shutdown();
     }
 
@@ -639,5 +1034,58 @@ mod tests {
             Err(EnhanceNetError::UnknownInputShape { .. }) => {}
             other => panic!("expected UnknownInputShape, got {:?}", other.err()),
         }
+        // SLO knobs are validated up front, not at first record.
+        for (config, field) in [
+            (ServeConfig { slo_slots: 0, ..Default::default() }, "slo_slots"),
+            (ServeConfig { slo_target: 0.0, ..Default::default() }, "slo_target"),
+            (ServeConfig { slo_target: 1.5, ..Default::default() }, "slo_target"),
+            (
+                ServeConfig { slo_window: Duration::from_nanos(1), ..Default::default() },
+                "slo_window",
+            ),
+        ] {
+            let model = AffinePersistence::new(F).with_input_shape(H, N, C);
+            match ForecastService::new(Box::new(model), scaler(), config) {
+                Err(EnhanceNetError::InvalidConfig { field: f, .. }) if f == field => {}
+                other => panic!("expected InvalidConfig for {field}, got {:?}", other.err()),
+            }
+        }
+        // An unbindable metrics address fails construction, typed.
+        let model = AffinePersistence::new(F).with_input_shape(H, N, C);
+        let config = ServeConfig { metrics_addr: Some("256.0.0.1:0".into()), ..Default::default() };
+        match ForecastService::new(Box::new(model), scaler(), config) {
+            Err(EnhanceNetError::InvalidConfig { field: "metrics_addr", .. }) => {}
+            other => panic!("expected InvalidConfig, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn embedded_metrics_server_scrapes_and_reports_readiness() {
+        use std::io::{Read as _, Write as _};
+
+        fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+            let mut stream = std::net::TcpStream::connect(addr).unwrap();
+            write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut body = String::new();
+            stream.read_to_string(&mut body).unwrap();
+            body
+        }
+
+        let config = ServeConfig { metrics_addr: Some("127.0.0.1:0".into()), ..Default::default() };
+        let mut svc = service(config);
+        let addr = svc.metrics_addr().expect("metrics server must be bound");
+        assert!(svc.worker_alive());
+        // Cold window: live but not ready.
+        assert!(http_get(addr, "/healthz").starts_with("HTTP/1.1 200"));
+        assert!(http_get(addr, "/readyz").starts_with("HTTP/1.1 503"));
+        feed(&mut svc, H);
+        assert!(http_get(addr, "/readyz").starts_with("HTTP/1.1 200"));
+        let _ = svc.forecast().unwrap();
+        let scrape = http_get(addr, "/metrics");
+        // The scrape may race other telemetry tests resetting the global
+        // store, so only assert the exposition shape, not specific series.
+        assert!(scrape.starts_with("HTTP/1.1 200"));
+        assert!(scrape.contains("text/plain; version=0.0.4"));
+        svc.shutdown();
     }
 }

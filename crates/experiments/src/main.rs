@@ -2,7 +2,7 @@
 //! evaluation (§VI).
 //!
 //! ```text
-//! experiments <command> [--scale small|full] [--threads <k>] [--telemetry-out <path>] [--trace-out <path>]
+//! experiments <command> [--scale small|full] [--threads <k>] [--telemetry-out <path>] [--trace-out <path>] [--metrics-addr <host:port>]
 //!
 //! commands:
 //!   table1   DFGN on RNN/TCN (3 datasets)
@@ -35,6 +35,11 @@
 //! hierarchical spans as a Chrome `trace_event` JSON file loadable in
 //! `chrome://tracing` / Perfetto. Both flags may be combined; each writes
 //! its own file.
+//!
+//! `--metrics-addr <host:port>` additionally serves the live registry over
+//! HTTP while the run executes — `/metrics` in Prometheus text exposition
+//! plus `/healthz` and `/readyz` — so long runs can be scraped instead of
+//! waiting for the post-hoc dump.
 
 mod ablation;
 mod common;
@@ -94,6 +99,33 @@ fn main() {
         },
         None => None,
     };
+    // `--metrics-addr <host:port>` serves the live registry over HTTP for
+    // the duration of the run, so long table/ablation runs can be watched
+    // with `curl .../metrics` instead of waiting for the JSONL dump. The
+    // harness is always "ready" once the listener is up.
+    let metrics_server = match args.iter().position(|a| a == "--metrics-addr") {
+        Some(i) => match args.get(i + 1) {
+            Some(addr) => {
+                enhancenet_telemetry::set_enabled(true);
+                let probe: enhancenet_telemetry::ReadyProbe = std::sync::Arc::new(|| true);
+                match enhancenet_telemetry::MetricsServer::bind(addr.as_str(), probe) {
+                    Ok(server) => {
+                        eprintln!("[metrics at http://{}/metrics]", server.local_addr());
+                        Some(server)
+                    }
+                    Err(e) => {
+                        eprintln!("error: cannot bind --metrics-addr {addr}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            None => {
+                eprintln!("error: --metrics-addr requires host:port");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
     if telemetry_out.is_some() || trace_out.is_some() {
         enhancenet_telemetry::set_enabled(true);
     }
@@ -140,7 +172,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: experiments <table1|table2|table3|table4|table5|fig10|fig11|fig12|ablation|all|sanity> [--scale small|full] [--threads <k>] [--telemetry-out <path>] [--trace-out <path>]"
+                "usage: experiments <table1|table2|table3|table4|table5|fig10|fig11|fig12|ablation|all|sanity> [--scale small|full] [--threads <k>] [--telemetry-out <path>] [--trace-out <path>] [--metrics-addr <host:port>]"
             );
             std::process::exit(2);
         }
@@ -164,6 +196,9 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(server) = metrics_server {
+        server.shutdown();
     }
     eprintln!("[done in {:.1}s]", started.elapsed().as_secs_f32());
 }

@@ -1,0 +1,257 @@
+//! Live exposition: render a [`MetricsSnapshot`] in the Prometheus text
+//! format and serve it over a tiny dependency-free TCP listener.
+//!
+//! [`render_prometheus`] maps the snapshot onto text exposition format
+//! 0.0.4: counters as `counter`, gauges as `gauge`, and the fixed-bucket
+//! log-scale histograms as `summary` families (the quantiles are already
+//! computed bucket-side, so a summary is the faithful translation — no
+//! fake `le` buckets). Label names are sanitized to the Prometheus
+//! grammar (`[a-zA-Z_:][a-zA-Z0-9_:]*`), so `serve.latency_ns` scrapes as
+//! `serve_latency_ns`.
+//!
+//! [`MetricsServer`] is a single-threaded `std::net::TcpListener` loop —
+//! no async runtime, no HTTP crate — answering exactly three paths:
+//!
+//! * `GET /metrics` — the current snapshot, freshly rendered per scrape.
+//! * `GET /healthz` — liveness: 200 as long as the listener thread runs.
+//! * `GET /readyz`  — readiness: 200/503 from the caller-supplied probe
+//!   (serving wires this to "window warm && worker alive").
+//!
+//! One scrape per connection (`Connection: close`) keeps the loop free of
+//! keep-alive bookkeeping; Prometheus is happy with that at any sane
+//! scrape interval. Each scrape takes one metrics snapshot, so the cost a
+//! scrape imposes on the serving hot path is exactly the bounded
+//! per-shard/per-histogram copies documented in [`crate::metrics`].
+
+use crate::metrics::{snapshot, MetricsSnapshot};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Readiness probe for `/readyz`; returns `true` when traffic may flow.
+pub type ReadyProbe = Arc<dyn Fn() -> bool + Send + Sync>;
+
+/// Sanitizes a metric label to the Prometheus name grammar: every byte
+/// outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit is prefixed.
+fn prom_name(label: &str) -> String {
+    let mut out = String::with_capacity(label.len() + 1);
+    for (i, ch) in label.chars().enumerate() {
+        let ok = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_'); // a name may not start with a digit
+        }
+        out.push(if ok { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders `v` the way Prometheus parsers expect special floats spelled.
+fn prom_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the snapshot as Prometheus text exposition format 0.0.4.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (label, value) in &snap.counters {
+        let name = prom_name(label);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (label, value) in &snap.gauges {
+        let name = prom_name(label);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", prom_value(*value)));
+    }
+    for (label, h) in &snap.histograms {
+        let name = prom_name(label);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        for (q, tag) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            out.push_str(&format!("{name}{{quantile=\"{tag}\"}} {}\n", prom_value(h.quantile(q))));
+        }
+        out.push_str(&format!("{name}_sum {}\n", prom_value(h.sum())));
+        out.push_str(&format!("{name}_count {}\n", h.count()));
+    }
+    out
+}
+
+/// The `/metrics` + `/healthz` + `/readyz` listener; see the module docs.
+///
+/// Binding starts the accept thread immediately; dropping the server (or
+/// calling [`MetricsServer::shutdown`]) stops and joins it.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9898"`, port 0 for ephemeral) and
+    /// starts answering scrapes. `ready` backs `/readyz`.
+    pub fn bind<A: ToSocketAddrs>(addr: A, ready: ReadyProbe) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("metrics-server".into())
+            .spawn(move || accept_loop(listener, &stop_flag, &ready))?;
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The actually bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread. Also runs on drop.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept() by poking our own listener; harmless if
+            // the thread already observed the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: &AtomicBool, ready: &ReadyProbe) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Best-effort per connection: a misbehaving scraper is dropped,
+        // never crashes the exporter.
+        let _ = handle_connection(stream, ready);
+    }
+}
+
+/// Reads one request line, routes it, writes one response, closes.
+fn handle_connection(mut stream: TcpStream, ready: &ReadyProbe) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 2048];
+    let mut len = 0usize;
+    // Read until the end of the request head (or the cap); scrapers send
+    // tiny requests, so one read normally suffices.
+    loop {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if len >= buf.len() || buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => {
+            crate::count("telemetry.export.scrapes", 1);
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", render_prometheus(&snapshot()))
+        }
+        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        ("GET", "/readyz") => {
+            if ready() {
+                ("200 OK", "text/plain; charset=utf-8", "ready\n".to_string())
+            } else {
+                ("503 Service Unavailable", "text/plain; charset=utf-8", "not ready\n".to_string())
+            }
+        }
+        ("GET", _) => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+        _ => ("405 Method Not Allowed", "text/plain; charset=utf-8", "GET only\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn prom_names_are_sanitized() {
+        assert_eq!(prom_name("serve.latency_ns"), "serve_latency_ns");
+        assert_eq!(prom_name("serve.slo.p99"), "serve_slo_p99");
+        assert_eq!(prom_name("9lives"), "_9lives");
+        assert_eq!(prom_name("a b\"c"), "a_b_c");
+        assert_eq!(prom_name(""), "_");
+    }
+
+    #[test]
+    fn prom_values_spell_special_floats() {
+        assert_eq!(prom_value(f64::NAN), "NaN");
+        assert_eq!(prom_value(f64::INFINITY), "+Inf");
+        assert_eq!(prom_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(prom_value(2.5), "2.5");
+    }
+
+    #[test]
+    fn renders_all_three_families() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("serve.request".into(), 42);
+        snap.gauges.insert("serve.queue.depth".into(), 3.0);
+        let mut h = Histogram::default();
+        for v in [10.0, 20.0, 40.0] {
+            h.observe(v);
+        }
+        snap.histograms.insert("serve.latency_ns".into(), h);
+        let text = render_prometheus(&snap);
+        assert!(text.contains("# TYPE serve_request counter\nserve_request 42\n"));
+        assert!(text.contains("# TYPE serve_queue_depth gauge\nserve_queue_depth 3\n"));
+        assert!(text.contains("# TYPE serve_latency_ns summary\n"));
+        assert!(text.contains("serve_latency_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("serve_latency_ns_sum 70\n"));
+        assert!(text.contains("serve_latency_ns_count 3\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "bad sample line: {line}");
+        }
+    }
+}

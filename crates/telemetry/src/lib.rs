@@ -26,6 +26,9 @@
 //!   (power-of-two bucket edges) that report p50/p95/p99 without storing
 //!   raw samples: per-batch step latency, per-window inference latency,
 //!   per-epoch gradient norms.
+//! * **Gauges** — [`gauge`] sets a last-write-wins level (queue depth,
+//!   window fill, windowed p99) that live scrapes read as "the value right
+//!   now", unlike the monotone counters.
 //! * **Events** — [`record_event`] appends a structured record (any
 //!   `serde::Serialize` payload), used by the trainer for per-epoch
 //!   progress and by the model-health probes in `enhancenet::probes`.
@@ -35,11 +38,22 @@
 //! atomic load — no locking, no allocation, no `Instant::now()`. Benchmarks
 //! and the inference hot path therefore pay one predictable branch.
 //!
+//! Counters, gauges, and histograms live in the lock-striped [`metrics`]
+//! store so a live [`snapshot`] (and the `/metrics` endpoint the
+//! [`export`] module serves from it) never stalls the hot path behind one
+//! global lock; [`slo`] builds rolling-window SLO statistics on the same
+//! [`Histogram`]. Spans and events stay in the trace registry behind a
+//! mutex, with **bounded ring retention**: beyond [`MAX_SPANS`] /
+//! [`MAX_EVENTS`] records the oldest are recycled and the
+//! `telemetry.dropped_records` counter accounts for every record shed, so
+//! a long-lived service cannot grow without bound.
+//!
 //! The registry renders three ways: [`render_jsonl`] (one JSON object per
-//! line — `meta`, `counter`, `timer`, `histogram`, `span`, and `event`
-//! records; the format `scripts/bench_summary` consumes),
+//! line — `meta`, `counter`, `gauge`, `timer`, `histogram`, `span`, and
+//! `event` records; the format `scripts/bench_summary` consumes),
 //! [`render_chrome_trace`] (a `trace_event` JSON document), and
-//! [`summary_table`] (a human-aligned table for stderr).
+//! [`summary_table`] (a human-aligned table for stderr). Live scrapes use
+//! [`export::render_prometheus`] on a [`MetricsSnapshot`] instead.
 //!
 //! Guards are hardened against a concurrent [`reset`]: each captures the
 //! registry generation at creation and drops its measurement silently if a
@@ -59,14 +73,26 @@
 //! enhancenet_telemetry::set_enabled(false);
 //! ```
 
+pub mod export;
+pub mod metrics;
+pub mod slo;
+
+pub use export::{render_prometheus, MetricsServer, ReadyProbe};
+pub use metrics::{snapshot, MetricsSnapshot};
+pub use slo::{SloReport, SloWindow};
+
 use serde::Serialize;
 use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
+
+/// Counter incremented each time bounded ring retention recycles a span or
+/// event record; the one observable trace of shed telemetry.
+pub const DROPPED_RECORDS: &str = "telemetry.dropped_records";
 
 /// Master switch. Relaxed ordering is sufficient: the flag only gates
 /// best-effort accounting, never data the computation depends on.
@@ -156,9 +182,16 @@ pub struct SpanRecord {
     pub dur_ns: u64,
 }
 
-/// Spans retained per run; beyond this the `telemetry.spans.dropped`
-/// counter increments instead (aggregated timers keep counting regardless).
+/// Spans retained per run; beyond this the ring recycles the oldest span
+/// and the `telemetry.dropped_records` counter increments (aggregated
+/// timers keep counting regardless). The cap is far above what a training
+/// run records, so exports there are byte-identical to unbounded
+/// retention; only long-lived services shed.
 pub const MAX_SPANS: usize = 1 << 16;
+
+/// Events retained per run, with the same drop-oldest ring policy (and the
+/// same `telemetry.dropped_records` accounting) as [`MAX_SPANS`].
+pub const MAX_EVENTS: usize = 1 << 16;
 
 /// Number of fixed log-scale histogram buckets. Bucket `i` covers
 /// `[2^(i-32), 2^(i-31))`, so the range spans `2^-32` up to `2^48` — wide
@@ -217,6 +250,23 @@ impl Histogram {
         self.min = self.min.min(v);
         self.max = self.max.max(v);
         self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// Folds `other` into `self` bucket-by-bucket (exact: the merged
+    /// histogram equals one that observed both sample streams). This is
+    /// what lets [`slo::SloWindow`] aggregate per-slot deltas into a
+    /// rolling window without storing raw samples.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
     }
 
     /// Number of recorded samples.
@@ -313,14 +363,15 @@ pub struct Event {
     pub payload: serde_json::Value,
 }
 
-/// The process-global store behind the module-level free functions.
+/// The process-global trace store behind the module-level free functions.
+/// Counters, gauges, and histograms live in the lock-striped [`metrics`]
+/// store instead, so only trace data (timers, spans, events) contends on
+/// this mutex.
 #[derive(Debug, Default)]
 pub struct Registry {
     timers: BTreeMap<String, TimerStat>,
-    counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, Histogram>,
-    spans: Vec<SpanRecord>,
-    events: Vec<Event>,
+    spans: VecDeque<SpanRecord>,
+    events: VecDeque<Event>,
 }
 
 fn registry() -> MutexGuard<'static, Registry> {
@@ -421,53 +472,59 @@ impl Drop for Span {
             let stat = reg.timers.entry(s.label.to_string()).or_default();
             stat.calls += 1;
             stat.total_ns += dur_ns;
-            if reg.spans.len() < MAX_SPANS {
-                reg.spans.push(SpanRecord {
-                    label: s.label,
-                    tid: s.tid,
-                    depth: s.depth,
-                    start_us: s.start_us,
-                    dur_ns,
-                });
+            let dropped = if reg.spans.len() >= MAX_SPANS {
+                reg.spans.pop_front();
+                true
             } else {
-                *reg.counters.entry("telemetry.spans.dropped".to_string()).or_insert(0) += 1;
+                false
+            };
+            reg.spans.push_back(SpanRecord {
+                label: s.label,
+                tid: s.tid,
+                depth: s.depth,
+                start_us: s.start_us,
+                dur_ns,
+            });
+            drop(reg); // the metrics store has its own locks
+            if dropped {
+                metrics::add(DROPPED_RECORDS, 1);
             }
         }
     }
 }
 
 /// Adds `n` to the monotonic counter `label`. Disabled path: one atomic
-/// load, nothing else.
+/// load, nothing else. Enabled path: a shard-striped map lookup, then one
+/// lock-free `fetch_add` — see [`metrics`].
 #[inline]
 pub fn count(label: &str, n: u64) {
     if !enabled() {
         return;
     }
-    let mut reg = registry();
-    match reg.counters.get_mut(label) {
-        Some(v) => *v += n,
-        None => {
-            reg.counters.insert(label.to_string(), n);
-        }
+    metrics::add(label, n);
+}
+
+/// Sets the gauge `label` to `value` (a level, not an accumulation: the
+/// scrape sees the last write). Disabled path: one atomic load, nothing
+/// else. Non-finite values are stored verbatim — a NaN gauge renders as
+/// `NaN` in the Prometheus exposition.
+#[inline]
+pub fn gauge(label: &str, value: f64) {
+    if !enabled() {
+        return;
     }
+    metrics::set_gauge(label, value);
 }
 
 /// Records `value` into the log-scale histogram `label`. Disabled path:
-/// one atomic load, nothing else. Non-finite values are ignored.
+/// one atomic load, nothing else. Non-finite values are ignored. Enabled
+/// path locks only that histogram's cell — never the whole registry.
 #[inline]
 pub fn observe(label: &str, value: f64) {
     if !enabled() {
         return;
     }
-    let mut reg = registry();
-    match reg.histograms.get_mut(label) {
-        Some(h) => h.observe(value),
-        None => {
-            let mut h = Histogram::default();
-            h.observe(value);
-            reg.histograms.insert(label.to_string(), h);
-        }
-    }
+    metrics::observe(label, value);
 }
 
 /// Appends a structured event. The payload is serialized immediately so
@@ -478,13 +535,31 @@ pub fn record_event<T: Serialize>(kind: &str, payload: &T) {
         return;
     }
     let payload = serde_json::to_value(payload).unwrap_or(serde_json::Value::Null);
-    registry().events.push(Event { kind: kind.to_string(), payload });
+    let dropped = {
+        let mut reg = registry();
+        let dropped = if reg.events.len() >= MAX_EVENTS {
+            reg.events.pop_front();
+            true
+        } else {
+            false
+        };
+        reg.events.push_back(Event { kind: kind.to_string(), payload });
+        dropped
+    };
+    if dropped {
+        metrics::add(DROPPED_RECORDS, 1);
+    }
 }
 
 /// Current value of a counter (0 when absent). Intended for tests and the
 /// summary renderers.
 pub fn counter_value(label: &str) -> u64 {
-    registry().counters.get(label).copied().unwrap_or(0)
+    metrics::counter_value(label)
+}
+
+/// Current value of a gauge, if it was ever set.
+pub fn gauge_value(label: &str) -> Option<f64> {
+    metrics::gauge_value(label)
 }
 
 /// Aggregate for a timer label, if any scope completed under it.
@@ -494,8 +569,7 @@ pub fn timer_stat(label: &str) -> Option<TimerStat> {
 
 /// Snapshot of one histogram's headline statistics, if it has samples.
 pub fn histogram_summary(label: &str) -> Option<HistogramSummary> {
-    let reg = registry();
-    let h = reg.histograms.get(label)?;
+    let h = metrics::histogram(label)?;
     if h.count() == 0 {
         return None;
     }
@@ -517,7 +591,7 @@ pub fn span_count() -> usize {
 
 /// Clone of all span records (for tests and exporters built on top).
 pub fn span_records() -> Vec<SpanRecord> {
-    registry().spans.clone()
+    registry().spans.iter().cloned().collect()
 }
 
 /// Number of events recorded under `kind`.
@@ -530,15 +604,14 @@ pub fn events_of_kind(kind: &str) -> Vec<serde_json::Value> {
     registry().events.iter().filter(|e| e.kind == kind).map(|e| e.payload.clone()).collect()
 }
 
-/// Total records (timers + counters + histograms + spans + events)
-/// currently held.
+/// Total records (timers + counters + gauges + histograms + spans +
+/// events) currently held.
 pub fn record_count() -> usize {
-    let reg = registry();
-    reg.timers.len()
-        + reg.counters.len()
-        + reg.histograms.len()
-        + reg.spans.len()
-        + reg.events.len()
+    let trace = {
+        let reg = registry();
+        reg.timers.len() + reg.spans.len() + reg.events.len()
+    };
+    trace + metrics::label_count()
 }
 
 /// Clears all recorded data (flags are untouched) and advances the
@@ -548,34 +621,43 @@ pub fn reset() {
     // Bump first: a guard dropping between the bump and the clear compares
     // generations, sees the mismatch, and discards — never double-records.
     GENERATION.fetch_add(1, Ordering::Relaxed);
-    let mut reg = registry();
-    reg.timers.clear();
-    reg.counters.clear();
-    reg.histograms.clear();
-    reg.spans.clear();
-    reg.events.clear();
+    {
+        let mut reg = registry();
+        reg.timers.clear();
+        reg.spans.clear();
+        reg.events.clear();
+    }
+    metrics::reset();
 }
 
 /// Renders the registry as JSONL: a `meta` header line, then one line per
-/// counter, timer, histogram, span, and event (in that order). Every line
-/// is a standalone JSON object with a `"type"` discriminant — the contract
-/// `scripts/bench_summary` validates.
+/// counter, gauge, timer, histogram, span, and event (in that order).
+/// Every line is a standalone JSON object with a `"type"` discriminant —
+/// the contract `scripts/bench_summary` validates. Metrics come from one
+/// consistent [`snapshot`]; trace data from the span registry.
 pub fn render_jsonl() -> String {
+    let snap = metrics::snapshot();
     let reg = registry();
     let mut out = String::new();
     let meta = serde_json::json!({
         "type": "meta",
         "schema": "enhancenet-telemetry-v1",
-        "counters": reg.counters.len(),
+        "counters": snap.counters.len(),
+        "gauges": snap.gauges.len(),
         "timers": reg.timers.len(),
-        "histograms": reg.histograms.len(),
+        "histograms": snap.histograms.len(),
         "spans": reg.spans.len(),
         "events": reg.events.len(),
     });
     out.push_str(&meta.to_string());
     out.push('\n');
-    for (label, value) in &reg.counters {
+    for (label, value) in &snap.counters {
         let line = serde_json::json!({"type": "counter", "label": label, "value": value});
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    for (label, value) in &snap.gauges {
+        let line = serde_json::json!({"type": "gauge", "label": label, "value": value});
         out.push_str(&line.to_string());
         out.push('\n');
     }
@@ -589,7 +671,7 @@ pub fn render_jsonl() -> String {
         out.push_str(&line.to_string());
         out.push('\n');
     }
-    for (label, h) in &reg.histograms {
+    for (label, h) in &snap.histograms {
         let buckets: Vec<[u64; 2]> =
             h.nonzero_buckets().into_iter().map(|(i, c)| [i as u64, c]).collect();
         let line = serde_json::json!({
@@ -680,8 +762,9 @@ pub fn write_chrome_trace(path: &Path) -> std::io::Result<()> {
 
 /// Renders a human-readable summary: timers sorted by total time (label
 /// breaks ties, so the table is deterministic), then histograms, counters,
-/// and event tallies.
+/// gauges, and event tallies.
 pub fn summary_table() -> String {
+    let snap = metrics::snapshot();
     let reg = registry();
     let mut out = String::new();
     if !reg.timers.is_empty() {
@@ -700,12 +783,12 @@ pub fn summary_table() -> String {
             ));
         }
     }
-    if !reg.histograms.is_empty() {
+    if !snap.histograms.is_empty() {
         out.push_str(&format!(
             "{:<32} {:>10} {:>12} {:>12} {:>12}\n",
             "histogram", "count", "p50", "p95", "p99"
         ));
-        for (label, h) in &reg.histograms {
+        for (label, h) in &snap.histograms {
             out.push_str(&format!(
                 "{label:<32} {:>10} {:>12.3} {:>12.3} {:>12.3}\n",
                 h.count(),
@@ -715,10 +798,16 @@ pub fn summary_table() -> String {
             ));
         }
     }
-    if !reg.counters.is_empty() {
+    if !snap.counters.is_empty() {
         out.push_str(&format!("{:<32} {:>10}\n", "counter", "value"));
-        for (label, value) in &reg.counters {
+        for (label, value) in &snap.counters {
             out.push_str(&format!("{label:<32} {value:>10}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str(&format!("{:<32} {:>10}\n", "gauge", "value"));
+        for (label, value) in &snap.gauges {
+            out.push_str(&format!("{label:<32} {value:>10.3}\n"));
         }
     }
     let mut kinds: BTreeMap<&str, usize> = BTreeMap::new();

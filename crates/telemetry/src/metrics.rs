@@ -1,0 +1,266 @@
+//! The live metric store: sharded, lock-striped counters, gauges, and
+//! histograms with a consistent, cheap [`MetricsSnapshot`].
+//!
+//! The original registry kept counters and histograms inside the one
+//! process-global `Mutex<Registry>`; fine for post-hoc JSONL dumps, but a
+//! live `/metrics` scrape cloning that map would stall every hot-path
+//! `count()` behind one lock for the duration of the copy. This module
+//! splits the live metrics out into [`SHARD_COUNT`] lock-striped shards:
+//!
+//! * Each **counter** and **gauge** is an `Arc<AtomicU64>`. The shard lock
+//!   is held only for the name → cell lookup (and the one-time insert);
+//!   the actual increment/store happens on the atomic *after* the lock is
+//!   released, so no lock is ever held across a metric update.
+//! * Each **histogram** is an `Arc<Mutex<Histogram>>` of its own. Updates
+//!   lock only their histogram; a snapshot locks it just long enough to
+//!   copy 80 bucket counts. Copying under the per-histogram lock is what
+//!   keeps `count`/`sum`/`buckets` mutually consistent — a snapshot can
+//!   never observe a histogram whose bucket total disagrees with its
+//!   `count` (no torn totals).
+//! * [`snapshot`] walks the shards one at a time: lock a shard, clone its
+//!   name → cell maps (pointer clones), unlock, then read the cells. A
+//!   concurrent writer is therefore blocked for at most one shard-map
+//!   clone or one 80-bucket histogram copy — never for the whole scrape.
+//!
+//! Consistency model: the snapshot is *per-metric atomic* (counters are
+//! single atomic loads, so monotone across successive snapshots;
+//! histograms are copied whole) but not globally atomic across metrics —
+//! exactly the guarantee Prometheus scrapes assume.
+//!
+//! A [`crate::reset`] clears the shard maps. A writer that already cloned
+//! a cell keeps updating its detached atomic, which the next snapshot no
+//! longer sees — the same "racing reset discards the measurement"
+//! semantics the RAII guards have.
+
+use crate::{Histogram, HistogramSummary};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of lock stripes. 16 keeps worst-case snapshot pauses at 1/16th
+/// of the label space while staying cache-friendly.
+pub const SHARD_COUNT: usize = 16;
+
+#[derive(Default)]
+struct Shard {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    /// Gauge cells store `f64::to_bits`; a `store` is atomic, so readers
+    /// never see a half-written float.
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, Arc<Mutex<Histogram>>>,
+}
+
+struct Store {
+    shards: [Mutex<Shard>; SHARD_COUNT],
+}
+
+fn store() -> &'static Store {
+    static STORE: OnceLock<Store> = OnceLock::new();
+    STORE.get_or_init(|| Store { shards: std::array::from_fn(|_| Mutex::new(Shard::default())) })
+}
+
+/// FNV-1a over the label bytes; stable across runs so tests may reason
+/// about stripe assignment.
+fn shard_index(label: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % SHARD_COUNT
+}
+
+fn shard(label: &str) -> std::sync::MutexGuard<'static, Shard> {
+    store().shards[shard_index(label)].lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Fetches (or creates) the counter cell for `label`. The shard lock is
+/// released before the caller touches the atomic.
+fn counter_cell(label: &str) -> Arc<AtomicU64> {
+    let mut guard = shard(label);
+    match guard.counters.get(label) {
+        Some(cell) => Arc::clone(cell),
+        None => {
+            let cell = Arc::new(AtomicU64::new(0));
+            guard.counters.insert(label.to_string(), Arc::clone(&cell));
+            cell
+        }
+    }
+}
+
+fn gauge_cell(label: &str) -> Arc<AtomicU64> {
+    let mut guard = shard(label);
+    match guard.gauges.get(label) {
+        Some(cell) => Arc::clone(cell),
+        None => {
+            let cell = Arc::new(AtomicU64::new(0.0f64.to_bits()));
+            guard.gauges.insert(label.to_string(), Arc::clone(&cell));
+            cell
+        }
+    }
+}
+
+fn histogram_cell(label: &str) -> Arc<Mutex<Histogram>> {
+    let mut guard = shard(label);
+    match guard.histograms.get(label) {
+        Some(cell) => Arc::clone(cell),
+        None => {
+            let cell = Arc::new(Mutex::new(Histogram::default()));
+            guard.histograms.insert(label.to_string(), Arc::clone(&cell));
+            cell
+        }
+    }
+}
+
+/// Adds `n` to counter `label`. Lock-free after the cell lookup.
+pub(crate) fn add(label: &str, n: u64) {
+    counter_cell(label).fetch_add(n, Ordering::Relaxed);
+}
+
+/// Sets gauge `label` to `value` (last-write-wins level semantics).
+pub(crate) fn set_gauge(label: &str, value: f64) {
+    gauge_cell(label).store(value.to_bits(), Ordering::Relaxed);
+}
+
+/// Records `value` into histogram `label` under its private lock.
+pub(crate) fn observe(label: &str, value: f64) {
+    let cell = histogram_cell(label);
+    let mut h = cell.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    h.observe(value);
+}
+
+/// Current counter value (0 when the counter was never touched).
+pub(crate) fn counter_value(label: &str) -> u64 {
+    let guard = shard(label);
+    guard.counters.get(label).map_or(0, |c| c.load(Ordering::Relaxed))
+}
+
+/// Current gauge value, if the gauge was ever set.
+pub(crate) fn gauge_value(label: &str) -> Option<f64> {
+    let guard = shard(label);
+    guard.gauges.get(label).map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+}
+
+/// Copy of one histogram, if it exists.
+pub(crate) fn histogram(label: &str) -> Option<Histogram> {
+    let cell = {
+        let guard = shard(label);
+        guard.histograms.get(label).map(Arc::clone)
+    };
+    cell.map(|c| c.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).clone())
+}
+
+/// Clears every shard. Writers holding a detached cell keep updating it
+/// harmlessly; it is simply no longer reachable from a snapshot.
+pub(crate) fn reset() {
+    for stripe in &store().shards {
+        let mut guard = stripe.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        guard.counters.clear();
+        guard.gauges.clear();
+        guard.histograms.clear();
+    }
+}
+
+/// Number of live metric labels (counters + gauges + histograms).
+pub(crate) fn label_count() -> usize {
+    store()
+        .shards
+        .iter()
+        .map(|stripe| {
+            let guard = stripe.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            guard.counters.len() + guard.gauges.len() + guard.histograms.len()
+        })
+        .sum()
+}
+
+/// A point-in-time copy of every counter, gauge, and histogram.
+///
+/// Cheap to take (see the module docs for the locking discipline) and
+/// fully detached: rendering it — JSONL, Prometheus exposition, summary
+/// tables — touches no shared state.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsSnapshot {
+    /// Monotonic counter totals by label.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-set gauge levels by label.
+    pub gauges: BTreeMap<String, f64>,
+    /// Full histogram copies (buckets included) by label.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Headline statistics for one captured histogram, if it has samples.
+    pub fn histogram_summary(&self, label: &str) -> Option<HistogramSummary> {
+        let h = self.histograms.get(label)?;
+        if h.count() == 0 {
+            return None;
+        }
+        Some(HistogramSummary {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+        })
+    }
+}
+
+/// Captures a [`MetricsSnapshot`] without stopping writers.
+///
+/// Shards are visited one at a time: the shard lock covers only the clone
+/// of its name → cell pointer maps; atomic cells are then read and each
+/// histogram copied under its own lock. A concurrent `count`/`gauge`/
+/// `observe` is delayed by at most one such bounded copy.
+pub fn snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    for stripe in &store().shards {
+        let (counters, gauges, histograms) = {
+            let guard = stripe.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            (guard.counters.clone(), guard.gauges.clone(), guard.histograms.clone())
+        };
+        for (label, cell) in counters {
+            snap.counters.insert(label, cell.load(Ordering::Relaxed));
+        }
+        for (label, cell) in gauges {
+            snap.gauges.insert(label, f64::from_bits(cell.load(Ordering::Relaxed)));
+        }
+        for (label, cell) in histograms {
+            let h = cell.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).clone();
+            snap.histograms.insert(label, h);
+        }
+    }
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_index_is_stable_and_in_range() {
+        for label in ["serve.request", "serve.latency_ns", "a", ""] {
+            let i = shard_index(label);
+            assert!(i < SHARD_COUNT);
+            assert_eq!(i, shard_index(label), "hash must be deterministic");
+        }
+    }
+
+    #[test]
+    fn snapshot_summary_mirrors_histogram() {
+        let mut snap = MetricsSnapshot::default();
+        let mut h = Histogram::default();
+        for v in [1.0, 2.0, 4.0] {
+            h.observe(v);
+        }
+        snap.histograms.insert("x".into(), h);
+        let s = snap.histogram_summary("x").expect("has samples");
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(snap.histogram_summary("missing").is_none());
+        snap.histograms.insert("empty".into(), Histogram::default());
+        assert!(snap.histogram_summary("empty").is_none());
+    }
+}

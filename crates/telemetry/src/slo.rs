@@ -1,0 +1,306 @@
+//! Rolling-window SLO tracking: a ring of histogram deltas that answers
+//! "what is the p99 *right now*?" instead of "since process start".
+//!
+//! The global registry's histograms are cumulative: after an hour of
+//! traffic, one slow minute barely moves the since-start p99, which makes
+//! them useless for alerting. [`SloWindow`] keeps the last
+//! `window = slots × slot` of activity in a fixed ring of slots, each
+//! holding its own latency [`Histogram`] plus request/deadline/degradation
+//! tallies. Recording rotates stale slots lazily (no background thread);
+//! reporting merges only the slots that still fall inside the window, so
+//! an idle period ages out naturally.
+//!
+//! Everything is fixed-size and allocation-free after construction:
+//! `record` touches one slot, `report` merges at most `slots` histograms
+//! on the stack. Callers wanting concurrency wrap the window in a mutex;
+//! the critical sections are a single histogram update or one bounded
+//! merge — the same "never block longer than one copy" discipline as
+//! [`crate::metrics`].
+
+use crate::Histogram;
+use std::time::{Duration, Instant};
+
+/// One ring slot: the activity of one `slot_ns`-wide time slice.
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Absolute slot number (`now_ns / slot_ns`) this slot currently
+    /// represents; [`Slot::EMPTY`] when never written or aged out.
+    index: u64,
+    latency: Histogram,
+    requests: u64,
+    deadline_hits: u64,
+    degraded: u64,
+}
+
+impl Slot {
+    const EMPTY: u64 = u64::MAX;
+
+    fn new() -> Self {
+        Slot {
+            index: Self::EMPTY,
+            latency: Histogram::default(),
+            requests: 0,
+            deadline_hits: 0,
+            degraded: 0,
+        }
+    }
+
+    /// Reuses this slot for absolute slot `index` (in-place, no alloc).
+    fn recycle(&mut self, index: u64) {
+        self.index = index;
+        self.latency = Histogram::default();
+        self.requests = 0;
+        self.deadline_hits = 0;
+        self.degraded = 0;
+    }
+}
+
+/// Windowed service-level statistics from [`SloWindow::report`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloReport {
+    /// The rolling window the numbers cover.
+    pub window: Duration,
+    /// The configured deadline hit-rate target in `(0, 1]`.
+    pub target: f64,
+    /// Requests recorded inside the window.
+    pub requests: u64,
+    /// Windowed median latency in nanoseconds (NaN when no requests).
+    pub latency_p50_ns: f64,
+    /// Windowed 95th-percentile latency in nanoseconds (NaN when empty).
+    pub latency_p95_ns: f64,
+    /// Windowed 99th-percentile latency in nanoseconds (NaN when empty).
+    pub latency_p99_ns: f64,
+    /// Fraction of windowed requests answered within their deadline
+    /// (1.0 when no requests — an idle service is not out of SLO).
+    pub deadline_hit_rate: f64,
+    /// Fraction of windowed requests answered with a degraded fallback.
+    pub degraded_rate: f64,
+    /// Error-budget burn rate: `(1 - hit_rate) / (1 - target)`. 1.0 means
+    /// the budget is being spent exactly as provisioned; above 1.0 the
+    /// window is eating future budget. Infinite when `target == 1` and
+    /// any request missed.
+    pub error_budget_burn: f64,
+}
+
+impl SloReport {
+    /// An empty-window report (the identity the gauges start from).
+    fn idle(window: Duration, target: f64) -> Self {
+        SloReport {
+            window,
+            target,
+            requests: 0,
+            latency_p50_ns: f64::NAN,
+            latency_p95_ns: f64::NAN,
+            latency_p99_ns: f64::NAN,
+            deadline_hit_rate: 1.0,
+            degraded_rate: 0.0,
+            error_budget_burn: 0.0,
+        }
+    }
+}
+
+/// A rolling window of request outcomes; see the module docs.
+#[derive(Debug)]
+pub struct SloWindow {
+    slot_ns: u64,
+    target: f64,
+    epoch: Instant,
+    slots: Vec<Slot>,
+}
+
+impl SloWindow {
+    /// A window spanning `window`, resolved into `slots` ring slots, with
+    /// deadline-hit SLO target `target` (e.g. `0.99` for "99% of requests
+    /// answered in time").
+    ///
+    /// # Panics
+    /// When `slots == 0`, `window` is shorter than one nanosecond per
+    /// slot, or `target` is outside `(0, 1]` — serving validates its
+    /// config before constructing the window.
+    pub fn new(window: Duration, slots: usize, target: f64) -> Self {
+        assert!(slots > 0, "SloWindow needs at least one slot");
+        let slot_ns = (window.as_nanos() / slots as u128) as u64;
+        assert!(slot_ns > 0, "window too short for {slots} slots");
+        assert!(target > 0.0 && target <= 1.0, "target must be in (0, 1], got {target}");
+        SloWindow { slot_ns, target, epoch: Instant::now(), slots: vec![Slot::new(); slots] }
+    }
+
+    /// The rolling span this window covers.
+    pub fn window(&self) -> Duration {
+        Duration::from_nanos(self.slot_ns * self.slots.len() as u64)
+    }
+
+    /// The configured deadline hit-rate target.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Records one request outcome at the current time.
+    pub fn record(&mut self, latency_ns: f64, deadline_hit: bool, degraded: bool) {
+        self.record_at(self.epoch.elapsed().as_nanos() as u64, latency_ns, deadline_hit, degraded);
+    }
+
+    /// Windowed statistics as of the current time.
+    pub fn report(&self) -> SloReport {
+        self.report_at(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// [`SloWindow::record`] with an explicit clock (nanoseconds since the
+    /// window's epoch) — the testable core.
+    pub fn record_at(&mut self, now_ns: u64, latency_ns: f64, deadline_hit: bool, degraded: bool) {
+        let abs = now_ns / self.slot_ns;
+        let len = self.slots.len() as u64;
+        let slot = &mut self.slots[(abs % len) as usize];
+        if slot.index != abs {
+            slot.recycle(abs);
+        }
+        slot.latency.observe(latency_ns);
+        slot.requests += 1;
+        if deadline_hit {
+            slot.deadline_hits += 1;
+        }
+        if degraded {
+            slot.degraded += 1;
+        }
+    }
+
+    /// [`SloWindow::report`] with an explicit clock — merges every slot
+    /// whose slice still overlaps `(now - window, now]`.
+    pub fn report_at(&self, now_ns: u64) -> SloReport {
+        let abs = now_ns / self.slot_ns;
+        let len = self.slots.len() as u64;
+        let oldest = abs.saturating_sub(len - 1);
+        let mut latency = Histogram::default();
+        let (mut requests, mut hits, mut degraded) = (0u64, 0u64, 0u64);
+        for slot in &self.slots {
+            if slot.index == Slot::EMPTY || slot.index < oldest || slot.index > abs {
+                continue; // never written, aged out, or (impossible) future
+            }
+            latency.merge(&slot.latency);
+            requests += slot.requests;
+            hits += slot.deadline_hits;
+            degraded += slot.degraded;
+        }
+        if requests == 0 {
+            return SloReport::idle(self.window(), self.target);
+        }
+        let hit_rate = hits as f64 / requests as f64;
+        let budget = 1.0 - self.target;
+        let burn = if budget > 0.0 {
+            (1.0 - hit_rate) / budget
+        } else if hits == requests {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        SloReport {
+            window: self.window(),
+            target: self.target,
+            requests,
+            latency_p50_ns: latency.quantile(0.50),
+            latency_p95_ns: latency.quantile(0.95),
+            latency_p99_ns: latency.quantile(0.99),
+            deadline_hit_rate: hit_rate,
+            degraded_rate: degraded as f64 / requests as f64,
+            error_budget_burn: burn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SLOT: u64 = 1_000_000_000; // 1 s slots in a 4 s window
+
+    fn window() -> SloWindow {
+        SloWindow::new(Duration::from_secs(4), 4, 0.9)
+    }
+
+    #[test]
+    fn empty_window_reports_idle_identity() {
+        let w = window();
+        let r = w.report_at(10 * SLOT);
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.deadline_hit_rate, 1.0);
+        assert_eq!(r.degraded_rate, 0.0);
+        assert_eq!(r.error_budget_burn, 0.0);
+        assert!(r.latency_p99_ns.is_nan());
+        assert_eq!(r.window, Duration::from_secs(4));
+    }
+
+    #[test]
+    fn rates_and_quantiles_aggregate_across_slots() {
+        let mut w = window();
+        // 3 hits in slot 0, 1 degraded miss in slot 2.
+        for _ in 0..3 {
+            w.record_at(100, 1_000.0, true, false);
+        }
+        w.record_at(2 * SLOT + 5, 64_000.0, false, true);
+        let r = w.report_at(2 * SLOT + 10);
+        assert_eq!(r.requests, 4);
+        assert!((r.deadline_hit_rate - 0.75).abs() < 1e-12);
+        assert!((r.degraded_rate - 0.25).abs() < 1e-12);
+        // burn = (1 - 0.75) / (1 - 0.9) = 2.5 — overspending the budget.
+        assert!((r.error_budget_burn - 2.5).abs() < 1e-9);
+        assert!(r.latency_p50_ns <= r.latency_p95_ns);
+        assert!(r.latency_p95_ns <= r.latency_p99_ns);
+        assert!(r.latency_p99_ns <= 64_000.0 + 1.0);
+    }
+
+    #[test]
+    fn old_slots_age_out_of_the_window() {
+        let mut w = window();
+        w.record_at(100, 1_000.0, false, true);
+        // Still visible while the window covers slot 0 ...
+        assert_eq!(w.report_at(3 * SLOT).requests, 1);
+        // ... gone once 4 slots have passed, without any recording since.
+        let r = w.report_at(4 * SLOT + 1);
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.deadline_hit_rate, 1.0);
+    }
+
+    #[test]
+    fn ring_slots_recycle_in_place() {
+        let mut w = window();
+        w.record_at(0, 1.0, true, false);
+        // 4 slots later the ring wraps onto slot index 0's storage.
+        w.record_at(4 * SLOT + 1, 2.0, false, false);
+        let r = w.report_at(4 * SLOT + 2);
+        // Only the fresh record remains: the stale slot was recycled, not
+        // merged.
+        assert_eq!(r.requests, 1);
+        assert_eq!(r.deadline_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn perfect_target_burns_infinitely_on_any_miss() {
+        let mut w = SloWindow::new(Duration::from_secs(4), 4, 1.0);
+        w.record_at(10, 5.0, true, false);
+        assert_eq!(w.report_at(20).error_budget_burn, 0.0);
+        w.record_at(30, 5.0, false, false);
+        assert!(w.report_at(40).error_budget_burn.is_infinite());
+    }
+
+    #[test]
+    fn wall_clock_entry_points_work() {
+        let mut w = SloWindow::new(Duration::from_secs(60), 6, 0.99);
+        w.record(1_000.0, true, false);
+        let r = w.report();
+        assert_eq!(r.requests, 1);
+        assert_eq!(r.deadline_hit_rate, 1.0);
+        assert_eq!(w.target(), 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panic() {
+        let _ = SloWindow::new(Duration::from_secs(1), 0, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be in")]
+    fn bad_target_panics() {
+        let _ = SloWindow::new(Duration::from_secs(1), 2, 0.0);
+    }
+}

@@ -96,3 +96,38 @@ fn disabled_span_and_histogram_paths_are_allocation_free() {
     assert_eq!(enhancenet_telemetry::span_count(), 0);
     assert!(enhancenet_telemetry::histogram_summary("alloc.hist").is_none());
 }
+
+#[test]
+fn disabled_gauge_snapshot_and_slo_paths_are_allocation_free() {
+    let _g = lock_tests();
+    enhancenet_telemetry::reset();
+    enhancenet_telemetry::set_enabled(false);
+    // The SLO ring is fixed-size after construction; build it outside the
+    // measured window so record/report are what we count.
+    let mut slo =
+        enhancenet_telemetry::SloWindow::new(std::time::Duration::from_secs(60), 12, 0.99);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        enhancenet_telemetry::gauge("alloc.gauge", i as f64);
+        slo.record(i as f64, i % 100 != 0, i % 50 == 0);
+    }
+    let report = slo.report();
+    let snap = enhancenet_telemetry::snapshot();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled gauges, empty snapshots, and SLO windows must not allocate \
+         ({} allocations observed)",
+        after - before
+    );
+    // The SLO window records regardless of the global switch (it is
+    // caller-owned state, not registry state) ...
+    assert_eq!(report.requests, 10_000);
+    assert!(report.deadline_hit_rate < 1.0);
+    // ... while the disabled registry stayed untouched and empty.
+    assert!(snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty());
+    assert!(enhancenet_telemetry::gauge_value("alloc.gauge").is_none());
+}

@@ -1,0 +1,133 @@
+//! Snapshot-consistency hammer: many writer threads slam counters, gauges,
+//! and histograms while the main thread takes continuous snapshots. The
+//! sharded store promises per-metric atomicity — a snapshot may land
+//! between two metrics but never inside one — so:
+//!
+//! * counter values are **monotone** across successive snapshots;
+//! * a snapshotted histogram is never **torn**: its bucket total always
+//!   equals its `count`, and its `sum` stays consistent with `count`
+//!   (mean within the observed value range);
+//! * after every writer joins, totals are **exact** — nothing lost.
+//!
+//! Runs as its own integration binary because the metric store is
+//! process-global.
+
+use std::collections::BTreeMap;
+use std::thread;
+
+/// The metric store is process-global and the hammer test resets it;
+/// serialize the tests in this binary so neither clears the other's state.
+fn lock_tests() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    GUARD
+        .get_or_init(|| std::sync::Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+const WRITERS: usize = 4;
+const PER_WRITER: u64 = 40_000;
+const SHARED: &str = "hammer.counter.shared";
+const HIST: &str = "hammer.latency";
+const GAUGE: &str = "hammer.depth";
+const PRIVATE: [&str; WRITERS] =
+    ["hammer.counter.w0", "hammer.counter.w1", "hammer.counter.w2", "hammer.counter.w3"];
+
+/// Histogram samples are powers of two in [1, 128]: mean stays in range
+/// and every sample lands in a distinct, predictable bucket.
+fn sample(i: u64) -> f64 {
+    (1u64 << (i % 8)) as f64
+}
+
+#[test]
+fn snapshots_under_concurrent_writes_are_never_torn() {
+    let _g = lock_tests();
+    enhancenet_telemetry::reset();
+    enhancenet_telemetry::set_enabled(true);
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    enhancenet_telemetry::count(SHARED, 1);
+                    enhancenet_telemetry::count(PRIVATE[w], 1);
+                    enhancenet_telemetry::observe(HIST, sample(i));
+                    enhancenet_telemetry::gauge(GAUGE, i as f64);
+                }
+            })
+        })
+        .collect();
+
+    // Snapshot flat-out while the writers run; every snapshot must be
+    // internally consistent even mid-hammer.
+    let mut previous: BTreeMap<String, u64> = BTreeMap::new();
+    let mut snapshots_taken = 0u64;
+    while !writers.iter().all(|h| h.is_finished()) {
+        let snap = enhancenet_telemetry::snapshot();
+        for (label, &value) in &snap.counters {
+            if let Some(&prev) = previous.get(label) {
+                assert!(
+                    value >= prev,
+                    "counter {label} went backwards: {prev} -> {value} (snapshot {snapshots_taken})"
+                );
+            }
+        }
+        previous = snap.counters.clone();
+        if let Some(h) = snap.histograms.get(HIST) {
+            let bucket_total: u64 = h.nonzero_buckets().iter().map(|&(_, c)| c).sum();
+            assert_eq!(
+                bucket_total,
+                h.count(),
+                "torn histogram: bucket total diverged from count (snapshot {snapshots_taken})"
+            );
+            if h.count() > 0 {
+                let mean = h.sum() / h.count() as f64;
+                assert!(
+                    (1.0..=128.0).contains(&mean),
+                    "torn histogram: mean {mean} outside the sampled range"
+                );
+            }
+        }
+        if let Some(&depth) = snap.gauges.get(GAUGE) {
+            assert!(
+                depth >= 0.0 && depth < PER_WRITER as f64 && depth.fract() == 0.0,
+                "torn gauge: {depth} was never stored"
+            );
+        }
+        snapshots_taken += 1;
+    }
+    for handle in writers {
+        handle.join().expect("writer panicked");
+    }
+    assert!(snapshots_taken > 0, "hammer never overlapped a snapshot");
+
+    // Quiescent totals are exact: no increment or observation was lost.
+    let total = WRITERS as u64 * PER_WRITER;
+    let snap = enhancenet_telemetry::snapshot();
+    assert_eq!(snap.counters[SHARED], total);
+    for label in PRIVATE {
+        assert_eq!(snap.counters[label], PER_WRITER);
+    }
+    let h = &snap.histograms[HIST];
+    assert_eq!(h.count(), total);
+    let expected_sum: f64 = (0..PER_WRITER).map(sample).sum::<f64>() * WRITERS as f64;
+    assert_eq!(h.sum(), expected_sum, "histogram sum must be exact for integer samples");
+    assert_eq!(snap.gauges[GAUGE], (PER_WRITER - 1) as f64, "last gauge store wins");
+
+    enhancenet_telemetry::set_enabled(false);
+    enhancenet_telemetry::reset();
+}
+
+#[test]
+fn snapshot_is_detached_from_later_writes() {
+    let _g = lock_tests();
+    enhancenet_telemetry::set_enabled(true);
+    enhancenet_telemetry::reset();
+    enhancenet_telemetry::count("hammer.detached", 5);
+    let before = enhancenet_telemetry::snapshot();
+    enhancenet_telemetry::count("hammer.detached", 7);
+    // The earlier snapshot is a value copy, not a live view.
+    assert_eq!(before.counters["hammer.detached"], 5);
+    assert_eq!(enhancenet_telemetry::counter_value("hammer.detached"), 12);
+    enhancenet_telemetry::set_enabled(false);
+}

@@ -6,11 +6,54 @@
 //! ```sh
 //! cargo run --release --example online_serving
 //! ```
+//!
+//! With live observability — bind an embedded Prometheus endpoint and keep
+//! replaying traffic so it can be scraped under load:
+//!
+//! ```sh
+//! cargo run --release --example online_serving -- \
+//!     --metrics-addr 127.0.0.1:9898 --serve-secs 10 &
+//! curl -s http://127.0.0.1:9898/metrics | grep serve_slo
+//! ```
 
 use enhancenet::prelude::*;
 use enhancenet_models::{GruSeq2Seq, ModelDims};
+use std::time::{Duration, Instant};
+
+fn parse_args() -> (Option<String>, u64) {
+    let mut metrics_addr = None;
+    let mut serve_secs = 0u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics-addr" => {
+                metrics_addr = Some(args.next().expect("--metrics-addr needs host:port"));
+            }
+            "--serve-secs" => {
+                serve_secs = args
+                    .next()
+                    .expect("--serve-secs needs a number")
+                    .parse()
+                    .expect("--serve-secs must be an integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: online_serving [--metrics-addr host:port] [--serve-secs N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    (metrics_addr, serve_secs)
+}
 
 fn main() {
+    let (metrics_addr, serve_secs) = parse_args();
+    if metrics_addr.is_some() {
+        // A scrape of a disabled registry would be empty; live exposition
+        // implies live recording.
+        enhancenet_telemetry::set_enabled(true);
+    }
+
     // Train a small DFGN-enhanced GRU offline, exactly as in `quickstart`.
     let series = generate_traffic(&TrafficConfig::tiny(16, 5));
     let (n, c) = (series.num_entities(), series.num_features());
@@ -32,32 +75,36 @@ fn main() {
     // Hand the model (and the scaler it was trained with) to the service.
     // The model moves to a worker thread that serves micro-batches; this
     // thread keeps the sliding-window state and the raw-scale API.
-    let mut service =
-        ForecastService::new(Box::new(model), data.scaler.clone(), ServeConfig::default())
-            .expect("model reports its input shape");
+    let serve_config = ServeConfig { metrics_addr, ..Default::default() };
+    let mut service = ForecastService::new(Box::new(model), data.scaler.clone(), serve_config)
+        .expect("model reports its input shape and the metrics address binds");
     println!(
         "serving: window {:?}, horizon {}, deadline {:?}",
         service.input_shape(),
         service.horizon(),
         ServeConfig::default().deadline
     );
+    if let Some(addr) = service.metrics_addr() {
+        println!("metrics: http://{addr}/metrics  (also /healthz, /readyz)");
+    }
 
     // Replay the held-out tail of the series as a live feed. The first
     // `H - 1` steps are not enough history: the service degrades to a
-    // persistence forecast (marked `degraded: true`) instead of failing.
+    // persistence forecast (tagged with its cause) instead of failing.
     let start = series.num_steps() - 24;
     let mut degraded_count = 0;
     for (step, t) in (start..series.num_steps()).enumerate() {
         let row = &series.values.data()[t * n * c..(t + 1) * n * c];
         service.ingest_row(t as i64, row).expect("row has N*C values");
         let forecast = service.forecast().expect("history exists once ingested");
-        if forecast.degraded {
+        if forecast.is_degraded() {
             degraded_count += 1;
         }
         if step % 6 == 5 {
             println!(
-                "t={t:>4}  degraded={:<5}  next-step speeds: {:.1} / {:.1} / {:.1} km/h",
-                forecast.degraded,
+                "t={t:>4}  id={:<3}  degraded={:<5}  next-step speeds: {:.1} / {:.1} / {:.1} km/h",
+                forecast.request_id,
+                forecast.is_degraded(),
                 forecast.values.at(&[0, 0]),
                 forecast.values.at(&[0, 1]),
                 forecast.values.at(&[0, 2]),
@@ -68,6 +115,36 @@ fn main() {
         "\n{} of 24 responses were degraded persistence forecasts (warm-up); \
          the rest came from the model within the deadline.",
         degraded_count
+    );
+
+    // Optionally keep the feed looping so an external scraper sees the
+    // service under steady load (used by the CI smoke job).
+    if serve_secs > 0 {
+        println!("replaying traffic for {serve_secs}s so /metrics can be scraped under load ...");
+        let until = Instant::now() + Duration::from_secs(serve_secs);
+        let mut t = series.num_steps() as i64;
+        while Instant::now() < until {
+            let src = (t as usize) % series.num_steps();
+            let row = &series.values.data()[src * n * c..(src + 1) * n * c];
+            service.ingest_row(t, row).expect("row has N*C values");
+            let _ = service.forecast().expect("history exists once ingested");
+            t += 1;
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    let slo = service.slo_report();
+    println!(
+        "SLO over the last {:?}: {} requests, p50 {:.2} ms, p99 {:.2} ms, \
+         deadline hit-rate {:.3} (target {}), degraded rate {:.3}, budget burn {:.2}",
+        slo.window,
+        slo.requests,
+        slo.latency_p50_ns / 1e6,
+        slo.latency_p99_ns / 1e6,
+        slo.deadline_hit_rate,
+        slo.target,
+        slo.degraded_rate,
+        slo.error_budget_burn,
     );
     service.shutdown();
 }

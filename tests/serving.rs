@@ -44,7 +44,7 @@ fn streamed_forecasts_match_offline_predict_bitwise() {
             continue;
         }
         let served = service.forecast().unwrap();
-        assert!(!served.degraded, "model answered within deadline at t={t}");
+        assert!(!served.is_degraded(), "model answered within deadline at t={t}");
         assert_eq!(served.anchor, Some(t as i64));
 
         // Offline: the same H raw rows, scaled with the same scaler.
@@ -106,7 +106,11 @@ fn missed_deadline_returns_degraded_persistence_not_an_error() {
 
     let started = Instant::now();
     let forecast = service.forecast().expect("degraded forecast, not an error");
-    assert!(forecast.degraded, "a missed deadline must be marked degraded");
+    assert_eq!(
+        forecast.degraded,
+        Some(DegradedCause::Deadline),
+        "a missed deadline must be marked degraded with its cause"
+    );
     assert!(
         started.elapsed() < Duration::from_millis(200),
         "forecast blocked past its deadline: {:?}",
@@ -138,8 +142,66 @@ fn warming_service_degrades_instead_of_erroring() {
         let row = &series.values.data()[t * n * c..(t + 1) * n * c];
         service.ingest_row(t as i64, row).unwrap();
         let forecast = service.forecast().unwrap();
-        assert!(forecast.degraded);
+        assert_eq!(forecast.degraded, Some(DegradedCause::ColdWindow));
         assert_eq!(forecast.values.shape(), &[F, N]);
     }
     service.shutdown();
+}
+
+#[test]
+fn live_scrape_exposes_slo_and_fallback_series() {
+    use std::io::{Read as _, Write as _};
+
+    fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        body
+    }
+
+    // This test owns the process-global telemetry switch; the other tests
+    // in this binary never read the global registry, so flipping it here
+    // is safe even under the parallel test runner.
+    enhancenet_telemetry::set_enabled(true);
+    let series = generate_traffic(&TrafficConfig::tiny(N, 2));
+    let data = WindowDataset::from_series(&series, H, F).unwrap();
+    let (n, c) = (series.num_entities(), series.num_features());
+    let config = ServeConfig { metrics_addr: Some("127.0.0.1:0".into()), ..Default::default() };
+    let mut service = ForecastService::new(Box::new(model()), data.scaler.clone(), config).unwrap();
+    let addr = service.metrics_addr().expect("ephemeral metrics port bound");
+
+    // Not ready while the window is cold; forecasts degrade but count.
+    assert!(http_get(addr, "/readyz").starts_with("HTTP/1.1 503"));
+    let mut ids = Vec::new();
+    for t in 0..2 * H {
+        let row = &series.values.data()[t * n * c..(t + 1) * n * c];
+        service.ingest_row(t as i64, row).unwrap();
+        ids.push(service.forecast().unwrap().request_id);
+    }
+    assert!(ids.windows(2).all(|w| w[0] < w[1]), "request ids must be strictly increasing");
+    assert!(http_get(addr, "/readyz").starts_with("HTTP/1.1 200"));
+    assert!(http_get(addr, "/healthz").starts_with("HTTP/1.1 200"));
+
+    let scrape = http_get(addr, "/metrics");
+    for family in [
+        "serve_request",
+        "serve_fallback_cold",
+        "serve_queue_depth",
+        "serve_window_fill",
+        "serve_slo_p99_ns",
+        "serve_slo_deadline_hit_rate",
+        "serve_slo_error_budget_burn",
+        "serve_latency_ns_count",
+        "serve_queue_wait_ns_count",
+    ] {
+        assert!(scrape.contains(family), "scrape is missing {family}:\n{scrape}");
+    }
+
+    // The rolling window saw every request; the cold-window half degraded.
+    let report = service.slo_report();
+    assert_eq!(report.requests, 2 * H as u64);
+    assert!(report.degraded_rate > 0.0 && report.degraded_rate < 1.0);
+    service.shutdown();
+    enhancenet_telemetry::set_enabled(false);
 }

@@ -106,6 +106,18 @@ pub mod channel {
             Ok(())
         }
 
+        /// Messages currently queued (a point-in-time reading; another
+        /// thread may enqueue or drain immediately after). Used by the
+        /// serving runtime to sample its `serve.queue.depth` gauge.
+        pub fn len(&self) -> usize {
+            self.chan.state.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+        }
+
+        /// True when no message is currently queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Enqueues, blocking while the queue is at capacity.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
