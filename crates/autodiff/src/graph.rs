@@ -93,17 +93,18 @@ pub(crate) struct Node {
 pub struct Graph {
     pub(crate) nodes: Vec<Node>,
     pub(crate) grads: Vec<Option<Tensor>>,
+    pub(crate) inputs: Vec<Var>,
 }
 
 impl Graph {
     /// An empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new(), grads: Vec::new() }
+        Self { nodes: Vec::new(), grads: Vec::new(), inputs: Vec::new() }
     }
 
     /// A tape with preallocated node capacity (RNN unrolls know their size).
     pub fn with_capacity(n: usize) -> Self {
-        Self { nodes: Vec::with_capacity(n), grads: Vec::new() }
+        Self { nodes: Vec::with_capacity(n), grads: Vec::new(), inputs: Vec::new() }
     }
 
     /// Number of nodes recorded so far.
@@ -126,6 +127,17 @@ impl Graph {
     /// Binds an external (non-trainable) tensor as a leaf.
     pub fn constant(&mut self, value: Tensor) -> Var {
         self.push(value, Op::Leaf, vec![])
+    }
+
+    /// Binds a **request input** as a leaf: like [`Graph::constant`], but
+    /// the node is additionally marked as per-request data. The tape treats
+    /// it identically; plan compilation ([`crate::Plan::compile`]) uses the
+    /// mark to distinguish data that varies between executions (rebound on
+    /// every run) from trace-time constants baked into the plan.
+    pub fn input(&mut self, value: Tensor) -> Var {
+        let v = self.constant(value);
+        self.inputs.push(v);
+        v
     }
 
     /// Binds a parameter's current value as a leaf; its gradient is routed

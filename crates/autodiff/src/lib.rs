@@ -35,13 +35,17 @@
 
 mod backward;
 pub mod check;
+mod exec;
 mod gradbuf;
 mod graph;
 mod ops;
 mod params;
+mod plan;
 mod serialize;
 
+pub use exec::PlanExecutor;
 pub use gradbuf::GradBuffer;
 pub use graph::{Graph, Op, Var};
 pub use params::{ParamId, ParamStore};
+pub use plan::{Plan, PlanCache, PlanError};
 pub use serialize::CheckpointError;

@@ -271,7 +271,7 @@ impl Graph {
         let from = self.value(a).shape().to_vec();
         let target = broadcast_shapes(&from, shape);
         assert_eq!(target, shape, "cannot broadcast {from:?} to {shape:?}");
-        let v = self.value(a).add_t(&Tensor::zeros(shape));
+        let v = self.value(a).broadcast_to(shape);
         self.push(v, Op::BroadcastTo { from }, vec![a])
     }
 

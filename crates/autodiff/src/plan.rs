@@ -1,0 +1,368 @@
+//! Compiled inference plans: trace once, execute many.
+//!
+//! [`Plan::compile`] lowers one traced eval-mode forward (a [`Graph`] tape)
+//! into a flat, topologically-ordered instruction list with static shapes
+//! and a liveness-analyzed arena layout. The compiled plan is executed by
+//! [`PlanExecutor`](crate::PlanExecutor) against preallocated buffers — no
+//! tape, no per-node `Vec` growth, no output clone — while running the exact
+//! same tensor kernels as the tape (every kernel's `_into` form), so plan
+//! and tape outputs are bitwise identical.
+//!
+//! # Leaf classification
+//!
+//! Tape leaves fall into three classes with different lifetimes:
+//!
+//! * **Parameters** ([`Graph::param`]) — resolved live from the
+//!   [`ParamStore`] on every execution; never copied into the plan.
+//! * **Inputs** ([`Graph::input`]) — per-request data, rebound on every
+//!   execution. Exactly one reachable input leaf is required; a trace with
+//!   none (the model baked the window into constants) or several cannot be
+//!   replayed against fresh data and fails compilation.
+//! * **Constants** ([`Graph::constant`]) — trace-time values cloned into the
+//!   plan once. Constants derived from *parameters* (folded supports,
+//!   generated filters) are safe because plans are keyed by
+//!   [`ParamStore::version`]; constants derived from the *input* are exactly
+//!   what the input-leaf requirement rules out.
+//!
+//! # Caching
+//!
+//! [`PlanCache`] keys compiled executors by `(input shape, store version)`.
+//! A hot parameter swap bumps the store version, so every cached plan for
+//! the old weights is unreachable after the swap and is evicted on the next
+//! insert. Models whose forward cannot be compiled (no marked input) are
+//! remembered via the `unplannable` flag so the serving path does not
+//! re-trace on every request just to fail again.
+
+use crate::graph::{Graph, Op, Var};
+use crate::params::{ParamId, ParamStore};
+use enhancenet_tensor::Tensor;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::exec::PlanExecutor;
+
+/// Where an instruction operand comes from at execution time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Src {
+    /// An arena slot written by an earlier instruction.
+    Slot(usize),
+    /// A trace-time constant stored in the plan.
+    Const(usize),
+    /// A parameter, resolved live from the store (index into `Plan::params`).
+    Param(usize),
+    /// The per-request input tensor.
+    Input,
+}
+
+/// One compiled operation: the tape [`Op`] tag, operand sources, the arena
+/// slot receiving the result, and the statically-known output shape.
+#[derive(Debug, Clone)]
+pub(crate) struct Instr {
+    pub(crate) op: Op,
+    pub(crate) srcs: Vec<Src>,
+    pub(crate) dst: usize,
+    pub(crate) out_shape: Vec<usize>,
+}
+
+/// A compiled inference plan; see the `plan` module docs for the lifecycle.
+pub struct Plan {
+    pub(crate) instrs: Vec<Instr>,
+    pub(crate) consts: Vec<Tensor>,
+    pub(crate) params: Vec<ParamId>,
+    pub(crate) out: Src,
+    /// Peak element count per arena slot, for preallocation.
+    pub(crate) slot_numel: Vec<usize>,
+    pub(crate) input_shape: Vec<usize>,
+    pub(crate) output_shape: Vec<usize>,
+    /// Store version the trace (and its baked constants) was taken at.
+    pub(crate) version: u64,
+}
+
+/// Why a trace could not be lowered to a [`Plan`]. Structural — retracing
+/// the same model will fail the same way, so callers cache the failure
+/// ([`PlanCache::mark_unplannable`]) and keep using the tape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// No reachable leaf was marked with [`Graph::input`]; the request data
+    /// is baked into trace-time constants and cannot be rebound.
+    NoInput,
+    /// More than one reachable input leaf; the single-input execute contract
+    /// cannot rebind them unambiguously.
+    MultipleInputs(usize),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NoInput => {
+                write!(f, "trace has no input-marked leaf; request data cannot be rebound")
+            }
+            PlanError::MultipleInputs(n) => {
+                write!(f, "trace has {n} input-marked leaves; expected exactly one")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl Plan {
+    /// Lowers the traced forward ending at `output` into a plan.
+    ///
+    /// Walks the reachable subgraph in tape order (the tape is already
+    /// topological), classifies leaves, assigns arena slots by liveness
+    /// (last-use analysis with LIFO slot reuse), and records the store
+    /// version for cache keying.
+    pub fn compile(graph: &Graph, output: Var, store: &ParamStore) -> Result<Plan, PlanError> {
+        let _timer = enhancenet_telemetry::span("plan.compile");
+        let out_idx = output.0 as usize;
+
+        // Reachability: which nodes feed the output.
+        let mut reachable = vec![false; graph.nodes.len()];
+        reachable[out_idx] = true;
+        for i in (0..=out_idx).rev() {
+            if !reachable[i] {
+                continue;
+            }
+            for &inp in &graph.nodes[i].inputs {
+                reachable[inp.0 as usize] = true;
+            }
+        }
+
+        let input_set: Vec<usize> = graph.inputs.iter().map(|v| v.0 as usize).collect();
+
+        // Classify every reachable node: leaves become Const/Param/Input
+        // sources, interior nodes become instructions (sources still named
+        // by node index; slots are assigned in the liveness pass below).
+        #[derive(Clone)]
+        enum NodeRef {
+            Pending(usize), // interior node -> index into `instrs`
+            Fixed(Src),     // leaf
+        }
+        let mut node_ref: Vec<Option<NodeRef>> = vec![None; graph.nodes.len()];
+        let mut instrs: Vec<Instr> = Vec::new();
+        let mut instr_node: Vec<usize> = Vec::new(); // instr index -> node index
+        let mut consts: Vec<Tensor> = Vec::new();
+        let mut params: Vec<ParamId> = Vec::new();
+        let mut inputs_seen = 0usize;
+        let mut input_shape: Vec<usize> = Vec::new();
+
+        for (i, node) in graph.nodes.iter().enumerate().take(out_idx + 1) {
+            if !reachable[i] {
+                continue;
+            }
+            if matches!(node.op, Op::Leaf) {
+                let src = if let Some(pid) = node.param {
+                    let idx = params.iter().position(|&p| p == pid).unwrap_or_else(|| {
+                        params.push(pid);
+                        params.len() - 1
+                    });
+                    Src::Param(idx)
+                } else if input_set.contains(&i) {
+                    inputs_seen += 1;
+                    input_shape = node.value.shape().to_vec();
+                    Src::Input
+                } else {
+                    consts.push(node.value.clone());
+                    Src::Const(consts.len() - 1)
+                };
+                node_ref[i] = Some(NodeRef::Fixed(src));
+            } else {
+                let srcs = node
+                    .inputs
+                    .iter()
+                    .map(|v| match node_ref[v.0 as usize].as_ref().expect("tape is topological") {
+                        NodeRef::Pending(instr_idx) => Src::Slot(*instr_idx), // rewritten below
+                        NodeRef::Fixed(src) => src.clone(),
+                    })
+                    .collect();
+                instrs.push(Instr {
+                    op: node.op.clone(),
+                    srcs,
+                    dst: usize::MAX,
+                    out_shape: node.value.shape().to_vec(),
+                });
+                instr_node.push(i);
+                node_ref[i] = Some(NodeRef::Pending(instrs.len() - 1));
+            }
+        }
+
+        match inputs_seen {
+            0 => return Err(PlanError::NoInput),
+            1 => {}
+            n => return Err(PlanError::MultipleInputs(n)),
+        }
+
+        // Liveness: the last instruction consuming each instruction's
+        // result. The output lives past the end of the plan.
+        let mut last_use = vec![0usize; instrs.len()];
+        for (i, instr) in instrs.iter().enumerate() {
+            for src in &instr.srcs {
+                if let Src::Slot(producer) = src {
+                    last_use[*producer] = i;
+                }
+            }
+        }
+        let out_instr = match node_ref[out_idx].as_ref().expect("output is reachable") {
+            NodeRef::Pending(idx) => {
+                last_use[*idx] = usize::MAX;
+                Some(*idx)
+            }
+            NodeRef::Fixed(_) => None,
+        };
+
+        // Slot assignment: LIFO reuse of dead slots. The destination is
+        // allocated *before* dying sources are released, so an `_into`
+        // kernel can never see its output buffer aliased to an input.
+        let mut slot_of_instr = vec![usize::MAX; instrs.len()];
+        let mut slot_numel: Vec<usize> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        for i in 0..instrs.len() {
+            let slot = free.pop().unwrap_or_else(|| {
+                slot_numel.push(0);
+                slot_numel.len() - 1
+            });
+            slot_of_instr[i] = slot;
+            let numel: usize = instrs[i].out_shape.iter().product();
+            slot_numel[slot] = slot_numel[slot].max(numel);
+            // Rewrite instruction-index sources to slots, then release the
+            // slots of sources dying here (each at most once).
+            let mut dying: Vec<usize> = Vec::new();
+            for src in &mut instrs[i].srcs {
+                if let Src::Slot(producer) = src {
+                    let s = slot_of_instr[*producer];
+                    if last_use[*producer] == i && !dying.contains(&s) {
+                        dying.push(s);
+                    }
+                    *src = Src::Slot(s);
+                }
+            }
+            free.extend(dying);
+        }
+        for (i, instr) in instrs.iter_mut().enumerate() {
+            instr.dst = slot_of_instr[i];
+        }
+
+        let out = match node_ref[out_idx].as_ref().expect("output is reachable") {
+            NodeRef::Pending(_) => Src::Slot(slot_of_instr[out_instr.expect("interior output")]),
+            NodeRef::Fixed(src) => src.clone(),
+        };
+        let output_shape = graph.nodes[out_idx].value.shape().to_vec();
+
+        Ok(Plan {
+            instrs,
+            consts,
+            params,
+            out,
+            slot_numel,
+            input_shape,
+            output_shape,
+            version: store.version(),
+        })
+    }
+
+    /// Shape the plan's input leaf was traced with.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Shape of the plan's output.
+    pub fn output_shape(&self) -> &[usize] {
+        &self.output_shape
+    }
+
+    /// Store version the plan was compiled against.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of compiled instructions.
+    pub fn num_instrs(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Arena footprint in bytes: the sum of peak slot sizes.
+    pub fn arena_bytes(&self) -> usize {
+        self.slot_numel.iter().sum::<usize>() * std::mem::size_of::<f32>()
+    }
+}
+
+struct CacheEntry {
+    input_shape: Vec<usize>,
+    version: u64,
+    exec: Arc<Mutex<PlanExecutor>>,
+}
+
+struct CacheInner {
+    entries: Vec<CacheEntry>,
+    unplannable: bool,
+}
+
+/// Per-model cache of compiled executors, keyed by `(input shape, store
+/// version)`. Stored inside each model, behind a `Mutex` so `&self`
+/// prediction paths can populate it.
+pub struct PlanCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self { inner: Mutex::new(CacheInner { entries: Vec::new(), unplannable: false }) }
+    }
+
+    /// The cached executor for `(shape, version)`, if compiled. Counts
+    /// `plan.cache.hits` / `plan.cache.misses`; the miss count excludes
+    /// models already marked unplannable (those short-circuit in the
+    /// caller via [`PlanCache::is_unplannable`]).
+    pub fn lookup(&self, shape: &[usize], version: u64) -> Option<Arc<Mutex<PlanExecutor>>> {
+        let inner = self.inner.lock().expect("plan cache poisoned");
+        let hit = inner
+            .entries
+            .iter()
+            .find(|e| e.version == version && e.input_shape == shape)
+            .map(|e| Arc::clone(&e.exec));
+        if enhancenet_telemetry::enabled() {
+            if hit.is_some() {
+                enhancenet_telemetry::count("plan.cache.hits", 1);
+            } else {
+                enhancenet_telemetry::count("plan.cache.misses", 1);
+            }
+        }
+        hit
+    }
+
+    /// Caches a freshly compiled executor, evicting every entry compiled
+    /// against an older store version (a hot swap makes them unreachable).
+    pub fn insert(&self, exec: PlanExecutor) -> Arc<Mutex<PlanExecutor>> {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let version = exec.plan().version;
+        let input_shape = exec.plan().input_shape.clone();
+        inner.entries.retain(|e| e.version >= version);
+        let exec = Arc::new(Mutex::new(exec));
+        inner.entries.push(CacheEntry { input_shape, version, exec: Arc::clone(&exec) });
+        exec
+    }
+
+    /// Records that this model's trace cannot be compiled; future requests
+    /// skip tracing and go straight to the tape.
+    pub fn mark_unplannable(&self) {
+        self.inner.lock().expect("plan cache poisoned").unplannable = true;
+    }
+
+    /// True when a previous compile failed structurally.
+    pub fn is_unplannable(&self) -> bool {
+        self.inner.lock().expect("plan cache poisoned").unplannable
+    }
+
+    /// Number of live cached plans (test hook).
+    pub fn entry_count(&self) -> usize {
+        self.inner.lock().expect("plan cache poisoned").entries.len()
+    }
+}

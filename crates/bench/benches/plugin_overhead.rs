@@ -22,6 +22,16 @@ fn predict_bench(c: &mut Criterion, name: &str, model: Box<dyn Forecaster>) {
             black_box(g.value(y).clone())
         });
     });
+    // The same forward through the compiled inference plan (`predict`
+    // compiles on first call, then executes against the warm arena).
+    let mut out = enhancenet_tensor::Tensor::default();
+    model.predict_into(&x, &mut out).unwrap();
+    c.bench_function(format!("{name}_plan"), |b| {
+        b.iter(|| {
+            model.predict_into(&x, &mut out).unwrap();
+            black_box(&out);
+        });
+    });
 }
 
 /// Prediction latency across the plugin matrix (paper: "the use of DFGN

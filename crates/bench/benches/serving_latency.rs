@@ -7,9 +7,15 @@
 //! * `microbatch{8,32}` vs `sequential{8,32}` — N concurrent submissions
 //!   answered by one batched forward pass vs N sequential `predict`
 //!   calls, on two host families (GRU and WaveNet).
+//! * `plan_predict` vs `tape_predict` — the compiled-plan serving path
+//!   (`predict`, arena execution) against the define-by-run reference
+//!   (`predict_tape`, fresh graph per call) on both hosts.
 //!
-//! A p50/p95 percentile table for burst sizes 1/8/32 is printed before
-//! the Criterion runs.
+//! p50/p95 percentile tables (burst sizes 1/8/32, then plan vs tape) are
+//! printed before the Criterion runs. Set
+//! `ENHANCENET_PLAN_TELEMETRY_OUT=<path>` to also record the plan/tape
+//! latency samples as telemetry histograms and dump them as JSONL —
+//! `scripts/bench_summary` turns that into `BENCH_serving_plan.json`.
 
 use criterion::{criterion_group, Criterion};
 use enhancenet::prelude::*;
@@ -121,6 +127,28 @@ fn bench_micro_batching(c: &mut Criterion) {
     bench_micro_batching_host(c, "TCN", &wavenet_host);
 }
 
+/// Compiled plan vs tape on a bare rank-3 `predict` — the serving fast
+/// path this bench file exists to defend.
+type HostFactory = fn() -> Box<dyn Forecaster + Send>;
+
+fn bench_plan_vs_tape(c: &mut Criterion) {
+    for (name, make) in [("RNN", gru_host as HostFactory), ("TCN", wavenet_host as HostFactory)] {
+        let model = make();
+        let window = &la_windows(1, 13)[0];
+        let mut out = Tensor::default();
+        model.predict_into(window, &mut out).unwrap(); // compile outside the timer
+        c.bench_function(format!("serve/plan_predict_{name}_207"), |b| {
+            b.iter(|| {
+                model.predict_into(window, &mut out).unwrap();
+                black_box(&out);
+            });
+        });
+        c.bench_function(format!("serve/tape_predict_{name}_207"), |b| {
+            b.iter(|| black_box(model.predict_tape(window).unwrap()));
+        });
+    }
+}
+
 /// Explicit burst-latency percentiles (the SLO view Criterion's summary
 /// does not give directly).
 fn percentile_report() {
@@ -150,14 +178,74 @@ fn percentile_report() {
     }
 }
 
+/// Plan-vs-tape percentiles on a bare `predict`, per host. With
+/// `ENHANCENET_PLAN_TELEMETRY_OUT=<path>` the samples are also recorded
+/// as `plan.predict_ns.*` / `plan.tape_ns.*` histograms and dumped as
+/// telemetry JSONL for `scripts/bench_summary`.
+fn plan_vs_tape_report() {
+    let telemetry_out = std::env::var_os("ENHANCENET_PLAN_TELEMETRY_OUT");
+    if telemetry_out.is_some() {
+        enhancenet_telemetry::set_enabled(true);
+    }
+    println!("plan vs tape predict latency ({LA_N} entities), 50 calls each:");
+    let hosts: [(&str, HostFactory, &str, &str); 2] = [
+        ("RNN", gru_host, "plan.predict_ns.RNN", "plan.tape_ns.RNN"),
+        ("TCN", wavenet_host, "plan.predict_ns.TCN", "plan.tape_ns.TCN"),
+    ];
+    for (name, make, plan_label, tape_label) in hosts {
+        let model = make();
+        let window = &la_windows(1, 13)[0];
+        let mut out = Tensor::default();
+        // Compile + warm the arena and scratch pool outside the samples.
+        for _ in 0..3 {
+            model.predict_into(window, &mut out).unwrap();
+        }
+        let measure = |label: &str, f: &mut dyn FnMut()| -> (Duration, Duration) {
+            let mut samples: Vec<Duration> = (0..50)
+                .map(|_| {
+                    let started = Instant::now();
+                    f();
+                    let elapsed = started.elapsed();
+                    enhancenet_telemetry::observe(label, elapsed.as_nanos() as f64);
+                    elapsed
+                })
+                .collect();
+            samples.sort();
+            (samples[samples.len() / 2], samples[samples.len() * 95 / 100])
+        };
+        let (plan_p50, plan_p95) = measure(plan_label, &mut || {
+            model.predict_into(window, &mut out).unwrap();
+            black_box(&out);
+        });
+        let (tape_p50, tape_p95) = measure(tape_label, &mut || {
+            black_box(model.predict_tape(window).unwrap());
+        });
+        println!(
+            "  {name:<4} plan p50 {:>8.3} ms  p95 {:>8.3} ms   tape p50 {:>8.3} ms  p95 {:>8.3} ms   speedup p50 {:.2}x",
+            plan_p50.as_secs_f64() * 1e3,
+            plan_p95.as_secs_f64() * 1e3,
+            tape_p50.as_secs_f64() * 1e3,
+            tape_p95.as_secs_f64() * 1e3,
+            tape_p50.as_secs_f64() / plan_p50.as_secs_f64(),
+        );
+    }
+    if let Some(path) = telemetry_out {
+        let path = std::path::PathBuf::from(path);
+        enhancenet_telemetry::write_jsonl(&path).expect("telemetry JSONL is writable");
+        println!("plan/tape telemetry written to {}", path.display());
+        enhancenet_telemetry::set_enabled(false);
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_single_round_trip, bench_micro_batching
+    targets = bench_single_round_trip, bench_micro_batching, bench_plan_vs_tape
 }
 
 fn main() {
     percentile_report();
+    plan_vs_tape_report();
     benches();
     Criterion::default().configure_from_args().final_summary();
 }

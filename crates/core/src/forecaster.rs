@@ -4,7 +4,7 @@
 
 use crate::damgn::Damgn;
 use crate::error::EnhanceNetError;
-use enhancenet_autodiff::{Graph, ParamId, ParamStore, Var};
+use enhancenet_autodiff::{Graph, ParamId, ParamStore, Plan, PlanCache, PlanExecutor, Var};
 use enhancenet_tensor::{Tensor, TensorRng};
 
 /// Context threaded through one forward pass.
@@ -76,6 +76,14 @@ pub trait Forecaster: Send + Sync {
         None
     }
 
+    /// The model's compiled-plan cache, when it keeps one. Hosts that trace
+    /// their eval forward through [`Graph::input`] return it to enable the
+    /// compiled execution path in [`Forecaster::predict`]; baselines keep
+    /// the default `None` and predictions run on the tape.
+    fn plan_cache(&self) -> Option<&PlanCache> {
+        None
+    }
+
     /// Forecasts a scaled input window without exposing the tape machinery.
     ///
     /// This is the public inference entry point: callers hand in a scaled
@@ -85,17 +93,122 @@ pub trait Forecaster: Send + Sync {
     /// no teacher forcing), so the result is deterministic for a given
     /// window and weight state.
     ///
+    /// When the model exposes a [`Forecaster::plan_cache`], repeat
+    /// predictions execute a compiled plan against preallocated buffers
+    /// (see [`Forecaster::predict_into`]); the result is bitwise identical
+    /// to the tape path ([`Forecaster::predict_tape`]).
+    ///
     /// Returns [`EnhanceNetError::InputShape`] when the window's rank is
     /// wrong or its trailing dimensions disagree with
     /// [`Forecaster::input_shape`].
     fn predict(&self, window: &Tensor) -> Result<Tensor, EnhanceNetError> {
+        let mut out = Tensor::default();
+        self.predict_into(window, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Forecaster::predict`] into a caller-provided buffer.
+    ///
+    /// The first prediction for a given `(input shape, parameter version)`
+    /// traces the eval forward once and compiles it into a static plan
+    /// ([`Plan::compile`]); subsequent predictions execute the plan against
+    /// its preallocated arena — allocation-free when `out` retains capacity
+    /// across calls. A parameter hot-swap bumps the store version and
+    /// transparently recompiles. Models whose trace cannot be compiled
+    /// (no plan cache, or no input-marked leaf) fall back to the tape with
+    /// identical results.
+    fn predict_into(&self, window: &Tensor, out: &mut Tensor) -> Result<(), EnhanceNetError> {
         let shape_err = |expected: Vec<usize>| EnhanceNetError::InputShape {
             expected,
             got: window.shape().to_vec(),
         };
-        let (batched, x) = match window.rank() {
-            3 => (false, window.unsqueeze(0)),
-            4 => (true, window.clone()),
+        if !matches!(window.rank(), 3 | 4) {
+            let expected = self.input_shape().map(|s| s.to_vec()).unwrap_or_default();
+            return Err(shape_err(expected));
+        }
+        if let Some(expected) = self.input_shape() {
+            let trailing = if window.rank() == 3 { window.shape() } else { &window.shape()[1..] };
+            if trailing != expected {
+                return Err(shape_err(expected.to_vec()));
+            }
+        }
+        let Some(cache) = self.plan_cache() else {
+            return self.predict_tape_into(window, out);
+        };
+        if cache.is_unplannable() {
+            if enhancenet_telemetry::enabled() {
+                enhancenet_telemetry::count("plan.fallback", 1);
+            }
+            return self.predict_tape_into(window, out);
+        }
+        let store = self.store();
+        let version = store.version();
+        // Cache key: the traced (batched) input shape, stack-built so warm
+        // lookups stay allocation-free.
+        let mut key = [1usize; 4];
+        if window.rank() == 3 {
+            key[1..].copy_from_slice(window.shape());
+        } else {
+            key.copy_from_slice(window.shape());
+        }
+        if let Some(exec) = cache.lookup(&key, version) {
+            exec.lock().expect("plan executor poisoned").run(store, window, out);
+            return Ok(());
+        }
+        // Miss: trace once, compile, and answer from the traced value (the
+        // compile request itself never computes the forward twice).
+        let holder;
+        let x: &Tensor = if window.rank() == 3 {
+            holder = window.unsqueeze(0);
+            &holder
+        } else {
+            window
+        };
+        let mut rng = TensorRng::seed(0);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let mut g = Graph::new();
+        let pred = self.forward(&mut g, x, &mut ctx);
+        match Plan::compile(&g, pred, store) {
+            Ok(plan) => {
+                if enhancenet_telemetry::enabled() {
+                    enhancenet_telemetry::gauge("plan.arena.bytes", plan.arena_bytes() as f64);
+                }
+                cache.insert(PlanExecutor::new(plan));
+            }
+            Err(_) => {
+                cache.mark_unplannable();
+                if enhancenet_telemetry::enabled() {
+                    enhancenet_telemetry::count("plan.fallback", 1);
+                }
+            }
+        }
+        let val = g.value(pred);
+        if window.rank() == 3 {
+            out.copy_from_with_shape(&val.shape()[1..], val.data());
+        } else {
+            out.copy_from(val);
+        }
+        Ok(())
+    }
+
+    /// Pure-tape prediction: traces a fresh eval forward for every call.
+    ///
+    /// This is the reference path the compiled plan is pinned against
+    /// (bitwise, see `crates/models/tests/plan_parity.rs`) and the fallback
+    /// for models without a plan cache. Same validation and output contract
+    /// as [`Forecaster::predict`].
+    fn predict_tape(&self, window: &Tensor) -> Result<Tensor, EnhanceNetError> {
+        let shape_err = |expected: Vec<usize>| EnhanceNetError::InputShape {
+            expected,
+            got: window.shape().to_vec(),
+        };
+        let holder;
+        let (batched, x): (bool, &Tensor) = match window.rank() {
+            3 => {
+                holder = window.unsqueeze(0);
+                (false, &holder)
+            }
+            4 => (true, window),
             _ => {
                 let expected = self.input_shape().map(|s| s.to_vec()).unwrap_or_default();
                 return Err(shape_err(expected));
@@ -111,7 +224,7 @@ pub trait Forecaster: Send + Sync {
         let mut rng = TensorRng::seed(0);
         let mut ctx = ForwardCtx::eval(&mut rng);
         let mut g = Graph::new();
-        let pred = self.forward(&mut g, &x, &mut ctx);
+        let pred = self.forward(&mut g, x, &mut ctx);
         let out = g.value(pred).clone();
         if batched {
             Ok(out)
@@ -119,6 +232,13 @@ pub trait Forecaster: Send + Sync {
             let (f, n) = (out.shape()[1], out.shape()[2]);
             Ok(out.reshape(&[f, n]))
         }
+    }
+
+    /// [`Forecaster::predict_tape`] into a caller-provided buffer.
+    fn predict_tape_into(&self, window: &Tensor, out: &mut Tensor) -> Result<(), EnhanceNetError> {
+        let res = self.predict_tape(window)?;
+        out.copy_from(&res);
+        Ok(())
     }
 
     /// Total trainable scalars — the "# Para" column of Tables I/II.
@@ -155,6 +275,7 @@ pub(crate) mod test_model {
         bias: ParamId,
         f: usize,
         input_shape: Option<[usize; 3]>,
+        plan_cache: PlanCache,
     }
 
     impl AffinePersistence {
@@ -162,7 +283,7 @@ pub(crate) mod test_model {
             let mut store = ParamStore::new();
             let scale = store.add("scale", Tensor::scalar(0.5));
             let bias = store.add("bias", Tensor::scalar(0.0));
-            Self { store, scale, bias, f, input_shape: None }
+            Self { store, scale, bias, f, input_shape: None, plan_cache: PlanCache::new() }
         }
 
         /// Declares the `[H, N, C]` shape this instance expects, enabling
@@ -189,11 +310,22 @@ pub(crate) mod test_model {
         fn input_shape(&self) -> Option<[usize; 3]> {
             self.input_shape
         }
-        fn forward(&self, g: &mut Graph, x: &Tensor, _ctx: &mut ForwardCtx) -> Var {
+        fn plan_cache(&self) -> Option<&PlanCache> {
+            Some(&self.plan_cache)
+        }
+        fn forward(&self, g: &mut Graph, x: &Tensor, ctx: &mut ForwardCtx) -> Var {
             let (b, h, n, _c) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-            // Last timestamp, target feature -> [B, N].
-            let last = x.slice_axis(1, h - 1, h).slice_axis(3, 0, 1).reshape(&[b, n]);
-            let lv = g.constant(last);
+            // Last timestamp, target feature -> [B, N]. Eval traces slice
+            // graph-side from an input leaf so the trace compiles to a plan;
+            // training keeps the cheaper pre-sliced constant.
+            let lv = if ctx.training {
+                g.constant(x.slice_axis(1, h - 1, h).slice_axis(3, 0, 1).reshape(&[b, n]))
+            } else {
+                let xv = g.input(x.clone());
+                let t = g.slice_axis(xv, 1, h - 1, h);
+                let t = g.slice_axis(t, 3, 0, 1);
+                g.reshape(t, &[b, n])
+            };
             let s = g.param(&self.store, self.scale);
             let bias = g.param(&self.store, self.bias);
             let scaled = g.mul(lv, s);

@@ -633,6 +633,12 @@ fn worker_loop(
         }
     }
     let _guard = AliveGuard(alive);
+    // Batch input and prediction buffers live for the whole worker: once a
+    // compiled plan serves a given batch size, re-serving it touches no
+    // heap (`Tensor::stack_into` + `Forecaster::predict_into` reuse the
+    // retained capacity).
+    let mut batch_x = Tensor::default();
+    let mut pred = Tensor::default();
     while let Ok(first) = rx.recv() {
         let mut batch = vec![first];
         let wait_until = Instant::now() + max_wait;
@@ -651,14 +657,21 @@ fn worker_loop(
                 Err(_) => break,
             }
         }
-        serve_batch(model.as_ref(), &batch);
+        serve_batch(model.as_ref(), &batch, &mut batch_x, &mut pred);
     }
 }
 
 /// Runs one batched forward and distributes per-request replies. A panic in
 /// the model is contained here: every waiter gets an error (and so falls
 /// back to persistence) and the worker stays alive for later requests.
-fn serve_batch(model: &dyn Forecaster, batch: &[BatchRequest]) {
+/// `batch_x` and `pred` are worker-owned reusable buffers (the per-request
+/// reply tensors are still sliced out fresh, since they are sent away).
+fn serve_batch(
+    model: &dyn Forecaster,
+    batch: &[BatchRequest],
+    batch_x: &mut Tensor,
+    pred: &mut Tensor,
+) {
     let _span = enhancenet_telemetry::span("serve.batch");
     enhancenet_telemetry::observe("serve.batch.size", batch.len() as f64);
     let assembled = Instant::now();
@@ -675,12 +688,10 @@ fn serve_batch(model: &dyn Forecaster, batch: &[BatchRequest]) {
     if let Some(max_id) = batch.iter().map(|r| r.id).max() {
         enhancenet_telemetry::gauge("serve.batch.last_request_id", max_id as f64);
     }
-    let windows: Vec<Tensor> = batch.iter().map(|r| r.window.unsqueeze(0)).collect();
-    let refs: Vec<&Tensor> = windows.iter().collect();
-    let x = Tensor::concat(&refs, 0);
+    Tensor::stack_into(batch.iter().map(|r| &r.window), batch_x);
     let started = Instant::now();
-    match catch_unwind(AssertUnwindSafe(|| model.predict(&x))) {
-        Ok(Ok(pred)) => {
+    match catch_unwind(AssertUnwindSafe(|| model.predict_into(batch_x, pred))) {
+        Ok(Ok(())) => {
             let forward_ns = started.elapsed().as_nanos() as u64;
             enhancenet_telemetry::observe("serve.forward_ns", forward_ns as f64);
             for (i, request) in batch.iter().enumerate() {

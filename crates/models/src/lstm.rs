@@ -4,7 +4,7 @@
 
 use crate::config::ModelDims;
 use enhancenet::{Forecaster, ForwardCtx};
-use enhancenet_autodiff::{Graph, ParamId, ParamStore, Var};
+use enhancenet_autodiff::{Graph, ParamId, ParamStore, PlanCache, Var};
 use enhancenet_nn::cell::{lstm_step, Gate};
 use enhancenet_nn::{apply_entity_filter, Linear};
 use enhancenet_tensor::{Tensor, TensorRng};
@@ -63,6 +63,7 @@ pub struct LstmSeq2Seq {
     enc: Vec<LstmLayer>,
     dec: Vec<LstmLayer>,
     head: Linear,
+    plan_cache: PlanCache,
 }
 
 impl LstmSeq2Seq {
@@ -84,7 +85,7 @@ impl LstmSeq2Seq {
         let enc = stack(&mut store, &mut rng, "enc", dims.in_features);
         let dec = stack(&mut store, &mut rng, "dec", 1);
         let head = Linear::new(&mut store, &mut rng, "head", hidden, 1, true);
-        Self { store, dims, enc, dec, head }
+        Self { store, dims, enc, dec, head, plan_cache: PlanCache::new() }
     }
 }
 
@@ -107,6 +108,10 @@ impl Forecaster for LstmSeq2Seq {
 
     fn input_shape(&self) -> Option<[usize; 3]> {
         Some([self.dims.input_len, self.dims.num_entities, self.dims.in_features])
+    }
+
+    fn plan_cache(&self) -> Option<&PlanCache> {
+        Some(&self.plan_cache)
     }
 
     fn forward(&self, g: &mut Graph, x: &Tensor, ctx: &mut ForwardCtx) -> Var {
@@ -145,8 +150,14 @@ impl Forecaster for LstmSeq2Seq {
             input
         };
 
+        // Eval traces read the window through one input leaf (compilable
+        // to a plan); training keeps per-timestep constants.
+        let xin = (!ctx.training).then(|| g.input(x.clone()));
         for t in 0..h_len {
-            let xt = g.constant(x.index_axis(1, t));
+            let xt = match xin {
+                Some(xv) => g.index_axis(xv, 1, t),
+                None => g.constant(x.index_axis(1, t)),
+            };
             run_step(g, &enc_bound, &mut hs, &mut cs, xt);
         }
 

@@ -17,7 +17,7 @@
 use crate::config::{GraphMode, ModelDims, TemporalMode};
 use enhancenet::dfgn::{gru_filter_dim_general, split_gru_filters_general, FilterCache};
 use enhancenet::{graph_conv, Damgn, Dfgn, Forecaster, ForwardCtx, GcSupport, StaticFoldCache};
-use enhancenet_autodiff::{Graph, ParamId, ParamStore, Var};
+use enhancenet_autodiff::{Graph, ParamId, ParamStore, PlanCache, Var};
 use enhancenet_graph::build_supports;
 use enhancenet_nn::cell::{gru_step, Gate};
 use enhancenet_nn::{apply_entity_filter, Linear};
@@ -198,6 +198,8 @@ pub struct GruSeq2Seq {
     dec: Vec<GruLayer>,
     head: Linear,
     graph: Option<GraphParts>,
+    /// Compiled eval-forward plans, keyed by input shape and store version.
+    plan_cache: PlanCache,
 }
 
 impl GruSeq2Seq {
@@ -383,7 +385,7 @@ impl GruSeq2Seq {
             GraphMode::None => format!("{}RNN", temporal.prefix()),
             _ => format!("{}{}GRNN", temporal.prefix(), graph_mode.prefix()),
         };
-        Self { name, store, dims, enc, dec, head, graph }
+        Self { name, store, dims, enc, dec, head, graph, plan_cache: PlanCache::new() }
     }
 
     /// Builds the per-timestep supports (static constants or DAMGN dynamic
@@ -452,6 +454,10 @@ impl Forecaster for GruSeq2Seq {
         GruSeq2Seq::memory_id(self)
     }
 
+    fn plan_cache(&self) -> Option<&PlanCache> {
+        Some(&self.plan_cache)
+    }
+
     fn forward(&self, g: &mut Graph, x: &Tensor, ctx: &mut ForwardCtx) -> Var {
         let (b, h_len, n, c) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         assert_eq!(n, self.dims.num_entities, "entity count mismatch");
@@ -476,12 +482,21 @@ impl Forecaster for GruSeq2Seq {
             self.dec.iter().map(|l| l.bind(g, &self.store, ctx.training)).collect();
         let k_hops = self.graph.as_ref().map_or(0, |p| p.k_hops);
 
+        // Eval traces read the window through a single input leaf so the
+        // trace compiles to a reusable plan ([`PlanCache`]); training keeps
+        // the cheaper per-timestep constants (graph-level slicing would
+        // drag the whole window through every backward step).
+        let xin = (!ctx.training).then(|| g.input(x.clone()));
+
         // ---------------------------------------------------------- encoder
         let mut hidden: Vec<Var> = (0..self.enc.len())
             .map(|_| g.constant(Tensor::zeros(&[b, n, self.dims.hidden])))
             .collect();
         for t in 0..h_len {
-            let xt = g.constant(x.index_axis(1, t)); // [B, N, C]
+            let xt = match xin {
+                Some(xv) => g.index_axis(xv, 1, t), // [B, N, C]
+                None => g.constant(x.index_axis(1, t)),
+            };
             let signal = g.slice_axis(xt, -1, 0, 1); // target feature
             let sup = self.supports_at(g, &base_supports, &damgn_binding, signal);
             let mut input = xt;

@@ -13,7 +13,7 @@
 use crate::config::ModelDims;
 use enhancenet::gconv::gc_input_dim;
 use enhancenet::{graph_conv, Forecaster, ForwardCtx, GcSupport};
-use enhancenet_autodiff::{Graph, ParamId, ParamStore, Var};
+use enhancenet_autodiff::{Graph, ParamId, ParamStore, PlanCache, Var};
 use enhancenet_graph::{build_supports, SupportKind};
 use enhancenet_nn::conv::causal_conv_taps;
 use enhancenet_nn::{LayerNorm, Linear};
@@ -87,6 +87,7 @@ pub struct Stgcn {
     support: Tensor,
     blocks: Vec<StBlock>,
     head: Linear,
+    plan_cache: PlanCache,
 }
 
 impl Stgcn {
@@ -127,7 +128,7 @@ impl Stgcn {
             })
             .collect();
         let head = Linear::new(&mut store, &mut rng, "head", ch, dims.output_len, true);
-        Self { store, dims, support, blocks, head }
+        Self { store, dims, support, blocks, head, plan_cache: PlanCache::new() }
     }
 }
 
@@ -152,14 +153,20 @@ impl Forecaster for Stgcn {
         Some([self.dims.input_len, self.dims.num_entities, self.dims.in_features])
     }
 
-    fn forward(&self, g: &mut Graph, x: &Tensor, _ctx: &mut ForwardCtx) -> Var {
+    fn plan_cache(&self) -> Option<&PlanCache> {
+        Some(&self.plan_cache)
+    }
+
+    fn forward(&self, g: &mut Graph, x: &Tensor, ctx: &mut ForwardCtx) -> Var {
         let (b, t, n, c) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         assert_eq!(n, self.dims.num_entities);
         assert_eq!(c, self.dims.in_features);
         let ch = self.dims.hidden;
 
         let support = g.constant(self.support.clone());
-        let xin = g.constant(x.clone());
+        // Eval traces read the window through one input leaf (compilable to
+        // a plan); training binds it as a constant.
+        let xin = if ctx.training { g.constant(x.clone()) } else { g.input(x.clone()) };
         let mut h = g.permute(xin, &[0, 2, 1, 3]); // [B, N, T, C]
 
         for block in &self.blocks {

@@ -27,7 +27,7 @@ use crate::config::{GraphMode, ModelDims, TemporalMode};
 use enhancenet::dfgn::{split_tcn_filters, tcn_filter_dim, FilterCache};
 use enhancenet::gconv::gc_input_dim;
 use enhancenet::{graph_conv, Damgn, Dfgn, Forecaster, ForwardCtx, GcSupport, StaticFoldCache};
-use enhancenet_autodiff::{Graph, ParamId, ParamStore, Var};
+use enhancenet_autodiff::{Graph, ParamId, ParamStore, PlanCache, Var};
 use enhancenet_graph::build_supports;
 use enhancenet_nn::conv::{causal_conv_taps, receptive_field};
 use enhancenet_nn::{Dropout, Linear};
@@ -124,6 +124,8 @@ pub struct WaveNet {
     dropout: Dropout,
     graph: Option<GraphParts>,
     memory: Option<ParamId>,
+    /// Compiled eval-forward plans, keyed by input shape and store version.
+    plan_cache: PlanCache,
 }
 
 impl WaveNet {
@@ -397,6 +399,7 @@ impl WaveNet {
             head2,
             graph,
             memory,
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -415,14 +418,29 @@ impl WaveNet {
     /// derived from the input's target feature at each aligned timestamp.
     /// During evaluation the DAMGN static fold is served from the
     /// version-keyed [`StaticFoldCache`].
-    fn bind_supports(&self, g: &mut Graph, x: &Tensor, training: bool) -> Option<Vec<GcSupport>> {
+    /// `xv` is the window bound as the graph's input leaf during eval: the
+    /// DAMGN signal is sliced graph-side from it, so compiled plans rebind
+    /// it per request. Training passes `None` and keeps the cheaper
+    /// pre-sliced constant (no gradient flows into the window anyway).
+    fn bind_supports(
+        &self,
+        g: &mut Graph,
+        x: &Tensor,
+        xv: Option<Var>,
+        training: bool,
+    ) -> Option<Vec<GcSupport>> {
         let parts = self.graph.as_ref()?;
         let (b, t, n) = (x.shape()[0], x.shape()[1], x.shape()[2]);
         let base: Vec<Var> = parts.supports.iter().map(|s| g.constant(s.clone())).collect();
         if let Some(damgn) = &parts.damgn {
             // Signal: [B, T, N, 1] -> [B*T, N, 1].
-            let sig_t = x.slice_axis(3, 0, 1).reshape(&[b * t, n, 1]);
-            let sig = g.constant(sig_t);
+            let sig = match xv {
+                Some(xv) => {
+                    let sig_c = g.slice_axis(xv, 3, 0, 1);
+                    g.reshape(sig_c, &[b * t, n, 1])
+                }
+                None => g.constant(x.slice_axis(3, 0, 1).reshape(&[b * t, n, 1])),
+            };
             let binding = damgn.bind_cached(g, &self.store, &base, &parts.fold_cache, training);
             let dyn_supports = damgn.dynamic_supports_at(g, &binding, sig);
             return Some(dyn_supports.into_iter().map(GcSupport::Dynamic).collect());
@@ -468,6 +486,10 @@ impl Forecaster for WaveNet {
         WaveNet::memory_id(self)
     }
 
+    fn plan_cache(&self) -> Option<&PlanCache> {
+        Some(&self.plan_cache)
+    }
+
     fn forward(&self, g: &mut Graph, x: &Tensor, ctx: &mut ForwardCtx) -> Var {
         let (b, t, n, c) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         assert_eq!(n, self.dims.num_entities, "entity count mismatch");
@@ -476,11 +498,13 @@ impl Forecaster for WaveNet {
         let k = self.config.kernel;
         let ch = self.dims.hidden;
 
-        let supports = self.bind_supports(g, x, ctx.training);
+        // Eval traces read the window through one input leaf (compilable to
+        // a plan); training binds it as a constant.
+        let xin = if ctx.training { g.constant(x.clone()) } else { g.input(x.clone()) };
+        let supports = self.bind_supports(g, x, (!ctx.training).then_some(xin), ctx.training);
         let k_hops = self.graph.as_ref().map_or(0, |p| p.k_hops);
 
         // [B, T, N, C] -> [B, N, T, C'] with the input projection.
-        let xin = g.constant(x.clone());
         let xp = g.permute(xin, &[0, 2, 1, 3]);
         let mut h = self.input_proj.forward(g, &self.store, xp);
 

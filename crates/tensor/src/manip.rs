@@ -1,7 +1,7 @@
 //! Shape manipulation: reshape, transpose, permute, concat, slice, stack,
 //! padding, and axis selection. All operations materialize a new tensor.
 
-use crate::shape::{normalize_axis, Shape};
+use crate::shape::{broadcast_strides_array, normalize_axis, Shape, MAX_RANK};
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -30,6 +30,33 @@ impl Tensor {
         Tensor { shape: dims, data: self.data.clone() }
     }
 
+    /// [`Tensor::reshape`] into `out` (buffers reused, allocation-free when
+    /// warm). One axis may be `usize::MAX` to mean "infer this dimension".
+    pub fn reshape_into(&self, shape: &[usize], out: &mut Tensor) {
+        assert!(shape.len() <= MAX_RANK, "reshape rank {} exceeds {MAX_RANK}", shape.len());
+        let mut dims = [0usize; MAX_RANK];
+        dims[..shape.len()].copy_from_slice(shape);
+        let dims = &mut dims[..shape.len()];
+        if let Some(pos) = dims.iter().position(|&d| d == usize::MAX) {
+            let known: usize = dims.iter().filter(|&&d| d != usize::MAX).product();
+            assert!(
+                known > 0 && self.numel() % known == 0,
+                "cannot infer axis: numel {} not divisible by {:?}",
+                self.numel(),
+                shape
+            );
+            dims[pos] = self.numel() / known;
+        }
+        assert_eq!(
+            Shape::numel(dims),
+            self.numel(),
+            "reshape {:?} -> {:?} changes element count",
+            self.shape,
+            shape
+        );
+        out.copy_from_with_shape(dims, &self.data);
+    }
+
     /// 2-D transpose.
     pub fn transpose(&self) -> Tensor {
         assert_eq!(self.rank(), 2, "transpose expects rank 2, got {:?}", self.shape);
@@ -45,22 +72,39 @@ impl Tensor {
 
     /// General axis permutation (`perm` is a permutation of `0..rank`).
     pub fn permute(&self, perm: &[usize]) -> Tensor {
+        let mut out = Tensor::default();
+        self.permute_into(perm, &mut out);
+        out
+    }
+
+    /// [`Tensor::permute`] into `out`; the index walk uses stack buffers so
+    /// warm executions stay allocation-free.
+    pub fn permute_into(&self, perm: &[usize], out: &mut Tensor) {
         assert_eq!(perm.len(), self.rank(), "permute rank mismatch");
-        let mut seen = vec![false; perm.len()];
+        let rank = perm.len();
+        assert!(rank <= MAX_RANK, "permute rank {rank} exceeds {MAX_RANK}");
+        let mut seen = [false; MAX_RANK];
         for &p in perm {
-            assert!(p < perm.len() && !seen[p], "invalid permutation {perm:?}");
+            assert!(p < rank && !seen[p], "invalid permutation {perm:?}");
             seen[p] = true;
         }
-        let out_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
-        let in_strides = Shape::strides(&self.shape);
-        let perm_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+        let mut out_shape = [0usize; MAX_RANK];
+        let mut in_strides = [1usize; MAX_RANK];
+        for i in (0..rank.saturating_sub(1)).rev() {
+            in_strides[i] = in_strides[i + 1] * self.shape[i + 1];
+        }
+        let mut perm_strides = [0usize; MAX_RANK];
+        for (ax, &p) in perm.iter().enumerate() {
+            out_shape[ax] = self.shape[p];
+            perm_strides[ax] = in_strides[p];
+        }
         let numel = self.numel();
-        let mut out = Vec::with_capacity(numel);
-        let mut idx = vec![0usize; out_shape.len()];
+        out.reset_for(&out_shape[..rank]);
+        let mut idx = [0usize; MAX_RANK];
         let mut off = 0usize;
         for _ in 0..numel {
-            out.push(self.data[off]);
-            for ax in (0..out_shape.len()).rev() {
+            out.data.push(self.data[off]);
+            for ax in (0..rank).rev() {
                 idx[ax] += 1;
                 off += perm_strides[ax];
                 if idx[ax] < out_shape[ax] {
@@ -70,7 +114,6 @@ impl Tensor {
                 idx[ax] = 0;
             }
         }
-        Tensor::from_vec(out, &out_shape)
     }
 
     /// Batched transpose of the last two axes of a rank-3 tensor.
@@ -81,69 +124,111 @@ impl Tensor {
 
     /// Concatenates tensors along `axis`. All other axes must agree.
     pub fn concat(parts: &[&Tensor], axis: isize) -> Tensor {
-        assert!(!parts.is_empty(), "concat of zero tensors");
-        let rank = parts[0].rank();
+        let mut out = Tensor::default();
+        Tensor::concat_into(parts.iter().copied(), axis, &mut out);
+        out
+    }
+
+    /// [`Tensor::concat`] into `out`, taking the parts as a re-iterable
+    /// (`Clone`) iterator so hot callers need not materialize a `Vec<&Tensor>`.
+    pub fn concat_into<'a, I>(parts: I, axis: isize, out: &mut Tensor)
+    where
+        I: Iterator<Item = &'a Tensor> + Clone,
+    {
+        let first = parts.clone().next().expect("concat of zero tensors");
+        let rank = first.rank();
+        assert!(rank <= MAX_RANK, "concat rank {rank} exceeds {MAX_RANK}");
         let ax = normalize_axis(axis, rank);
-        let mut out_shape = parts[0].shape.clone();
+        let mut out_shape = [0usize; MAX_RANK];
+        out_shape[..rank].copy_from_slice(&first.shape);
         let mut axis_total = 0usize;
-        for p in parts {
+        for p in parts.clone() {
             assert_eq!(p.rank(), rank, "concat rank mismatch");
             for d in 0..rank {
                 if d != ax {
                     assert_eq!(
-                        p.shape[d], out_shape[d],
+                        p.shape[d],
+                        out_shape[d],
                         "concat shape mismatch on axis {d}: {:?} vs {:?}",
-                        p.shape, out_shape
+                        p.shape,
+                        &out_shape[..rank]
                     );
                 }
             }
             axis_total += p.shape[ax];
         }
         out_shape[ax] = axis_total;
+        let out_shape = &out_shape[..rank];
         let outer: usize = out_shape[..ax].iter().product();
         let inner: usize = out_shape[ax + 1..].iter().product();
-        let mut data = Vec::with_capacity(Shape::numel(&out_shape));
+        out.reset_for(out_shape);
         for o in 0..outer {
-            for p in parts {
+            for p in parts.clone() {
                 let len = p.shape[ax] * inner;
-                data.extend_from_slice(&p.data[o * len..(o + 1) * len]);
+                out.data.extend_from_slice(&p.data[o * len..(o + 1) * len]);
             }
         }
-        Tensor::from_vec(data, &out_shape)
     }
 
     /// Stacks same-shaped tensors along a new leading axis.
     pub fn stack(parts: &[&Tensor]) -> Tensor {
-        assert!(!parts.is_empty(), "stack of zero tensors");
-        let mut shape = vec![parts.len()];
-        shape.extend_from_slice(&parts[0].shape);
-        let mut data = Vec::with_capacity(Shape::numel(&shape));
-        for p in parts {
-            assert_eq!(p.shape, parts[0].shape, "stack requires identical shapes");
-            data.extend_from_slice(&p.data);
+        let mut out = Tensor::default();
+        Tensor::stack_into(parts.iter().copied(), &mut out);
+        out
+    }
+
+    /// [`Tensor::stack`] into `out` from a re-iterable iterator of parts —
+    /// the serving worker assembles request batches through this without
+    /// allocating when warm.
+    pub fn stack_into<'a, I>(parts: I, out: &mut Tensor)
+    where
+        I: Iterator<Item = &'a Tensor> + Clone,
+    {
+        let first = parts.clone().next().expect("stack of zero tensors");
+        let rank = first.rank();
+        assert!(rank < MAX_RANK, "stack rank {} exceeds {MAX_RANK}", rank + 1);
+        let mut shape = [0usize; MAX_RANK];
+        shape[1..=rank].copy_from_slice(&first.shape);
+        let mut count = 0usize;
+        for p in parts.clone() {
+            assert_eq!(p.shape, first.shape, "stack requires identical shapes");
+            count += 1;
         }
-        Tensor::from_vec(data, &shape)
+        shape[0] = count;
+        out.reset_for(&shape[..=rank]);
+        for p in parts {
+            out.data.extend_from_slice(&p.data);
+        }
     }
 
     /// Copies the half-open range `[start, stop)` along `axis`.
     pub fn slice_axis(&self, axis: isize, start: usize, stop: usize) -> Tensor {
+        let mut out = Tensor::default();
+        self.slice_axis_into(axis, start, stop, &mut out);
+        out
+    }
+
+    /// [`Tensor::slice_axis`] into `out` (buffers reused).
+    pub fn slice_axis_into(&self, axis: isize, start: usize, stop: usize, out: &mut Tensor) {
         let ax = normalize_axis(axis, self.rank());
         assert!(
             start <= stop && stop <= self.shape[ax],
             "slice [{start},{stop}) out of bounds for axis {ax} with size {}",
             self.shape[ax]
         );
+        let rank = self.rank();
+        assert!(rank <= MAX_RANK, "slice rank {rank} exceeds {MAX_RANK}");
         let outer: usize = self.shape[..ax].iter().product();
         let inner: usize = self.shape[ax + 1..].iter().product();
         let axis_len = self.shape[ax];
-        let mut out_shape = self.shape.clone();
+        let mut out_shape = [0usize; MAX_RANK];
+        out_shape[..rank].copy_from_slice(&self.shape);
         out_shape[ax] = stop - start;
-        let mut data = Vec::with_capacity(Shape::numel(&out_shape));
+        out.reset_for(&out_shape[..rank]);
         for o in 0..outer {
             let base = (o * axis_len + start) * inner;
-            data.extend_from_slice(&self.data[base..base + (stop - start) * inner]);
+            out.data.extend_from_slice(&self.data[base..base + (stop - start) * inner]);
         }
-        Tensor::from_vec(data, &out_shape)
     }
 
     /// Selects a single index along `axis`, removing that axis.
@@ -176,19 +261,75 @@ impl Tensor {
     /// Left-pads `axis` with `count` copies of `value` (causal padding for
     /// dilated convolutions).
     pub fn pad_axis_front(&self, axis: isize, count: usize, value: f32) -> Tensor {
+        let mut out = Tensor::default();
+        self.pad_axis_front_into(axis, count, value, &mut out);
+        out
+    }
+
+    /// [`Tensor::pad_axis_front`] into `out` (buffers reused).
+    pub fn pad_axis_front_into(&self, axis: isize, count: usize, value: f32, out: &mut Tensor) {
         let ax = normalize_axis(axis, self.rank());
-        let mut padded_shape = self.shape.clone();
+        let rank = self.rank();
+        assert!(rank <= MAX_RANK, "pad rank {rank} exceeds {MAX_RANK}");
+        let mut padded_shape = [0usize; MAX_RANK];
+        padded_shape[..rank].copy_from_slice(&self.shape);
         padded_shape[ax] += count;
         let outer: usize = self.shape[..ax].iter().product();
         let inner: usize = self.shape[ax + 1..].iter().product();
         let axis_len = self.shape[ax];
-        let mut data = Vec::with_capacity(Shape::numel(&padded_shape));
+        out.reset_for(&padded_shape[..rank]);
         for o in 0..outer {
-            data.extend(std::iter::repeat_n(value, count * inner));
+            out.data.extend(std::iter::repeat_n(value, count * inner));
             let base = o * axis_len * inner;
-            data.extend_from_slice(&self.data[base..base + axis_len * inner]);
+            out.data.extend_from_slice(&self.data[base..base + axis_len * inner]);
         }
-        Tensor::from_vec(data, &padded_shape)
+    }
+
+    /// Materializes the NumPy-style broadcast of `self` to `shape` — a pure
+    /// gather (no arithmetic), so `-0.0`, NaN payloads, and infinities are
+    /// preserved exactly. This is the forward kernel behind the autodiff
+    /// `BroadcastTo` op on both the tape and the compiled-plan executor.
+    pub fn broadcast_to(&self, shape: &[usize]) -> Tensor {
+        let mut out = Tensor::default();
+        self.broadcast_to_into(shape, &mut out);
+        out
+    }
+
+    /// [`Tensor::broadcast_to`] into `out` (buffers reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self.shape` does not broadcast to `shape`.
+    pub fn broadcast_to_into(&self, shape: &[usize], out: &mut Tensor) {
+        let rank = shape.len();
+        assert!(rank <= MAX_RANK, "broadcast rank {rank} exceeds {MAX_RANK}");
+        assert!(rank >= self.rank(), "cannot broadcast {:?} to lower-rank {:?}", self.shape, shape);
+        let pad = rank - self.rank();
+        for (i, &d) in self.shape.iter().enumerate() {
+            assert!(
+                d == shape[pad + i] || d == 1,
+                "shapes {:?} and {shape:?} are not broadcast-compatible",
+                self.shape
+            );
+        }
+        let mut strides = [0usize; MAX_RANK];
+        broadcast_strides_array(&self.shape, shape, &mut strides);
+        let numel = Shape::numel(shape);
+        out.reset_for(shape);
+        let mut idx = [0usize; MAX_RANK];
+        let mut off = 0usize;
+        for _ in 0..numel {
+            out.data.push(self.data[off]);
+            for ax in (0..rank).rev() {
+                idx[ax] += 1;
+                off += strides[ax];
+                if idx[ax] < shape[ax] {
+                    break;
+                }
+                off -= strides[ax] * idx[ax];
+                idx[ax] = 0;
+            }
+        }
     }
 
     /// Repeats the whole tensor `n` times along a new leading axis.

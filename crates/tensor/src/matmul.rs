@@ -36,6 +36,7 @@
 
 use crate::kernel::{self, MicroKernel};
 use crate::scratch::with_scratch;
+use crate::shape::MAX_RANK;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
@@ -481,6 +482,14 @@ impl Tensor {
     /// Panics unless both operands are rank 2 with a matching inner
     /// dimension.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul`] into `out` (buffers reused; same GEMM engine, so
+    /// the allocating and arena paths are bitwise identical).
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(self.rank(), 2, "matmul lhs must be rank 2, got {:?}", self.shape);
         assert_eq!(other.rank(), 2, "matmul rhs must be rank 2, got {:?}", other.shape);
         let (m, k) = (self.shape[0], self.shape[1]);
@@ -492,9 +501,11 @@ impl Tensor {
             path_label("tensor.matmul.par", "tensor.matmul.serial", m * n * k),
             m * n,
         );
-        let mut out = vec![0.0f32; m * n];
+        out.data.clear();
+        out.data.resize(m * n, 0.0);
+        out.reset_shape(&[m, n]);
         gemm(
-            &mut out,
+            &mut out.data,
             MatRef::normal(&self.data, k),
             MatRef::normal(&other.data, n),
             m,
@@ -502,7 +513,6 @@ impl Tensor {
             n,
             true,
         );
-        Tensor::from_vec(out, &[m, n])
     }
 
     /// Transpose-fused product `selfᵀ · other`: `[k,m] x [k,n] -> [m,n]`.
@@ -532,6 +542,13 @@ impl Tensor {
     /// Reads `other` in transposed order directly — the backward pass's
     /// `gy·Bᵀ` without ever materializing `Bᵀ`.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_nt`] into `out` (buffers reused; same GEMM engine).
+    pub fn matmul_nt_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(self.rank(), 2, "matmul_nt lhs must be rank 2, got {:?}", self.shape);
         assert_eq!(other.rank(), 2, "matmul_nt rhs must be rank 2, got {:?}", other.shape);
         let (m, k) = (self.shape[0], self.shape[1]);
@@ -543,10 +560,11 @@ impl Tensor {
             path_label("tensor.matmul_nt.par", "tensor.matmul_nt.serial", m * n * k),
             m * n,
         );
-        let mut out = vec![0.0f32; m * n];
+        out.data.clear();
+        out.data.resize(m * n, 0.0);
+        out.reset_shape(&[m, n]);
         let b = MatRef::transposed(&other.data, k);
-        gemm(&mut out, MatRef::normal(&self.data, k), b, m, k, n, true);
-        Tensor::from_vec(out, &[m, n])
+        gemm(&mut out.data, MatRef::normal(&self.data, k), b, m, k, n, true);
     }
 
     /// Batched matrix product `[b,m,k] x [b,k,n] -> [b,m,n]`.
@@ -554,6 +572,13 @@ impl Tensor {
     /// Batches fork to rayon when the summed work is large enough; a single
     /// large batch parallelizes internally instead.
     pub fn bmm(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.bmm_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::bmm`] into `out` (buffers reused; same GEMM engine).
+    pub fn bmm_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(self.rank(), 3, "bmm lhs must be rank 3, got {:?}", self.shape);
         assert_eq!(other.rank(), 3, "bmm rhs must be rank 3, got {:?}", other.shape);
         let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
@@ -570,9 +595,11 @@ impl Tensor {
             k,
             n,
         );
-        let mut out = vec![0.0f32; b * m * n];
+        out.data.clear();
+        out.data.resize(b * m * n, 0.0);
+        out.reset_shape(&[b, m, n]);
         gemm_batched(
-            &mut out,
+            &mut out.data,
             b,
             m,
             k,
@@ -580,7 +607,6 @@ impl Tensor {
             |bi| MatRef::normal(&self.data[bi * m * k..(bi + 1) * m * k], k),
             |bi| MatRef::normal(&other.data[bi * k * n..(bi + 1) * k * n], n),
         );
-        Tensor::from_vec(out, &[b, m, n])
     }
 
     /// Batched transpose-fused product `selfᵦᵀ · otherᵦ`:
@@ -618,6 +644,13 @@ impl Tensor {
     /// Batched transpose-fused product `selfᵦ · otherᵦᵀ`:
     /// `[b,m,k] x [b,n,k] -> [b,m,n]`.
     pub fn bmm_nt(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.bmm_nt_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::bmm_nt`] into `out` (buffers reused; same GEMM engine).
+    pub fn bmm_nt_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(self.rank(), 3, "bmm_nt lhs must be rank 3, got {:?}", self.shape);
         assert_eq!(other.rank(), 3, "bmm_nt rhs must be rank 3, got {:?}", other.shape);
         let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
@@ -634,9 +667,11 @@ impl Tensor {
             k,
             n,
         );
-        let mut out = vec![0.0f32; b * m * n];
+        out.data.clear();
+        out.data.resize(b * m * n, 0.0);
+        out.reset_shape(&[b, m, n]);
         gemm_batched(
-            &mut out,
+            &mut out.data,
             b,
             m,
             k,
@@ -644,7 +679,6 @@ impl Tensor {
             |bi| MatRef::normal(&self.data[bi * m * k..(bi + 1) * m * k], k),
             |bi| MatRef::transposed(&other.data[bi * n * k..(bi + 1) * n * k], k),
         );
-        Tensor::from_vec(out, &[b, m, n])
     }
 
     /// Batch-summed transpose-fused product `Σᵦ selfᵦ · otherᵦᵀ`:
@@ -681,6 +715,14 @@ impl Tensor {
     /// shared across the batch. Batches fork to rayon when the summed work
     /// is large enough.
     pub fn matmul_broadcast_left(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.matmul_broadcast_left_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_broadcast_left`] into `out` (buffers reused; same
+    /// GEMM engine).
+    pub fn matmul_broadcast_left_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(self.rank(), 2, "lhs must be rank 2, got {:?}", self.shape);
         assert_eq!(other.rank(), 3, "rhs must be rank 3, got {:?}", other.shape);
         let (m, k) = (self.shape[0], self.shape[1]);
@@ -696,9 +738,11 @@ impl Tensor {
             k,
             n,
         );
-        let mut out = vec![0.0f32; b * m * n];
+        out.data.clear();
+        out.data.resize(b * m * n, 0.0);
+        out.reset_shape(&[b, m, n]);
         gemm_batched(
-            &mut out,
+            &mut out.data,
             b,
             m,
             k,
@@ -706,7 +750,6 @@ impl Tensor {
             |_| MatRef::normal(&self.data, k),
             |bi| MatRef::normal(&other.data[bi * k * n..(bi + 1) * k * n], n),
         );
-        Tensor::from_vec(out, &[b, m, n])
     }
 
     /// Transpose-fused broadcast-left: `selfᵀ · otherᵦ` with `self` `[m,k]`
@@ -751,8 +794,17 @@ impl Tensor {
     /// leading axes fold into a single `[Σ·, k]` GEMM — no reshape copy, no
     /// input clone.
     pub fn matmul_broadcast_right(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.matmul_broadcast_right_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_broadcast_right`] into `out` (buffers reused; same
+    /// GEMM engine).
+    pub fn matmul_broadcast_right_into(&self, other: &Tensor, out: &mut Tensor) {
         assert!(self.rank() >= 2, "lhs must be rank >= 2, got {:?}", self.shape);
         assert_eq!(other.rank(), 2, "rhs must be rank 2, got {:?}", other.shape);
+        assert!(self.rank() <= MAX_RANK, "lhs rank {} exceeds {MAX_RANK}", self.rank());
         let k = *self.shape.last().unwrap();
         assert_eq!(k, other.shape[0], "inner dims differ: {:?} x {:?}", self.shape, other.shape);
         let n = other.shape[1];
@@ -763,9 +815,15 @@ impl Tensor {
             path_label("tensor.mm_bcast_right.par", "tensor.mm_bcast_right.serial", rows * n * k),
             rows * n,
         );
-        let mut out = vec![0.0f32; rows * n];
+        let mut shape = [0usize; MAX_RANK];
+        let out_rank = self.rank();
+        shape[..out_rank - 1].copy_from_slice(&self.shape[..out_rank - 1]);
+        shape[out_rank - 1] = n;
+        out.data.clear();
+        out.data.resize(rows * n, 0.0);
+        out.reset_shape(&shape[..out_rank]);
         gemm(
-            &mut out,
+            &mut out.data,
             MatRef::normal(&self.data, k),
             MatRef::normal(&other.data, n),
             rows,
@@ -773,9 +831,6 @@ impl Tensor {
             n,
             true,
         );
-        let mut shape = self.shape[..self.rank() - 1].to_vec();
-        shape.push(n);
-        Tensor::from_vec(out, &shape)
     }
 
     /// Transpose-fused shared-right product `self · otherᵀ`:

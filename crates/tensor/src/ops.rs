@@ -1,7 +1,7 @@
 //! Elementwise arithmetic with NumPy-style broadcasting, plus the scalar
 //! nonlinearities the models need (sigmoid, tanh, relu, exp, ln, …).
 
-use crate::shape::{broadcast_shapes, broadcast_strides, Shape};
+use crate::shape::{broadcast_shapes_array, broadcast_strides_array, Shape, MAX_RANK};
 use crate::tensor::Tensor;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
@@ -11,21 +11,41 @@ impl Tensor {
     /// The fast path (identical shapes) is a straight zip; the general path
     /// walks the broadcast index space with per-input strides.
     pub fn broadcast_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let mut out = Tensor::default();
+        self.broadcast_with_into(other, f, &mut out);
+        out
+    }
+
+    /// Broadcasting combine writing into `out` (buffers reused).
+    /// [`Tensor::broadcast_with`] delegates here, so the allocating and the
+    /// arena paths run the exact same loop and are bitwise identical.
+    pub fn broadcast_with_into(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+        out: &mut Tensor,
+    ) {
         if self.shape == other.shape {
-            return self.zip_with(other, f);
+            return self.zip_with_into(other, f, out);
         }
-        let out_shape = broadcast_shapes(&self.shape, &other.shape);
-        let numel = Shape::numel(&out_shape);
-        let sa = broadcast_strides(&self.shape, &out_shape);
-        let sb = broadcast_strides(&other.shape, &out_shape);
-        let mut data = Vec::with_capacity(numel);
-        let mut idx = vec![0usize; out_shape.len()];
+        // All index bookkeeping lives on the stack (rank is tiny) so warm
+        // executions of a compiled plan stay allocation-free.
+        let mut shape_buf = [0usize; MAX_RANK];
+        let rank = broadcast_shapes_array(&self.shape, &other.shape, &mut shape_buf);
+        let out_shape = &shape_buf[..rank];
+        let numel = Shape::numel(out_shape);
+        let mut sa = [0usize; MAX_RANK];
+        let mut sb = [0usize; MAX_RANK];
+        broadcast_strides_array(&self.shape, out_shape, &mut sa);
+        broadcast_strides_array(&other.shape, out_shape, &mut sb);
+        out.reset_for(out_shape);
+        let mut idx = [0usize; MAX_RANK];
         let mut off_a = 0usize;
         let mut off_b = 0usize;
         for _ in 0..numel {
-            data.push(f(self.data[off_a], other.data[off_b]));
+            out.data.push(f(self.data[off_a], other.data[off_b]));
             // Odometer increment with incremental offset updates.
-            for ax in (0..out_shape.len()).rev() {
+            for ax in (0..rank).rev() {
                 idx[ax] += 1;
                 off_a += sa[ax];
                 off_b += sb[ax];
@@ -37,7 +57,6 @@ impl Tensor {
                 idx[ax] = 0;
             }
         }
-        Tensor::from_vec(data, &out_shape)
     }
 
     /// `self + other` with broadcasting.
@@ -45,9 +64,19 @@ impl Tensor {
         self.broadcast_with(other, |a, b| a + b)
     }
 
+    /// `self + other` with broadcasting, into `out`.
+    pub fn add_t_into(&self, other: &Tensor, out: &mut Tensor) {
+        self.broadcast_with_into(other, |a, b| a + b, out)
+    }
+
     /// `self - other` with broadcasting.
     pub fn sub_t(&self, other: &Tensor) -> Tensor {
         self.broadcast_with(other, |a, b| a - b)
+    }
+
+    /// `self - other` with broadcasting, into `out`.
+    pub fn sub_t_into(&self, other: &Tensor, out: &mut Tensor) {
+        self.broadcast_with_into(other, |a, b| a - b, out)
     }
 
     /// `self * other` (elementwise, ⊙ in the paper) with broadcasting.
@@ -55,9 +84,19 @@ impl Tensor {
         self.broadcast_with(other, |a, b| a * b)
     }
 
+    /// `self * other` with broadcasting, into `out`.
+    pub fn mul_t_into(&self, other: &Tensor, out: &mut Tensor) {
+        self.broadcast_with_into(other, |a, b| a * b, out)
+    }
+
     /// `self / other` with broadcasting.
     pub fn div_t(&self, other: &Tensor) -> Tensor {
         self.broadcast_with(other, |a, b| a / b)
+    }
+
+    /// `self / other` with broadcasting, into `out`.
+    pub fn div_t_into(&self, other: &Tensor, out: &mut Tensor) {
+        self.broadcast_with_into(other, |a, b| a / b, out)
     }
 
     /// Adds `s` to every element.
@@ -65,9 +104,19 @@ impl Tensor {
         self.map(|v| v + s)
     }
 
+    /// Adds `s` to every element, into `out`.
+    pub fn add_scalar_into(&self, s: f32, out: &mut Tensor) {
+        self.map_into(|v| v + s, out)
+    }
+
     /// Multiplies every element by `s`.
     pub fn mul_scalar(&self, s: f32) -> Tensor {
         self.map(|v| v * s)
+    }
+
+    /// Multiplies every element by `s`, into `out`.
+    pub fn mul_scalar_into(&self, s: f32, out: &mut Tensor) {
+        self.map_into(|v| v * s, out)
     }
 
     /// In-place `self += other` (identical shapes only; used for gradient
@@ -99,9 +148,19 @@ impl Tensor {
         self.map(sigmoid_scalar)
     }
 
+    /// Sigmoid into `out` (same scalar kernel as [`Tensor::sigmoid`]).
+    pub fn sigmoid_into(&self, out: &mut Tensor) {
+        self.map_into(sigmoid_scalar, out)
+    }
+
     /// Hyperbolic tangent.
     pub fn tanh_t(&self) -> Tensor {
         self.map(f32::tanh)
+    }
+
+    /// Hyperbolic tangent into `out`.
+    pub fn tanh_t_into(&self, out: &mut Tensor) {
+        self.map_into(f32::tanh, out)
     }
 
     /// Rectified linear unit `max(x, 0)`.
@@ -109,9 +168,19 @@ impl Tensor {
         self.map(|v| v.max(0.0))
     }
 
+    /// ReLU into `out`.
+    pub fn relu_into(&self, out: &mut Tensor) {
+        self.map_into(|v| v.max(0.0), out)
+    }
+
     /// Elementwise exponential.
     pub fn exp_t(&self) -> Tensor {
         self.map(f32::exp)
+    }
+
+    /// Exponential into `out`.
+    pub fn exp_t_into(&self, out: &mut Tensor) {
+        self.map_into(f32::exp, out)
     }
 
     /// Elementwise natural log.
@@ -119,14 +188,29 @@ impl Tensor {
         self.map(f32::ln)
     }
 
+    /// Natural log into `out`.
+    pub fn ln_t_into(&self, out: &mut Tensor) {
+        self.map_into(f32::ln, out)
+    }
+
     /// Elementwise square root.
     pub fn sqrt_t(&self) -> Tensor {
         self.map(f32::sqrt)
     }
 
+    /// Square root into `out`.
+    pub fn sqrt_t_into(&self, out: &mut Tensor) {
+        self.map_into(f32::sqrt, out)
+    }
+
     /// Elementwise absolute value.
     pub fn abs_t(&self) -> Tensor {
         self.map(f32::abs)
+    }
+
+    /// Absolute value into `out`.
+    pub fn abs_t_into(&self, out: &mut Tensor) {
+        self.map_into(f32::abs, out)
     }
 
     /// Elementwise power with a constant exponent.

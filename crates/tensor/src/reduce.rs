@@ -32,13 +32,25 @@ impl Tensor {
         self.reduce_axis(axis, 0.0, |acc, v| acc + v)
     }
 
+    /// [`Tensor::sum_axis`] into `out` (buffers reused).
+    pub fn sum_axis_into(&self, axis: isize, out: &mut Tensor) {
+        self.reduce_axis_into(axis, 0.0, |acc, v| acc + v, out)
+    }
+
     /// Mean along `axis`, removing it.
     pub fn mean_axis(&self, axis: isize) -> Tensor {
+        let mut out = Tensor::default();
+        self.mean_axis_into(axis, &mut out);
+        out
+    }
+
+    /// [`Tensor::mean_axis`] into `out` (buffers reused; same sum-then-scale
+    /// order as the allocating version, so the two are bitwise identical).
+    pub fn mean_axis_into(&self, axis: isize, out: &mut Tensor) {
         let ax = normalize_axis(axis, self.rank());
         let n = self.shape[ax] as f32;
-        let mut s = self.sum_axis(axis);
-        s.map_inplace(|v| v / n);
-        s
+        self.sum_axis_into(axis, out);
+        out.map_inplace(|v| v / n);
     }
 
     /// Maximum along `axis`, removing it.
@@ -48,23 +60,36 @@ impl Tensor {
 
     /// Generic single-axis fold. `axis` is removed from the output shape.
     pub fn reduce_axis(&self, axis: isize, init: f32, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let mut out = Tensor::default();
+        self.reduce_axis_into(axis, init, f, &mut out);
+        out
+    }
+
+    /// [`Tensor::reduce_axis`] into `out` (buffers reused).
+    pub fn reduce_axis_into(
+        &self,
+        axis: isize,
+        init: f32,
+        f: impl Fn(f32, f32) -> f32,
+        out: &mut Tensor,
+    ) {
         let ax = normalize_axis(axis, self.rank());
         let outer: usize = self.shape[..ax].iter().product();
         let axis_len = self.shape[ax];
         let inner: usize = self.shape[ax + 1..].iter().product();
-        let mut out = vec![init; outer * inner];
+        out.data.clear();
+        out.data.resize(outer * inner, init);
+        out.reset_shape(&self.shape);
+        out.shape.remove(ax);
         for o in 0..outer {
             for a in 0..axis_len {
                 let base = (o * axis_len + a) * inner;
                 let obase = o * inner;
                 for i in 0..inner {
-                    out[obase + i] = f(out[obase + i], self.data[base + i]);
+                    out.data[obase + i] = f(out.data[obase + i], self.data[base + i]);
                 }
             }
         }
-        let mut shape = self.shape.clone();
-        shape.remove(ax);
-        Tensor::from_vec(out, &shape)
     }
 
     /// Sums along `axis`, keeping it with length 1 (for broadcasting back).
@@ -79,11 +104,20 @@ impl Tensor {
     ///
     /// Every slice along `axis` sums to 1.
     pub fn softmax(&self, axis: isize) -> Tensor {
+        let mut out = Tensor::default();
+        self.softmax_into(axis, &mut out);
+        out
+    }
+
+    /// [`Tensor::softmax`] into `out` (buffers reused).
+    pub fn softmax_into(&self, axis: isize, out: &mut Tensor) {
         let ax = normalize_axis(axis, self.rank());
         let outer: usize = self.shape[..ax].iter().product();
         let axis_len = self.shape[ax];
         let inner: usize = self.shape[ax + 1..].iter().product();
-        let mut out = vec![0.0f32; self.numel()];
+        out.data.clear();
+        out.data.resize(self.numel(), 0.0);
+        out.reset_shape(&self.shape);
         for o in 0..outer {
             for i in 0..inner {
                 let idx = |a: usize| (o * axis_len + a) * inner + i;
@@ -94,15 +128,14 @@ impl Tensor {
                 let mut denom = 0.0f32;
                 for a in 0..axis_len {
                     let e = (self.data[idx(a)] - mx).exp();
-                    out[idx(a)] = e;
+                    out.data[idx(a)] = e;
                     denom += e;
                 }
                 for a in 0..axis_len {
-                    out[idx(a)] /= denom;
+                    out.data[idx(a)] /= denom;
                 }
             }
         }
-        Tensor::from_vec(out, &self.shape)
     }
 
     /// Reduces `self` (a gradient in a broadcast shape) back to `target`

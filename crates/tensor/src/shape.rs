@@ -59,12 +59,43 @@ pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Vec<usize> {
     out
 }
 
+/// Upper bound on tensor rank for the stack-allocated index math used by
+/// the hot (allocation-free) execution paths.
+pub(crate) const MAX_RANK: usize = 8;
+
+/// Array-backed [`broadcast_shapes`]: writes the broadcast shape into a
+/// stack buffer and returns its rank. Same semantics (and panic message),
+/// but allocation-free so warm plan executions stay off the heap.
+pub(crate) fn broadcast_shapes_array(
+    a: &[usize],
+    b: &[usize],
+    out: &mut [usize; MAX_RANK],
+) -> usize {
+    let rank = a.len().max(b.len());
+    assert!(rank <= MAX_RANK, "broadcast rank {rank} exceeds {MAX_RANK}");
+    for i in 0..rank {
+        let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
+        let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+        out[i] = match (da, db) {
+            (x, y) if x == y => x,
+            (1, y) => y,
+            (x, 1) => x,
+            _ => panic!("shapes {a:?} and {b:?} are not broadcast-compatible"),
+        };
+    }
+    rank
+}
+
 /// Strides of `src` viewed as the broadcast shape `dst` — broadcast axes get
-/// stride 0 so the same element is revisited.
-pub(crate) fn broadcast_strides(src: &[usize], dst: &[usize]) -> Vec<usize> {
-    let src_strides = Shape::strides(src);
+/// stride 0 so the same element is revisited. Stack-allocated so the hot
+/// execution paths stay off the heap; `dst` axes beyond `MAX_RANK` are
+/// rejected by the caller (via [`broadcast_shapes_array`]).
+pub(crate) fn broadcast_strides_array(src: &[usize], dst: &[usize], out: &mut [usize; MAX_RANK]) {
+    let mut src_strides = [1usize; MAX_RANK];
+    for i in (0..src.len().saturating_sub(1)).rev() {
+        src_strides[i] = src_strides[i + 1] * src[i + 1];
+    }
     let pad = dst.len() - src.len();
-    let mut out = vec![0usize; dst.len()];
     for i in 0..dst.len() {
         if i < pad {
             out[i] = 0;
@@ -73,7 +104,6 @@ pub(crate) fn broadcast_strides(src: &[usize], dst: &[usize]) -> Vec<usize> {
             out[i] = if d == 1 { 0 } else { src_strides[i - pad] };
         }
     }
-    out
 }
 
 /// Normalizes a possibly-negative axis (Python semantics) into `0..rank`.
@@ -141,8 +171,11 @@ mod tests {
 
     #[test]
     fn broadcast_strides_zero_on_expanded_axes() {
-        assert_eq!(broadcast_strides(&[3, 1], &[3, 4]), vec![1, 0]);
-        assert_eq!(broadcast_strides(&[4], &[2, 3, 4]), vec![0, 0, 1]);
+        let mut out = [0usize; MAX_RANK];
+        broadcast_strides_array(&[3, 1], &[3, 4], &mut out);
+        assert_eq!(&out[..2], &[1, 0]);
+        broadcast_strides_array(&[4], &[2, 3, 4], &mut out);
+        assert_eq!(&out[..3], &[0, 0, 1]);
     }
 
     #[test]

@@ -12,6 +12,15 @@ pub struct Tensor {
     pub(crate) data: Vec<f32>,
 }
 
+/// The default tensor is an *empty placeholder* (no shape, no elements):
+/// it allocates nothing, so it serves as the seed for `*_into` output
+/// buffers and as the `std::mem::take` stand-in on allocation-free paths.
+impl Default for Tensor {
+    fn default() -> Self {
+        Self { shape: Vec::new(), data: Vec::new() }
+    }
+}
+
 impl Tensor {
     // ---------------------------------------------------------------- ctor
 
@@ -149,6 +158,58 @@ impl Tensor {
         self.data[0]
     }
 
+    // ------------------------------------------------------- buffer reuse
+
+    /// An empty placeholder whose buffer already has room for `capacity`
+    /// elements. Used to preallocate arena slots so the first execution of a
+    /// compiled plan is as allocation-free as the steady state.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { shape: Vec::new(), data: Vec::with_capacity(capacity) }
+    }
+
+    /// Rewrites `self.shape` without touching the data buffer. Keeps the
+    /// shape vector's capacity, so warm `*_into` calls never reallocate it.
+    pub(crate) fn reset_shape(&mut self, dims: &[usize]) {
+        self.shape.clear();
+        self.shape.extend_from_slice(dims);
+    }
+
+    /// Clears the data buffer and re-applies `dims` (capacity retained).
+    /// Callers fill the buffer afterwards; every `*_into` op starts here.
+    pub(crate) fn reset_for(&mut self, dims: &[usize]) {
+        self.data.clear();
+        self.reset_shape(dims);
+    }
+
+    /// Overwrites `self` with a copy of `src`, reusing the existing buffers.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.copy_from_with_shape(&src.shape, &src.data);
+    }
+
+    /// Overwrites `self` with `data` reinterpreted under `shape`, reusing
+    /// the existing buffers (a reshaping copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` does not match the element count of `shape`.
+    pub fn copy_from_with_shape(&mut self, shape: &[usize], data: &[f32]) {
+        assert_eq!(
+            data.len(),
+            Shape::numel(shape),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        self.reset_for(shape);
+        self.data.extend_from_slice(data);
+    }
+
+    /// Overwrites `self` with a rank-0 scalar, reusing the buffers.
+    pub fn set_scalar(&mut self, value: f32) {
+        self.reset_for(&[]);
+        self.data.push(value);
+    }
+
     // ------------------------------------------------------------ utilities
 
     /// True when every element of `self` is within `atol` of the matching
@@ -175,7 +236,16 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+        let mut out = Tensor::default();
+        self.map_into(f, &mut out);
+        out
+    }
+
+    /// Applies `f` to every element, writing into `out` (buffers reused).
+    /// [`Tensor::map`] delegates here, so the two are bitwise identical.
+    pub fn map_into(&self, f: impl Fn(f32) -> f32, out: &mut Tensor) {
+        out.reset_for(&self.shape);
+        out.data.extend(self.data.iter().map(|&v| f(v)));
     }
 
     /// Applies `f` to every element in place.
@@ -192,15 +262,21 @@ impl Tensor {
     /// Panics on shape mismatch (no broadcasting; use the arithmetic ops for
     /// broadcast semantics).
     pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let mut out = Tensor::default();
+        self.zip_with_into(other, f, &mut out);
+        out
+    }
+
+    /// Combines two same-shaped tensors elementwise with `f`, writing into
+    /// `out` (buffers reused). [`Tensor::zip_with`] delegates here.
+    pub fn zip_with_into(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32, out: &mut Tensor) {
         assert_eq!(
             self.shape, other.shape,
             "zip_with requires identical shapes: {:?} vs {:?}",
             self.shape, other.shape
         );
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
-        }
+        out.reset_for(&self.shape);
+        out.data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
     }
 }
 

@@ -15,14 +15,20 @@
 //!     --metrics-addr 127.0.0.1:9898 --serve-secs 10 &
 //! curl -s http://127.0.0.1:9898/metrics | grep serve_slo
 //! ```
+//!
+//! `--telemetry-out <path>` additionally dumps the full telemetry
+//! registry (training epochs, `serve.*` SLO metrics, `plan.*`
+//! compiled-plan counters) as JSONL on exit, for
+//! `scripts/bench_summary --check`.
 
 use enhancenet::prelude::*;
 use enhancenet_models::{GruSeq2Seq, ModelDims};
 use std::time::{Duration, Instant};
 
-fn parse_args() -> (Option<String>, u64) {
+fn parse_args() -> (Option<String>, u64, Option<std::path::PathBuf>) {
     let mut metrics_addr = None;
     let mut serve_secs = 0u64;
+    let mut telemetry_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,21 +42,29 @@ fn parse_args() -> (Option<String>, u64) {
                     .parse()
                     .expect("--serve-secs must be an integer");
             }
+            "--telemetry-out" => {
+                telemetry_out = Some(std::path::PathBuf::from(
+                    args.next().expect("--telemetry-out needs a path"),
+                ));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: online_serving [--metrics-addr host:port] [--serve-secs N]");
+                eprintln!(
+                    "usage: online_serving [--metrics-addr host:port] [--serve-secs N] \
+                     [--telemetry-out path]"
+                );
                 std::process::exit(2);
             }
         }
     }
-    (metrics_addr, serve_secs)
+    (metrics_addr, serve_secs, telemetry_out)
 }
 
 fn main() {
-    let (metrics_addr, serve_secs) = parse_args();
-    if metrics_addr.is_some() {
+    let (metrics_addr, serve_secs, telemetry_out) = parse_args();
+    if metrics_addr.is_some() || telemetry_out.is_some() {
         // A scrape of a disabled registry would be empty; live exposition
-        // implies live recording.
+        // (or a JSONL dump) implies live recording.
         enhancenet_telemetry::set_enabled(true);
     }
 
@@ -147,4 +161,13 @@ fn main() {
         slo.error_budget_burn,
     );
     service.shutdown();
+
+    // Dump everything recorded (training epochs, serve.* SLO metrics, the
+    // plan.* cache/compile telemetry) after the worker has drained, so the
+    // JSONL carries the full serving story. CI gates on this artifact:
+    // `bench_summary --check` plus a nonzero `plan.cache.hits`.
+    if let Some(path) = telemetry_out {
+        enhancenet_telemetry::write_jsonl(&path).expect("telemetry JSONL is writable");
+        println!("telemetry written to {}", path.display());
+    }
 }
