@@ -55,15 +55,14 @@ fn la_service(
     max_batch: usize,
     max_wait: Duration,
 ) -> ForecastService {
-    let config = ServeConfig {
-        max_batch,
-        max_wait,
-        queue_capacity: 128,
-        deadline: Duration::from_secs(30),
-        target_feature: 0,
-        ..Default::default()
-    };
-    ForecastService::new(model, la_scaler(), config).unwrap()
+    ServeConfig::builder()
+        .max_batch(max_batch)
+        .max_wait(max_wait)
+        .queue_capacity(128)
+        .deadline(Duration::from_secs(30))
+        .target_feature(0)
+        .spawn(model, la_scaler())
+        .unwrap()
 }
 
 fn la_windows(count: usize, seed: u64) -> Vec<Tensor> {
@@ -118,7 +117,7 @@ fn bench_micro_batching_host(
                 }
             });
         });
-        svc.shutdown();
+        svc.shutdown(ShutdownMode::Drain);
     }
 }
 
@@ -174,7 +173,7 @@ fn percentile_report() {
             p95.as_secs_f64() * 1e3,
             p50.as_secs_f64() * 1e3 / batch as f64,
         );
-        svc.shutdown();
+        svc.shutdown(ShutdownMode::Drain);
     }
 }
 

@@ -4,7 +4,9 @@
 
 use crate::damgn::Damgn;
 use crate::error::EnhanceNetError;
-use enhancenet_autodiff::{Graph, ParamId, ParamStore, Plan, PlanCache, PlanExecutor, Var};
+use enhancenet_autodiff::{
+    Graph, ParamId, ParamStore, Plan, PlanCache, PlanError, PlanExecutor, Var,
+};
 use enhancenet_tensor::{Tensor, TensorRng};
 
 /// Context threaded through one forward pass.
@@ -164,11 +166,8 @@ pub trait Forecaster: Send + Sync {
         } else {
             window
         };
-        let mut rng = TensorRng::seed(0);
-        let mut ctx = ForwardCtx::eval(&mut rng);
-        let mut g = Graph::new();
-        let pred = self.forward(&mut g, x, &mut ctx);
-        match Plan::compile(&g, pred, store) {
+        let (compiled, val) = self.compile_eval_plan(x);
+        match compiled {
             Ok(plan) => {
                 if enhancenet_telemetry::enabled() {
                     enhancenet_telemetry::gauge("plan.arena.bytes", plan.arena_bytes() as f64);
@@ -182,13 +181,38 @@ pub trait Forecaster: Send + Sync {
                 }
             }
         }
-        let val = g.value(pred);
         if window.rank() == 3 {
             out.copy_from_with_shape(&val.shape()[1..], val.data());
         } else {
-            out.copy_from(val);
+            out.copy_from(&val);
         }
         Ok(())
+    }
+
+    /// Traces one eval forward over a **batched** `[B, H, N, C]` window and
+    /// compiles the trace into a static [`Plan`], returning the traced
+    /// prediction alongside so the caller can answer the triggering request
+    /// without a second forward.
+    ///
+    /// This is the compile step [`Forecaster::predict_into`] runs on a plan
+    /// cache miss, exposed so executors that keep their *own* plan tables —
+    /// the serving fleet gives each worker thread a private executor map, so
+    /// concurrent workers never serialize on the model's shared
+    /// [`PlanCache`] mutex — can compile against a shared model snapshot.
+    ///
+    /// `Err` means this model's trace cannot be compiled (no
+    /// [`Graph::input`]-marked leaf, unsupported op); callers fall back to
+    /// [`Forecaster::predict_into`], which runs the tape with identical
+    /// results.
+    fn compile_eval_plan(&self, batched: &Tensor) -> (Result<Plan, PlanError>, Tensor) {
+        // The eval context draws nothing from the RNG (dropout off, no
+        // teacher forcing), so a fixed seed keeps the trace deterministic.
+        let mut rng = TensorRng::seed(0);
+        let mut ctx = ForwardCtx::eval(&mut rng);
+        let mut g = Graph::new();
+        let pred = self.forward(&mut g, batched, &mut ctx);
+        let compiled = Plan::compile(&g, pred, self.store());
+        (compiled, g.value(pred).clone())
     }
 
     /// Pure-tape prediction: traces a fresh eval forward for every call.

@@ -1,0 +1,380 @@
+//! [`ForecastService`]: the single-stream, single-worker online endpoint.
+
+use super::config::ServeConfig;
+use super::reply::{PendingForecast, ReplySlot};
+use super::worker::{self, BatchRequest, ShutdownState};
+use super::{DegradedCause, Forecast, RequestTiming, ShutdownMode, ShutdownReport};
+use crate::error::EnhanceNetError;
+use crate::forecaster::Forecaster;
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use enhancenet_data::{SlidingWindow, StandardScaler};
+use enhancenet_telemetry::{MetricsServer, SloReport, SloWindow};
+use enhancenet_tensor::Tensor;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// An online forecasting endpoint wrapping a trained model.
+///
+/// Ingest raw observations with [`ForecastService::ingest`], ask for
+/// forecasts with [`ForecastService::forecast`]. The model lives on a
+/// dedicated worker thread; [`ForecastService::submit`] exposes the raw
+/// micro-batching path for callers managing their own windows (benchmarks,
+/// fan-out frontends). Spawn through
+/// [`ServeConfig::builder`](super::ServeConfig::builder)`.…spawn(model, scaler)`;
+/// stop with [`ForecastService::shutdown`], choosing whether the queued
+/// backlog is drained or shed.
+pub struct ForecastService {
+    tx: Option<Sender<BatchRequest>>,
+    worker: Option<JoinHandle<()>>,
+    buffer: SlidingWindow,
+    scaler: StandardScaler,
+    config: ServeConfig,
+    input: [usize; 3],
+    horizon: usize,
+    next_request_id: AtomicU64,
+    slo: Mutex<SloWindow>,
+    shutdown: Arc<ShutdownState>,
+    /// Readiness inputs shared with the metrics server's `/readyz` probe.
+    warm: Arc<AtomicBool>,
+    worker_alive: Arc<AtomicBool>,
+    metrics: Option<MetricsServer>,
+}
+
+impl ForecastService {
+    /// Wraps `model` (which moves to the worker thread) behind a serving
+    /// endpoint; the deprecated positional path, kept for one release.
+    ///
+    /// `scaler` must be the scaler the model was trained with —
+    /// [`crate::Trainer`] users take it from `WindowDataset::scaler`.
+    ///
+    /// Fails with [`EnhanceNetError::UnknownInputShape`] when the model
+    /// does not report its `[H, N, C]` input shape (needed to size the
+    /// sliding window), or [`EnhanceNetError::InvalidConfig`] for a zero
+    /// `max_batch`/`queue_capacity`, an invalid SLO window shape or
+    /// target, or an unbindable [`ServeConfig::metrics_addr`].
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `ServeConfig::builder().…spawn(model, scaler)` instead"
+    )]
+    pub fn new(
+        model: Box<dyn Forecaster + Send>,
+        scaler: StandardScaler,
+        config: ServeConfig,
+    ) -> Result<Self, EnhanceNetError> {
+        config.validate()?;
+        Self::from_config(model, scaler, config)
+    }
+
+    /// The spawn path behind [`super::ServeConfigBuilder::spawn`]; assumes
+    /// `config` already passed [`ServeConfig::validate`] and performs only
+    /// the model-dependent checks.
+    pub(crate) fn from_config(
+        model: Box<dyn Forecaster + Send>,
+        scaler: StandardScaler,
+        config: ServeConfig,
+    ) -> Result<Self, EnhanceNetError> {
+        let input = model.input_shape().ok_or_else(|| EnhanceNetError::UnknownInputShape {
+            model: model.name().to_string(),
+        })?;
+        if config.target_feature >= input[2] {
+            return Err(EnhanceNetError::InvalidConfig {
+                field: "target_feature",
+                reason: format!("must be < {} features, got {}", input[2], config.target_feature),
+            });
+        }
+        let horizon = model.horizon();
+        let (tx, rx) = bounded(config.queue_capacity);
+        let (max_batch, max_wait) = (config.max_batch, config.max_wait);
+        let worker_alive = worker::alive_flag();
+        let alive_flag = Arc::clone(&worker_alive);
+        let shutdown = Arc::new(ShutdownState::new());
+        let shutdown_flag = Arc::clone(&shutdown);
+        let worker = std::thread::Builder::new()
+            .name("forecast-worker".into())
+            .spawn(move || {
+                worker::worker_loop(model, rx, max_batch, max_wait, &alive_flag, &shutdown_flag)
+            })
+            .expect("failed to spawn forecast worker thread");
+        let warm = Arc::new(AtomicBool::new(false));
+        let metrics = match &config.metrics_addr {
+            Some(addr) => {
+                let (warm, alive) = (Arc::clone(&warm), Arc::clone(&worker_alive));
+                let probe: enhancenet_telemetry::ReadyProbe =
+                    Arc::new(move || warm.load(Ordering::Relaxed) && alive.load(Ordering::Relaxed));
+                Some(MetricsServer::bind(addr.as_str(), probe).map_err(|e| {
+                    EnhanceNetError::InvalidConfig {
+                        field: "metrics_addr",
+                        reason: format!("cannot bind {addr}: {e}"),
+                    }
+                })?)
+            }
+            None => None,
+        };
+        let slo =
+            Mutex::new(SloWindow::new(config.slo_window, config.slo_slots, config.slo_target));
+        Ok(Self {
+            tx: Some(tx),
+            worker: Some(worker),
+            buffer: SlidingWindow::new(input[0], input[1], input[2]),
+            scaler,
+            config,
+            input,
+            horizon,
+            next_request_id: AtomicU64::new(0),
+            slo,
+            shutdown,
+            warm,
+            worker_alive,
+            metrics,
+        })
+    }
+
+    /// The `[H, N, C]` window shape this service assembles.
+    pub fn input_shape(&self) -> [usize; 3] {
+        self.input
+    }
+
+    /// Forecast horizon `F`.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// The serving policy this service was spawned with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// True once enough history is buffered for a model forecast.
+    pub fn is_ready(&self) -> bool {
+        self.buffer.is_ready()
+    }
+
+    /// The sliding-window state (timestamps retained, readiness).
+    pub fn state(&self) -> &SlidingWindow {
+        &self.buffer
+    }
+
+    /// Address of the embedded metrics server, when
+    /// [`ServeConfig::metrics_addr`] was set (resolves port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(MetricsServer::local_addr)
+    }
+
+    /// True while the batch worker thread is running (one of the two
+    /// readiness inputs behind `/readyz`; the other is window warmth).
+    pub fn worker_alive(&self) -> bool {
+        self.worker_alive.load(Ordering::Relaxed)
+    }
+
+    /// Windowed SLO statistics over the configured rolling window.
+    pub fn slo_report(&self) -> SloReport {
+        self.slo.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).report()
+    }
+
+    /// Ingests one entity's raw observation at `timestamp`; see
+    /// [`SlidingWindow::ingest`] for the fill-forward and late-update
+    /// semantics.
+    pub fn ingest(
+        &mut self,
+        timestamp: i64,
+        entity: usize,
+        features: &[f32],
+    ) -> Result<(), EnhanceNetError> {
+        self.buffer.ingest(timestamp, entity, features)?;
+        self.refresh_window_state();
+        Ok(())
+    }
+
+    /// Ingests a full raw snapshot row (`N * C` values) at `timestamp`.
+    pub fn ingest_row(&mut self, timestamp: i64, row: &[f32]) -> Result<(), EnhanceNetError> {
+        self.buffer.ingest_row(timestamp, row)?;
+        self.refresh_window_state();
+        Ok(())
+    }
+
+    /// Drops buffered history older than `cutoff` (e.g. after a feed gap).
+    pub fn evict_before(&mut self, cutoff: i64) {
+        self.buffer.evict_before(cutoff);
+        self.refresh_window_state();
+    }
+
+    /// Forecasts the next `F` steps from the current window, degrading to a
+    /// persistence forecast when the model cannot answer in time.
+    ///
+    /// Errors only when *nothing* can be served: no observation has ever
+    /// been ingested ([`EnhanceNetError::NotReady`]) or the scaler rejects
+    /// the window shape. Every other failure path — missed deadline, full
+    /// queue, worker panic, warming buffer — returns a degraded forecast
+    /// tagged with its [`DegradedCause`].
+    pub fn forecast(&self) -> Result<Forecast, EnhanceNetError> {
+        enhancenet_telemetry::count("serve.request", 1);
+        let id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        self.sample_gauges();
+        let anchor = self.buffer.latest_timestamp();
+        let Some(raw) = self.buffer.window() else {
+            // Warming up: serve persistence off whatever history exists.
+            return self.fallback(id, anchor, started, DegradedCause::ColdWindow);
+        };
+        let scaled = self.scaler.transform(&raw)?;
+        let pending = match self.submit_with_id(&scaled, id) {
+            Ok(pending) => pending,
+            Err(EnhanceNetError::Overloaded { .. }) => {
+                return self.fallback(id, anchor, started, DegradedCause::QueueFull);
+            }
+            Err(_) => return self.fallback(id, anchor, started, DegradedCause::WorkerPanic),
+        };
+        match pending.wait_reply(self.config.deadline) {
+            Ok(reply) => {
+                let values = self.scaler.inverse_feature(&reply.values, self.config.target_feature);
+                let total_ns = started.elapsed().as_nanos() as u64;
+                enhancenet_telemetry::observe("serve.latency_ns", total_ns as f64);
+                self.record_outcome(total_ns, false);
+                Ok(Forecast {
+                    values,
+                    degraded: None,
+                    anchor,
+                    request_id: id,
+                    timing: RequestTiming {
+                        queue_wait_ns: reply.queue_wait_ns,
+                        forward_ns: reply.forward_ns,
+                        total_ns,
+                    },
+                })
+            }
+            Err(EnhanceNetError::DeadlineExceeded { .. }) => {
+                self.fallback(id, anchor, started, DegradedCause::Deadline)
+            }
+            Err(_) => self.fallback(id, anchor, started, DegradedCause::WorkerPanic),
+        }
+    }
+
+    /// Submits a pre-scaled `[H, N, C]` window to the batch worker without
+    /// blocking; pair with [`PendingForecast::wait`]. This is the fan-out
+    /// path: submit many windows, then collect, and the worker serves them
+    /// in micro-batches.
+    pub fn submit(&self, scaled_window: &Tensor) -> Result<PendingForecast, EnhanceNetError> {
+        let id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+        self.submit_with_id(scaled_window, id)
+    }
+
+    fn submit_with_id(
+        &self,
+        scaled_window: &Tensor,
+        id: u64,
+    ) -> Result<PendingForecast, EnhanceNetError> {
+        if scaled_window.shape() != self.input {
+            return Err(EnhanceNetError::InputShape {
+                expected: self.input.to_vec(),
+                got: scaled_window.shape().to_vec(),
+            });
+        }
+        let tx = self.tx.as_ref().ok_or(EnhanceNetError::ServiceStopped)?;
+        enhancenet_telemetry::gauge("serve.queue.depth", tx.len() as f64);
+        let (reply, slot) = ReplySlot::pair();
+        let submitted = Instant::now();
+        let request = BatchRequest { id, window: scaled_window.clone(), submitted, reply };
+        match tx.try_send(request) {
+            Ok(()) => Ok(PendingForecast { slot, submitted, id }),
+            Err(TrySendError::Full(_)) => {
+                enhancenet_telemetry::count("serve.queue.rejected", 1);
+                Err(EnhanceNetError::Overloaded { capacity: self.config.queue_capacity })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(EnhanceNetError::ServiceStopped),
+        }
+    }
+
+    /// Stops the worker and joins it, returning what happened to requests
+    /// still queued: [`ShutdownMode::Drain`] answers them on the model
+    /// first, [`ShutdownMode::Now`] shed them as `ServiceStopped` (waiters
+    /// see a degraded forecast through [`ForecastService::forecast`]).
+    /// Dropping the service without calling this drains implicitly.
+    pub fn shutdown(mut self, mode: ShutdownMode) -> ShutdownReport {
+        self.stop(mode);
+        self.shutdown.report()
+    }
+
+    /// Samples the request-path level gauges: current queue depth and how
+    /// full the sliding window is (1.0 = warm).
+    fn sample_gauges(&self) {
+        if let Some(tx) = self.tx.as_ref() {
+            enhancenet_telemetry::gauge("serve.queue.depth", tx.len() as f64);
+        }
+        enhancenet_telemetry::gauge(
+            "serve.window.fill",
+            self.buffer.len() as f64 / self.input[0] as f64,
+        );
+    }
+
+    /// Keeps the readiness flag and window-fill gauge in sync with the
+    /// sliding window after every mutation.
+    fn refresh_window_state(&self) {
+        self.warm.store(self.buffer.is_ready(), Ordering::Relaxed);
+        enhancenet_telemetry::gauge(
+            "serve.window.fill",
+            self.buffer.len() as f64 / self.input[0] as f64,
+        );
+    }
+
+    /// Feeds one request outcome into the rolling SLO window and refreshes
+    /// the `serve.slo.*` gauges. Deadline attainment is judged purely on
+    /// latency — a fast fallback still "hit" its deadline; degradation is
+    /// tracked as its own rate.
+    fn record_outcome(&self, total_ns: u64, degraded: bool) {
+        let deadline_hit = u128::from(total_ns) <= self.config.deadline.as_nanos();
+        let report = {
+            let mut slo = self.slo.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            slo.record(total_ns as f64, deadline_hit, degraded);
+            if !enhancenet_telemetry::enabled() {
+                return;
+            }
+            slo.report()
+        };
+        super::fleet::publish_slo_gauges(&report);
+    }
+
+    fn fallback(
+        &self,
+        id: u64,
+        anchor: Option<i64>,
+        started: Instant,
+        cause: DegradedCause,
+    ) -> Result<Forecast, EnhanceNetError> {
+        let values = self
+            .buffer
+            .persistence_forecast(self.horizon, self.config.target_feature)
+            .ok_or(EnhanceNetError::NotReady { have: self.buffer.len(), need: self.input[0] })?;
+        enhancenet_telemetry::count("serve.fallback", 1);
+        enhancenet_telemetry::count(cause.counter_label(), 1);
+        let total_ns = started.elapsed().as_nanos() as u64;
+        enhancenet_telemetry::observe("serve.latency_ns", total_ns as f64);
+        self.record_outcome(total_ns, true);
+        Ok(Forecast {
+            values,
+            degraded: Some(cause),
+            anchor,
+            request_id: id,
+            timing: RequestTiming { queue_wait_ns: 0, forward_ns: 0, total_ns },
+        })
+    }
+
+    fn stop(&mut self, mode: ShutdownMode) {
+        self.shutdown.begin(mode);
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+        // Joining the exporter last lets a scraper observe the final
+        // not-ready state before the listener goes away.
+        drop(self.metrics.take());
+    }
+}
+
+impl Drop for ForecastService {
+    fn drop(&mut self) {
+        self.stop(ShutdownMode::Drain);
+    }
+}

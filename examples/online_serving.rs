@@ -89,8 +89,12 @@ fn main() {
     // Hand the model (and the scaler it was trained with) to the service.
     // The model moves to a worker thread that serves micro-batches; this
     // thread keeps the sliding-window state and the raw-scale API.
-    let serve_config = ServeConfig { metrics_addr, ..Default::default() };
-    let mut service = ForecastService::new(Box::new(model), data.scaler.clone(), serve_config)
+    let mut builder = ServeConfig::builder();
+    if let Some(addr) = metrics_addr {
+        builder = builder.metrics_addr(addr);
+    }
+    let mut service = builder
+        .spawn(Box::new(model), data.scaler.clone())
         .expect("model reports its input shape and the metrics address binds");
     println!(
         "serving: window {:?}, horizon {}, deadline {:?}",
@@ -160,7 +164,8 @@ fn main() {
         slo.degraded_rate,
         slo.error_budget_burn,
     );
-    service.shutdown();
+    let report = service.shutdown(ShutdownMode::Drain);
+    println!("shutdown: drained {} queued requests, shed {}", report.drained, report.shed);
 
     // Dump everything recorded (training epochs, serve.* SLO metrics, the
     // plan.* cache/compile telemetry) after the worker has drained, so the

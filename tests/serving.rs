@@ -31,9 +31,7 @@ fn streamed_forecasts_match_offline_predict_bitwise() {
     let data = WindowDataset::from_series(&series, H, F).unwrap();
     let (n, c) = (series.num_entities(), series.num_features());
 
-    let mut service =
-        ForecastService::new(Box::new(model()), data.scaler.clone(), ServeConfig::default())
-            .unwrap();
+    let mut service = ServeConfig::builder().spawn(Box::new(model()), data.scaler.clone()).unwrap();
     let offline = model();
 
     let mut compared = 0;
@@ -59,7 +57,7 @@ fn streamed_forecasts_match_offline_predict_bitwise() {
         compared += 1;
     }
     assert!(compared >= 40, "only {compared} forecasts compared");
-    service.shutdown();
+    service.shutdown(ShutdownMode::Drain);
 }
 
 /// A host whose forward pass is far slower than the serving deadline.
@@ -97,8 +95,10 @@ fn missed_deadline_returns_degraded_persistence_not_an_error() {
     let (n, c) = (series.num_entities(), series.num_features());
 
     let slow = SlowModel { inner: model(), sleep: Duration::from_millis(300) };
-    let config = ServeConfig { deadline: Duration::from_millis(5), ..Default::default() };
-    let mut service = ForecastService::new(Box::new(slow), data.scaler.clone(), config).unwrap();
+    let mut service = ServeConfig::builder()
+        .deadline(Duration::from_millis(5))
+        .spawn(Box::new(slow), data.scaler.clone())
+        .unwrap();
     for t in 0..H {
         let row = &series.values.data()[t * n * c..(t + 1) * n * c];
         service.ingest_row(t as i64, row).unwrap();
@@ -126,7 +126,7 @@ fn missed_deadline_returns_degraded_persistence_not_an_error() {
             assert_eq!(forecast.values.at(&[f, e]), last);
         }
     }
-    service.shutdown();
+    service.shutdown(ShutdownMode::Drain);
 }
 
 #[test]
@@ -134,9 +134,7 @@ fn warming_service_degrades_instead_of_erroring() {
     let series = generate_traffic(&TrafficConfig::tiny(N, 2));
     let data = WindowDataset::from_series(&series, H, F).unwrap();
     let (n, c) = (series.num_entities(), series.num_features());
-    let mut service =
-        ForecastService::new(Box::new(model()), data.scaler.clone(), ServeConfig::default())
-            .unwrap();
+    let mut service = ServeConfig::builder().spawn(Box::new(model()), data.scaler.clone()).unwrap();
     // Fewer rows than the window needs: degraded persistence, never a hang.
     for t in 0..H / 2 {
         let row = &series.values.data()[t * n * c..(t + 1) * n * c];
@@ -145,7 +143,7 @@ fn warming_service_degrades_instead_of_erroring() {
         assert_eq!(forecast.degraded, Some(DegradedCause::ColdWindow));
         assert_eq!(forecast.values.shape(), &[F, N]);
     }
-    service.shutdown();
+    service.shutdown(ShutdownMode::Drain);
 }
 
 #[test]
@@ -167,8 +165,10 @@ fn live_scrape_exposes_slo_and_fallback_series() {
     let series = generate_traffic(&TrafficConfig::tiny(N, 2));
     let data = WindowDataset::from_series(&series, H, F).unwrap();
     let (n, c) = (series.num_entities(), series.num_features());
-    let config = ServeConfig { metrics_addr: Some("127.0.0.1:0".into()), ..Default::default() };
-    let mut service = ForecastService::new(Box::new(model()), data.scaler.clone(), config).unwrap();
+    let mut service = ServeConfig::builder()
+        .metrics_addr("127.0.0.1:0")
+        .spawn(Box::new(model()), data.scaler.clone())
+        .unwrap();
     let addr = service.metrics_addr().expect("ephemeral metrics port bound");
 
     // Not ready while the window is cold; forecasts degrade but count.
@@ -202,6 +202,6 @@ fn live_scrape_exposes_slo_and_fallback_series() {
     let report = service.slo_report();
     assert_eq!(report.requests, 2 * H as u64);
     assert!(report.degraded_rate > 0.0 && report.degraded_rate < 1.0);
-    service.shutdown();
+    service.shutdown(ShutdownMode::Drain);
     enhancenet_telemetry::set_enabled(false);
 }
