@@ -3,7 +3,7 @@
 #[cfg(test)]
 use crate::graph::Var;
 use crate::graph::{Graph, Op};
-use enhancenet_tensor::Tensor;
+use enhancenet_tensor::{sparse, Tensor};
 
 impl Graph {
     /// Propagates the output gradient `gy` of node `i` to its inputs.
@@ -207,6 +207,52 @@ impl Graph {
             }
             Op::BroadcastTo { from } => {
                 self.accumulate(inputs[0], gy.reduce_to_shape(&from));
+            }
+
+            Op::GatherDotNT { pattern } => {
+                // y[..,i,j] = ⟨a[..,i,:], b[..,cols(i,j),:]⟩
+                // ⇒ ga[..,i,:] = Σⱼ gy[..,i,j]·b[..,cols(i,j),:]  (spmm)
+                //   gb[..,cols(i,j),:] += gy[..,i,j]·a[..,i,:]    (scatter)
+                let (a, b) = (inputs[0], inputs[1]);
+                let mut ga = Tensor::default();
+                sparse::topk_spmm_into(gy, self.value(b), &pattern, &mut ga);
+                let mut gb = Tensor::default();
+                sparse::topk_scatter_into(gy, self.value(a), &pattern, &mut gb);
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::MaskedSoftmax => {
+                // Same rule as Softmax over the last axis: the output is
+                // zero at masked entries, so y ⊙ (gy − Σ gy⊙y) already
+                // routes nothing through them. The mask gets no gradient.
+                let y = self.nodes[i].value.clone();
+                let gy_y = gy.mul_t(&y);
+                let s = gy_y.sum_axis_keepdim(y.rank() as isize - 1);
+                let g = y.mul_t(&gy.sub_t(&s));
+                self.accumulate(inputs[0], g);
+            }
+            Op::SpmmCsr { csr_t, .. } => {
+                // y = A·x for constant A ⇒ gx = Aᵀ·gy, via the precomputed
+                // transpose. A itself is non-differentiable structure.
+                self.accumulate(inputs[0], csr_t.spmm(gy));
+            }
+            Op::SpmmTopk { pattern } => {
+                // y[..,i,:] = Σⱼ vals[..,i,j]·x[..,cols(i,j),:]
+                // ⇒ gvals[..,i,j] = ⟨gy[..,i,:], x[..,cols(i,j),:]⟩
+                //   (batch-summed when vals were broadcast rank-2),
+                //   gx[..,cols(i,j),:] += vals[..,i,j]·gy[..,i,:].
+                // Dropped entries receive no gradient at all.
+                let (vals, x) = (inputs[0], inputs[1]);
+                let mut gvals = Tensor::default();
+                if self.value(vals).rank() == 2 && gy.rank() == 3 {
+                    sparse::topk_gather_dot_reduce_into(gy, self.value(x), &pattern, &mut gvals);
+                } else {
+                    sparse::topk_gather_dot_into(gy, self.value(x), &pattern, &mut gvals);
+                }
+                let mut gx = Tensor::default();
+                sparse::topk_scatter_into(self.value(vals), gy, &pattern, &mut gx);
+                self.accumulate(vals, gvals);
+                self.accumulate(x, gx);
             }
         }
     }

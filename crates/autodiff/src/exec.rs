@@ -14,7 +14,7 @@
 use crate::graph::Op;
 use crate::params::{ParamId, ParamStore};
 use crate::plan::{Instr, Plan, Src};
-use enhancenet_tensor::Tensor;
+use enhancenet_tensor::{sparse, Tensor};
 use std::mem;
 
 /// Static span label for one op tag (recorded on the first, profiling run).
@@ -53,6 +53,10 @@ fn op_label(op: &Op) -> &'static str {
         Op::Slice { .. } => "plan.op.slice",
         Op::PadFront { .. } => "plan.op.pad_front",
         Op::BroadcastTo { .. } => "plan.op.broadcast_to",
+        Op::GatherDotNT { .. } => "plan.op.gather_dot_nt",
+        Op::MaskedSoftmax => "plan.op.masked_softmax",
+        Op::SpmmCsr { .. } => "plan.op.spmm_csr",
+        Op::SpmmTopk { .. } => "plan.op.spmm_topk",
     }
 }
 
@@ -135,6 +139,10 @@ fn exec_instr(
             src(0).pad_axis_front_into(*axis as isize, *count, 0.0, dst)
         }
         Op::BroadcastTo { .. } => src(0).broadcast_to_into(&instr.out_shape, dst),
+        Op::GatherDotNT { pattern } => sparse::topk_gather_dot_into(src(0), src(1), pattern, dst),
+        Op::MaskedSoftmax => sparse::masked_softmax_into(src(0), src(1), dst),
+        Op::SpmmCsr { csr, .. } => csr.spmm_into(src(0), dst),
+        Op::SpmmTopk { pattern } => sparse::topk_spmm_into(src(0), src(1), pattern, dst),
     }
 }
 

@@ -1,7 +1,8 @@
 //! The tape: node arena, operation tags, and the backward driver.
 
 use crate::params::{ParamId, ParamStore};
-use enhancenet_tensor::Tensor;
+use enhancenet_tensor::{CsrMatrix, Tensor, TopkPattern};
+use std::sync::Arc;
 
 /// Handle to a node in a [`Graph`]. Cheap to copy; only valid for the graph
 /// that produced it.
@@ -78,6 +79,24 @@ pub enum Op {
     PadFront { axis: usize, count: usize },
     /// Broadcasts a tensor to a larger shape (used by repeat/expand).
     BroadcastTo { from: Vec<usize> },
+    /// Pattern-restricted attention scores `⟨a[.., i, :], b[.., cols(i,j), :]⟩`
+    /// (rank-2 or batched rank-3 operands). The column pattern is
+    /// non-differentiable structure; only the retained dot products are
+    /// computed, so the score matrix never materializes densely.
+    GatherDotNT { pattern: Arc<TopkPattern> },
+    /// Renormalized softmax over the last axis restricted to entries whose
+    /// mask is > 0; masked entries are exactly 0 and fully masked slices
+    /// collapse to zeros (no dense uniform fallback). Inputs are
+    /// `(logits, mask)`; the mask receives no gradient.
+    MaskedSoftmax,
+    /// Dense-out product of a **constant** CSR matrix with a (possibly
+    /// batched) signal. `csr_t` is the precomputed transpose the backward
+    /// pass multiplies by; the matrix itself receives no gradient.
+    SpmmCsr { csr: Arc<CsrMatrix>, csr_t: Arc<CsrMatrix> },
+    /// Dense-out product of pattern values (`[rows,k]` or `[b,rows,k]`)
+    /// with a batched signal. Gradients scatter **only** into the retained
+    /// entries — dropped entries stay exactly zero through training.
+    SpmmTopk { pattern: Arc<TopkPattern> },
 }
 
 pub(crate) struct Node {

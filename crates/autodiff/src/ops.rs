@@ -4,7 +4,8 @@
 //! and records an [`Op`](crate::Op) tag for the backward sweep.
 
 use crate::graph::{Graph, Op, Var};
-use enhancenet_tensor::{broadcast_shapes, Tensor};
+use enhancenet_tensor::{broadcast_shapes, sparse, CsrMatrix, Tensor, TopkPattern};
+use std::sync::Arc;
 
 impl Graph {
     // ------------------------------------------------------------- binary
@@ -157,6 +158,56 @@ impl Graph {
     pub fn softmax(&mut self, a: Var, axis: isize) -> Var {
         let v = self.value(a).softmax(axis);
         self.push(v, Op::Softmax { axis }, vec![a])
+    }
+
+    /// Masked, renormalized softmax over the last axis: entries with
+    /// `mask > 0` get softmax weights renormalized over the surviving set;
+    /// masked entries are exactly 0; fully masked slices collapse to zeros
+    /// (callers add an explicit fallback such as a self-loop). The mask
+    /// receives no gradient.
+    pub fn masked_softmax(&mut self, logits: Var, mask: Var) -> Var {
+        let mut v = Tensor::default();
+        sparse::masked_softmax_into(self.value(logits), self.value(mask), &mut v);
+        self.push(v, Op::MaskedSoftmax, vec![logits, mask])
+    }
+
+    // ------------------------------------------------------------- sparse
+
+    /// Pattern-restricted attention scores
+    /// `out[.., i, j] = ⟨a[.., i, :], b[.., cols(i,j), :]⟩` for a top-k
+    /// column pattern. `a` is `[rows, e]` / `[batch, rows, e]`, `b` is
+    /// `[cols, e]` / `[batch, cols, e]`; the output is `[.., rows, k]`.
+    /// Only the retained dot products are computed — the dense `rows × cols`
+    /// score matrix never materializes.
+    pub fn gather_dot_nt(&mut self, a: Var, b: Var, pattern: Arc<TopkPattern>) -> Var {
+        let mut v = Tensor::default();
+        sparse::topk_gather_dot_into(self.value(a), self.value(b), &pattern, &mut v);
+        self.push(v, Op::GatherDotNT { pattern }, vec![a, b])
+    }
+
+    /// Dense-out product of a **constant** CSR matrix with a (possibly
+    /// batched) signal: `[.., cols, c] → [.., rows, c]`. `csr_t` must be
+    /// the transpose of `csr` (build it once with
+    /// [`CsrMatrix::transpose`]); the backward pass multiplies by it, and
+    /// the matrix itself receives no gradient.
+    pub fn spmm_csr(&mut self, csr: Arc<CsrMatrix>, csr_t: Arc<CsrMatrix>, x: Var) -> Var {
+        debug_assert_eq!(
+            (csr.rows(), csr.cols(), csr.nnz()),
+            (csr_t.cols(), csr_t.rows(), csr_t.nnz()),
+            "spmm_csr: csr_t is not the transpose of csr"
+        );
+        let v = csr.spmm(self.value(x));
+        self.push(v, Op::SpmmCsr { csr, csr_t }, vec![x])
+    }
+
+    /// Dense-out product of top-k pattern values with a signal:
+    /// `out[.., i, :] = Σⱼ vals[.., i, j] · x[.., cols(i,j), :]`. `vals` is
+    /// `[rows, k]` (broadcast over a batched signal) or `[batch, rows, k]`.
+    /// Gradients scatter **only** into the retained entries.
+    pub fn spmm_topk(&mut self, vals: Var, x: Var, pattern: Arc<TopkPattern>) -> Var {
+        let mut v = Tensor::default();
+        sparse::topk_spmm_into(self.value(vals), self.value(x), &pattern, &mut v);
+        self.push(v, Op::SpmmTopk { pattern }, vec![vals, x])
     }
 
     // --------------------------------------------------------- reductions

@@ -3,8 +3,9 @@
 
 use enhancenet_autodiff::check::{check_gradient, check_gradient2};
 use enhancenet_autodiff::Graph;
-use enhancenet_tensor::Tensor;
+use enhancenet_tensor::{CsrMatrix, Tensor, TopkPattern};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 const EPS: f32 = 1e-2;
 const TOL: f32 = 5e-2;
@@ -257,6 +258,132 @@ proptest! {
             let out = g.add(blend, keep);
             g.sum_all(out)
         }, &x, &h, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+}
+
+/// Deterministic score matrix used to fix the sparsity pattern across the
+/// finite-difference perturbations (the pattern is structural, not
+/// differentiable, so it must not move with the input).
+fn fixed_pattern(n: usize, k: usize) -> Arc<TopkPattern> {
+    let scores =
+        Tensor::from_vec((0..n * n).map(|i| (i as f32 * 0.37).sin() + 0.1).collect(), &[n, n]);
+    Arc::new(TopkPattern::from_dense_topk(&scores, k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grad_gather_dot_nt_rank2(a in tensor(&[5, 3], -1.5, 1.5), b in tensor(&[5, 3], -1.5, 1.5)) {
+        let pat = fixed_pattern(5, 3);
+        let r = check_gradient2(|g, a, b| {
+            let s = g.gather_dot_nt(a, b, pat.clone());
+            let sq = g.square(s);
+            g.sum_all(sq)
+        }, &a, &b, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_gather_dot_nt_rank3(
+        a in tensor(&[2, 4, 3], -1.5, 1.5),
+        b in tensor(&[2, 4, 3], -1.5, 1.5),
+    ) {
+        let pat = fixed_pattern(4, 2);
+        let r = check_gradient2(|g, a, b| {
+            let s = g.gather_dot_nt(a, b, pat.clone());
+            let sq = g.square(s);
+            g.sum_all(sq)
+        }, &a, &b, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_spmm_topk_broadcast_vals(
+        vals in tensor(&[4, 2], -1.5, 1.5),
+        x in tensor(&[2, 4, 3], -1.5, 1.5),
+    ) {
+        // Rank-2 values broadcast over a batched signal: the vals gradient
+        // must batch-sum through the reduce kernel.
+        let pat = fixed_pattern(4, 2);
+        let r = check_gradient2(|g, v, x| {
+            let s = g.spmm_topk(v, x, pat.clone());
+            let sq = g.square(s);
+            g.sum_all(sq)
+        }, &vals, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_spmm_topk_batched_vals(
+        vals in tensor(&[2, 4, 2], -1.5, 1.5),
+        x in tensor(&[2, 4, 3], -1.5, 1.5),
+    ) {
+        let pat = fixed_pattern(4, 2);
+        let r = check_gradient2(|g, v, x| {
+            let s = g.spmm_topk(v, x, pat.clone());
+            let sq = g.square(s);
+            g.sum_all(sq)
+        }, &vals, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_spmm_topk_rank2(
+        vals in tensor(&[5, 3], -1.5, 1.5),
+        x in tensor(&[5, 2], -1.5, 1.5),
+    ) {
+        let pat = fixed_pattern(5, 3);
+        let r = check_gradient2(|g, v, x| {
+            let s = g.spmm_topk(v, x, pat.clone());
+            let sq = g.square(s);
+            g.sum_all(sq)
+        }, &vals, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_masked_softmax(x in tensor(&[2, 5], -2.0, 2.0)) {
+        // Fixed mask with pruned entries plus a weighted sum so the gradient
+        // is non-trivial; the mask input itself gets no gradient.
+        let mask = Tensor::from_vec(vec![1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0], &[2, 5]);
+        let w = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5, -1.0, 2.0, -0.5, 1.5, 1.0, -3.0], &[2, 5]);
+        let r = check_gradient(|g, v| {
+            let m = g.constant(mask.clone());
+            let s = g.masked_softmax(v, m);
+            let wc = g.constant(w.clone());
+            let ws = g.mul(s, wc);
+            g.sum_all(ws)
+        }, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_spmm_csr_rank2(x in tensor(&[5, 3], -1.5, 1.5)) {
+        let scores = Tensor::from_vec(
+            (0..25).map(|i| (i as f32 * 0.53).cos()).collect(), &[5, 5]);
+        let csr = Arc::new(CsrMatrix::from_topk(&scores, 2));
+        let csr_t = Arc::new(csr.transpose());
+        let r = check_gradient(|g, v| {
+            let s = g.spmm_csr(csr.clone(), csr_t.clone(), v);
+            let sq = g.square(s);
+            g.sum_all(sq)
+        }, &x, EPS);
+        prop_assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_spmm_csr_rank3(x in tensor(&[2, 4, 3], -1.5, 1.5)) {
+        let scores = Tensor::from_vec(
+            (0..16).map(|i| (i as f32 * 0.53).cos()).collect(), &[4, 4]);
+        let csr = Arc::new(CsrMatrix::from_topk(&scores, 2));
+        let csr_t = Arc::new(csr.transpose());
+        let r = check_gradient(|g, v| {
+            let s = g.spmm_csr(csr.clone(), csr_t.clone(), v);
+            let sq = g.square(s);
+            g.sum_all(sq)
+        }, &x, EPS);
         prop_assert!(r.passes(TOL), "{r:?}");
     }
 }

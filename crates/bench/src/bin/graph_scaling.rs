@@ -1,0 +1,280 @@
+//! Sub-quadratic dynamic-graph scaling report: trains and serves the
+//! `D-DA-GTCN` with row-sparse top-k DAMGN attention across an `N`-sweep
+//! and fits the latency growth exponent.
+//!
+//! ```sh
+//! cargo run --release -p enhancenet-bench --bin graph_scaling -- \
+//!     --sizes 500,1000,2000,4000,10000 --top-k 32 \
+//!     --telemetry-out target/graph_scaling.jsonl \
+//!     --report-out target/graph_scaling_report.json --check
+//! ```
+//!
+//! Per size `N` the run: generates a grid-correlated series ([`GridConfig`],
+//! `O(N·T)` — no dense `[N, N]` anywhere), derives CSR dual-transition base
+//! supports, builds the model via [`WaveNet::gtcn_sparse`], trains a few
+//! batches, then times warm compiled-plan forecasts ([`Forecaster::predict`]
+//! — the serving path). A least-squares fit of `ln(latency)` against
+//! `ln(N)` yields the growth exponent; the dense DAMGN path is `Θ(N²)`, so
+//! the sparse path must fit **below 2.0** (grid adjacency nnz and the top-k
+//! budget are both `O(N)`, so it lands near 1).
+//!
+//! `--telemetry-out` dumps `graph.sparse.*` / `damgn.topk.*` telemetry as
+//! JSONL for `scripts/bench_summary --check` (CI converts it into
+//! `BENCH_graph_scaling.json`); `--report-out` writes this binary's own
+//! sweep report. `--check` exits non-zero unless training converged to a
+//! finite loss, serving produced finite forecasts, the sparse counters
+//! moved, and the fitted exponent is below 2.0.
+
+use enhancenet::prelude::*;
+use enhancenet_data::{generate_grid_series, GridConfig, WindowDataset};
+use enhancenet_graph::{build_supports_csr, SupportKind};
+use enhancenet_models::{GraphMode, ModelDims, TemporalMode, WaveNet, WaveNetConfig};
+use enhancenet_tensor::Tensor;
+use std::time::Instant;
+
+const H: usize = 4;
+const F: usize = 2;
+const STEPS: usize = 40;
+
+struct Args {
+    sizes: Vec<usize>,
+    top_k: usize,
+    train_batches: usize,
+    predict_iters: usize,
+    telemetry_out: Option<std::path::PathBuf>,
+    report_out: Option<std::path::PathBuf>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        sizes: vec![500, 1000, 2000, 4000],
+        top_k: 32,
+        train_batches: 4,
+        predict_iters: 5,
+        telemetry_out: None,
+        report_out: None,
+        check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match arg.as_str() {
+            "--sizes" => {
+                parsed.sizes = value("--sizes")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().expect("--sizes: comma-separated entity counts"))
+                    .collect();
+            }
+            "--top-k" => parsed.top_k = value("--top-k").parse().expect("--top-k: usize"),
+            "--train-batches" => {
+                parsed.train_batches =
+                    value("--train-batches").parse().expect("--train-batches: usize");
+            }
+            "--predict-iters" => {
+                parsed.predict_iters =
+                    value("--predict-iters").parse().expect("--predict-iters: usize");
+            }
+            "--telemetry-out" => {
+                parsed.telemetry_out = Some(value("--telemetry-out").into());
+            }
+            "--report-out" => parsed.report_out = Some(value("--report-out").into()),
+            "--check" => parsed.check = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: graph_scaling [--sizes 500,1000,...] [--top-k K] \
+                     [--train-batches B] [--predict-iters I] [--telemetry-out path] \
+                     [--report-out path] [--check]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(!parsed.sizes.is_empty(), "--sizes must name at least one entity count");
+    parsed
+}
+
+/// One sweep point: train briefly, then time warm compiled-plan forecasts.
+struct SizeResult {
+    n: usize,
+    adjacency_nnz: usize,
+    params: usize,
+    final_loss: f32,
+    train_ms: f64,
+    predict_us: f64,
+    forecast_finite: bool,
+}
+
+fn run_size(n: usize, top_k: usize, train_batches: usize, predict_iters: usize) -> SizeResult {
+    let series = generate_grid_series(&GridConfig::new(n, STEPS));
+    let adjacency_nnz = series.adjacency.nnz();
+    let data = WindowDataset::from_values(&series.values, H, F).expect("series covers H+F");
+    let bases = build_supports_csr(&series.adjacency, SupportKind::DoubleTransition);
+
+    let dims =
+        ModelDims { num_entities: n, in_features: 1, hidden: 8, input_len: H, output_len: F };
+    let config = WaveNetConfig { dilations: vec![1, 2], kernel: 2, end_hidden: 16, dropout: 0.0 };
+    let mut model = WaveNet::gtcn_sparse(
+        dims,
+        config,
+        TemporalMode::Distinct(DfgnConfig::default()),
+        GraphMode::paper_dynamic_topk(top_k),
+        bases,
+        7,
+    );
+    assert_eq!(model.name(), "D-DA-GTCN");
+    let params = model.num_parameters();
+
+    let cfg = TrainConfig::builder()
+        .epochs(1)
+        .batch_size(4)
+        .max_batches_per_epoch(Some(train_batches))
+        .max_eval_batches(Some(1))
+        .build()
+        .expect("train config is valid");
+    let t0 = Instant::now();
+    let report = Trainer::new(cfg).train(&mut model, &data);
+    let train_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let final_loss = report.train_loss.last().copied().unwrap_or(f32::NAN);
+
+    // Serving path: warm once (plan compile + caches), then time steady-
+    // state forecasts on a fresh window.
+    let window = Tensor::from_vec(series.values.data()[..H * n].to_vec(), &[H, n, 1]);
+    let mut out = Tensor::default();
+    model.predict_into(&window, &mut out).expect("window matches model dims");
+    let forecast_finite = out.data().iter().all(|v| v.is_finite());
+    let t0 = Instant::now();
+    for _ in 0..predict_iters {
+        model.predict_into(&window, &mut out).expect("warm predict succeeds");
+    }
+    let predict_us = t0.elapsed().as_secs_f64() * 1e6 / predict_iters.max(1) as f64;
+
+    SizeResult { n, adjacency_nnz, params, final_loss, train_ms, predict_us, forecast_finite }
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)` — the growth exponent.
+fn fit_exponent(points: &[(f64, f64)]) -> f64 {
+    let k = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    let denom = k * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return f64::NAN;
+    }
+    (k * sxy - sx * sy) / denom
+}
+
+fn main() {
+    let args = parse_args();
+    if args.telemetry_out.is_some() {
+        enhancenet_telemetry::set_enabled(true);
+    }
+
+    println!("graph scaling: D-DA-GTCN, top_k={}, {} sweep point(s)", args.top_k, args.sizes.len());
+    let results: Vec<SizeResult> = args
+        .sizes
+        .iter()
+        .map(|&n| {
+            let r = run_size(n, args.top_k, args.train_batches, args.predict_iters);
+            println!(
+                "  N={:<6} nnz={:<7} params={:<8} loss={:<10.4} train={:>9.1}ms predict={:>10.1}us",
+                r.n, r.adjacency_nnz, r.params, r.final_loss, r.train_ms, r.predict_us
+            );
+            r
+        })
+        .collect();
+
+    let points: Vec<(f64, f64)> = results.iter().map(|r| (r.n as f64, r.predict_us)).collect();
+    let exponent = if points.len() >= 2 { fit_exponent(&points) } else { f64::NAN };
+    if points.len() >= 2 {
+        println!("fitted predict-latency exponent: {exponent:.3} (dense DAMGN would be 2.0)");
+    } else {
+        println!("single sweep point: no exponent fit (need >= 2 sizes)");
+    }
+
+    let sparse_nnz = enhancenet_telemetry::counter_value("graph.sparse.nnz");
+    let sparse_rows = enhancenet_telemetry::counter_value("graph.sparse.rows");
+    let topk_builds = enhancenet_telemetry::counter_value("damgn.topk.builds");
+    let topk_nnz = enhancenet_telemetry::counter_value("damgn.topk.nnz");
+    if enhancenet_telemetry::enabled() {
+        println!(
+            "sparse counters: graph.sparse.nnz={sparse_nnz} graph.sparse.rows={sparse_rows} \
+             damgn.topk.builds={topk_builds} damgn.topk.nnz={topk_nnz}"
+        );
+    }
+
+    let report = serde_json::json!({
+        "model": "D-DA-GTCN",
+        "top_k": args.top_k,
+        "input_len": H,
+        "output_len": F,
+        "sweep": results.iter().map(|r| serde_json::json!({
+            "num_entities": r.n,
+            "adjacency_nnz": r.adjacency_nnz,
+            "parameters": r.params,
+            "final_train_loss": r.final_loss,
+            "train_ms": r.train_ms,
+            "predict_us": r.predict_us,
+        })).collect::<Vec<_>>(),
+        "fitted_exponent": if exponent.is_finite() {
+            serde_json::json!(exponent)
+        } else {
+            serde_json::Value::Null
+        },
+        "counters": {
+            "graph.sparse.nnz": sparse_nnz,
+            "graph.sparse.rows": sparse_rows,
+            "damgn.topk.builds": topk_builds,
+            "damgn.topk.nnz": topk_nnz,
+        },
+    });
+    if let Some(path) = &args.report_out {
+        std::fs::write(path, format!("{report:#}\n")).expect("report path is writable");
+        println!("report: {}", path.display());
+    }
+    if let Some(path) = &args.telemetry_out {
+        enhancenet_telemetry::write_jsonl(path).expect("telemetry path is writable");
+        println!("telemetry: {}", path.display());
+    }
+
+    if args.check {
+        let mut failures: Vec<String> = Vec::new();
+        let mut expect = |ok: bool, what: &str| {
+            if !ok {
+                failures.push(what.to_string());
+            }
+        };
+        for r in &results {
+            expect(r.final_loss.is_finite(), &format!("N={}: training loss is finite", r.n));
+            expect(r.forecast_finite, &format!("N={}: served forecast is finite", r.n));
+        }
+        if points.len() >= 2 {
+            expect(
+                exponent.is_finite() && exponent < 2.0,
+                &format!("fitted exponent {exponent:.3} < 2.0 (sub-quadratic)"),
+            );
+        }
+        if enhancenet_telemetry::enabled() {
+            expect(sparse_nnz > 0, "graph.sparse.nnz moved (SpMM kernels ran)");
+            expect(sparse_rows > 0, "graph.sparse.rows moved");
+            expect(topk_builds > 0, "damgn.topk.builds moved (top-k pattern built)");
+            expect(topk_nnz > 0, "damgn.topk.nnz moved");
+        }
+        if failures.is_empty() {
+            println!("check: OK");
+        } else {
+            for f in &failures {
+                eprintln!("check FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

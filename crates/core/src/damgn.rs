@@ -20,9 +20,11 @@
 //!   decide to let the network learn them"; with `λ_B = λ_C = 0` the module
 //!   reduces to ordinary graph convolution over `A`.
 
+use crate::gconv::GcSupport;
 use enhancenet_autodiff::{Graph, ParamId, ParamStore, Var};
-use enhancenet_tensor::{Tensor, TensorRng};
-use std::sync::Mutex;
+use enhancenet_tensor::{CsrMatrix, Tensor, TensorRng, TopkPattern};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// DAMGN hyper-parameters. Paper default: `M = 10` for the `B₁`, `B₂`
 /// memories; the embedding width of θ/φ defaults to the input feature
@@ -33,11 +35,17 @@ pub struct DamgnConfig {
     pub b_memory_dim: usize,
     /// Embedding dimension of the θ/φ transforms in Eq. 16.
     pub embed_dim: usize,
+    /// When set, both the adaptive `B` (Eq. 15) and the time-specific `C_t`
+    /// (Eq. 16) are restricted to the `top_k` strongest candidate columns
+    /// per row (selected from the `B₁B₂ᵀ` memory scores), turning the
+    /// per-hop diffusion from `O(N²)` into `O(N·k)`. `None` keeps the dense
+    /// paper formulation; `Some(n)` with `k = N` reproduces it exactly.
+    pub top_k: Option<usize>,
 }
 
 impl Default for DamgnConfig {
     fn default() -> Self {
-        Self { b_memory_dim: 10, embed_dim: 8 }
+        Self { b_memory_dim: 10, embed_dim: 8, top_k: None }
     }
 }
 
@@ -48,6 +56,38 @@ pub struct DamgnBinding {
     lambda_c: Var,
     theta: Var,
     phi: Var,
+}
+
+/// Per-tape cache produced by [`Damgn::bind_sparse`]: the shared top-k
+/// candidate pattern, the pre-weighted sparse static values `λ_B·B`
+/// (`[N, K]`), and the bound scalars/embeddings the per-timestep sparse
+/// supports are assembled from.
+///
+/// The sub-quadratic path exploits linearity of the diffusion step: for
+/// every base support, `A'·x = λ_A·(A_s·x) + ((λ_B·B ⊕ λ_C·C_t)·x)` where
+/// `A_s` is a constant CSR matrix and `B`/`C_t` live on one shared top-k
+/// pattern, so their values combine elementwise before a single pattern
+/// SpMM.
+pub struct DamgnSparseBinding {
+    pattern: Arc<TopkPattern>,
+    /// `λ_B · B` restricted to the pattern, `[N, K]`.
+    weighted_b: Var,
+    lambda_a: Var,
+    lambda_c: Var,
+    theta: Var,
+    phi: Var,
+}
+
+impl DamgnSparseBinding {
+    /// The shared top-k candidate pattern.
+    pub fn pattern(&self) -> &Arc<TopkPattern> {
+        &self.pattern
+    }
+
+    /// The pre-weighted sparse static values `λ_B·B`, `[N, K]`.
+    pub fn weighted_b(&self) -> Var {
+        self.weighted_b
+    }
 }
 
 /// Version-keyed cache of the folded static component `λ_A·A_s + λ_B·B`
@@ -66,7 +106,14 @@ pub struct DamgnBinding {
 /// return before touching the lock, so the hot path never contends.
 #[derive(Default)]
 pub struct StaticFoldCache {
-    slot: Mutex<Option<(u64, Vec<Tensor>)>>,
+    slot: Mutex<Option<(u64, FoldEntry)>>,
+}
+
+/// What a [`StaticFoldCache`] holds: the folded dense static mixes, or the
+/// sparse pattern plus folded `λ_B·B` values for the top-k path.
+enum FoldEntry {
+    Dense(Vec<Tensor>),
+    Sparse { pattern: Arc<TopkPattern>, weighted_b: Tensor },
 }
 
 impl StaticFoldCache {
@@ -92,6 +139,7 @@ pub struct Damgn {
     lambda_b: ParamId,
     lambda_c: ParamId,
     num_entities: usize,
+    top_k: Option<usize>,
 }
 
 impl Damgn {
@@ -120,12 +168,27 @@ impl Damgn {
             lambda_b: store.add(format!("{name}.lambda_b"), Tensor::scalar(0.1)),
             lambda_c: store.add(format!("{name}.lambda_c"), Tensor::scalar(0.1)),
             num_entities,
+            top_k: config.top_k.map(|k| k.min(num_entities)),
         }
+    }
+
+    /// The configured per-row candidate budget of the sparse path, when
+    /// enabled (clamped to `N` at construction).
+    pub fn top_k(&self) -> Option<usize> {
+        self.top_k
     }
 
     /// Eq. 15: the global adaptive adjacency
     /// `B = Softmax(ReLU(B₁ B₂ᵀ)) ∈ [N, N]` (row softmax; ReLU prunes weak
     /// correlations before normalization).
+    ///
+    /// The softmax renormalizes over the ReLU *survivors* only: pruned
+    /// scores are excluded from the distribution rather than entering as
+    /// `exp(0) = 1` terms. A plain softmax over the ReLU output would turn
+    /// a fully-pruned row into a dense uniform `1/N` row — connecting the
+    /// entity to every other entity precisely when the memories found no
+    /// correlation at all. Fully-pruned rows instead fall back to an exact
+    /// self-loop, matching the `λ_B = 0` reading of Eq. 13 for that entity.
     pub fn static_b(&self, g: &mut Graph, store: &ParamStore) -> Var {
         let _timer = enhancenet_telemetry::span("damgn.static_b");
         enhancenet_telemetry::count("damgn.static_b.calls", 1);
@@ -133,7 +196,24 @@ impl Damgn {
         let b2 = g.param(store, self.b2);
         let raw = g.matmul_nt(b1, b2);
         let act = g.relu(raw);
-        g.softmax(act, -1)
+        let msm = g.masked_softmax(act, act);
+        let n = self.num_entities;
+        let dead: Vec<usize> = {
+            let v = g.value(act);
+            (0..n).filter(|&i| v.data()[i * n..(i + 1) * n].iter().all(|&s| s <= 0.0)).collect()
+        };
+        if dead.is_empty() {
+            return msm;
+        }
+        // Dead rows produce no gradient regardless (their softmax row is
+        // identically zero), so the self-loop is a trace-time constant.
+        enhancenet_telemetry::count("damgn.static_b.fallback_rows", dead.len() as u64);
+        let mut fallback = vec![0.0f32; n * n];
+        for &i in &dead {
+            fallback[i * n + i] = 1.0;
+        }
+        let fb = g.constant(Tensor::from_vec(fallback, &[n, n]));
+        g.add(msm, fb)
     }
 
     /// Eq. 16: the time-specific adjacency for a batched signal
@@ -148,6 +228,28 @@ impl Damgn {
         let q = g.matmul_broadcast_right(x_t, th); // [B, N, E]
         let k = g.matmul_broadcast_right(x_t, ph); // [B, N, E]
         let logits = g.bmm_nt(q, k); // [B, N, N], fused q·kᵀ
+        g.softmax(logits, -1)
+    }
+
+    /// Eq. 16 restricted to `pattern`: gathered embedded-Gaussian scores,
+    /// softmax over the `K` candidates per row, returned as `[B, N, K]`
+    /// values on the shared pattern. At `k = N` this is exactly the dense
+    /// [`Damgn::dynamic_c`].
+    pub fn dynamic_c_topk(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x_t: Var,
+        pattern: &Arc<TopkPattern>,
+    ) -> Var {
+        assert_eq!(g.value(x_t).rank(), 3, "dynamic_c expects [B, N, C]");
+        let _timer = enhancenet_telemetry::span("damgn.dynamic_c");
+        enhancenet_telemetry::count("damgn.dynamic_c.calls", 1);
+        let th = g.param(store, self.theta);
+        let ph = g.param(store, self.phi);
+        let q = g.matmul_broadcast_right(x_t, th); // [B, N, E]
+        let k = g.matmul_broadcast_right(x_t, ph); // [B, N, E]
+        let logits = g.gather_dot_nt(q, k, pattern.clone()); // [B, N, K]
         g.softmax(logits, -1)
     }
 
@@ -218,7 +320,7 @@ impl Damgn {
             return self.bind(g, store, base_supports);
         }
         let mut slot = cache.slot.lock().unwrap();
-        if let Some((version, parts)) = slot.as_ref() {
+        if let Some((version, FoldEntry::Dense(parts))) = slot.as_ref() {
             if *version == store.version() && parts.len() == base_supports.len() {
                 enhancenet_telemetry::count("damgn.fold.hits", 1);
                 return DamgnBinding {
@@ -233,8 +335,179 @@ impl Damgn {
         let binding = self.bind(g, store, base_supports);
         let folded: Vec<Tensor> =
             binding.static_parts.iter().map(|&v| g.value(v).clone()).collect();
-        *slot = Some((store.version(), folded));
+        *slot = Some((store.version(), FoldEntry::Dense(folded)));
         binding
+    }
+
+    /// Builds the shared top-k candidate pattern from the current `B₁`/`B₂`
+    /// memories: row `i` keeps the `k` columns with the largest raw memory
+    /// scores `B₁[i]·B₂[j]` (ReLU-dead rows keep their diagonal so the
+    /// self-loop fallback has a slot). `O(N²·M)` per build with scratch-pool
+    /// score buffers and rayon row bands; serving amortizes it through
+    /// [`Damgn::bind_sparse_cached`]. Telemetry: `damgn.topk.*`.
+    pub fn topk_pattern(&self, store: &ParamStore, k: usize) -> Arc<TopkPattern> {
+        let _timer = enhancenet_telemetry::span("damgn.topk.build");
+        let started = enhancenet_telemetry::enabled().then(Instant::now);
+        let b1 = store.value(self.b1);
+        let b2 = store.value(self.b2);
+        let n = self.num_entities;
+        let m = b1.shape()[1];
+        let (b1d, b2d) = (b1.data(), b2.data());
+        let pattern = TopkPattern::from_scores(n, n, k.min(n), |i, out| {
+            let bi = &b1d[i * m..(i + 1) * m];
+            for (j, slot) in out.iter_mut().enumerate() {
+                let bj = &b2d[j * m..(j + 1) * m];
+                *slot = bi.iter().zip(bj).map(|(&a, &b)| a * b).sum();
+            }
+        });
+        if let Some(t0) = started {
+            enhancenet_telemetry::count("damgn.topk.build_ns", t0.elapsed().as_nanos() as u64);
+            enhancenet_telemetry::count("damgn.topk.builds", 1);
+            enhancenet_telemetry::count("damgn.topk.rows", pattern.rows() as u64);
+            enhancenet_telemetry::count("damgn.topk.nnz", pattern.nnz() as u64);
+        }
+        Arc::new(pattern)
+    }
+
+    /// Sparse Eq. 15 restricted to `pattern`: gathers the `[N, K]` memory
+    /// scores, prunes with ReLU, renormalizes over the survivors with a
+    /// masked softmax, and adds the exact self-loop fallback to
+    /// fully-pruned rows — the same semantics as the dense
+    /// [`Damgn::static_b`], on `O(N·K)` values.
+    pub fn static_b_topk(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        pattern: &Arc<TopkPattern>,
+    ) -> Var {
+        let _timer = enhancenet_telemetry::span("damgn.static_b");
+        enhancenet_telemetry::count("damgn.static_b.calls", 1);
+        let b1 = g.param(store, self.b1);
+        let b2 = g.param(store, self.b2);
+        let scores = g.gather_dot_nt(b1, b2, pattern.clone());
+        let act = g.relu(scores);
+        let msm = g.masked_softmax(act, act);
+        let k = pattern.k();
+        let dead: Vec<usize> = {
+            let v = g.value(act);
+            (0..pattern.rows())
+                .filter(|&i| v.data()[i * k..(i + 1) * k].iter().all(|&s| s <= 0.0))
+                .collect()
+        };
+        if dead.is_empty() {
+            return msm;
+        }
+        enhancenet_telemetry::count("damgn.static_b.fallback_rows", dead.len() as u64);
+        let mut fallback = vec![0.0f32; pattern.rows() * k];
+        for &i in &dead {
+            // The builder guarantees dead rows retain their diagonal.
+            if let Ok(j) = pattern.row_cols(i).binary_search(&(i as u32)) {
+                fallback[i * k + j] = 1.0;
+            }
+        }
+        let fb = g.constant(Tensor::from_vec(fallback, &[pattern.rows(), k]));
+        g.add(msm, fb)
+    }
+
+    /// [`Damgn::bind`] for the sparse path: builds (or receives) the shared
+    /// top-k pattern and folds `λ_B·B` on it once per tape, so each
+    /// timestep only pays for the sparse `C_t` gather/softmax and one
+    /// elementwise combine.
+    pub fn bind_sparse(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        pattern: Arc<TopkPattern>,
+    ) -> DamgnSparseBinding {
+        let _timer = enhancenet_telemetry::span("damgn.bind");
+        enhancenet_telemetry::count("damgn.bind.calls", 1);
+        let lb = g.param(store, self.lambda_b);
+        let b = self.static_b_topk(g, store, &pattern);
+        let weighted_b = g.mul(lb, b);
+        DamgnSparseBinding {
+            pattern,
+            weighted_b,
+            lambda_a: g.param(store, self.lambda_a),
+            lambda_c: g.param(store, self.lambda_c),
+            theta: g.param(store, self.theta),
+            phi: g.param(store, self.phi),
+        }
+    }
+
+    /// [`Damgn::bind_sparse`] with the pattern build and `λ_B·B` fold
+    /// served from `cache` on eval paths, keyed on [`ParamStore::version`]
+    /// exactly like the dense fold. Training forwards rebuild both (the
+    /// pattern tracks the live memories; gradients must flow through λ_B
+    /// and the retained scores). Telemetry: `damgn.fold.hits` / `.misses`.
+    pub fn bind_sparse_cached(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        k: usize,
+        cache: &StaticFoldCache,
+        training: bool,
+    ) -> DamgnSparseBinding {
+        if training {
+            let pattern = self.topk_pattern(store, k);
+            return self.bind_sparse(g, store, pattern);
+        }
+        let mut slot = cache.slot.lock().unwrap();
+        if let Some((version, FoldEntry::Sparse { pattern, weighted_b })) = slot.as_ref() {
+            if *version == store.version() && pattern.k() == k.min(self.num_entities) {
+                enhancenet_telemetry::count("damgn.fold.hits", 1);
+                return DamgnSparseBinding {
+                    pattern: pattern.clone(),
+                    weighted_b: g.constant(weighted_b.clone()),
+                    lambda_a: g.param(store, self.lambda_a),
+                    lambda_c: g.param(store, self.lambda_c),
+                    theta: g.param(store, self.theta),
+                    phi: g.param(store, self.phi),
+                };
+            }
+        }
+        enhancenet_telemetry::count("damgn.fold.misses", 1);
+        let pattern = self.topk_pattern(store, k);
+        let binding = self.bind_sparse(g, store, pattern);
+        *slot = Some((
+            store.version(),
+            FoldEntry::Sparse {
+                pattern: binding.pattern.clone(),
+                weighted_b: g.value(binding.weighted_b).clone(),
+            },
+        ));
+        binding
+    }
+
+    /// The sparse per-timestep supports: computes the top-k `C_t` once from
+    /// `x_t ∈ [B, N, C]` (gathered embedded-Gaussian scores, softmax over
+    /// the `K` candidates — exactly Eq. 16 restricted to the pattern, and
+    /// exactly Eq. 16 at `k = N`), combines `λ_B·B ⊕ λ_C·C_t` on the shared
+    /// pattern, and pairs the result with each CSR base support for the
+    /// linearity-split diffusion `λ_A·(A_s·x) + (vals·x)`.
+    pub fn sparse_supports_at(
+        &self,
+        g: &mut Graph,
+        binding: &DamgnSparseBinding,
+        base: &[(Arc<CsrMatrix>, Arc<CsrMatrix>)],
+        x_t: Var,
+    ) -> Vec<GcSupport> {
+        let _timer = enhancenet_telemetry::span("damgn.dynamic_supports");
+        enhancenet_telemetry::count("damgn.dynamic_supports.calls", 1);
+        let q = g.matmul_broadcast_right(x_t, binding.theta);
+        let k = g.matmul_broadcast_right(x_t, binding.phi);
+        let logits = g.gather_dot_nt(q, k, binding.pattern.clone()); // [B, N, K]
+        let c = g.softmax(logits, -1);
+        let wc = g.mul(binding.lambda_c, c);
+        let vals = g.add(wc, binding.weighted_b); // [B, N, K] (B broadcasts)
+        base.iter()
+            .map(|(csr, csr_t)| GcSupport::SparseDynamic {
+                csr: csr.clone(),
+                csr_t: csr_t.clone(),
+                lambda_a: binding.lambda_a,
+                vals,
+                pattern: binding.pattern.clone(),
+            })
+            .collect()
     }
 
     /// The per-timestep adjacencies `A'_s = λ_A·A_s + λ_B·B + λ_C·C_t`
@@ -442,6 +715,190 @@ mod tests {
         let a = g.constant(Tensor::eye(3));
         let _ = d.bind_cached(&mut g, &store, &[a], &cache, true);
         assert!(!cache.is_populated(), "training forwards must not populate the fold cache");
+    }
+
+    /// Pins memories so that entity 0's scores are fully ReLU-pruned while
+    /// the other rows keep positive survivors and at least one pruned entry.
+    fn make_with_dead_row(n: usize) -> (ParamStore, Damgn, usize) {
+        let (mut store, d) = make(n, 2);
+        let m = DamgnConfig::default().b_memory_dim;
+        let (b1, b2) = d.b_memory_ids();
+        // Indicator memories: row 0 reads only coordinate 0 (negated, so
+        // every score is negative — fully pruned); live rows read only
+        // coordinate 1, which alternates sign across b2 rows so live rows
+        // keep survivors *and* pruned entries.
+        let mut b1_t = vec![0.0f32; n * m];
+        b1_t[0] = -1.0;
+        for i in 1..n {
+            b1_t[i * m + 1] = 1.0;
+        }
+        let mut b2_t = vec![0.0f32; n * m];
+        for (j, chunk) in b2_t.chunks_mut(m).enumerate() {
+            chunk[0] = 0.5;
+            chunk[1] = if j % 2 == 0 { 0.7 } else { -0.5 };
+        }
+        *store.value_mut(b1) = Tensor::from_vec(b1_t, &[n, m]);
+        *store.value_mut(b2) = Tensor::from_vec(b2_t, &[n, m]);
+        (store, d, 0)
+    }
+
+    #[test]
+    fn fully_pruned_row_is_a_self_loop_not_dense_uniform() {
+        // Regression: a plain softmax over an all-zero ReLU row used to
+        // yield a dense uniform 1/N row, silently connecting the entity to
+        // everything. It must now be an exact self-loop.
+        let n = 6;
+        let (store, d, dead) = make_with_dead_row(n);
+        let mut g = Graph::new();
+        let b = d.static_b(&mut g, &store);
+        let v = g.value(b);
+        let row = &v.data()[dead * n..(dead + 1) * n];
+        assert_eq!(row[dead], 1.0, "dead row must self-loop exactly");
+        for (j, &x) in row.iter().enumerate() {
+            if j != dead {
+                assert_eq!(x, 0.0, "dead row leaked weight {x} to column {j}");
+            }
+        }
+        assert!(
+            row.iter().all(|&x| (x - 1.0 / n as f32).abs() > 1e-3),
+            "old dense-uniform 1/N row resurfaced"
+        );
+    }
+
+    #[test]
+    fn masked_softmax_excludes_pruned_entries_from_live_rows() {
+        let n = 6;
+        let (store, d, _) = make_with_dead_row(n);
+        let mut g = Graph::new();
+        let b1v = store.value(d.b_memory_ids().0);
+        let b2v = store.value(d.b_memory_ids().1);
+        let scores = b1v.matmul_nt(b2v);
+        let b = d.static_b(&mut g, &store);
+        let v = g.value(b);
+        let mut saw_pruned = false;
+        for i in 1..n {
+            let row = &v.data()[i * n..(i + 1) * n];
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "live row {i} sums to {sum}");
+            for (j, &w) in row.iter().enumerate() {
+                if scores.at(&[i, j]) <= 0.0 {
+                    assert_eq!(w, 0.0, "pruned entry ({i},{j}) got weight {w}");
+                    saw_pruned = true;
+                }
+            }
+        }
+        assert!(saw_pruned, "fixture has no pruned entries in live rows");
+    }
+
+    #[test]
+    fn static_b_topk_full_width_matches_dense() {
+        let n = 6;
+        let (store, d, dead) = make_with_dead_row(n);
+        let mut g = Graph::new();
+        let dense = d.static_b(&mut g, &store);
+        let pattern = d.topk_pattern(&store, n);
+        let sparse_vals = d.static_b_topk(&mut g, &store, &pattern);
+        let scattered = pattern.scatter_to_dense(g.value(sparse_vals));
+        assert!(scattered.allclose(g.value(dense), 1e-6));
+        let row = &scattered.data()[dead * n..(dead + 1) * n];
+        assert_eq!(row[dead], 1.0);
+    }
+
+    #[test]
+    fn static_b_topk_rows_are_distributions_at_small_k() {
+        let (store, d) = make(8, 2);
+        let pattern = d.topk_pattern(&store, 3);
+        let mut g = Graph::new();
+        let vals = d.static_b_topk(&mut g, &store, &pattern);
+        let v = g.value(vals);
+        assert_eq!(v.shape(), &[8, 3]);
+        let sums = v.sum_axis(-1);
+        assert!(
+            sums.data().iter().all(|&s| (s - 1.0).abs() < 1e-5),
+            "sparse rows must stay distributions: {:?}",
+            sums.data()
+        );
+        assert!(v.data().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn sparse_supports_match_dense_combined_at_full_width() {
+        let n = 5;
+        let (store, d) = make(n, 2);
+        let mut rng = TensorRng::seed(11);
+        let a_t = rng.uniform(&[n, n], 0.0, 0.5);
+        let x_t = rng.normal(&[2, n, 2], 0.0, 1.0);
+        let mut g = Graph::new();
+        let a = g.constant(a_t.clone());
+        let x = g.constant(x_t.clone());
+        let sig = g.constant(rng.normal(&[2, n, 3], 0.0, 1.0));
+        let dense = d.combined(&mut g, &store, a, x);
+        let dense_out = g.bmm(dense, sig);
+        let csr = Arc::new(enhancenet_tensor::CsrMatrix::from_dense(&a_t));
+        let csr_t = Arc::new(csr.transpose());
+        let pattern = d.topk_pattern(&store, n);
+        let binding = d.bind_sparse(&mut g, &store, pattern);
+        let supports = d.sparse_supports_at(&mut g, &binding, &[(csr, csr_t)], x);
+        assert_eq!(supports.len(), 1);
+        let sparse_out = supports[0].apply(&mut g, sig);
+        assert!(g.value(sparse_out).allclose(g.value(dense_out), 1e-5));
+    }
+
+    #[test]
+    fn gradients_reach_all_parameters_through_sparse_path() {
+        let n = 6;
+        let (mut store, d) = make(n, 3);
+        let mut rng = TensorRng::seed(12);
+        let a_t = rng.uniform(&[n, n], 0.0, 0.5);
+        let csr = Arc::new(enhancenet_tensor::CsrMatrix::from_dense(&a_t));
+        let csr_t = Arc::new(csr.transpose());
+        let mut g = Graph::new();
+        let x = g.constant(rng.normal(&[2, n, 3], 0.0, 1.0));
+        let sig = g.constant(rng.normal(&[2, n, 4], 0.0, 1.0));
+        let pattern = d.topk_pattern(&store, 3);
+        let binding = d.bind_sparse(&mut g, &store, pattern);
+        let supports = d.sparse_supports_at(&mut g, &binding, &[(csr, csr_t)], x);
+        let out = supports[0].apply(&mut g, sig);
+        let sq = g.square(out);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        g.write_grads(&mut store);
+        for id in store.ids() {
+            assert!(store.grad(id).norm() > 0.0, "no grad for {}", store.name(id));
+        }
+    }
+
+    #[test]
+    fn sparse_fold_cache_matches_tracked_bind_bitwise() {
+        let n = 5;
+        let (store, d) = make(n, 2);
+        let cache = StaticFoldCache::new();
+        let mut rng = TensorRng::seed(7);
+        let a_t = rng.uniform(&[n, n], 0.0, 0.5);
+        let x_t = rng.normal(&[2, n, 2], 0.0, 1.0);
+        let sig_t = rng.normal(&[2, n, 3], 0.0, 1.0);
+        let csr = Arc::new(enhancenet_tensor::CsrMatrix::from_dense(&a_t));
+        let csr_t = Arc::new(csr.transpose());
+        let run = |use_cache: bool| {
+            let mut g = Graph::new();
+            let x = g.constant(x_t.clone());
+            let sig = g.constant(sig_t.clone());
+            let binding = if use_cache {
+                d.bind_sparse_cached(&mut g, &store, 3, &cache, false)
+            } else {
+                let pattern = d.topk_pattern(&store, 3);
+                d.bind_sparse(&mut g, &store, pattern)
+            };
+            let s = d.sparse_supports_at(&mut g, &binding, &[(csr.clone(), csr_t.clone())], x);
+            let out = s[0].apply(&mut g, sig);
+            g.value(out).clone()
+        };
+        let tracked = run(false);
+        let miss = run(true);
+        assert!(cache.is_populated());
+        let hit = run(true);
+        assert_eq!(tracked.data(), miss.data());
+        assert_eq!(tracked.data(), hit.data());
     }
 
     #[test]

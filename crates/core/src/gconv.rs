@@ -4,23 +4,47 @@
 //! the latter is what DAMGN produces.
 
 use enhancenet_autodiff::{Graph, Var};
+use enhancenet_tensor::{CsrMatrix, TopkPattern};
+use std::sync::Arc;
 
 /// An adjacency bound into the current graph.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub enum GcSupport {
     /// Time-invariant adjacency `[N, N]`, shared across the batch.
     Static(Var),
     /// Per-sample adjacency `[B, N, N]` (e.g. DAMGN's `A'` which includes
     /// the time-specific `C_t`).
     Dynamic(Var),
+    /// Time-invariant sparse adjacency applied via CSR SpMM (`csr_t` is the
+    /// transpose, pre-built so the backward pass allocates nothing new).
+    Sparse { csr: Arc<CsrMatrix>, csr_t: Arc<CsrMatrix> },
+    /// DAMGN's combined adjacency on the sub-quadratic path, split by
+    /// linearity: `A'·x = λ_A·(A_s·x) + (vals·x)` where `A_s` is the
+    /// constant CSR base support and `vals = λ_B·B ⊕ λ_C·C_t` are the
+    /// learned `[B, N, K]` (or `[N, K]`) values on the shared top-k
+    /// `pattern`.
+    SparseDynamic {
+        csr: Arc<CsrMatrix>,
+        csr_t: Arc<CsrMatrix>,
+        lambda_a: Var,
+        vals: Var,
+        pattern: Arc<TopkPattern>,
+    },
 }
 
 impl GcSupport {
     /// One diffusion step `A · x` for `x ∈ [B, N, C]`.
     pub fn apply(&self, g: &mut Graph, x: Var) -> Var {
-        match *self {
-            GcSupport::Static(a) => g.matmul_broadcast_left(a, x),
-            GcSupport::Dynamic(a) => g.bmm(a, x),
+        match self {
+            GcSupport::Static(a) => g.matmul_broadcast_left(*a, x),
+            GcSupport::Dynamic(a) => g.bmm(*a, x),
+            GcSupport::Sparse { csr, csr_t } => g.spmm_csr(csr.clone(), csr_t.clone(), x),
+            GcSupport::SparseDynamic { csr, csr_t, lambda_a, vals, pattern } => {
+                let ax = g.spmm_csr(csr.clone(), csr_t.clone(), x);
+                let wax = g.mul(*lambda_a, ax);
+                let lx = g.spmm_topk(*vals, x, pattern.clone());
+                g.add(wax, lx)
+            }
         }
     }
 }
@@ -41,6 +65,19 @@ pub fn graph_conv(
 ) -> Var {
     assert!(k_hops >= 1, "graph_conv needs at least 1 hop");
     assert_eq!(g.value(x).rank(), 3, "graph_conv expects x of rank 3 [B,N,C]");
+    let c_in = g.value(x).shape()[2];
+    let expected = gc_input_dim(c_in, supports.len(), k_hops);
+    let w_shape = g.value(w).shape().to_vec();
+    let w_in = match w_shape.len() {
+        2 => w_shape[0],
+        3 => w_shape[1],
+        r => panic!("graph_conv weight must be rank 2 [In, Out] or rank 3 [N, In, Out], got rank {r} ({w_shape:?})"),
+    };
+    assert_eq!(
+        w_in, expected,
+        "graph_conv weight input dim mismatch: expected {expected} = (1 + {} supports × {k_hops} hops) × {c_in} features, got {w_in} from weight shape {w_shape:?}",
+        supports.len(),
+    );
     let mut feats = vec![x];
     for s in supports {
         let mut cur = x;
@@ -174,6 +211,95 @@ mod tests {
         assert_eq!(gc_input_dim(2, 2, 2), 10);
         assert_eq!(gc_input_dim(1, 1, 1), 2);
         assert_eq!(gc_input_dim(64, 2, 2), 320);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight input dim mismatch: expected 6")]
+    fn mismatched_weight_input_dim_panics_with_expected_and_actual() {
+        // 1 support × 2 hops × 2 features ⇒ expected (1+2)·2 = 6; pass 4.
+        let mut g = Graph::new();
+        let mut rng = TensorRng::seed(3);
+        let x = g.constant(rng.normal(&[1, 3, 2], 0.0, 1.0));
+        let a = g.constant(Tensor::eye(3));
+        let w = g.constant(rng.normal(&[4, 2], 0.0, 0.5));
+        let _ = graph_conv(&mut g, &[GcSupport::Static(a)], x, w, None, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight input dim mismatch")]
+    fn per_entity_weight_with_wrong_input_dim_panics() {
+        let mut g = Graph::new();
+        let mut rng = TensorRng::seed(3);
+        let x = g.constant(rng.normal(&[1, 3, 2], 0.0, 1.0));
+        let a = g.constant(Tensor::eye(3));
+        // Rank-3 per-entity weight whose middle dim ignores the support hop.
+        let w = g.constant(rng.normal(&[3, 2, 4], 0.0, 0.5));
+        let _ = graph_conv(&mut g, &[GcSupport::Static(a)], x, w, None, 1);
+    }
+
+    fn csr_pair(t: &Tensor) -> GcSupport {
+        let csr = Arc::new(CsrMatrix::from_dense(t));
+        let csr_t = Arc::new(csr.transpose());
+        GcSupport::Sparse { csr, csr_t }
+    }
+
+    #[test]
+    fn sparse_support_matches_static_support() {
+        let mut g = Graph::new();
+        let mut rng = TensorRng::seed(4);
+        let a_t = rng.uniform(&[4, 4], 0.0, 1.0);
+        let x = g.constant(rng.normal(&[2, 4, 3], 0.0, 1.0));
+        let w = g.constant(rng.normal(&[gc_input_dim(3, 1, 2), 5], 0.0, 0.5));
+        let a = g.constant(a_t.clone());
+        let dense = graph_conv(&mut g, &[GcSupport::Static(a)], x, w, None, 2);
+        let sparse = graph_conv(&mut g, &[csr_pair(&a_t)], x, w, None, 2);
+        assert!(g.value(sparse).allclose(g.value(dense), 1e-5));
+    }
+
+    #[test]
+    fn sparse_dynamic_support_matches_dense_dynamic() {
+        // λ_A·(A_s·x) + (vals·x) must equal bmm(λ_A·A_s + scatter(vals), x).
+        let mut g = Graph::new();
+        let mut rng = TensorRng::seed(9);
+        let n = 5;
+        let a_t = rng.uniform(&[n, n], 0.0, 1.0);
+        let scores = rng.normal(&[n, n], 0.0, 1.0);
+        let pattern = Arc::new(TopkPattern::from_dense_topk(&scores, 2));
+        let vals_t = rng.uniform(&[2, n, 2], 0.1, 1.0);
+        let x = g.constant(rng.normal(&[2, n, 3], 0.0, 1.0));
+        let w = g.constant(rng.normal(&[gc_input_dim(3, 1, 1), 4], 0.0, 0.5));
+        let lam = 0.7f32;
+        let dense_a = {
+            let scat = pattern.scatter_to_dense(&vals_t);
+            let mut d = Tensor::zeros(&[2, n, n]);
+            for b in 0..2 {
+                for i in 0..n {
+                    for j in 0..n {
+                        *dmut(&mut d, &[b, i, j]) = lam * a_t.at(&[i, j]) + scat.at(&[b, i, j]);
+                    }
+                }
+            }
+            d
+        };
+        let da = g.constant(dense_a);
+        let dense = graph_conv(&mut g, &[GcSupport::Dynamic(da)], x, w, None, 1);
+        let csr = Arc::new(CsrMatrix::from_dense(&a_t));
+        let csr_t = Arc::new(csr.transpose());
+        let lambda_a = g.constant(Tensor::scalar(lam));
+        let vals = g.constant(vals_t);
+        let support = GcSupport::SparseDynamic { csr, csr_t, lambda_a, vals, pattern };
+        let sparse = graph_conv(&mut g, &[support], x, w, None, 1);
+        assert!(g.value(sparse).allclose(g.value(dense), 1e-5));
+    }
+
+    /// Mutable scalar access helper for test fixtures.
+    fn dmut<'a>(t: &'a mut Tensor, idx: &[usize]) -> &'a mut f32 {
+        let shape = t.shape().to_vec();
+        let mut flat = 0;
+        for (d, &i) in idx.iter().enumerate() {
+            flat = flat * shape[d] + i;
+        }
+        &mut t.data_mut()[flat]
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod probes;
 pub mod serve;
 pub mod trainer;
 
-pub use damgn::{Damgn, DamgnBinding, DamgnConfig, StaticFoldCache};
+pub use damgn::{Damgn, DamgnBinding, DamgnConfig, DamgnSparseBinding, StaticFoldCache};
 pub use dfgn::{
     gru_filter_dim, gru_filter_dim_general, split_gru_filters, split_gru_filters_general,
     split_tcn_filters, tcn_filter_dim, Dfgn, DfgnConfig, FilterCache, GeneratedGruFilters,

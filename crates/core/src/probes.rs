@@ -112,6 +112,14 @@ pub fn record_error_attribution(cfg: &ProbeConfig, pred: &Tensor, truth: &Tensor
     }
 }
 
+/// Largest entity count the graph-diagnostics probe will materialize a
+/// dense `[N, N]` adjacency for. Above this, a DAMGN without a top-k
+/// budget reports `null` adjacency statistics instead of allocating
+/// `N²` floats (400 MB at `N = 10k`) for a health probe; the sparse
+/// top-k path has no such limit — its statistics come straight from the
+/// `[N, K]` value tensors.
+pub const DENSE_PROBE_MAX_ENTITIES: usize = 4096;
+
 /// Emits one `probe.damgn` event for `epoch` when the model carries a
 /// DAMGN: the learned λ mixing weights, row-entropy (normalized by
 /// `ln N`, so 1 = uniform rows, 0 = one-hot) and effective density
@@ -119,6 +127,13 @@ pub fn record_error_attribution(cfg: &ProbeConfig, pred: &Tensor, truth: &Tensor
 /// adjacency `B`, and — when a validation window exists — the same two
 /// statistics for a sampled `C_t` built from the last timestamp of the
 /// first validation window.
+///
+/// When the DAMGN runs with a top-k budget, the statistics are computed on
+/// the sparse `[N, K]` values directly (zero entries contribute nothing to
+/// either statistic, so this is exact, not an approximation). Without a
+/// budget the probe densifies, but only up to
+/// [`DENSE_PROBE_MAX_ENTITIES`]; past that the adjacency statistics are
+/// reported as `null`.
 pub fn record_graph_diagnostics(
     cfg: &ProbeConfig,
     epoch: usize,
@@ -136,30 +151,46 @@ pub fn record_graph_diagnostics(
     let (la, lb, lc) = damgn.lambda_ids();
     let n = damgn.num_entities();
     let ln_n = (n.max(2) as f32).ln();
-
-    let mut g = Graph::new();
-    let b = damgn.static_b(&mut g, store);
-    let b_val = g.value(b);
-    let b_entropy = b_val.row_entropy().mean_all() / ln_n;
-    let b_density = b_val.count_greater(1.0 / n as f32) as f32 / (n * n) as f32;
+    let uniform = 1.0 / n as f32;
+    let total = (n * n) as f32;
 
     // Sample C_t from the last timestamp of the first validation window —
-    // an arbitrary but deterministic probe point.
-    let (c_entropy, c_density) = if data.split.val.is_empty() {
-        (None, None)
-    } else {
+    // an arbitrary but deterministic probe point. Host models condition
+    // the DAMGN on the target feature only (in_features = 1), so the
+    // probe must sample the same slice.
+    let sample_x = (!data.split.val.is_empty()).then(|| {
         let x = data.input_window(data.split.val.start);
         let h = x.shape()[0];
-        // Host models condition the DAMGN on the target feature only
-        // (in_features = 1), so the probe must sample the same slice.
-        let x_t = g.constant(x.slice_axis(0, h - 1, h).slice_axis(2, 0, 1)); // [1, N, 1]
-        let c = damgn.dynamic_c(&mut g, store, x_t);
-        let c_val = g.value(c);
-        (
-            Some(c_val.row_entropy().mean_all() / ln_n),
-            Some(c_val.count_greater(1.0 / n as f32) as f32 / (n * n) as f32),
-        )
+        x.slice_axis(0, h - 1, h).slice_axis(2, 0, 1) // [1, N, 1]
+    });
+
+    let mut g = Graph::new();
+    let stats =
+        |t: &Tensor| (t.row_entropy().mean_all() / ln_n, t.count_greater(uniform) as f32 / total);
+    let (b_stats, c_stats) = if let Some(k) = damgn.top_k() {
+        let pattern = damgn.topk_pattern(store, k);
+        let b = damgn.static_b_topk(&mut g, store, &pattern);
+        let b_stats = stats(g.value(b));
+        let c_stats = sample_x.map(|x| {
+            let x_t = g.constant(x);
+            let c = damgn.dynamic_c_topk(&mut g, store, x_t, &pattern);
+            stats(g.value(c))
+        });
+        (Some(b_stats), c_stats)
+    } else if n <= DENSE_PROBE_MAX_ENTITIES {
+        let b = damgn.static_b(&mut g, store);
+        let b_stats = stats(g.value(b));
+        let c_stats = sample_x.map(|x| {
+            let x_t = g.constant(x);
+            let c = damgn.dynamic_c(&mut g, store, x_t);
+            stats(g.value(c))
+        });
+        (Some(b_stats), c_stats)
+    } else {
+        (None, None)
     };
+    let (b_entropy, b_density) = (b_stats.map(|s| s.0), b_stats.map(|s| s.1));
+    let (c_entropy, c_density) = (c_stats.map(|s| s.0), c_stats.map(|s| s.1));
 
     enhancenet_telemetry::record_event(
         "probe.damgn",

@@ -1,0 +1,190 @@
+//! Property-based parity between the sparse and dense graph-convolution
+//! paths. All generated tensors are integer-valued and small enough that
+//! every intermediate sum stays below 2²⁴, where f32 arithmetic is exact —
+//! so the linearity split `λ_A·(A_s·x) + (vals·x)` must match the dense
+//! `(λ_A·A + scatter(vals))·x` **bitwise**, regardless of summation order,
+//! on odd/prime `N`, 1–2 hops, and `top_k ∈ {1, N/2, N}` (at `top_k = N`
+//! the pattern retains every entry, so sparse equals dense by definition).
+
+use enhancenet::gconv::{gc_input_dim, graph_conv, GcSupport};
+use enhancenet_autodiff::Graph;
+use enhancenet_tensor::{CsrMatrix, Tensor, TopkPattern};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const B: usize = 2;
+const C_IN: usize = 2;
+const C_OUT: usize = 3;
+const LAMBDA_A: f32 = 2.0;
+
+fn int_vec(len: usize, max: u8) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(0..=max, len).prop_map(|v| v.into_iter().map(f32::from).collect())
+}
+
+type Params = (usize, usize, usize, Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>);
+
+fn params() -> impl Strategy<Value = Params> {
+    (prop_oneof![Just(5usize), Just(7), Just(11), Just(13)], 1..=2usize, 0..3usize)
+        .prop_flat_map(|(n, k_hops, topk_sel)| {
+            let gin = gc_input_dim(C_IN, 1, k_hops);
+            (
+                Just((n, k_hops, topk_sel)),
+                int_vec(n * n, 2),                          // base adjacency A
+                prop::collection::vec(-1.0f32..1.0, n * n), // pattern scores
+                int_vec(B * n * n, 3),                      // dense value source V
+                int_vec(B * n * C_IN, 3),                   // signal x
+                int_vec(gin * C_OUT, 2),                    // gc weight w
+            )
+        })
+        .prop_map(|((n, k_hops, topk_sel), a, s, v, x, w)| (n, k_hops, topk_sel, a, s, v, x, w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `GcSupport::SparseDynamic` vs the densified `GcSupport::Dynamic`.
+    #[test]
+    fn sparse_dynamic_graph_conv_matches_dense_bitwise(
+        (n, k_hops, topk_sel, a_v, scores_v, v_v, x_v, w_v) in params()
+    ) {
+        let top_k = match topk_sel { 0 => 1, 1 => (n / 2).max(1), _ => n };
+        let a_t = Tensor::from_vec(a_v, &[n, n]);
+        let scores = Tensor::from_vec(scores_v, &[n, n]);
+        let pattern = Arc::new(TopkPattern::from_dense_topk(&scores, top_k));
+
+        // Sparse vals: gather the integer source V onto the pattern.
+        let mut vals_v = vec![0.0f32; B * n * top_k];
+        for b in 0..B {
+            for i in 0..n {
+                for (s, &j) in pattern.row_cols(i).iter().enumerate() {
+                    vals_v[(b * n + i) * top_k + s] = v_v[(b * n + i) * n + j as usize];
+                }
+            }
+        }
+        // Dense reference: λ_A·A + scatter(vals) per batch element.
+        let mut dense_v = vec![0.0f32; B * n * n];
+        for b in 0..B {
+            for i in 0..n {
+                for j in 0..n {
+                    dense_v[(b * n + i) * n + j] = LAMBDA_A * a_t.at(&[i, j]);
+                }
+                for (s, &j) in pattern.row_cols(i).iter().enumerate() {
+                    dense_v[(b * n + i) * n + j as usize] += vals_v[(b * n + i) * top_k + s];
+                }
+            }
+        }
+
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(x_v, &[B, n, C_IN]));
+        let w = g.constant(Tensor::from_vec(w_v, &[gc_input_dim(C_IN, 1, k_hops), C_OUT]));
+        let da = g.constant(Tensor::from_vec(dense_v, &[B, n, n]));
+        let dense = graph_conv(&mut g, &[GcSupport::Dynamic(da)], x, w, None, k_hops);
+
+        let csr = Arc::new(CsrMatrix::from_dense(&a_t));
+        let csr_t = Arc::new(csr.transpose());
+        let lambda_a = g.constant(Tensor::scalar(LAMBDA_A));
+        let vals = g.constant(Tensor::from_vec(vals_v, &[B, n, top_k]));
+        let support = GcSupport::SparseDynamic { csr, csr_t, lambda_a, vals, pattern };
+        let sparse = graph_conv(&mut g, &[support], x, w, None, k_hops);
+
+        prop_assert_eq!(
+            g.value(sparse).data(),
+            g.value(dense).data(),
+            "sparse/dense diverge at n={} hops={} top_k={}", n, k_hops, top_k
+        );
+    }
+
+    /// `GcSupport::Sparse` (CSR SpMM) vs `GcSupport::Static` (dense matmul).
+    #[test]
+    fn sparse_static_graph_conv_matches_dense_bitwise(
+        (n, k_hops, _sel, a_v, _s, _v, x_v, w_v) in params()
+    ) {
+        let a_t = Tensor::from_vec(a_v, &[n, n]);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(x_v, &[B, n, C_IN]));
+        let w = g.constant(Tensor::from_vec(w_v, &[gc_input_dim(C_IN, 1, k_hops), C_OUT]));
+        let a = g.constant(a_t.clone());
+        let dense = graph_conv(&mut g, &[GcSupport::Static(a)], x, w, None, k_hops);
+        let csr = Arc::new(CsrMatrix::from_dense(&a_t));
+        let csr_t = Arc::new(csr.transpose());
+        let sparse =
+            graph_conv(&mut g, &[GcSupport::Sparse { csr, csr_t }], x, w, None, k_hops);
+        prop_assert_eq!(g.value(sparse).data(), g.value(dense).data());
+    }
+}
+
+/// Backward parity: gradients w.r.t. `x`, `w`, and the adjacency content
+/// agree between the sparse linearity-split path and the densified path.
+#[test]
+fn sparse_dynamic_gradients_match_dense_path() {
+    let n = 7;
+    let top_k = 3;
+    let mut rng = enhancenet_tensor::TensorRng::seed(17);
+    let a_t = rng.uniform(&[n, n], 0.0, 1.0);
+    let scores = rng.normal(&[n, n], 0.0, 1.0);
+    let pattern = Arc::new(TopkPattern::from_dense_topk(&scores, top_k));
+    let vals_t = rng.uniform(&[B, n, top_k], 0.1, 1.0);
+    let x_t = rng.normal(&[B, n, C_IN], 0.0, 1.0);
+    let w_t = rng.normal(&[gc_input_dim(C_IN, 1, 2), C_OUT], 0.0, 0.5);
+    let lam = 0.6f32;
+
+    // Dense run.
+    let (dense_gx, dense_gw, dense_ga) = {
+        let mut g = Graph::new();
+        let x = g.constant(x_t.clone());
+        let w = g.constant(w_t.clone());
+        let scat = pattern.scatter_to_dense(&vals_t);
+        let mut dense_v = vec![0.0f32; B * n * n];
+        for b in 0..B {
+            for i in 0..n {
+                for j in 0..n {
+                    dense_v[(b * n + i) * n + j] = lam * a_t.at(&[i, j]) + scat.at(&[b, i, j]);
+                }
+            }
+        }
+        let da = g.constant(Tensor::from_vec(dense_v, &[B, n, n]));
+        let y = graph_conv(&mut g, &[GcSupport::Dynamic(da)], x, w, None, 2);
+        let sq = g.square(y);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        (g.grad(x).unwrap().clone(), g.grad(w).unwrap().clone(), g.grad(da).unwrap().clone())
+    };
+
+    // Sparse run.
+    let mut g = Graph::new();
+    let x = g.constant(x_t);
+    let w = g.constant(w_t);
+    let csr = Arc::new(CsrMatrix::from_dense(&a_t));
+    let csr_t = Arc::new(csr.transpose());
+    let lambda_a = g.constant(Tensor::scalar(lam));
+    let vals = g.constant(vals_t);
+    let support = GcSupport::SparseDynamic { csr, csr_t, lambda_a, vals, pattern: pattern.clone() };
+    let y = graph_conv(&mut g, &[support], x, w, None, 2);
+    let sq = g.square(y);
+    let loss = g.sum_all(sq);
+    g.backward(loss);
+
+    assert!(g.grad(x).unwrap().allclose(&dense_gx, 1e-4), "x grads diverge");
+    assert!(g.grad(w).unwrap().allclose(&dense_gw, 1e-4), "w grads diverge");
+    // The vals gradient is the dense adjacency gradient gathered at the
+    // retained entries; λ_A's gradient is ⟨grad_A', A⟩ over the whole batch.
+    let ga_sparse = g.grad(vals).unwrap();
+    let mut expected_lam = 0.0f32;
+    for b in 0..B {
+        for i in 0..n {
+            for (s, &j) in pattern.row_cols(i).iter().enumerate() {
+                let got = ga_sparse.at(&[b, i, s]);
+                let want = dense_ga.at(&[b, i, j as usize]);
+                assert!((got - want).abs() < 1e-3, "vals grad [{b},{i},{s}] = {got}, dense {want}");
+            }
+            for j in 0..n {
+                expected_lam += dense_ga.at(&[b, i, j]) * a_t.at(&[i, j]);
+            }
+        }
+    }
+    let got_lam = g.grad(lambda_a).unwrap().item();
+    assert!(
+        (got_lam - expected_lam).abs() / expected_lam.abs().max(1.0) < 1e-3,
+        "λ_A grad {got_lam} vs expected {expected_lam}"
+    );
+}

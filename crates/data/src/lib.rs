@@ -28,6 +28,7 @@
 
 pub mod batch;
 pub mod error;
+pub mod grid;
 pub mod io;
 pub mod scaler;
 pub mod stream;
@@ -37,6 +38,7 @@ pub mod window;
 
 pub use batch::{Batch, BatchIterator};
 pub use error::DataError;
+pub use grid::{generate_grid_series, GridConfig, GridSeries};
 pub use io::{coords_to_csv, from_csv, values_to_csv, CsvError};
 pub use scaler::StandardScaler;
 pub use stream::SlidingWindow;

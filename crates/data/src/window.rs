@@ -60,7 +60,15 @@ impl WindowDataset {
     /// split fractions. The scaler is fit only on timestamps that belong to
     /// training windows.
     pub fn from_series(ds: &CorrelatedTimeSeries, h: usize, f: usize) -> Result<Self, DataError> {
-        let t_total = ds.num_steps();
+        Self::from_values(&ds.values, h, f)
+    }
+
+    /// Builds a windowed dataset straight from a `[T, N, C]` value tensor,
+    /// bypassing [`CorrelatedTimeSeries`] and its dense `[N, N]` distance
+    /// matrix — the entry point for large-`N` series whose adjacency lives
+    /// in sparse (CSR) form.
+    pub fn from_values(values: &Tensor, h: usize, f: usize) -> Result<Self, DataError> {
+        let t_total = values.shape()[0];
         if t_total <= h + f {
             return Err(DataError::SeriesTooShort { steps: t_total, h, f });
         }
@@ -68,10 +76,10 @@ impl WindowDataset {
         let split = ChronoSplit::paper(num_windows);
         // Training windows cover timestamps [0, train_end + h); fit there.
         let fit_steps = split.train.end + h;
-        let scaler = StandardScaler::fit(&ds.values, fit_steps)?;
+        let scaler = StandardScaler::fit(values, fit_steps)?;
         Ok(Self {
-            scaled: scaler.transform(&ds.values)?,
-            raw: ds.values.clone(),
+            scaled: scaler.transform(values)?,
+            raw: values.clone(),
             scaler,
             h,
             f,

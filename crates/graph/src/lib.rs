@@ -14,7 +14,8 @@ mod supports;
 
 pub use adjacency::{gaussian_kernel_adjacency, pairwise_euclidean, AdjacencyConfig};
 pub use supports::{
-    build_supports, khop_supports, normalize_rows, normalize_symmetric, SupportKind,
+    build_supports, build_supports_csr, khop_supports, normalize_rows, normalize_rows_csr,
+    normalize_symmetric, SupportKind,
 };
 
 use enhancenet_tensor::Tensor;

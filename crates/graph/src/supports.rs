@@ -8,7 +8,7 @@
 //! from matrix powers of the supports (the "replace A with A^k" remark after
 //! Eq. 12).
 
-use enhancenet_tensor::Tensor;
+use enhancenet_tensor::{CsrMatrix, Tensor};
 
 /// Which set of supports to derive from an adjacency matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +74,69 @@ pub fn build_supports(adjacency: &Tensor, kind: SupportKind) -> Vec<Tensor> {
             let n = adjacency.shape()[0];
             let with_loops = adjacency.add_t(&Tensor::eye(n));
             vec![normalize_symmetric(&with_loops)]
+        }
+    }
+}
+
+/// Row-normalizes a CSR matrix in `O(nnz)` (zero rows stay zero) — the
+/// sparse analogue of [`normalize_rows`].
+pub fn normalize_rows_csr(a: &CsrMatrix) -> CsrMatrix {
+    let ptr = a.row_ptr().to_vec();
+    let mut out = a.clone();
+    let vals = out.vals_mut();
+    for i in 0..ptr.len() - 1 {
+        let row = &mut vals[ptr[i]..ptr[i + 1]];
+        let sum: f32 = row.iter().sum();
+        if sum.abs() > 1e-12 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+    out
+}
+
+/// CSR analogue of [`build_supports`] for large-`N` graphs: derives the
+/// transition supports directly from a sparse adjacency without ever
+/// materializing an `[N, N]` tensor. `O(nnz)` time and memory.
+pub fn build_supports_csr(adjacency: &CsrMatrix, kind: SupportKind) -> Vec<CsrMatrix> {
+    assert_eq!(adjacency.rows(), adjacency.cols(), "adjacency must be square");
+    match kind {
+        SupportKind::SingleTransition => vec![normalize_rows_csr(adjacency)],
+        SupportKind::DoubleTransition => {
+            vec![normalize_rows_csr(adjacency), normalize_rows_csr(&adjacency.transpose())]
+        }
+        SupportKind::SymmetricWithSelfLoops => {
+            let n = adjacency.rows();
+            // A + I in sparse row form, then D^{-1/2} (A+I) D^{-1/2}.
+            let mut rows: Vec<Vec<(u32, f32)>> = (0..n)
+                .map(|i| {
+                    let mut row: Vec<(u32, f32)> =
+                        adjacency.iter_row(i).map(|(j, v)| (j as u32, v)).collect();
+                    match row.binary_search_by_key(&(i as u32), |&(c, _)| c) {
+                        Ok(p) => row[p].1 += 1.0,
+                        Err(p) => row.insert(p, (i as u32, 1.0)),
+                    }
+                    row
+                })
+                .collect();
+            let inv_sqrt_deg: Vec<f32> = rows
+                .iter()
+                .map(|row| {
+                    let d: f32 = row.iter().map(|&(_, v)| v).sum();
+                    if d > 1e-12 {
+                        1.0 / d.sqrt()
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            for (i, row) in rows.iter_mut().enumerate() {
+                for (j, v) in row.iter_mut() {
+                    *v *= inv_sqrt_deg[i] * inv_sqrt_deg[*j as usize];
+                }
+            }
+            vec![CsrMatrix::from_rows(n, n, &rows)]
         }
     }
 }
@@ -159,6 +222,39 @@ mod tests {
         assert_eq!(hops.len(), 4);
         assert!(hops[0].allclose(&sup[0], 0.0));
         assert!(hops[1].allclose(&sup[0].matmul(&sup[0]), 1e-6));
+    }
+
+    #[test]
+    fn csr_supports_match_dense_for_all_kinds() {
+        let a = Tensor::from_rows(&[
+            vec![0.0, 2.0, 0.0, 1.0],
+            vec![1.0, 0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.5, 0.0, 3.0, 0.0],
+        ]);
+        let sa = CsrMatrix::from_dense(&a);
+        for kind in [
+            SupportKind::SingleTransition,
+            SupportKind::DoubleTransition,
+            SupportKind::SymmetricWithSelfLoops,
+        ] {
+            let dense = build_supports(&a, kind);
+            let sparse = build_supports_csr(&sa, kind);
+            assert_eq!(dense.len(), sparse.len(), "{kind:?} support count");
+            for (d, s) in dense.iter().zip(&sparse) {
+                assert!(s.to_dense().allclose(d, 1e-6), "{kind:?} CSR support diverges from dense");
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_rows_csr_keeps_zero_rows_zero() {
+        let a = CsrMatrix::from_dense(&asym());
+        let norm = normalize_rows_csr(&a);
+        let (_, vals) = norm.row(2);
+        assert!(vals.is_empty() || vals.iter().all(|&v| v == 0.0));
+        let (_, vals0) = norm.row(0);
+        assert!((vals0.iter().sum::<f32>() - 1.0).abs() < 1e-6);
     }
 
     #[test]

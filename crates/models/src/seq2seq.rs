@@ -617,7 +617,7 @@ mod tests {
             GraphMode::Dynamic {
                 kind: SupportKind::SingleTransition,
                 k_hops: 1,
-                damgn: DamgnConfig { b_memory_dim: 3, embed_dim: 2 },
+                damgn: DamgnConfig { b_memory_dim: 3, embed_dim: 2, top_k: None },
             },
             &a,
             1,

@@ -31,7 +31,8 @@ use enhancenet_autodiff::{Graph, ParamId, ParamStore, PlanCache, Var};
 use enhancenet_graph::build_supports;
 use enhancenet_nn::conv::{causal_conv_taps, receptive_field};
 use enhancenet_nn::{Dropout, Linear};
-use enhancenet_tensor::{Tensor, TensorRng};
+use enhancenet_tensor::{CsrMatrix, Tensor, TensorRng};
+use std::sync::Arc;
 
 /// WaveNet hyper-parameters (defaults are the paper's TCN settings).
 #[derive(Debug, Clone)]
@@ -102,6 +103,9 @@ fn apply_filter_4d(g: &mut Graph, x: Var, w: Var) -> Var {
 /// Static graph pieces.
 struct GraphParts {
     supports: Vec<Tensor>,
+    /// CSR base supports (with transposes) for the sub-quadratic top-k
+    /// DAMGN path; empty when the dense path is in use.
+    sparse_supports: Vec<(Arc<CsrMatrix>, Arc<CsrMatrix>)>,
     k_hops: usize,
     damgn: Option<Damgn>,
     /// Graph WaveNet's self-adaptive node embeddings `(E₁, E₂)`.
@@ -131,7 +135,7 @@ pub struct WaveNet {
 impl WaveNet {
     /// A pure temporal model: `TCN` (shared) or `D-TCN` (DFGN).
     pub fn tcn(dims: ModelDims, config: WaveNetConfig, temporal: TemporalMode, seed: u64) -> Self {
-        Self::build(dims, config, temporal, GraphMode::None, None, seed)
+        Self::build(dims, config, temporal, GraphMode::None, None, None, seed)
     }
 
     /// A graph model: `GTCN` / `D-GTCN` / `DA-GTCN` / `D-DA-GTCN`, or the
@@ -145,7 +149,36 @@ impl WaveNet {
         seed: u64,
     ) -> Self {
         assert!(graph_mode.uses_graph(), "gtcn requires a graph mode");
-        Self::build(dims, config, temporal, graph_mode, Some(adjacency), seed)
+        Self::build(dims, config, temporal, graph_mode, Some(adjacency), None, seed)
+    }
+
+    /// A dynamic-graph model over **pre-built sparse base supports** — the
+    /// large-`N` entry point that never materializes an `[N, N]` tensor.
+    /// `base_supports` are already-normalized CSR transitions (e.g. from
+    /// [`enhancenet_graph::build_supports_csr`]); `graph_mode` must be
+    /// [`GraphMode::Dynamic`] with `DamgnConfig::top_k` set so both the
+    /// learned `B` and the time-varying `C_t` stay row-sparse.
+    pub fn gtcn_sparse(
+        dims: ModelDims,
+        config: WaveNetConfig,
+        temporal: TemporalMode,
+        graph_mode: GraphMode,
+        base_supports: Vec<CsrMatrix>,
+        seed: u64,
+    ) -> Self {
+        match graph_mode {
+            GraphMode::Dynamic { damgn, .. } => assert!(
+                damgn.top_k.is_some(),
+                "gtcn_sparse requires DamgnConfig::top_k (dense DAMGN would be O(N²))"
+            ),
+            _ => panic!("gtcn_sparse requires GraphMode::Dynamic"),
+        }
+        assert!(!base_supports.is_empty(), "gtcn_sparse needs at least one base support");
+        for s in &base_supports {
+            assert_eq!(s.rows(), dims.num_entities, "base support rows must match entities");
+            assert_eq!(s.cols(), dims.num_entities, "base support must be square");
+        }
+        Self::build(dims, config, temporal, graph_mode, None, Some(base_supports), seed)
     }
 
     /// Paper preset `TCN`: shared filters, no graph convolution.
@@ -235,6 +268,7 @@ impl WaveNet {
         temporal: TemporalMode,
         graph_mode: GraphMode,
         adjacency: Option<&Tensor>,
+        sparse_bases: Option<Vec<CsrMatrix>>,
         seed: u64,
     ) -> Self {
         assert!(
@@ -266,6 +300,7 @@ impl WaveNet {
                 (
                     Some(GraphParts {
                         supports,
+                        sparse_supports: Vec::new(),
                         k_hops,
                         damgn: None,
                         adaptive: None,
@@ -276,13 +311,45 @@ impl WaveNet {
                 )
             }
             GraphMode::Dynamic { kind, k_hops, damgn } => {
-                let a = adjacency.expect("dynamic graph mode requires an adjacency");
-                let supports = build_supports(a, kind);
-                let count = supports.len();
+                let topk = damgn.top_k.is_some();
+                let (supports, sparse_supports): (Vec<Tensor>, Vec<_>) = match sparse_bases {
+                    // Large-N path: pre-built CSR bases, no dense [N, N].
+                    Some(bases) => (
+                        Vec::new(),
+                        bases
+                            .into_iter()
+                            .map(|c| {
+                                let t = Arc::new(c.transpose());
+                                (Arc::new(c), t)
+                            })
+                            .collect(),
+                    ),
+                    None => {
+                        let a = adjacency.expect("dynamic graph mode requires an adjacency");
+                        let supports = build_supports(a, kind);
+                        if topk {
+                            // top_k on a dense adjacency: convert the bases
+                            // to CSR once; the dense copies are dropped.
+                            let sparse = supports
+                                .iter()
+                                .map(|s| {
+                                    let csr = CsrMatrix::from_dense(s);
+                                    let t = Arc::new(csr.transpose());
+                                    (Arc::new(csr), t)
+                                })
+                                .collect();
+                            (Vec::new(), sparse)
+                        } else {
+                            (supports, Vec::new())
+                        }
+                    }
+                };
+                let count = if topk { sparse_supports.len() } else { supports.len() };
                 let damgn = Damgn::new(&mut store, &mut rng, "damgn", n, 1, damgn);
                 (
                     Some(GraphParts {
                         supports,
+                        sparse_supports,
                         k_hops,
                         damgn: Some(damgn),
                         adaptive: None,
@@ -302,6 +369,7 @@ impl WaveNet {
                 (
                     Some(GraphParts {
                         supports,
+                        sparse_supports: Vec::new(),
                         k_hops,
                         damgn: None,
                         adaptive: Some((e1, e2)),
@@ -431,7 +499,6 @@ impl WaveNet {
     ) -> Option<Vec<GcSupport>> {
         let parts = self.graph.as_ref()?;
         let (b, t, n) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-        let base: Vec<Var> = parts.supports.iter().map(|s| g.constant(s.clone())).collect();
         if let Some(damgn) = &parts.damgn {
             // Signal: [B, T, N, 1] -> [B*T, N, 1].
             let sig = match xv {
@@ -441,11 +508,20 @@ impl WaveNet {
                 }
                 None => g.constant(x.slice_axis(3, 0, 1).reshape(&[b * t, n, 1])),
             };
+            // Top-k mode: row-sparse B and C_t over the shared pattern,
+            // CSR bases handled by the linearity split in `GcSupport`.
+            if let Some(k) = damgn.top_k() {
+                let binding =
+                    damgn.bind_sparse_cached(g, &self.store, k, &parts.fold_cache, training);
+                return Some(damgn.sparse_supports_at(g, &binding, &parts.sparse_supports, sig));
+            }
+            let base: Vec<Var> = parts.supports.iter().map(|s| g.constant(s.clone())).collect();
             let binding = damgn.bind_cached(g, &self.store, &base, &parts.fold_cache, training);
             let dyn_supports = damgn.dynamic_supports_at(g, &binding, sig);
             return Some(dyn_supports.into_iter().map(GcSupport::Dynamic).collect());
         }
-        let mut out: Vec<GcSupport> = base.into_iter().map(GcSupport::Static).collect();
+        let mut out: Vec<GcSupport> =
+            parts.supports.iter().map(|s| GcSupport::Static(g.constant(s.clone()))).collect();
         if let Some((e1, e2)) = parts.adaptive {
             let v1 = g.param(&self.store, e1);
             let v2 = g.param(&self.store, e2);
@@ -803,6 +879,123 @@ mod tests {
         let first = run();
         let second = run();
         assert!(first.allclose(&second, 0.0));
+    }
+
+    #[test]
+    fn sparse_topk_matches_dense_at_full_width() {
+        // top_k = N retains every entry, so the sparse path must agree with
+        // the dense DAMGN model built from the same seed (same parameters).
+        let a = ring_adjacency(5);
+        let d = dims(5, 2);
+        let dense =
+            WaveNet::gtcn(d, cfg(), TemporalMode::Shared, GraphMode::paper_dynamic(), &a, 7);
+        let sparse = WaveNet::gtcn(
+            dims(5, 2),
+            cfg(),
+            TemporalMode::Shared,
+            GraphMode::paper_dynamic_topk(5),
+            &a,
+            7,
+        );
+        assert_eq!(sparse.name(), "DA-GTCN");
+        let x = TensorRng::seed(9).normal(&[2, 8, 5, 2], 0.0, 1.0);
+        let run = |m: &WaveNet| {
+            let mut g = Graph::new();
+            let mut rng = TensorRng::seed(1);
+            let mut ctx = ForwardCtx::eval(&mut rng);
+            let y = m.forward(&mut g, &x, &mut ctx);
+            g.value(y).clone()
+        };
+        assert!(run(&dense).allclose(&run(&sparse), 1e-4));
+    }
+
+    #[test]
+    fn gtcn_sparse_runs_from_csr_bases_without_dense_adjacency() {
+        let n = 6;
+        let csr = enhancenet_tensor::CsrMatrix::from_dense(&ring_adjacency(n));
+        let bases = enhancenet_graph::build_supports_csr(
+            &csr,
+            enhancenet_graph::SupportKind::DoubleTransition,
+        );
+        let mut m = WaveNet::gtcn_sparse(
+            dims(n, 1),
+            cfg(),
+            TemporalMode::Distinct(small_dfgn()),
+            GraphMode::paper_dynamic_topk(3),
+            bases,
+            2,
+        );
+        assert_eq!(m.name(), "D-DA-GTCN");
+
+        // Every parameter — DAMGN memories, θ/φ, λs, DFGN, taps — gets a
+        // gradient through the sparse path. (Grad check runs before any
+        // other eval forward so the fold/filter caches are still cold and
+        // the binding is tracked.)
+        let x = TensorRng::seed(3).normal(&[2, 8, n, 1], 0.0, 1.0);
+        let mut g = Graph::new();
+        let mut rng = TensorRng::seed(4);
+        let pred = {
+            let mut ctx = ForwardCtx::eval(&mut rng);
+            m.forward(&mut g, &x, &mut ctx)
+        };
+        let target = Tensor::ones(&[2, 4, n]);
+        let mask = Tensor::ones(&[2, 4, n]);
+        let loss = g.masked_mae(pred, &target, &mask);
+        g.backward(loss);
+        m.store_mut().zero_grad();
+        g.write_grads(m.store_mut());
+        let mut missing = Vec::new();
+        for id in m.store().ids() {
+            if m.store().grad(id).norm() == 0.0 {
+                missing.push(m.store().name(id).to_string());
+            }
+        }
+        assert!(missing.is_empty(), "params with zero grad: {missing:?}");
+        forward_shape(&m, 2, n, 1);
+    }
+
+    #[test]
+    fn eval_sparse_fold_cache_matches_tracked_path() {
+        // First eval forward populates the sparse fold cache (pattern +
+        // folded λ_B·B); the second is served from it, bit-identically.
+        let a = ring_adjacency(4);
+        let m = WaveNet::gtcn(
+            dims(4, 1),
+            cfg(),
+            TemporalMode::Shared,
+            GraphMode::paper_dynamic_topk(2),
+            &a,
+            3,
+        );
+        let x = TensorRng::seed(11).normal(&[2, 8, 4, 1], 0.0, 1.0);
+        let run = || {
+            let mut g = Graph::new();
+            let mut rng = TensorRng::seed(1);
+            let mut ctx = ForwardCtx::eval(&mut rng);
+            let y = m.forward(&mut g, &x, &mut ctx);
+            g.value(y).clone()
+        };
+        let first = run();
+        let second = run();
+        assert!(first.allclose(&second, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "gtcn_sparse requires DamgnConfig::top_k")]
+    fn gtcn_sparse_rejects_dense_damgn_config() {
+        let csr = enhancenet_tensor::CsrMatrix::from_dense(&ring_adjacency(4));
+        let bases = enhancenet_graph::build_supports_csr(
+            &csr,
+            enhancenet_graph::SupportKind::DoubleTransition,
+        );
+        let _ = WaveNet::gtcn_sparse(
+            dims(4, 1),
+            cfg(),
+            TemporalMode::Shared,
+            GraphMode::paper_dynamic(),
+            bases,
+            1,
+        );
     }
 
     #[test]

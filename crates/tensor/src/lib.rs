@@ -44,12 +44,14 @@ mod ops;
 mod reduce;
 pub mod scratch;
 mod shape;
+pub mod sparse;
 mod tensor;
 
 pub use init::TensorRng;
 pub use kernel::MicroKernel;
 pub use scratch::with_scratch;
 pub use shape::{broadcast_shapes, Shape};
+pub use sparse::{CsrMatrix, TopkPattern};
 pub use tensor::Tensor;
 
 /// Absolute tolerance used by [`Tensor::allclose`] and the test-suites of the
